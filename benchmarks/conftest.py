@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Every file here regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (captured with ``-s`` or in the
+benchmark logs) and asserts the qualitative claims, while
+pytest-benchmark times the underlying kernels.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _print_header():
+    print("\n=== paper-artifact benchmark suite (see EXPERIMENTS.md) ===")
+    yield

@@ -1,0 +1,82 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each consistency ingredient is disabled in turn and the resulting
+inconsistency quantified; the benchmark compares the runtime cost of
+consistent vs inconsistent message passing (the "price of the 1/d
+scalings" — which is nearly zero; the real price is communication,
+quantified in Figs. 7-8).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import GNNConfig, MeshGNN
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.tensor import Tensor, no_grad
+
+MESH = BoxMesh(6, 6, 4, p=1)
+BASE = GNNConfig(hidden=8, n_message_passing=3, n_mlp_hidden=1, seed=1)
+NO_SCALING = GNNConfig(
+    hidden=8, n_message_passing=3, n_mlp_hidden=1, seed=1, degree_scaling=False
+)
+
+
+def max_deviation_from_r1(config, halo_mode, size=4):
+    g1 = build_full_graph(MESH)
+    x1 = taylor_green_velocity(g1.pos)
+    with no_grad():
+        ref = MeshGNN(config)(x1, g1.edge_attr(node_features=x1), g1).data
+
+    dg = build_distributed_graph(MESH, auto_partition(MESH, size))
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        with no_grad():
+            return MeshGNN(config)(
+                x, g.edge_attr(node_features=x), g, comm, halo_mode
+            ).data
+
+    outs = ThreadWorld(size).run(prog)
+    return max(
+        float(np.abs(o - ref[lg.global_ids]).max()) for lg, o in zip(dg.locals, outs)
+    )
+
+
+def test_ablation_table():
+    rows = [
+        ("full consistent NMP", BASE, HaloMode.NEIGHBOR_A2A),
+        ("no halo exchange", BASE, HaloMode.NONE),
+        ("no 1/d_ij edge scaling", NO_SCALING, HaloMode.NEIGHBOR_A2A),
+        ("neither", NO_SCALING, HaloMode.NONE),
+    ]
+    print("\nablation: max |output - R=1| at R=4")
+    devs = {}
+    for name, cfg, mode in rows:
+        devs[name] = max_deviation_from_r1(cfg, mode)
+        print(f"  {name:<26} {devs[name]:.3e}")
+    assert devs["full consistent NMP"] < 1e-11
+    assert devs["no halo exchange"] > 1e-6
+    assert devs["no 1/d_ij edge scaling"] > 1e-6
+    assert devs["neither"] > 1e-6
+
+
+@pytest.mark.parametrize("mode", [HaloMode.NONE, HaloMode.NEIGHBOR_A2A])
+def test_benchmark_consistency_runtime_cost(benchmark, mode):
+    """In-process runtime of consistent vs inconsistent evaluation —
+    the arithmetic overhead of consistency is tiny; communication is
+    the real cost (see Fig. 8)."""
+    dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+    world = ThreadWorld(4)
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        model = MeshGNN(BASE)
+        with no_grad():
+            return model(x, g.edge_attr(node_features=x), g, comm, mode).data
+
+    out = benchmark(world.run, prog)
+    assert len(out) == 4

@@ -1,0 +1,30 @@
+"""Fig. 2 — element graph representation (node/edge counts per order).
+
+Paper values: p=1 -> 8/24, p=3 -> 64/288, p=5 -> 216/1080.
+The benchmark times full-mesh graph construction at p=5.
+"""
+
+import pytest
+
+from repro.experiments import fig2_element_graphs
+from repro.graph import build_full_graph
+from repro.mesh import BoxMesh
+
+PAPER = {1: (8, 24), 3: (64, 288), 5: (216, 1080)}
+
+
+def test_fig2_counts_match_paper():
+    rows = fig2_element_graphs()
+    print("\nFig. 2: p -> (nodes, edges)")
+    for row in rows:
+        print(f"  p={row['p']}: ({row['nodes']}, {row['edges']})  "
+              f"paper: {PAPER[row['p']]}")
+        assert (row["nodes"], row["edges"]) == PAPER[row["p"]]
+
+
+@pytest.mark.parametrize("p", [1, 3, 5])
+def test_benchmark_graph_generation(benchmark, p):
+    """Time mesh-based graph generation (the Fig. 2/3 pipeline)."""
+    mesh = BoxMesh(4, 4, 4, p=p)
+    graph = benchmark(build_full_graph, mesh)
+    assert graph.n_local == mesh.n_unique_nodes

@@ -1,0 +1,61 @@
+"""Fig. 6 (left) — loss vs number of ranks, consistent vs standard NMP.
+
+Asserts the paper's two claims: (1) with halo exchanges the evaluation
+is invariant to R; (2) without them the output deviation grows with R.
+The benchmark times a distributed consistent forward+loss evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.experiments import fig6_loss_vs_ranks
+from repro.experiments.consistency import _eval_on_rank
+from repro.gnn import SMALL_CONFIG
+from repro.graph import build_distributed_graph
+from repro.mesh import BoxMesh, auto_partition
+
+
+@pytest.fixture(scope="module")
+def fig6_left():
+    return fig6_loss_vs_ranks(
+        mesh=BoxMesh(8, 8, 8, p=1), ranks_list=(1, 2, 4, 8, 16, 32, 64)
+    )
+
+
+def test_fig6_left_consistent_flat(fig6_left):
+    data = fig6_left
+    print("\nFig. 6 (left): R, standard loss, consistent loss, output dev (std)")
+    for r, s, c, d in zip(
+        data["ranks"], data["standard"], data["consistent"],
+        data["standard_output_dev"],
+    ):
+        print(f"  R={r:>3}  std={s:.12f}  cons={c:.12f}  dev={d:.3e}")
+    target = data["target"]
+    for c in data["consistent"]:
+        assert abs(c - target) < 1e-12 * max(1.0, abs(target))
+    for d in data["consistent_output_dev"]:
+        assert d < 1e-13
+
+
+def test_fig6_left_standard_deviates_increasingly(fig6_left):
+    """Paper: deviation grows roughly linearly with R (trend, not exact)."""
+    dev = fig6_left["standard_output_dev"]
+    assert dev[1] > 1e-6  # R=2 already deviates
+    assert dev[-1] > 3 * dev[1]  # and it grows substantially by R=64
+    # monotone on the slab range where boundary fraction strictly grows
+    assert dev[1] < dev[2] < dev[3]
+
+
+def test_benchmark_distributed_consistent_eval(benchmark):
+    """Time one consistent distributed forward+loss at R=4."""
+    mesh = BoxMesh(6, 6, 6, p=1)
+    dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+    world = ThreadWorld(4)
+
+    def run():
+        return world.run(_eval_on_rank, dg, SMALL_CONFIG, HaloMode.NEIGHBOR_A2A)
+
+    results = benchmark(run)
+    losses = [loss for loss, _ in results]
+    assert len(set(losses)) == 1  # identical on all ranks

@@ -1,0 +1,53 @@
+"""Fig. 6 (right) — training curves: R=1 target vs consistent/standard R=8.
+
+Asserts that consistent distributed training recovers the R=1 loss
+trajectory to machine precision while standard NMP training drifts, and
+benchmarks one full distributed training iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.experiments import fig6_training_curves
+from repro.gnn import SMALL_CONFIG, train_distributed
+from repro.graph import build_distributed_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return fig6_training_curves(mesh=BoxMesh(6, 6, 6, p=1), ranks=8, iterations=12)
+
+
+def test_fig6_right_consistent_recovers_target(curves):
+    print(f"\nFig. 6 (right): training curves, R={curves['ranks']}")
+    for i in range(0, len(curves["iterations"]), 3):
+        print(f"  iter {curves['iterations'][i]:>3}: "
+              f"target={curves['target_r1'][i]:.10f} "
+              f"consistent={curves['consistent'][i]:.10f} "
+              f"standard={curves['standard'][i]:.10f}")
+    np.testing.assert_allclose(curves["consistent"], curves["target_r1"], rtol=1e-7)
+
+
+def test_fig6_right_standard_drifts(curves):
+    diffs = np.abs(np.array(curves["standard"]) - np.array(curves["target_r1"]))
+    assert diffs.max() > 1e-9
+
+
+def test_benchmark_distributed_training_iteration(benchmark):
+    """Time a full distributed training step (fwd + loss + bwd + sync)."""
+    mesh = BoxMesh(4, 4, 4, p=1)
+    dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+    world = ThreadWorld(4)
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        return train_distributed(
+            comm, SMALL_CONFIG, g, x, x,
+            halo_mode=HaloMode.NEIGHBOR_A2A, iterations=1,
+        ).final_loss
+
+    losses = benchmark(world.run, prog)
+    assert len(set(losses)) == 1

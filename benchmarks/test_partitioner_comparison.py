@@ -1,0 +1,78 @@
+"""Partitioner ablation: halo volume and neighbor counts by strategy.
+
+DESIGN.md lists partitioner choice as a design ablation: consistency is
+invariant to it (asserted in the property tests), but communication
+volume is not — this bench quantifies how much the partition quality
+matters for the halo exchange the scaling study prices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_distributed_graph
+from repro.graph.metrics import communication_summary
+from repro.mesh import (
+    BoxMesh,
+    GridPartitioner,
+    MortonPartitioner,
+    RandomPartitioner,
+    SlabPartitioner,
+)
+
+MESH = BoxMesh(8, 8, 8, p=1)
+RANKS = 8
+
+PARTITIONERS = {
+    "slab": SlabPartitioner(axis=2),
+    "grid": GridPartitioner(grid=(2, 2, 2)),
+    "morton": MortonPartitioner(),
+    "random": RandomPartitioner(seed=0),
+}
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    out = {}
+    for name, p in PARTITIONERS.items():
+        dg = build_distributed_graph(MESH, p.partition(MESH, RANKS))
+        out[name] = communication_summary(dg, hidden=32)
+    return out
+
+
+def test_partitioner_halo_table(summaries):
+    print(f"\nhalo traffic by partitioner ({MESH}, R={RANKS}, NH=32):")
+    print(f"  {'partitioner':<10} {'total KiB':>10} {'max-rank KiB':>13} {'avg nbrs':>9}")
+    for name, s in summaries.items():
+        print(
+            f"  {name:<10} {s['total_bytes'] / 1024:>10.1f} "
+            f"{s['max_rank_bytes'] / 1024:>13.1f} {s['mean_neighbors']:>9.1f}"
+        )
+
+
+def test_structured_beats_random(summaries):
+    """Random assignment explodes halo volume (elements have no
+    spatial locality) — the reason real codes partition geometrically."""
+    assert summaries["random"]["total_bytes"] > 3 * summaries["grid"]["total_bytes"]
+
+
+def test_grid_beats_slab_at_8_ranks_in_max_traffic(summaries):
+    """Sub-cubes bound per-rank surface better than slabs once slabs
+    get thin (interior slabs carry two full cross-sections)."""
+    assert summaries["grid"]["max_rank_bytes"] <= summaries["slab"]["max_rank_bytes"]
+
+
+def test_morton_close_to_grid(summaries):
+    """The space-filling curve should be within ~2x of the exact grid."""
+    assert summaries["morton"]["total_bytes"] < 2.5 * summaries["grid"]["total_bytes"]
+
+
+@pytest.mark.parametrize("name", list(PARTITIONERS))
+def test_benchmark_partition_and_build(benchmark, name):
+    """Time partitioning + distributed graph build per strategy."""
+    partitioner = PARTITIONERS[name]
+
+    def build():
+        return build_distributed_graph(MESH, partitioner.partition(MESH, RANKS))
+
+    dg = benchmark(build)
+    assert dg.size == RANKS

@@ -1,0 +1,44 @@
+"""Table I — small and large GNN model settings.
+
+Asserts the exact trainable-parameter counts (3,979 / 91,459) and
+benchmarks a forward pass of each configuration.
+"""
+
+import pytest
+
+from repro.experiments import table1_model_settings
+from repro.gnn import LARGE_CONFIG, MeshGNN, SMALL_CONFIG
+from repro.graph import build_full_graph
+from repro.mesh import BoxMesh, taylor_green_velocity
+from repro.tensor import no_grad
+
+PAPER_PARAMS = {"Small": 3_979, "Large": 91_459}
+
+
+def test_table1_matches_paper():
+    rows = table1_model_settings()
+    print("\nTable I:")
+    for row in rows:
+        print(f"  {row['name']}: NH={row['hidden']} M={row['message_passing_layers']} "
+              f"hidden={row['mlp_hidden_layers']} params={row['trainable_parameters']:,} "
+              f"(paper {PAPER_PARAMS[row['name']]:,})")
+        assert row["trainable_parameters"] == PAPER_PARAMS[row["name"]]
+
+
+@pytest.mark.parametrize(
+    "config,name", [(SMALL_CONFIG, "small"), (LARGE_CONFIG, "large")]
+)
+def test_benchmark_forward_pass(benchmark, config, name):
+    """Forward-pass time per Table I configuration (4^3 elements, p=2)."""
+    mesh = BoxMesh(4, 4, 4, p=2)
+    graph = build_full_graph(mesh)
+    x = taylor_green_velocity(graph.pos)
+    ea = graph.edge_attr(node_features=x, kind=config.edge_features)
+    model = MeshGNN(config)
+
+    def fwd():
+        with no_grad():
+            return model(x, ea, graph)
+
+    out = benchmark(fwd)
+    assert out.shape == (graph.n_local, 3)

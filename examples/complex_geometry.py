@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Complex geometry: a mixed hex/wedge mesh through the same pipeline.
+
+The paper motivates mesh-based GNNs with the "critical complex geometry
+requirement" — real data lives on unstructured, mixed-element meshes.
+This example builds a box whose top layer is prisms (wedges), partitions
+it by element centroids, and verifies the distributed GNN remains
+arithmetically consistent on it.
+
+Run:  python examples/complex_geometry.py
+"""
+
+import numpy as np
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import GNNConfig, MeshGNN
+from repro.graph import build_distributed_graph
+from repro.graph.distributed import DistributedGraph
+from repro.mesh import mixed_hex_wedge_box, partition_by_centroid, wedge_column
+from repro.mesh.partition import Partition
+from repro.tensor import no_grad
+
+CONFIG = GNNConfig(hidden=8, n_message_passing=3, n_mlp_hidden=1, seed=12)
+
+
+def features(pos):
+    rng = np.random.default_rng(0)
+    return np.sin(pos @ rng.normal(size=(3, 3)))
+
+
+def full_graph(mesh):
+    part = Partition(np.zeros(mesh.n_elements, dtype=np.int64), 1)
+    return build_distributed_graph(mesh, part).local(0)
+
+
+def demo(mesh, name, ranks):
+    print(f"\n=== {name}: {mesh} ===")
+    g1 = full_graph(mesh)
+    print(f"graph: {g1.n_local} nodes, {g1.n_edges} directed edges")
+    x1 = features(g1.pos)
+    model = MeshGNN(CONFIG)
+    with no_grad():
+        ref = model(x1, g1.edge_attr(node_features=x1), g1).data
+
+    part = partition_by_centroid(mesh, ranks)
+    dg = build_distributed_graph(mesh, part)
+    halos = [lg.n_halo for lg in dg.locals]
+    print(f"partitioned onto {ranks} ranks; halo nodes per rank: {halos}")
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = features(g.pos)
+        m = MeshGNN(CONFIG)
+        with no_grad():
+            return m(x, g.edge_attr(node_features=x), g, comm,
+                     HaloMode.NEIGHBOR_A2A).data
+
+    out = dg.assemble_global(ThreadWorld(ranks).run(prog))
+    dev = float(np.abs(out - ref).max())
+    print(f"max |distributed - serial| = {dev:.3e}")
+    assert dev < 1e-10
+    print("consistent on this geometry. ✓")
+
+
+def main() -> None:
+    demo(mixed_hex_wedge_box(3, 3, 3), "mixed hex/wedge box", ranks=4)
+    demo(wedge_column(n_sides=10, n_layers=6), "extruded wedge column", ranks=3)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Multiscale consistent message passing across a distributed mesh.
+
+Builds a two-level hierarchy (fine mesh graph + lattice-coarsened
+level), runs a fine->coarse->fine multiscale block distributed over 4
+ranks, and verifies the result equals the single-rank evaluation —
+consistency across resolution levels, the extension direction of the
+multi-scale GNN literature the paper builds on.
+
+Run:  python examples/multiscale_gnn.py
+"""
+
+import numpy as np
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import MultiscaleNMPBlock, build_coarse_contexts
+from repro.graph import build_distributed_graph
+from repro.graph.coarsen import coarsen_distributed_graph
+from repro.mesh import BoxMesh, Partition, auto_partition
+from repro.tensor import Tensor, no_grad
+
+HIDDEN = 8
+
+
+def main() -> None:
+    mesh = BoxMesh(6, 6, 4, p=1)
+    rng = np.random.default_rng(0)
+    proj = rng.normal(size=(3, HIDDEN))
+
+    # single-rank reference
+    dg1 = build_distributed_graph(
+        mesh, Partition(np.zeros(mesh.n_elements, dtype=np.int64), 1)
+    )
+    g1 = dg1.local(0)
+    level1 = coarsen_distributed_graph(dg1, factor=2)
+    print(f"fine level:   {g1.n_local} nodes, {g1.n_edges} edges")
+    print(f"coarse level: {level1.local(0).n_local} nodes, "
+          f"{level1.local(0).n_edges} edges  (factor-2 lattice clustering)")
+
+    block = MultiscaleNMPBlock(HIDDEN, n_mlp_hidden=1, seed=3)
+    x1 = np.tanh(g1.pos @ proj)
+    e1 = np.zeros((g1.n_edges, HIDDEN))
+    ctx1 = build_coarse_contexts(dg1)[0]
+    with no_grad():
+        ref, _ = block(Tensor(x1), Tensor(e1), g1, ctx1)
+    ref = ref.data
+
+    # distributed evaluation on 4 ranks
+    dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+    ctxs = build_coarse_contexts(dg)
+    coarse_halos = [c.graph.n_halo for c in ctxs]
+    print(f"\ndistributed on 4 ranks; coarse-level halo rows per rank: {coarse_halos}")
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = np.tanh(g.pos @ proj)
+        e = np.zeros((g.n_edges, HIDDEN))
+        with no_grad():
+            out, _ = block(Tensor(x), Tensor(e), g, ctxs[comm.rank], comm,
+                           HaloMode.NEIGHBOR_A2A)
+        return out.data
+
+    out = dg.assemble_global(ThreadWorld(4).run(prog))
+    dev = float(np.abs(out - ref).max())
+    print(f"max |distributed - serial| across both levels: {dev:.3e}")
+    assert dev < 1e-10
+    print("multiscale message passing is partition-invariant. ✓")
+
+
+if __name__ == "__main__":
+    main()

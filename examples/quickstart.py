@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: train a consistent mesh GNN on Taylor-Green vortex data.
+
+Builds a spectral-element box mesh, turns it into a mesh-based graph,
+and trains the paper's "small" GNN to predict the decayed future
+velocity field from the current one (node-level regression) — first on
+one rank, then on four ranks with consistent message passing, verifying
+that both runs produce identical losses.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import SMALL_CONFIG, train_distributed, train_single
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+
+
+def main() -> None:
+    # 1. Mesh: 6^3 spectral elements at polynomial order p=1 on [0, 2*pi]^3
+    mesh = BoxMesh(6, 6, 6, p=1)
+    print(f"mesh: {mesh}")
+
+    # 2. The regression task: velocity now -> velocity after viscous decay
+    graph = build_full_graph(mesh)
+    x = taylor_green_velocity(graph.pos, t=0.0, nu=0.05)
+    y = taylor_green_velocity(graph.pos, t=2.0, nu=0.05)
+    print(f"graph: {graph.n_local} nodes, {graph.n_edges} directed edges")
+
+    # 3. Train on a single rank (the un-partitioned baseline)
+    iters = 15
+    r1 = train_single(SMALL_CONFIG, graph, x, y, iterations=iters, lr=2e-3)
+    print(f"\nR=1 training:   first loss {r1.losses[0]:.6f}  final {r1.final_loss:.6f}")
+
+    # 4. Train the same problem on 4 ranks with consistent message passing
+    dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+
+    def rank_program(comm):
+        g = dg.local(comm.rank)
+        return train_distributed(
+            comm,
+            SMALL_CONFIG,
+            g,
+            taylor_green_velocity(g.pos, t=0.0, nu=0.05),
+            taylor_green_velocity(g.pos, t=2.0, nu=0.05),
+            halo_mode=HaloMode.NEIGHBOR_A2A,
+            iterations=iters,
+            lr=2e-3,
+        )
+
+    results = ThreadWorld(4).run(rank_program)
+    print(f"R=4 training:   first loss {results[0].losses[0]:.6f}  final {results[0].final_loss:.6f}")
+
+    # 5. Consistency: the distributed run IS the single-rank run
+    max_dev = max(abs(a - b) for a, b in zip(r1.losses, results[0].losses))
+    print(f"\nmax |R=1 - R=4| loss deviation over {iters} iterations: {max_dev:.3e}")
+    assert max_dev < 1e-9, "consistency violated!"
+    print("consistent: distributed training is arithmetically equivalent. ✓")
+
+
+if __name__ == "__main__":
+    main()

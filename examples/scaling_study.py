@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Figs. 7-8: the weak-scaling study, from the Frontier-like model and
+from a calibrated model of *this* host.
+
+Prints the same curves the paper plots: total training throughput,
+weak-scaling efficiency, and throughput relative to the no-exchange
+(inconsistent) baseline, for small/large models x 256k/512k loadings
+x halo modes.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments.scaling import print_fig7, print_fig8
+from repro.gnn import SMALL_CONFIG
+from repro.perf import FRONTIER, calibrated_machine
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Frontier-like machine model")
+    print("=" * 72)
+    print_fig7(FRONTIER)
+    print_fig8(FRONTIER)
+
+    print()
+    print("=" * 72)
+    print("Same harness, compute rate calibrated to THIS host")
+    print("=" * 72)
+    local = calibrated_machine(SMALL_CONFIG)
+    rate = local.effective_flops / local.flops_per_node(SMALL_CONFIG)
+    print(f"measured host rate (small model): {rate:,.0f} graph nodes/s per rank")
+    print_fig8(local)
+
+
+if __name__ == "__main__":
+    main()

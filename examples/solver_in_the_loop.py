@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Solver-in-the-loop: generate training data with the mini NekRS
+substrate and train a distributed surrogate on it.
+
+This is the paper's motivating workflow (Fig. 1): the CFD solver owns
+the partitioned mesh; a plugin exports per-rank graphs; the distributed
+GNN trains on solver fields *in place* — no gather to a single rank,
+with halo exchanges keeping everything partition-invariant. It also
+prefigures the paper's "in-situ training" future-work direction: data
+never leaves the ranks.
+
+Run:  python examples/solver_in_the_loop.py
+"""
+
+import numpy as np
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import GNNConfig, train_distributed
+from repro.mesh import BoxMesh, taylor_green_velocity
+from repro.nekrs import NekRSGNNPlugin
+
+RANKS = 4
+CONFIG = GNNConfig(hidden=8, n_message_passing=3, n_mlp_hidden=1, seed=11)
+
+
+def main() -> None:
+    # the solver side: mesh + partition owned by the "CFD code"
+    mesh = BoxMesh(6, 6, 4, p=2)
+    plugin = NekRSGNNPlugin(mesh, n_ranks=RANKS)
+    print(f"solver mesh: {mesh}; partitioned onto {RANKS} ranks")
+
+    def rank_program(comm):
+        payload = plugin.rank_payload(comm.rank)
+        graph = payload.graph
+
+        # 1. run the solver forward to produce the training target:
+        #    advect+diffuse a scalar-turned-vector field a few steps
+        solver = plugin.make_solver(comm.rank, comm=comm, nu=0.02)
+        u0 = taylor_green_velocity(graph.pos)
+        dt = solver.stable_dt()
+        uT = solver.run(u0, dt, n_steps=5)
+        if comm.rank == 0:
+            print(f"solver: {5} steps at dt={dt:.4f} "
+                  f"(field change {np.abs(uT - u0).max():.3e})")
+
+        # 2. train the GNN to map u0 -> uT on the same partitioned graph
+        result = train_distributed(
+            comm, CONFIG, graph, u0, uT,
+            halo_mode=HaloMode.NEIGHBOR_A2A, iterations=20, lr=3e-3,
+        )
+        return result.losses
+
+    losses = ThreadWorld(RANKS).run(rank_program)
+    print(f"\ntraining losses (identical on all {RANKS} ranks):")
+    print("  first:", f"{losses[0][0]:.6e}", " final:", f"{losses[0][-1]:.6e}")
+    for r in range(1, RANKS):
+        assert losses[r] == losses[0], "ranks disagree on the loss!"
+    assert losses[0][-1] < losses[0][0], "training did not reduce the loss"
+    print("surrogate training converged; all ranks in lockstep. ✓")
+
+
+if __name__ == "__main__":
+    main()

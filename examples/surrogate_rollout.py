@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Train a surrogate time-stepper and roll it out — distributed.
+
+The downstream use-case motivating the paper: replace expensive solver
+steps with GNN evaluations. A small GNN learns the map
+``u(t) -> u(t + dt)`` of the decaying Taylor-Green vortex, then is
+iterated autoregressively. The distributed rollout is checked step by
+step against the single-rank rollout — consistency keeps partition
+error at machine precision even as steps compound.
+
+Run:  python examples/surrogate_rollout.py
+"""
+
+import numpy as np
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import (
+    GNNConfig,
+    MeshGNN,
+    rollout,
+    rollout_error,
+    train_single,
+)
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+
+CONFIG = GNNConfig(hidden=10, n_message_passing=3, n_mlp_hidden=1, seed=2)
+NU, DT = 0.05, 1.0
+STEPS = 5
+
+
+def main() -> None:
+    mesh = BoxMesh(5, 5, 5, p=1)
+    g1 = build_full_graph(mesh)
+
+    # training pair: one solver step of the analytic decay
+    x0 = taylor_green_velocity(g1.pos, t=0.0, nu=NU)
+    x1 = taylor_green_velocity(g1.pos, t=DT, nu=NU)
+    print("training the one-step surrogate ...")
+    result = train_single(CONFIG, g1, x0, x1, iterations=60, lr=3e-3)
+    print(f"  loss {result.losses[0]:.5f} -> {result.final_loss:.5f}")
+
+    # R = 1 rollout vs analytic truth
+    model = MeshGNN(CONFIG)
+    model.load_state_dict(result.state_dict)
+    states = rollout(model, g1, x0, n_steps=STEPS)
+    truth = [taylor_green_velocity(g1.pos, t=DT * k, nu=NU) for k in range(STEPS + 1)]
+    err = rollout_error(states, truth)
+    print("\nrollout RMS error vs analytic decay:")
+    for k, e in enumerate(err):
+        print(f"  step {k}: {e:.5f}")
+
+    # distributed rollout must track the R=1 rollout exactly
+    dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        m = MeshGNN(CONFIG)
+        m.load_state_dict(result.state_dict)
+        return rollout(
+            m, g, x0[g.global_ids], n_steps=STEPS, comm=comm,
+            halo_mode=HaloMode.NEIGHBOR_A2A,
+        )
+
+    per_rank = ThreadWorld(4).run(prog)
+    max_dev = 0.0
+    for k in range(STEPS + 1):
+        assembled = dg.assemble_global([s[k] for s in per_rank])
+        max_dev = max(max_dev, float(np.abs(assembled - states[k]).max()))
+    print(f"\nmax |R=4 - R=1| over all {STEPS} rollout steps: {max_dev:.3e}")
+    assert max_dev < 1e-9
+    print("distributed rollout is arithmetically identical. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate every paper artifact.
+
+Usage::
+
+    python -m repro                 # run all experiment drivers
+    python -m repro fig2 table1     # run a subset
+    python -m repro --list
+
+Artifact names: fig2, table1, fig6, table2, fig7, fig8, all.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _run_fig7_fig8() -> None:
+    from repro.experiments.scaling import print_fig7, print_fig8
+
+    print_fig7()
+    print_fig8()
+
+
+DRIVERS = {
+    "fig2": lambda: _import_main("repro.experiments.element_counts"),
+    "table1": lambda: _import_main("repro.experiments.model_table"),
+    "fig6": lambda: _import_main("repro.experiments.consistency"),
+    "table2": lambda: _import_main("repro.experiments.partition_table"),
+    "fig7": lambda: _print_fig("fig7"),
+    "fig8": lambda: _print_fig("fig8"),
+}
+
+
+def _import_main(module: str) -> None:
+    import importlib
+
+    importlib.import_module(module).main()
+
+
+def _print_fig(which: str) -> None:
+    from repro.experiments.scaling import print_fig7, print_fig8
+
+    (print_fig7 if which == "fig7" else print_fig8)()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--list" in argv:
+        print("available artifacts:", ", ".join(list(DRIVERS) + ["all"]))
+        return 0
+    targets = argv or ["all"]
+    if "all" in targets:
+        targets = list(DRIVERS)
+    unknown = [t for t in targets if t not in DRIVERS]
+    if unknown:
+        print(f"unknown artifacts: {unknown}; use --list", file=sys.stderr)
+        return 2
+    for i, t in enumerate(targets):
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        DRIVERS[t]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""In-process multi-rank communication substrate.
+
+This subpackage replaces ``torch.distributed`` + MPI/NCCL/RCCL for the
+reproduction. A *world* of ``R`` ranks runs SPMD rank programs in
+threads; collectives (barrier, all-reduce, all-to-all, all-gather,
+point-to-point send/recv) are implemented with shared slots and a
+reusable barrier, exactly mirroring the matching semantics a GPU
+collective library provides (every rank must call the same collectives
+in the same order).
+
+Two features carry the paper's weight:
+
+* **Differentiable collectives** (:mod:`repro.comm.autograd_ops`) — the
+  halo exchange used inside the consistent NMP layer must be
+  differentiable (Eq. 3); its backward is the adjoint exchange
+  (reverse the communication pattern and accumulate).
+* **Traffic accounting** (:class:`repro.comm.backend.TrafficStats`) —
+  every collective records message counts and byte volumes per
+  implementation mode (``A2A`` pads dense buffers; ``N-A2A`` sends only
+  to neighbors), which feeds the Frontier performance model that
+  regenerates Figs. 7–8.
+"""
+
+from repro.comm.backend import Communicator, TrafficStats
+from repro.comm.single import SingleProcessComm
+from repro.comm.threaded import ThreadWorld
+from repro.comm.modes import HaloMode
+from repro.comm.autograd_ops import (
+    all_reduce_sum_tensor,
+    halo_exchange_tensor,
+)
+
+__all__ = [
+    "Communicator",
+    "TrafficStats",
+    "SingleProcessComm",
+    "ThreadWorld",
+    "HaloMode",
+    "all_reduce_sum_tensor",
+    "halo_exchange_tensor",
+]

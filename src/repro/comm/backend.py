@@ -1,0 +1,121 @@
+"""Communicator interface and traffic accounting.
+
+The interface intentionally mirrors the small slice of
+``torch.distributed`` the paper uses: all_reduce, all_to_all (list of
+per-destination buffers), all_gather, barrier, and point-to-point
+isend/recv. All payloads are numpy arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TrafficStats:
+    """Per-rank accounting of communication volume.
+
+    ``bytes_sent`` counts payload actually shipped (including padding in
+    dense-A2A mode — that is the point of recording it); ``messages``
+    counts per-destination buffers with nonzero size; ``calls`` counts
+    collective invocations by name. The Frontier performance model
+    consumes these to charge alpha-beta costs.
+    """
+
+    bytes_sent: int = 0
+    messages: int = 0
+    calls: dict = field(default_factory=dict)
+
+    def record(self, op: str, nbytes: int, n_messages: int) -> None:
+        self.bytes_sent += int(nbytes)
+        self.messages += int(n_messages)
+        self.calls[op] = self.calls.get(op, 0) + 1
+
+    def reset(self) -> None:
+        self.bytes_sent = 0
+        self.messages = 0
+        self.calls.clear()
+
+    def merge(self, other: "TrafficStats") -> "TrafficStats":
+        out = TrafficStats(
+            bytes_sent=self.bytes_sent + other.bytes_sent,
+            messages=self.messages + other.messages,
+            calls=dict(self.calls),
+        )
+        for k, v in other.calls.items():
+            out.calls[k] = out.calls.get(k, 0) + v
+        return out
+
+
+class Communicator(abc.ABC):
+    """SPMD communicator handle owned by one rank.
+
+    All collectives must be entered by every rank of the world, in the
+    same order — the same contract NCCL/RCCL/MPI impose. Violations
+    deadlock real machines; the threaded world raises after a timeout
+    instead.
+    """
+
+    def __init__(self) -> None:
+        self.stats = TrafficStats()
+
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int: ...
+
+    @abc.abstractmethod
+    def barrier(self) -> None: ...
+
+    @abc.abstractmethod
+    def all_reduce_sum(self, array: np.ndarray) -> np.ndarray:
+        """Elementwise sum across ranks; result identical on all ranks.
+
+        The reduction is performed in rank order so the result is
+        deterministic and bit-identical everywhere.
+        """
+
+    @abc.abstractmethod
+    def all_to_all(self, send: list[np.ndarray | None]) -> list[np.ndarray]:
+        """Exchange one buffer per destination rank.
+
+        ``send[j]`` goes to rank ``j`` (``None`` or an empty array means
+        "nothing for j" — the lesser-known ``torch.empty(0)`` trick the
+        paper exploits for Neighbor-A2A). Returns the received list,
+        ``recv[i]`` originating from rank ``i``.
+        """
+
+    @abc.abstractmethod
+    def all_gather(self, array: np.ndarray) -> list[np.ndarray]:
+        """Gather one array from every rank (returned in rank order)."""
+
+    @abc.abstractmethod
+    def send(self, array: np.ndarray, dest: int, tag: int = 0) -> None: ...
+
+    @abc.abstractmethod
+    def recv(self, source: int, tag: int = 0) -> np.ndarray: ...
+
+    # -- conveniences shared by implementations -----------------------------
+
+    def all_reduce_max(self, value: float) -> float:
+        arr = np.asarray([value], dtype=np.float64)
+        gathered = self.all_gather(arr)
+        return float(np.max([g[0] for g in gathered]))
+
+    @staticmethod
+    def _payload_bytes(buffers) -> tuple[int, int]:
+        nbytes = 0
+        nmsg = 0
+        for b in buffers:
+            if b is None:
+                continue
+            nbytes += b.nbytes
+            if b.size > 0:
+                nmsg += 1
+        return nbytes, nmsg

@@ -1,0 +1,112 @@
+"""Halo-exchange implementation modes and the exchange specification.
+
+The paper benchmarks four implementations of the same mathematical halo
+exchange (Sec. III):
+
+``NONE``
+    Skip the exchange entirely — the *inconsistent* baseline used to
+    isolate the communication penalty of consistency.
+``A2A``
+    Dense ``all_to_all`` with equal-sized buffers: every rank ships a
+    buffer of the same (maximal) row count to every other rank, whether
+    or not they share halo nodes. Naive and intentionally wasteful.
+``NEIGHBOR_A2A``
+    The same ``all_to_all`` call, but buffers for non-neighbor ranks are
+    empty (the ``torch.empty(0)`` trick), which collective libraries
+    optimize into neighbor-only sends.
+``SEND_RECV``
+    Explicit point-to-point sends/recvs between neighbor ranks (the
+    custom implementation the paper mentions but does not benchmark in
+    detail).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class HaloMode(enum.Enum):
+    """How (or whether) the halo exchange is realized."""
+
+    NONE = "none"
+    A2A = "a2a"
+    NEIGHBOR_A2A = "n-a2a"
+    SEND_RECV = "send-recv"
+
+    @classmethod
+    def parse(cls, value: "HaloMode | str") -> "HaloMode":
+        if isinstance(value, HaloMode):
+            return value
+        for mode in cls:
+            if mode.value == str(value).lower():
+                return mode
+        raise ValueError(f"unknown halo mode {value!r}; options: {[m.value for m in cls]}")
+
+
+@dataclass(frozen=True)
+class ExchangeSpec:
+    """Communication pattern of one rank's halo exchange.
+
+    Attributes
+    ----------
+    size:
+        World size ``R``.
+    neighbors:
+        Sorted ranks this rank actually exchanges rows with.
+    send_indices:
+        For each neighbor, the local row indices whose values are sent
+        there (the "send mask" of Fig. 4).
+    recv_counts:
+        For each neighbor, how many rows arrive from it. Received rows
+        are laid out neighbor-after-neighbor in sorted order — the halo
+        block layout the graph side assumes.
+    pad_count:
+        Row count of the equal-size buffers in dense-A2A mode: the
+        maximum per-pair buffer size over the whole world.
+    """
+
+    size: int
+    neighbors: tuple[int, ...]
+    send_indices: dict[int, np.ndarray]
+    recv_counts: dict[int, int]
+    pad_count: int
+
+    def __post_init__(self):
+        if tuple(sorted(self.neighbors)) != self.neighbors:
+            raise ValueError("neighbors must be sorted")
+        for nbr in self.neighbors:
+            if nbr not in self.send_indices or nbr not in self.recv_counts:
+                raise ValueError(f"missing buffers for neighbor {nbr}")
+
+    @property
+    def n_halo(self) -> int:
+        """Total received (halo) row count."""
+        return int(sum(self.recv_counts[n] for n in self.neighbors))
+
+    @property
+    def n_send(self) -> int:
+        return int(sum(len(self.send_indices[n]) for n in self.neighbors))
+
+    def transpose(self) -> "ExchangeSpec":
+        """The adjoint pattern: send what was received, receive what was sent.
+
+        Used by the backward pass of the differentiable halo exchange.
+        ``send_indices`` of the transpose are contiguous offsets into the
+        halo block (recv layout of the forward).
+        """
+        offsets = {}
+        off = 0
+        for nbr in self.neighbors:
+            cnt = self.recv_counts[nbr]
+            offsets[nbr] = np.arange(off, off + cnt)
+            off += cnt
+        return ExchangeSpec(
+            size=self.size,
+            neighbors=self.neighbors,
+            send_indices=offsets,
+            recv_counts={n: len(self.send_indices[n]) for n in self.neighbors},
+            pad_count=self.pad_count,
+        )

@@ -1,0 +1,47 @@
+"""Degenerate world of one rank (the un-partitioned R = 1 baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.backend import Communicator
+
+
+class SingleProcessComm(Communicator):
+    """Communicator for ``R = 1``: every collective is a no-op or copy.
+
+    The consistent GNN runs unmodified on this communicator, which is
+    how the paper's ``R = 1`` target curves are produced.
+    """
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def barrier(self) -> None:
+        pass
+
+    def all_reduce_sum(self, array: np.ndarray) -> np.ndarray:
+        self.stats.record("all_reduce", 0, 0)
+        return np.array(array, copy=True)
+
+    def all_to_all(self, send):
+        if len(send) != 1:
+            raise ValueError(f"send list must have length 1, got {len(send)}")
+        self.stats.record("all_to_all", 0, 0)
+        buf = send[0]
+        return [np.array(buf, copy=True) if buf is not None else np.empty(0)]
+
+    def all_gather(self, array: np.ndarray):
+        self.stats.record("all_gather", 0, 0)
+        return [np.array(array, copy=True)]
+
+    def send(self, array, dest, tag=0):
+        raise RuntimeError("point-to-point send within a single-rank world")
+
+    def recv(self, source, tag=0):
+        raise RuntimeError("point-to-point recv within a single-rank world")

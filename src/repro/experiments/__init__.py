@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver returns plain data structures (and has a ``main()`` that
+prints the same rows/series the paper reports); the ``benchmarks/``
+suite and the ``examples/`` scripts are thin wrappers over these.
+
+=====================  ==========================================
+paper artifact         driver
+=====================  ==========================================
+Fig. 2                 :mod:`repro.experiments.element_counts`
+Fig. 6 (left, right)   :mod:`repro.experiments.consistency`
+Table I                :mod:`repro.experiments.model_table`
+Table II               :mod:`repro.experiments.partition_table`
+Figs. 7 and 8          :mod:`repro.experiments.scaling`
+=====================  ==========================================
+"""
+
+from repro.experiments.element_counts import fig2_element_graphs
+from repro.experiments.consistency import (
+    fig6_loss_vs_ranks,
+    fig6_training_curves,
+)
+from repro.experiments.model_table import table1_model_settings
+from repro.experiments.partition_table import table2_partition_stats
+from repro.experiments.scaling import fig7_weak_scaling, fig8_relative_throughput
+
+__all__ = [
+    "fig2_element_graphs",
+    "fig6_loss_vs_ranks",
+    "fig6_training_curves",
+    "table1_model_settings",
+    "table2_partition_stats",
+    "fig7_weak_scaling",
+    "fig8_relative_throughput",
+]

@@ -1,0 +1,103 @@
+"""Figs. 7 and 8: weak-scaling study of the consistent distributed GNN.
+
+Regenerated from the Frontier-like machine model at paper scale
+(8 - 2048 ranks, 256k/512k nodes per sub-graph, small/large models,
+halo modes None / A2A / N-A2A). See :mod:`repro.perf` for what is
+modeled vs measured. A real (thread-world) reduced-scale measurement is
+available in ``benchmarks/test_fig7_weak_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from repro.comm.modes import HaloMode
+from repro.gnn import LARGE_CONFIG, SMALL_CONFIG, GNNConfig
+from repro.perf import FRONTIER, MachineModel, simulate_weak_scaling
+from repro.perf.weak_scaling import efficiency_series, relative_throughput_series
+
+#: Paper loadings: "nominally constant at 256k and 512k" per rank.
+LOADINGS = {"512k": 518_750, "256k": 259_375}
+MODELS = {"small": SMALL_CONFIG, "large": LARGE_CONFIG}
+MODES = {
+    "none": HaloMode.NONE,
+    "A2A": HaloMode.A2A,
+    "N-A2A": HaloMode.NEIGHBOR_A2A,
+}
+RANKS = (8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+def fig7_weak_scaling(
+    machine: MachineModel = FRONTIER,
+    ranks_list: tuple = RANKS,
+) -> dict:
+    """All Fig. 7 curves: throughput and weak-scaling efficiency.
+
+    Returns ``{loading: {f"{model} - {mode}": {"ranks", "throughput",
+    "efficiency"}}}``.
+    """
+    out: dict = {}
+    for lname, loading in LOADINGS.items():
+        out[lname] = {}
+        for mname, config in MODELS.items():
+            for xname, mode in MODES.items():
+                pts = simulate_weak_scaling(machine, config, loading, mode, ranks_list)
+                out[lname][f"{mname} - {xname}"] = {
+                    "ranks": [p.ranks for p in pts],
+                    "total_nodes": [p.total_nodes for p in pts],
+                    "throughput": [p.throughput for p in pts],
+                    "efficiency": efficiency_series(pts),
+                }
+    return out
+
+
+def fig8_relative_throughput(
+    machine: MachineModel = FRONTIER,
+    ranks_list: tuple = RANKS,
+) -> dict:
+    """Fig. 8 curves: consistent-model throughput relative to no-exchange."""
+    out: dict = {}
+    for lname, loading in LOADINGS.items():
+        out[lname] = {}
+        for mname, config in MODELS.items():
+            for xname, mode in (("A2A", HaloMode.A2A), ("N-A2A", HaloMode.NEIGHBOR_A2A)):
+                out[lname][f"{mname} - {xname}"] = {
+                    "ranks": list(ranks_list),
+                    "relative": relative_throughput_series(
+                        machine, config, loading, mode, ranks_list
+                    ),
+                }
+    return out
+
+
+def print_fig7(machine: MachineModel = FRONTIER) -> None:
+    data = fig7_weak_scaling(machine)
+    for lname, curves in data.items():
+        print(f"\nFig. 7 — {lname} nodes per sub-graph ({machine.name})")
+        ranks = curves["large - none"]["ranks"]
+        head = "curve".ljust(16) + "".join(f"{r:>10}" for r in ranks)
+        print(head + "   (total throughput, nodes/sec)")
+        for cname, series in sorted(curves.items()):
+            row = cname.ljust(16) + "".join(f"{t:>10.2e}" for t in series["throughput"])
+            print(row)
+        print(head + "   (weak scaling efficiency, %)")
+        for cname, series in sorted(curves.items()):
+            row = cname.ljust(16) + "".join(f"{e:>10.1f}" for e in series["efficiency"])
+            print(row)
+
+
+def print_fig8(machine: MachineModel = FRONTIER) -> None:
+    data = fig8_relative_throughput(machine)
+    for lname, curves in data.items():
+        print(f"\nFig. 8 — relative total throughput, {lname} nodes per sub-graph")
+        ranks = next(iter(curves.values()))["ranks"]
+        print("curve".ljust(16) + "".join(f"{r:>8}" for r in ranks))
+        for cname, series in sorted(curves.items()):
+            print(cname.ljust(16) + "".join(f"{v:>8.2f}" for v in series["relative"]))
+
+
+def main() -> None:
+    print_fig7()
+    print_fig8()
+
+
+if __name__ == "__main__":
+    main()

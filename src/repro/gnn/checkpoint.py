@@ -1,0 +1,48 @@
+"""Model checkpointing: save/load parameter state as ``.npz``.
+
+In distributed training only rank 0 needs to write (replicas are
+bit-identical — an invariant :class:`~repro.gnn.ddp.DistributedDataParallel`
+can assert); every rank loads the same file, preserving the
+rank-independence of ``theta``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+
+
+def save_checkpoint(model: MeshGNN, path: str | Path) -> None:
+    """Write parameters + config to ``path`` (``.npz``)."""
+    path = Path(path)
+    state = model.state_dict()
+    config_json = json.dumps(
+        {
+            "hidden": model.config.hidden,
+            "n_message_passing": model.config.n_message_passing,
+            "n_mlp_hidden": model.config.n_mlp_hidden,
+            "node_in": model.config.node_in,
+            "node_out": model.config.node_out,
+            "edge_features": model.config.edge_features,
+            "seed": model.config.seed,
+            "degree_scaling": model.config.degree_scaling,
+        }
+    )
+    np.savez(path, __config__=np.frombuffer(config_json.encode(), dtype=np.uint8), **state)
+
+
+def load_checkpoint(path: str | Path) -> MeshGNN:
+    """Reconstruct a model (config + parameters) from a checkpoint."""
+    path = Path(path)
+    with np.load(path) as data:
+        raw = bytes(data["__config__"].tobytes())
+        cfg = json.loads(raw.decode())
+        model = MeshGNN(GNNConfig(**cfg))
+        state = {k: data[k] for k in data.files if k != "__config__"}
+    model.load_state_dict(state)
+    return model

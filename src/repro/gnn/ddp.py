@@ -1,0 +1,96 @@
+"""Distributed data parallel wrapper: replicated model, synced gradients.
+
+Every rank holds a full replica of the model (Eq. 1's ``theta`` has no
+rank index). After each backward pass the parameter gradients are
+all-reduced; with the consistent loss the combination rules are:
+
+* loss ``grad_reduction="all_reduce"`` → DDP ``average`` (paper setup);
+* loss ``grad_reduction="sum"``        → DDP ``sum``.
+
+Both yield gradients exactly equal to the un-partitioned run (Eq. 3) —
+asserted in ``tests/gnn/test_consistency.py``. Because replicas start
+identical and see identical synced gradients, they remain bit-identical
+forever; :meth:`DistributedDataParallel.assert_replicas_identical`
+verifies it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.backend import Communicator
+from repro.nn import Module
+
+
+class DistributedDataParallel:
+    """Gradient-synchronizing wrapper around a replicated module."""
+
+    def __init__(self, module: Module, comm: Communicator, reduction: str = "average"):
+        if reduction not in ("average", "sum"):
+            raise ValueError("reduction must be 'average' or 'sum'")
+        self.module = module
+        self.comm = comm
+        self.reduction = reduction
+        self._params = module.parameters()  # deterministic order on all ranks
+
+    def __call__(self, *args, **kwargs):
+        return self.module(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        return self.module(*args, **kwargs)
+
+    def sync_gradients(self, flat: bool = True) -> None:
+        """All-reduce the parameter gradients.
+
+        ``flat=True`` (default) packs all gradients into one buffer and
+        performs a single AllReduce — what bucketing DDP implementations
+        do, and what the performance model charges ("the standard
+        reduction on the gradients"). ``flat=False`` reduces tensor by
+        tensor (more collectives, same result; useful for tests).
+
+        Parameters that received no gradient contribute zeros so the
+        collective stays matched across ranks (a partial participation
+        would deadlock a real collective library).
+        """
+        scale = 1.0 / self.comm.size if self.reduction == "average" else 1.0
+        if flat:
+            sizes = [p.data.size for p in self._params]
+            buf = np.empty(int(np.sum(sizes)), dtype=self._params[0].data.dtype)
+            off = 0
+            for p, n in zip(self._params, sizes):
+                if p.grad is None:
+                    buf[off : off + n] = 0.0
+                else:
+                    buf[off : off + n] = p.grad.ravel()
+                off += n
+            buf = self.comm.all_reduce_sum(buf)
+            if scale != 1.0:
+                buf *= scale
+            off = 0
+            for p, n in zip(self._params, sizes):
+                p.grad = buf[off : off + n].reshape(p.data.shape).copy()
+                off += n
+        else:
+            for p in self._params:
+                if p.grad is None:
+                    p.grad = np.zeros_like(p.data)
+                p.grad = self.comm.all_reduce_sum(p.grad)
+                if scale != 1.0:
+                    p.grad *= scale
+
+    def assert_replicas_identical(self) -> None:
+        """Raise unless all ranks hold bit-identical parameters."""
+        for p in self._params:
+            gathered = self.comm.all_gather(p.data)
+            for other in gathered[1:]:
+                if not np.array_equal(gathered[0], other):
+                    raise AssertionError(
+                        f"parameter {p.name!r} diverged across ranks"
+                    )
+
+    # conveniences delegated to the module
+    def parameters(self):
+        return self.module.parameters()
+
+    def zero_grad(self):
+        self.module.zero_grad()

@@ -1,0 +1,91 @@
+"""Consistent MSE loss (Eq. 6 of the paper).
+
+The naive distributed MSE — each rank averaging over its own rows —
+is *not* partition-invariant: boundary (coincident) nodes are counted
+once per copy, and the per-rank normalizations don't compose into the
+global ``1/(N F_y)``. The consistent loss fixes both:
+
+``L = AllReduce(S_r) / (N_eff * F_y)`` with
+``S_r = sum_i sum_j (1 / d_i) (Y_ij - Yhat_ij)^2`` and
+``N_eff = AllReduce(sum_i 1 / d_i)``
+
+where ``d_i`` is the node degree (copies across ranks). ``N_eff``
+recovers exactly the unique node count (asserted in the graph tests),
+so the loss equals Eq. 5 on the un-partitioned graph.
+
+Backward conventions — both exactly partition-consistent end to end:
+
+* ``grad_reduction="all_reduce"`` (paper): the loss all-reduce
+  backpropagates with an all-reduce (the ``torch.distributed.nn``
+  convention); DDP then *averages* parameter gradients. Per step this
+  costs 2 forward + 1 backward AllReduce, matching the paper's count.
+* ``grad_reduction="sum"``: the loss all-reduce backpropagates locally
+  (identity); DDP *sums* parameter gradients. One less collective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.autograd_ops import all_reduce_sum_tensor
+from repro.comm.backend import Communicator
+from repro.graph.distributed import LocalGraph
+from repro.tensor import Tensor, astensor
+from repro.tensor.ops import mse_loss
+
+
+def local_mse_loss(pred, target) -> Tensor:
+    """Plain per-rank MSE (Eq. 5) — the *inconsistent* formulation for
+    ``R > 1`` (kept as a baseline and for ablations)."""
+    return mse_loss(pred, target)
+
+
+def consistent_mse_loss(
+    pred,
+    target,
+    graph: LocalGraph,
+    comm: Communicator,
+    grad_reduction: str = "all_reduce",
+    degree_weighting: bool = True,
+) -> Tensor:
+    """Partition-invariant MSE over the distributed node attribute matrix.
+
+    Parameters
+    ----------
+    pred, target:
+        ``(n_local, F_y)`` local prediction and target (halo rows are
+        never part of the node attribute matrices in this codebase, so
+        nothing needs discarding).
+    graph:
+        Supplies the node degrees ``d_i``.
+    comm:
+        Communicator for the two forward AllReduce calls.
+    grad_reduction:
+        ``"all_reduce"`` (paper convention — pair with DDP *average*) or
+        ``"sum"`` (identity backward — pair with DDP *sum*).
+    degree_weighting:
+        Ablation switch: with ``False`` the ``1/d_i`` scaling is dropped
+        and boundary nodes are double-counted, breaking partition
+        invariance of the loss (negative control for Eq. 6).
+    """
+    if grad_reduction not in ("all_reduce", "sum"):
+        raise ValueError("grad_reduction must be 'all_reduce' or 'sum'")
+    pred, target = astensor(pred), astensor(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    if pred.shape[0] != graph.n_local:
+        raise ValueError(
+            f"pred rows {pred.shape[0]} != local nodes {graph.n_local}"
+        )
+    fy = pred.shape[1] if pred.ndim == 2 else 1
+    weights = 1.0 / graph.node_degree if degree_weighting else np.ones(graph.n_local)
+    inv_d = weights[:, None]
+
+    diff = pred - target
+    s_local = (diff * diff * inv_d).sum()
+    backward_mode = "all_reduce" if grad_reduction == "all_reduce" else "identity"
+    s_global = all_reduce_sum_tensor(s_local, comm, backward=backward_mode)
+
+    # N_eff: data-only reduction (no gradient path)
+    n_eff = float(comm.all_reduce_sum(np.array([np.sum(weights)]))[0])
+    return s_global * (1.0 / (n_eff * fy))

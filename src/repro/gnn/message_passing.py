@@ -1,0 +1,111 @@
+"""The consistent neural message passing layer (Eq. 4 of the paper).
+
+One layer performs, on each rank ``r``'s sub-graph:
+
+====  ==========================  =============================================
+step  equation                    implementation
+====  ==========================  =============================================
+4a    edge update                 ``e <- e + EdgeMLP([x_i, x_j, e])``
+4b    local edge aggregation      ``a_i = sum_j (1 / d_ij) * e_ij``
+4c    halo swap                   differentiable exchange of the aggregates
+4d    synchronization             ``a*_i = a_i + sum(halo copies of i)``
+4e    node update                 ``x <- x + NodeMLP([a*, x])``
+====  ==========================  =============================================
+
+With ``halo_mode=NONE`` steps 4c–4d are skipped, which reproduces the
+paper's *inconsistent* baseline (a conventional NMP layer): replicated
+edges are then still degree-scaled but never re-assembled, so boundary
+nodes see only a fraction of their true neighborhood.
+
+The ``1/d_ij`` scaling and the post-exchange summation together make the
+non-local aggregation *exactly* equal to what the un-partitioned graph
+computes: every unique edge contributes its full value exactly once to
+the global sum at its receiver (replicas contribute ``d * (1/d)``).
+"""
+
+from __future__ import annotations
+
+from repro.comm import HaloMode, halo_exchange_tensor
+from repro.comm.backend import Communicator
+from repro.graph.distributed import LocalGraph
+from repro.nn import MLP, Module
+from repro.tensor import Tensor, concatenate, gather_rows, scatter_add
+
+
+class ConsistentNMPLayer(Module):
+    """One consistent NMP layer: edge/node MLPs plus the halo machinery.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden channel dimensionality ``NH`` (node and edge features
+        both live in this width once encoded).
+    n_mlp_hidden:
+        Middle-layer count of both MLPs (Table I's "MLP hidden layers").
+    seed, name:
+        Deterministic initialization identity (rank-independent).
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        n_mlp_hidden: int,
+        *,
+        seed: int = 0,
+        name: str = "nmp",
+        degree_scaling: bool = True,
+    ):
+        super().__init__()
+        self.hidden = hidden
+        #: ablation switch: disable the 1/d_ij scaling of Eq. 4b. With it
+        #: off, replicated boundary edges are double-counted after the
+        #: sync step and Eq. 2 is violated — kept as a negative control
+        #: (see benchmarks/test_ablations.py).
+        self.degree_scaling = degree_scaling
+        self.edge_mlp = MLP(
+            3 * hidden, hidden, hidden, n_mlp_hidden,
+            final_norm=True, seed=seed, name=f"{name}.edge",
+        )
+        self.node_mlp = MLP(
+            2 * hidden, hidden, hidden, n_mlp_hidden,
+            final_norm=True, seed=seed, name=f"{name}.node",
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        e: Tensor,
+        graph: LocalGraph,
+        comm: Communicator | None = None,
+        halo_mode: HaloMode | str = HaloMode.NONE,
+    ) -> tuple[Tensor, Tensor]:
+        """Apply the layer; returns updated ``(x, e)``.
+
+        ``comm`` may be omitted only when ``halo_mode`` is ``NONE`` or
+        the world size is 1.
+        """
+        halo_mode = HaloMode.parse(halo_mode)
+        src, dst = graph.edge_index[0], graph.edge_index[1]
+
+        # Eq. 4a — edge update with residual
+        x_src = gather_rows(x, src)
+        x_dst = gather_rows(x, dst)
+        e = e + self.edge_mlp(concatenate([x_src, x_dst, e], axis=1))
+
+        # Eq. 4b — local aggregation scaled by inverse edge degree
+        if self.degree_scaling:
+            inv_deg = (1.0 / graph.edge_degree).astype(e.dtype)[:, None]
+            a = scatter_add(e * inv_deg, dst, graph.n_local)
+        else:  # ablation: double-counts replicated edges (breaks Eq. 2)
+            a = scatter_add(e, dst, graph.n_local)
+
+        # Eqs. 4c + 4d — halo swap and synchronization
+        if halo_mode is not HaloMode.NONE and graph.size > 1:
+            if comm is None:
+                raise ValueError("halo exchange requested but no communicator given")
+            halo_rows = halo_exchange_tensor(a, graph.halo.spec, comm, halo_mode)
+            a = a + scatter_add(halo_rows, graph.halo.halo_to_local, graph.n_local)
+
+        # Eq. 4e — node update with residual
+        x = x + self.node_mlp(concatenate([a, x], axis=1))
+        return x, e

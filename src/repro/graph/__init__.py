@@ -1,0 +1,40 @@
+"""Distributed mesh-based graph generation (Sec. II-A of the paper).
+
+Turns a partitioned spectral-element mesh into the *reduced distributed
+graph* the consistent GNN operates on:
+
+* quadrature points become graph nodes; undirected edges connect
+  neighboring quadrature points within each element
+  (:mod:`repro.graph.build` — reproduces Fig. 2's node/edge counts);
+* local coincident nodes (shared faces of same-rank elements) are
+  collapsed to a single owner (Fig. 3c);
+* non-local coincident nodes (shared faces across ranks) produce halo
+  plans: send masks, receive layouts, and the halo-row → local-row
+  accumulation map (Fig. 4);
+* node and edge *degrees* — the number of ranks holding a copy — drive
+  the ``1/d`` scalings that make aggregation (Eq. 4b) and the loss
+  (Eq. 6) partition-invariant.
+"""
+
+from repro.graph.build import element_edge_template, element_graph_counts
+from repro.graph.distributed import (
+    DistributedGraph,
+    LocalGraph,
+    build_distributed_graph,
+    build_full_graph,
+)
+from repro.graph.halo import HaloPlan
+from repro.graph.features import edge_features, EDGE_FEATURES_GEOMETRIC, EDGE_FEATURES_FULL
+
+__all__ = [
+    "element_edge_template",
+    "element_graph_counts",
+    "DistributedGraph",
+    "LocalGraph",
+    "build_distributed_graph",
+    "build_full_graph",
+    "HaloPlan",
+    "edge_features",
+    "EDGE_FEATURES_GEOMETRIC",
+    "EDGE_FEATURES_FULL",
+]

@@ -1,0 +1,202 @@
+"""Distributed-consistent graph coarsening (multiscale levels).
+
+The paper's lineage includes multi-scale message passing GNNs
+(Fortunato et al., Lino et al., and the first author's own multiscale
+autoencoders); its conclusion points to "more realistic surrogate"
+models, which in practice are multiscale. Coarsening a *distributed*
+graph consistently has the same two obstacles as message passing —
+replicated boundary entities and cross-rank neighborhoods — and the
+same cure: degree scalings plus halo synchronization, now at the coarse
+level.
+
+Construction (lattice-block clustering):
+
+* every fine node's **cluster** is a pure function of its global ID
+  (its global lattice coordinates integer-divided by the coarsening
+  factor), so all copies of a node agree on its cluster with no
+  communication;
+* a rank's coarse nodes are the clusters its fine nodes touch; clusters
+  spanning ranks become coarse *coincident* nodes with their own halo
+  channels and degrees (built with exactly the machinery of
+  :mod:`repro.graph.distributed`);
+* restriction (fine → coarse) is the degree-weighted mean over cluster
+  members: local weighted sums, a coarse halo exchange, and division by
+  the *global* member weight — partition-invariant by the same argument
+  as Eq. 4b–4d;
+* prolongation (coarse → fine) is a gather, trivially consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.modes import ExchangeSpec
+from repro.graph.distributed import DistributedGraph, LocalGraph
+from repro.graph.halo import HaloPlan
+
+
+@dataclass
+class CoarseLevel:
+    """One coarse level of a distributed graph hierarchy.
+
+    Attributes
+    ----------
+    locals:
+        Coarse :class:`LocalGraph` per rank (usable by any NMP layer).
+    restrictions:
+        Per rank: ``(n_fine_local,)`` coarse-local index of each fine
+        node (the cluster map).
+    member_weight:
+        Per rank: ``(n_coarse_local,)`` *global* sum of fine weights
+        ``1/d_i`` over each cluster's members — the restriction divisor,
+        identical on every rank holding the cluster.
+    n_global:
+        Number of distinct clusters globally.
+    """
+
+    locals: list
+    restrictions: list
+    member_weight: list
+    n_global: int
+
+    def local(self, rank: int) -> LocalGraph:
+        return self.locals[rank]
+
+
+def coarsen_distributed_graph(dg: DistributedGraph, factor: int = 2) -> CoarseLevel:
+    """Build one coarse level from a fine distributed graph.
+
+    Parameters
+    ----------
+    dg:
+        Fine-level distributed graph built over a
+        :class:`~repro.mesh.box.BoxMesh` (the lattice coordinates drive
+        the clustering).
+    factor:
+        Lattice coarsening factor per axis (>= 2).
+    """
+    if factor < 2:
+        raise ValueError("coarsening factor must be >= 2")
+    mesh = dg.mesh
+    gx, gy, gz = mesh.grid_shape
+    cgx = (gx + factor - 1) // factor
+    cgy = (gy + factor - 1) // factor
+    cgz = (gz + factor - 1) // factor
+    n_clusters = cgx * cgy * cgz
+
+    def cluster_of(gids: np.ndarray) -> np.ndarray:
+        lat = mesh.gid_to_lattice(gids)
+        cx, cy, cz = lat[:, 0] // factor, lat[:, 1] // factor, lat[:, 2] // factor
+        return cx + cgx * (cy + cgy * cz)
+
+    size = dg.size
+    # per-rank coarse node sets and fine->coarse maps
+    coarse_gids: list[np.ndarray] = []
+    fine_to_coarse: list[np.ndarray] = []
+    for lg in dg.locals:
+        clusters = cluster_of(lg.global_ids)
+        cg = np.unique(clusters)
+        coarse_gids.append(cg)
+        fine_to_coarse.append(np.searchsorted(cg, clusters).astype(np.int64))
+
+    # coarse node degrees (copies across ranks)
+    copy_count = np.zeros(n_clusters, dtype=np.int64)
+    for cg in coarse_gids:
+        copy_count[cg] += 1
+
+    # global member weights per cluster: sum over all ranks of 1/d_i
+    member_weight_global = np.zeros(n_clusters)
+    for lg, f2c, cg in zip(dg.locals, fine_to_coarse, coarse_gids):
+        np.add.at(member_weight_global, cg[f2c], 1.0 / lg.node_degree)
+
+    # coarse positions: degree-weighted mean of member positions (global)
+    pos_sum = np.zeros((n_clusters, 3))
+    for lg, f2c, cg in zip(dg.locals, fine_to_coarse, coarse_gids):
+        w = (1.0 / lg.node_degree)[:, None]
+        np.add.at(pos_sum, cg[f2c], w * lg.pos)
+    coarse_pos_global = pos_sum / member_weight_global[:, None]
+
+    # coarse edges per rank: projected fine edges between distinct clusters
+    rank_coarse_edges: list[np.ndarray] = []
+    for lg, f2c, cg in zip(dg.locals, fine_to_coarse, coarse_gids):
+        src_c = cg[f2c[lg.edge_index[0]]]
+        dst_c = cg[f2c[lg.edge_index[1]]]
+        keep = src_c != dst_c
+        key = src_c[keep].astype(np.int64) * n_clusters + dst_c[keep]
+        ukey = np.unique(key)
+        rank_coarse_edges.append(
+            np.stack([ukey // n_clusters, ukey % n_clusters], axis=0)
+        )
+
+    # coarse edge degrees across ranks
+    edge_keys = [e[0] * n_clusters + e[1] for e in rank_coarse_edges]
+    if size > 1:
+        all_keys = np.concatenate(edge_keys)
+        uniq, counts = np.unique(all_keys, return_counts=True)
+        edge_degrees = [
+            counts[np.searchsorted(uniq, k)].astype(np.float64) for k in edge_keys
+        ]
+    else:
+        edge_degrees = [np.ones(len(edge_keys[0]))]
+
+    # coarse halo channels: shared clusters between rank pairs
+    shared: dict[tuple[int, int], np.ndarray] = {}
+    for r in range(size):
+        for s in range(r + 1, size):
+            common = np.intersect1d(coarse_gids[r], coarse_gids[s], assume_unique=True)
+            if common.size:
+                shared[(r, s)] = common
+    pad = max((len(v) for v in shared.values()), default=0)
+
+    locals_: list[LocalGraph] = []
+    member_weight_local: list[np.ndarray] = []
+    for r in range(size):
+        cg = coarse_gids[r]
+        neighbors, send_indices, recv_counts, blocks = [], {}, {}, []
+        for s in range(size):
+            if s == r:
+                continue
+            common = shared.get((min(r, s), max(r, s)))
+            if common is None:
+                continue
+            neighbors.append(s)
+            idx = np.searchsorted(cg, common).astype(np.int64)
+            send_indices[s] = idx
+            recv_counts[s] = len(common)
+            blocks.append(idx)
+        spec = ExchangeSpec(
+            size=size,
+            neighbors=tuple(neighbors),
+            send_indices=send_indices,
+            recv_counts=recv_counts,
+            pad_count=pad,
+        )
+        halo = HaloPlan(
+            spec=spec,
+            halo_to_local=(
+                np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
+            ),
+        )
+        eg = rank_coarse_edges[r]
+        locals_.append(
+            LocalGraph(
+                rank=r,
+                size=size,
+                global_ids=cg,
+                pos=coarse_pos_global[cg],
+                edge_index=np.searchsorted(cg, eg).astype(np.int64),
+                edge_degree=edge_degrees[r],
+                node_degree=copy_count[cg].astype(np.float64),
+                halo=halo,
+            )
+        )
+        member_weight_local.append(member_weight_global[cg])
+
+    return CoarseLevel(
+        locals=locals_,
+        restrictions=fine_to_coarse,
+        member_weight=member_weight_local,
+        n_global=int(sum(member_weight_global > 0) or n_clusters),
+    )

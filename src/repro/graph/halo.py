@@ -1,0 +1,63 @@
+"""Halo plan: the per-rank data structure behind Fig. 4.
+
+A rank's halo plan packages
+
+* the :class:`~repro.comm.modes.ExchangeSpec` (who to talk to, which
+  local rows to send, how many rows arrive from each neighbor), and
+* ``halo_to_local`` — for every received halo row, the local row it
+  accumulates into during the synchronization step (Eq. 4d).
+
+For the paper's mesh graphs the two sides of each channel are the same
+set of shared global IDs in the same (sorted) order, so the send mask
+and the accumulation targets coincide per neighbor; the structure keeps
+them separate anyway, because the generality is free and other exchange
+patterns (e.g. one-sided refinement interfaces) are not symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.modes import ExchangeSpec
+
+
+@dataclass(frozen=True)
+class HaloPlan:
+    """Exchange spec plus the halo-row accumulation map of one rank."""
+
+    spec: ExchangeSpec
+    halo_to_local: np.ndarray  # (n_halo,) local row receiving each halo row
+
+    def __post_init__(self):
+        if len(self.halo_to_local) != self.spec.n_halo:
+            raise ValueError(
+                f"halo_to_local has {len(self.halo_to_local)} rows, spec expects "
+                f"{self.spec.n_halo}"
+            )
+
+    @property
+    def n_halo(self) -> int:
+        return self.spec.n_halo
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        return self.spec.neighbors
+
+    @property
+    def send_row_count(self) -> int:
+        return self.spec.n_send
+
+    def buffer_bytes(self, n_features: int, itemsize: int = 8) -> int:
+        """Payload shipped per exchange in neighbor mode (send side)."""
+        return self.spec.n_send * n_features * itemsize
+
+    @staticmethod
+    def empty(size: int, rank: int) -> "HaloPlan":
+        """Plan of a rank with no neighbors (e.g. the R = 1 graph)."""
+        del rank
+        spec = ExchangeSpec(
+            size=size, neighbors=(), send_indices={}, recv_counts={}, pad_count=0
+        )
+        return HaloPlan(spec=spec, halo_to_local=np.empty(0, dtype=np.int64))

@@ -1,0 +1,108 @@
+"""Serialization of per-rank graph payloads (the plugin's file format).
+
+In the paper's actual workflow the NekRS-GNN plugin writes each rank's
+connectivity, global IDs, and positions to disk; the PyTorch side reads
+them back to build the distributed graph. This module provides that
+interchange: one ``.npz`` per rank, containing everything a rank needs
+to run the consistent GNN — including its halo plan — with validation
+on load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm.modes import ExchangeSpec
+from repro.graph.distributed import DistributedGraph, LocalGraph
+from repro.graph.halo import HaloPlan
+
+_FORMAT_VERSION = 1
+
+
+def save_local_graph(graph: LocalGraph, path: str | Path) -> None:
+    """Write one rank's :class:`LocalGraph` to an ``.npz`` file."""
+    spec = graph.halo.spec
+    neighbors = np.asarray(spec.neighbors, dtype=np.int64)
+    payload = {
+        "version": np.int64(_FORMAT_VERSION),
+        "rank": np.int64(graph.rank),
+        "size": np.int64(graph.size),
+        "global_ids": graph.global_ids,
+        "pos": graph.pos,
+        "edge_index": graph.edge_index,
+        "edge_degree": graph.edge_degree,
+        "node_degree": graph.node_degree,
+        "halo_to_local": graph.halo.halo_to_local,
+        "neighbors": neighbors,
+        "pad_count": np.int64(spec.pad_count),
+        "recv_counts": np.asarray(
+            [spec.recv_counts[n] for n in spec.neighbors], dtype=np.int64
+        ),
+    }
+    for n in spec.neighbors:
+        payload[f"send_idx_{n}"] = spec.send_indices[n]
+    np.savez(Path(path), **payload)
+
+
+def load_local_graph(path: str | Path) -> LocalGraph:
+    """Read a rank payload back; validates internal consistency."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph file version {version} (expected {_FORMAT_VERSION})"
+            )
+        neighbors = tuple(int(n) for n in data["neighbors"])
+        recv_counts = {
+            n: int(c) for n, c in zip(neighbors, data["recv_counts"])
+        }
+        send_indices = {n: data[f"send_idx_{n}"] for n in neighbors}
+        spec = ExchangeSpec(
+            size=int(data["size"]),
+            neighbors=neighbors,
+            send_indices=send_indices,
+            recv_counts=recv_counts,
+            pad_count=int(data["pad_count"]),
+        )
+        graph = LocalGraph(
+            rank=int(data["rank"]),
+            size=int(data["size"]),
+            global_ids=data["global_ids"],
+            pos=data["pos"],
+            edge_index=data["edge_index"],
+            edge_degree=data["edge_degree"],
+            node_degree=data["node_degree"],
+            halo=HaloPlan(spec=spec, halo_to_local=data["halo_to_local"]),
+        )
+    graph.validate()
+    return graph
+
+
+def save_distributed_graph(dg: DistributedGraph, directory: str | Path) -> list[Path]:
+    """Write every rank's payload as ``graph_rank{r:05d}.npz``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for lg in dg.locals:
+        p = directory / f"graph_rank{lg.rank:05d}.npz"
+        save_local_graph(lg, p)
+        paths.append(p)
+    return paths
+
+
+def load_rank_graphs(directory: str | Path) -> list[LocalGraph]:
+    """Load all rank payloads from a directory (sorted by rank)."""
+    directory = Path(directory)
+    files = sorted(directory.glob("graph_rank*.npz"))
+    if not files:
+        raise FileNotFoundError(f"no graph_rank*.npz files in {directory}")
+    graphs = [load_local_graph(f) for f in files]
+    ranks = [g.rank for g in graphs]
+    if ranks != list(range(len(graphs))):
+        raise ValueError(f"rank files are not a contiguous range: {ranks}")
+    sizes = {g.size for g in graphs}
+    if sizes != {len(graphs)}:
+        raise ValueError(f"world-size mismatch across files: {sizes}")
+    return graphs

@@ -1,0 +1,80 @@
+"""Analysis utilities over (distributed) mesh graphs.
+
+Quantities used throughout the paper's narrative: boundary-node
+fractions (which drive the inconsistency error of standard NMP and the
+halo volume of consistent NMP), edge-length statistics (GLL clustering,
+Fig. 2), and per-rank communication volumes (the inputs to the Fig. 7/8
+cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.distributed import DistributedGraph, LocalGraph
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """Summary of one local sub-graph."""
+
+    n_local: int
+    n_edges: int
+    n_halo: int
+    n_neighbors: int
+    boundary_nodes: int  # nodes with copies on other ranks
+    boundary_fraction: float
+    replicated_edges: int  # edges with copies on other ranks
+    mean_edge_length: float
+    min_edge_length: float
+    max_edge_length: float
+
+
+def local_graph_metrics(graph: LocalGraph) -> GraphMetrics:
+    """Compute :class:`GraphMetrics` for one rank's sub-graph."""
+    boundary = int(np.sum(graph.node_degree > 1))
+    replicated = int(np.sum(graph.edge_degree > 1))
+    src, dst = graph.edge_index
+    lengths = np.linalg.norm(graph.pos[dst] - graph.pos[src], axis=1)
+    return GraphMetrics(
+        n_local=graph.n_local,
+        n_edges=graph.n_edges,
+        n_halo=graph.n_halo,
+        n_neighbors=len(graph.halo.neighbors),
+        boundary_nodes=boundary,
+        boundary_fraction=boundary / graph.n_local if graph.n_local else 0.0,
+        replicated_edges=replicated,
+        mean_edge_length=float(lengths.mean()) if lengths.size else 0.0,
+        min_edge_length=float(lengths.min()) if lengths.size else 0.0,
+        max_edge_length=float(lengths.max()) if lengths.size else 0.0,
+    )
+
+
+def boundary_fraction_by_rank(dg: DistributedGraph) -> np.ndarray:
+    """Boundary-node fraction per rank — the quantity whose growth with
+    R explains the standard-NMP error trend in Fig. 6 (left)."""
+    return np.array([local_graph_metrics(lg).boundary_fraction for lg in dg.locals])
+
+
+def halo_volume_bytes(dg: DistributedGraph, n_features: int, itemsize: int = 8) -> int:
+    """Total payload of one halo exchange across all ranks (send side)."""
+    return int(
+        sum(lg.halo.buffer_bytes(n_features, itemsize) for lg in dg.locals)
+    )
+
+
+def communication_summary(dg: DistributedGraph, hidden: int) -> dict:
+    """Per-exchange traffic summary of a partitioned graph at a given
+    hidden width (the buffer-size driver of the scaling study)."""
+    per_rank = [lg.halo.buffer_bytes(hidden) for lg in dg.locals]
+    neighbors = [len(lg.halo.neighbors) for lg in dg.locals]
+    return {
+        "ranks": dg.size,
+        "hidden": hidden,
+        "total_bytes": int(np.sum(per_rank)),
+        "max_rank_bytes": int(np.max(per_rank)) if per_rank else 0,
+        "mean_neighbors": float(np.mean(neighbors)) if neighbors else 0.0,
+        "max_neighbors": int(np.max(neighbors)) if neighbors else 0,
+    }

@@ -1,0 +1,67 @@
+"""Spectral-element mesh substrate (stand-in for NekRS meshing).
+
+NekRS discretizes the domain with non-intersecting hexahedral elements,
+each carrying a ``(p+1)^3`` lattice of Gauss–Legendre–Lobatto (GLL)
+quadrature points. This package reproduces exactly the pieces of that
+machinery the paper's GNN workflow consumes:
+
+* GLL quadrature points/weights (:mod:`repro.mesh.gll`);
+* structured box meshes of hexahedral spectral elements with global
+  node numbering that makes coincident nodes (shared element faces)
+  *exactly* detectable (:mod:`repro.mesh.box`);
+* domain partitioners: slabs, pencils, 3D grids, and a Morton
+  (Z-order) curve partitioner (:mod:`repro.mesh.partition`), including
+  the slab→sub-cube switch the paper observes in the NekRS partitioner;
+* analytic flow fields, notably the Taylor–Green vortex used as the
+  node features in the paper's experiments (:mod:`repro.mesh.fields`).
+"""
+
+from repro.mesh.gll import gll_points, gll_points_and_weights
+from repro.mesh.box import BoxMesh
+from repro.mesh.partition import (
+    GridPartitioner,
+    MortonPartitioner,
+    Partition,
+    PencilPartitioner,
+    RandomPartitioner,
+    SlabPartitioner,
+    auto_partition,
+)
+from repro.mesh.fields import taylor_green_velocity, taylor_green_pressure
+from repro.mesh.unstructured import (
+    TET4,
+    WEDGE6,
+    ElementType,
+    UnstructuredMesh,
+    from_box,
+    hex_type,
+    mixed_hex_wedge_box,
+    partition_by_centroid,
+    tet_box,
+    wedge_column,
+)
+
+__all__ = [
+    "gll_points",
+    "gll_points_and_weights",
+    "BoxMesh",
+    "Partition",
+    "SlabPartitioner",
+    "PencilPartitioner",
+    "GridPartitioner",
+    "MortonPartitioner",
+    "RandomPartitioner",
+    "auto_partition",
+    "taylor_green_velocity",
+    "taylor_green_pressure",
+    "ElementType",
+    "UnstructuredMesh",
+    "TET4",
+    "WEDGE6",
+    "hex_type",
+    "from_box",
+    "tet_box",
+    "wedge_column",
+    "mixed_hex_wedge_box",
+    "partition_by_centroid",
+]

@@ -1,0 +1,205 @@
+"""Structured box meshes of hexahedral spectral elements.
+
+A ``BoxMesh`` covers ``[x0, x1] x [y0, y1] x [z0, z1]`` with
+``nx x ny x nz`` non-intersecting hexahedral elements, each carrying a
+``(p+1)^3`` lattice of GLL quadrature points (Fig. 2 of the paper).
+
+Global node numbering
+---------------------
+Because neighboring elements share faces, quadrature points on those
+faces are *coincident*: same physical position, logically the same
+degree of freedom. For a structured box the global numbering is exact
+integer arithmetic: element ``(ex, ey, ez)``'s local lattice point
+``(i, j, k)`` sits at global lattice coordinates
+``(ex*p + i, ey*p + j, ez*p + k)`` on a ``(nx*p+1) x (ny*p+1) x (nz*p+1)``
+grid, and the flattened grid index is the global ID. Two nodes are
+coincident iff their global IDs are equal — no floating-point coordinate
+hashing needed (the generic hashing path lives in
+:mod:`repro.mesh.global_ids` and is validated against this exact one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.gll import gll_points
+
+
+@dataclass(frozen=True)
+class BoxMesh:
+    """A structured spectral-element box mesh.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Elements per axis.
+    p:
+        Polynomial order (``p + 1`` GLL points per axis per element).
+    bounds:
+        ``((x0, x1), (y0, y1), (z0, z1))`` physical extent; defaults to
+        the ``[0, 2*pi]^3`` Taylor–Green box.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    p: int
+    bounds: tuple = (
+        (0.0, 2.0 * np.pi),
+        (0.0, 2.0 * np.pi),
+        (0.0, 2.0 * np.pi),
+    )
+    _cache: dict = field(default_factory=dict, repr=False, compare=False, hash=False)
+
+    def __post_init__(self):
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("element counts must be >= 1")
+        if self.p < 1:
+            raise ValueError("polynomial order must be >= 1")
+        for lo, hi in self.bounds:
+            if hi <= lo:
+                raise ValueError("bounds must be increasing")
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def n_elements(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def nodes_per_element(self) -> int:
+        return (self.p + 1) ** 3
+
+    @property
+    def grid_shape(self) -> tuple[int, int, int]:
+        """Global GLL lattice dimensions (unique nodes per axis)."""
+        return (self.nx * self.p + 1, self.ny * self.p + 1, self.nz * self.p + 1)
+
+    @property
+    def n_unique_nodes(self) -> int:
+        gx, gy, gz = self.grid_shape
+        return gx * gy * gz
+
+    # -- element indexing -------------------------------------------------------
+
+    def element_coords(self, e: int) -> tuple[int, int, int]:
+        """Element ``(ex, ey, ez)`` from flat element index (x fastest)."""
+        if not 0 <= e < self.n_elements:
+            raise IndexError(f"element {e} out of range [0, {self.n_elements})")
+        ex = e % self.nx
+        ey = (e // self.nx) % self.ny
+        ez = e // (self.nx * self.ny)
+        return ex, ey, ez
+
+    def element_index(self, ex: int, ey: int, ez: int) -> int:
+        return ex + self.nx * (ey + self.ny * ez)
+
+    def all_element_coords(self) -> np.ndarray:
+        """``(n_elements, 3)`` integer coordinates of every element."""
+        e = np.arange(self.n_elements)
+        return np.stack(
+            [e % self.nx, (e // self.nx) % self.ny, e // (self.nx * self.ny)], axis=1
+        )
+
+    # -- global lattice ----------------------------------------------------------
+
+    def _lattice_axes(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Physical coordinates of the global GLL lattice along each axis."""
+        key = "lattice_axes"
+        if key not in self._cache:
+            ref = gll_points(self.p)  # on [-1, 1]
+            axes = []
+            for n_el, (lo, hi) in zip((self.nx, self.ny, self.nz), self.bounds):
+                h = (hi - lo) / n_el
+                ax = np.empty(n_el * self.p + 1)
+                for e in range(n_el):
+                    left = lo + e * h
+                    ax[e * self.p : (e + 1) * self.p + 1] = left + (ref + 1.0) * (h / 2.0)
+                axes.append(ax)
+            self._cache[key] = tuple(axes)
+        return self._cache[key]
+
+    def lattice_to_gid(self, gx: np.ndarray, gy: np.ndarray, gz: np.ndarray) -> np.ndarray:
+        """Flatten global lattice coordinates to global node IDs (x fastest)."""
+        sx, sy, sz = self.grid_shape
+        return np.asarray(gx) + sx * (np.asarray(gy) + sy * np.asarray(gz))
+
+    def gid_to_lattice(self, gid: np.ndarray) -> np.ndarray:
+        sx, sy, _ = self.grid_shape
+        gid = np.asarray(gid)
+        return np.stack([gid % sx, (gid // sx) % sy, gid // (sx * sy)], axis=-1)
+
+    def element_global_ids(self, e: int) -> np.ndarray:
+        """Global IDs of element ``e``'s ``(p+1)^3`` nodes (x fastest)."""
+        ex, ey, ez = self.element_coords(e)
+        q = self.p + 1
+        i = np.arange(q)
+        gx = ex * self.p + i
+        gy = ey * self.p + i
+        gz = ez * self.p + i
+        GX, GY, GZ = np.meshgrid(gx, gy, gz, indexing="ij")
+        # local ordering: x fastest, then y, then z (Fortran-like lattice walk)
+        return self.lattice_to_gid(
+            GX.transpose(2, 1, 0).ravel(),
+            GY.transpose(2, 1, 0).ravel(),
+            GZ.transpose(2, 1, 0).ravel(),
+        )
+
+    def elements_global_ids(self, elements: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`element_global_ids` for many elements.
+
+        Returns ``(len(elements), (p+1)^3)`` with the same per-element
+        node ordering (x fastest). The graph builder prefers this path —
+        it removes the per-element Python loop, which dominates build
+        time on large meshes (per the profiling-first guidance this
+        codebase follows).
+        """
+        elements = np.asarray(elements)
+        coords = self.all_element_coords()[elements]  # (n, 3)
+        q = self.p + 1
+        i = np.arange(q)
+        gx = coords[:, 0][:, None] * self.p + i  # (n, q)
+        gy = coords[:, 1][:, None] * self.p + i
+        gz = coords[:, 2][:, None] * self.p + i
+        # broadcast to (n, z, y, x); C-order ravel makes x fastest
+        GX = gx[:, None, None, :]
+        GY = gy[:, None, :, None]
+        GZ = gz[:, :, None, None]
+        gids = self.lattice_to_gid(GX, GY, GZ)
+        return np.broadcast_to(gids, (len(elements), q, q, q)).reshape(
+            len(elements), q**3
+        )
+
+    def element_edges_local(self, e: int) -> np.ndarray:
+        """Directed within-element edge template of element ``e``.
+
+        For a structured hex mesh every element shares the same
+        ``(2, 6p(p+1)^2)`` lattice template. This method is the
+        duck-typed hook the graph builder uses, shared with
+        :class:`repro.mesh.unstructured.UnstructuredMesh` where the
+        template varies per element type.
+        """
+        from repro.graph.build import element_edge_template
+
+        del e  # identical for every element of a structured mesh
+        return element_edge_template(self.p)
+
+    def node_positions(self, gids: np.ndarray) -> np.ndarray:
+        """Physical ``(n, 3)`` positions of the given global node IDs."""
+        ax, ay, az = self._lattice_axes()
+        lat = self.gid_to_lattice(gids)
+        return np.stack([ax[lat[..., 0]], ay[lat[..., 1]], az[lat[..., 2]]], axis=-1)
+
+    def all_positions(self) -> np.ndarray:
+        """Positions of every unique node, ordered by global ID."""
+        return self.node_positions(np.arange(self.n_unique_nodes))
+
+    # -- convenience ----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"BoxMesh({self.nx}x{self.ny}x{self.nz} elements, p={self.p}, "
+            f"{self.n_unique_nodes} unique nodes)"
+        )

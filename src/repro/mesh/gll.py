@@ -1,0 +1,58 @@
+"""Gauss–Legendre–Lobatto (GLL) quadrature.
+
+The GLL rule of order ``p`` has ``p + 1`` points on ``[-1, 1]``: the
+endpoints plus the roots of ``P_p'`` (derivative of the Legendre
+polynomial). Spectral element methods collocate the solution at these
+points; the paper instantiates them as the graph nodes (Fig. 2), so the
+*non-uniform* spacing matters — edge-length statistics and edge features
+inherit it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from numpy.polynomial import legendre as npleg
+
+
+@lru_cache(maxsize=64)
+def _gll_cached(p: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    if p < 1:
+        raise ValueError(f"polynomial order must be >= 1, got {p}")
+    if p == 1:
+        pts = np.array([-1.0, 1.0])
+    else:
+        # coefficients of P_p in the Legendre basis, differentiate, roots
+        coeffs = np.zeros(p + 1)
+        coeffs[p] = 1.0
+        dcoeffs = npleg.legder(coeffs)
+        interior = npleg.legroots(dcoeffs)
+        # polish the roots with a couple of Newton steps for accuracy
+        for _ in range(3):
+            val = npleg.legval(interior, dcoeffs)
+            dval = npleg.legval(interior, npleg.legder(dcoeffs))
+            interior = interior - val / dval
+        pts = np.concatenate(([-1.0], np.sort(interior), [1.0]))
+    # weights: w_i = 2 / (p (p+1) [P_p(x_i)]^2)
+    pcoeffs = np.zeros(p + 1)
+    pcoeffs[p] = 1.0
+    lp = npleg.legval(pts, pcoeffs)
+    weights = 2.0 / (p * (p + 1) * lp**2)
+    return tuple(pts.tolist()), tuple(weights.tolist())
+
+
+def gll_points(p: int) -> np.ndarray:
+    """GLL points of order ``p`` on ``[-1, 1]`` (ascending, length p+1)."""
+    pts, _ = _gll_cached(p)
+    return np.array(pts)
+
+
+def gll_points_and_weights(p: int) -> tuple[np.ndarray, np.ndarray]:
+    """GLL points and quadrature weights of order ``p``.
+
+    The weights integrate polynomials up to degree ``2p - 1`` exactly on
+    ``[-1, 1]`` — asserted by the test suite.
+    """
+    pts, wts = _gll_cached(p)
+    return np.array(pts), np.array(wts)

@@ -1,0 +1,56 @@
+"""Coordinate-based coincident-node detection (generic path).
+
+:class:`repro.mesh.box.BoxMesh` assigns global IDs by exact lattice
+arithmetic. Real unstructured meshes don't have that luxury: NekRS
+derives global numbering from the mesh topology, and tools operating on
+exported point clouds must detect coincidence from coordinates. This
+module provides that generic path — quantized-coordinate hashing — and
+the test suite validates it against the exact lattice IDs on box meshes,
+including at higher polynomial orders where GLL spacing is very
+non-uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def coincident_groups_from_positions(
+    pos: np.ndarray, tol: float = 1e-8
+) -> np.ndarray:
+    """Assign a group index to every node; coincident nodes share a group.
+
+    Parameters
+    ----------
+    pos:
+        ``(n, 3)`` positions (possibly containing duplicates).
+    tol:
+        Quantization tolerance: nodes whose coordinates agree to within
+        ``tol`` land in the same bucket. Must be well below the minimum
+        GLL spacing of the mesh.
+
+    Returns
+    -------
+    ndarray
+        ``(n,)`` int64 group IDs, contiguous from 0, ordered by first
+        appearance in a lexicographic sort of the quantized coordinates
+        (deterministic).
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError(f"pos must be (n, 3), got {pos.shape}")
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    quant = np.round(pos / tol).astype(np.int64)
+    _, groups = np.unique(quant, axis=0, return_inverse=True)
+    return groups.astype(np.int64)
+
+
+def validate_unique_count(groups: np.ndarray, expected: int) -> None:
+    """Raise if the number of coincidence groups is not ``expected``."""
+    found = int(groups.max()) + 1 if groups.size else 0
+    if found != expected:
+        raise ValueError(
+            f"coincidence detection found {found} unique nodes, expected {expected} "
+            "(tolerance too loose or too tight?)"
+        )

@@ -1,0 +1,258 @@
+"""Domain partitioners: assign mesh elements to ranks.
+
+NekRS decomposes the element mesh across MPI ranks; the paper reuses
+that decomposition for the GNN sub-graphs. Table II's footnote observes
+that the NekRS partitioner switches from "vertical rectangular chunks"
+(slabs) at small rank counts to "sub-cubes" beyond 8 ranks; the
+:func:`auto_partition` helper reproduces that switch.
+
+All partitioners are *element*-based (a node is never split — coincident
+copies of face nodes may live on several ranks, which is exactly what
+creates the halo structure).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.box import BoxMesh
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Result of partitioning: per-element owning rank.
+
+    Attributes
+    ----------
+    element_owner:
+        ``(n_elements,)`` int array mapping element -> rank.
+    size:
+        Number of ranks ``R``.
+    """
+
+    element_owner: np.ndarray
+    size: int
+
+    def __post_init__(self):
+        owner = np.asarray(self.element_owner)
+        if owner.ndim != 1:
+            raise ValueError("element_owner must be 1D")
+        if owner.size and (owner.min() < 0 or owner.max() >= self.size):
+            raise ValueError("element owners out of range")
+        present = np.unique(owner)
+        if len(present) != self.size:
+            missing = sorted(set(range(self.size)) - set(present.tolist()))
+            raise ValueError(f"ranks own no elements: {missing}")
+
+    def elements_of(self, rank: int) -> np.ndarray:
+        """Element indices owned by ``rank`` (ascending)."""
+        return np.flatnonzero(self.element_owner == rank)
+
+    def counts(self) -> np.ndarray:
+        """Elements per rank."""
+        return np.bincount(self.element_owner, minlength=self.size)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean element count — 1.0 is perfectly balanced."""
+        c = self.counts()
+        return float(c.max() / c.mean())
+
+
+class Partitioner(abc.ABC):
+    """Strategy object producing a :class:`Partition` of a mesh."""
+
+    @abc.abstractmethod
+    def partition(self, mesh: BoxMesh, size: int) -> Partition: ...
+
+
+class SlabPartitioner(Partitioner):
+    """Contiguous slabs along one axis — NekRS's small-R behaviour."""
+
+    def __init__(self, axis: int = 2):
+        if axis not in (0, 1, 2):
+            raise ValueError("axis must be 0, 1 or 2")
+        self.axis = axis
+
+    def partition(self, mesh: BoxMesh, size: int) -> Partition:
+        n_axis = (mesh.nx, mesh.ny, mesh.nz)[self.axis]
+        if size > n_axis:
+            raise ValueError(
+                f"cannot cut {n_axis} element layers into {size} slabs"
+            )
+        coords = mesh.all_element_coords()[:, self.axis]
+        # balanced contiguous ranges of element layers
+        bounds = np.linspace(0, n_axis, size + 1).round().astype(int)
+        owner = np.searchsorted(bounds[1:], coords, side="right")
+        return Partition(owner.astype(np.int64), size)
+
+
+class PencilPartitioner(Partitioner):
+    """2D decomposition (pencils) over the two axes other than ``axis``."""
+
+    def __init__(self, axis: int = 0):
+        if axis not in (0, 1, 2):
+            raise ValueError("axis must be 0, 1 or 2")
+        self.axis = axis
+
+    def partition(self, mesh: BoxMesh, size: int) -> Partition:
+        axes = [a for a in range(3) if a != self.axis]
+        na = (mesh.nx, mesh.ny, mesh.nz)[axes[0]]
+        nb = (mesh.nx, mesh.ny, mesh.nz)[axes[1]]
+        ra, rb = _balanced_2d_factorization(size, na, nb)
+        coords = mesh.all_element_coords()
+        ba = np.linspace(0, na, ra + 1).round().astype(int)
+        bb = np.linspace(0, nb, rb + 1).round().astype(int)
+        ia = np.searchsorted(ba[1:], coords[:, axes[0]], side="right")
+        ib = np.searchsorted(bb[1:], coords[:, axes[1]], side="right")
+        return Partition((ia * rb + ib).astype(np.int64), size)
+
+
+class GridPartitioner(Partitioner):
+    """3D grid of sub-bricks ("sub-cubes") — NekRS's large-R behaviour."""
+
+    def __init__(self, grid: tuple[int, int, int] | None = None):
+        self.grid = grid
+
+    def partition(self, mesh: BoxMesh, size: int) -> Partition:
+        grid = self.grid or _balanced_3d_factorization(size, mesh.nx, mesh.ny, mesh.nz)
+        rx, ry, rz = grid
+        if rx * ry * rz != size:
+            raise ValueError(f"grid {grid} does not multiply to world size {size}")
+        if rx > mesh.nx or ry > mesh.ny or rz > mesh.nz:
+            raise ValueError(f"grid {grid} exceeds element counts of {mesh!r}")
+        coords = mesh.all_element_coords()
+        bx = np.linspace(0, mesh.nx, rx + 1).round().astype(int)
+        by = np.linspace(0, mesh.ny, ry + 1).round().astype(int)
+        bz = np.linspace(0, mesh.nz, rz + 1).round().astype(int)
+        ix = np.searchsorted(bx[1:], coords[:, 0], side="right")
+        iy = np.searchsorted(by[1:], coords[:, 1], side="right")
+        iz = np.searchsorted(bz[1:], coords[:, 2], side="right")
+        owner = ix + rx * (iy + ry * iz)
+        return Partition(owner.astype(np.int64), size)
+
+
+class MortonPartitioner(Partitioner):
+    """Z-order (Morton) space-filling-curve partitioner.
+
+    Sorts elements along the Morton curve and cuts the sequence into
+    ``size`` equal chunks. Produces compact, roughly cubic parts for
+    arbitrary rank counts — a reasonable stand-in for graph-based
+    partitioners when ``size`` does not factor nicely.
+    """
+
+    def partition(self, mesh: BoxMesh, size: int) -> Partition:
+        if size > mesh.n_elements:
+            raise ValueError("more ranks than elements")
+        coords = mesh.all_element_coords()
+        keys = _morton_encode(coords[:, 0], coords[:, 1], coords[:, 2])
+        order = np.argsort(keys, kind="stable")
+        owner = np.empty(mesh.n_elements, dtype=np.int64)
+        bounds = np.linspace(0, mesh.n_elements, size + 1).round().astype(int)
+        for r in range(size):
+            owner[order[bounds[r] : bounds[r + 1]]] = r
+        return Partition(owner, size)
+
+
+class RandomPartitioner(Partitioner):
+    """Uniformly random element assignment (every rank nonempty).
+
+    Deliberately terrible: sub-graphs are scattered and nearly every
+    rank neighbors every other. Exists to *stress* the consistency
+    machinery — Eq. 2 must hold for any partition, however bad — and to
+    provide a worst-case data point for halo-volume comparisons.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def partition(self, mesh: BoxMesh, size: int) -> Partition:
+        if size > mesh.n_elements:
+            raise ValueError("more ranks than elements")
+        rng = np.random.default_rng(self.seed)
+        owner = rng.integers(0, size, size=mesh.n_elements)
+        # guarantee every rank owns at least one element
+        forced = rng.choice(mesh.n_elements, size=size, replace=False)
+        owner[forced] = np.arange(size)
+        return Partition(owner.astype(np.int64), size)
+
+
+def auto_partition(mesh: BoxMesh, size: int) -> Partition:
+    """NekRS-like default: slabs for R <= 8, sub-cube grids beyond.
+
+    Falls back to the Morton curve when the requested rank count cannot
+    be realized by slabs/grids on this mesh.
+    """
+    if size == 1:
+        return Partition(np.zeros(mesh.n_elements, dtype=np.int64), 1)
+    if size <= 8:
+        for axis in (2, 1, 0):
+            n_axis = (mesh.nx, mesh.ny, mesh.nz)[axis]
+            if size <= n_axis:
+                return SlabPartitioner(axis=axis).partition(mesh, size)
+    try:
+        return GridPartitioner().partition(mesh, size)
+    except ValueError:
+        return MortonPartitioner().partition(mesh, size)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _balanced_2d_factorization(size: int, na: int, nb: int) -> tuple[int, int]:
+    """Split ``size = ra * rb`` as squarely as the element counts allow."""
+    best = None
+    for ra in range(1, size + 1):
+        if size % ra:
+            continue
+        rb = size // ra
+        if ra > na or rb > nb:
+            continue
+        score = abs(np.log(ra / rb * nb / na))
+        if best is None or score < best[0]:
+            best = (score, ra, rb)
+    if best is None:
+        raise ValueError(f"cannot factor {size} ranks onto a {na}x{nb} pencil grid")
+    return best[1], best[2]
+
+
+def _balanced_3d_factorization(size: int, nx: int, ny: int, nz: int) -> tuple[int, int, int]:
+    """Factor ``size`` into ``(rx, ry, rz)`` minimizing surface/volume."""
+    best = None
+    for rx in range(1, size + 1):
+        if size % rx:
+            continue
+        for ry in range(1, size // rx + 1):
+            if (size // rx) % ry:
+                continue
+            rz = size // (rx * ry)
+            if rx > nx or ry > ny or rz > nz:
+                continue
+            # proxy for communication surface of each sub-brick
+            ax, ay, az = nx / rx, ny / ry, nz / rz
+            score = ax * ay + ay * az + ax * az
+            if best is None or score < best[0]:
+                best = (score, rx, ry, rz)
+    if best is None:
+        raise ValueError(
+            f"cannot factor {size} ranks onto a {nx}x{ny}x{nz} element grid"
+        )
+    return best[1], best[2], best[3]
+
+
+def _morton_encode(x: np.ndarray, y: np.ndarray, z: np.ndarray, bits: int = 16) -> np.ndarray:
+    """Interleave the low ``bits`` of three coordinates into Morton keys."""
+    key = np.zeros(x.shape, dtype=np.uint64)
+    x = x.astype(np.uint64)
+    y = y.astype(np.uint64)
+    z = z.astype(np.uint64)
+    for b in range(bits):
+        key |= ((x >> np.uint64(b)) & np.uint64(1)) << np.uint64(3 * b)
+        key |= ((y >> np.uint64(b)) & np.uint64(1)) << np.uint64(3 * b + 1)
+        key |= ((z >> np.uint64(b)) & np.uint64(1)) << np.uint64(3 * b + 2)
+    return key

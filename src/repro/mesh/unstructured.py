@@ -1,0 +1,308 @@
+"""Unstructured and mixed-element meshes (hex / wedge / tet).
+
+The paper notes that "NekRS can handle mixed unstructured mesh elements
+consisting of wedges, tetrahedra, and hexahedra" and that the
+distributed GNN machinery "applies to any mesh composed by a collection
+of finite elements". This module makes that concrete:
+:class:`UnstructuredMesh` stores elements of heterogeneous types as
+explicit point clouds, derives global node numbering by quantized
+coordinate hashing (the generic coincidence path of
+:mod:`repro.mesh.global_ids`), and exposes the same duck-typed surface
+the graph builder consumes from :class:`~repro.mesh.box.BoxMesh`:
+``n_elements``, ``n_unique_nodes``, ``element_global_ids(e)``,
+``element_edges_local(e)``, and ``node_positions(gids)``.
+
+Element types
+-------------
+* ``hex`` — ``(p+1)^3`` tensor GLL lattice (any order ``p >= 1``);
+* ``tet`` — 4 vertices, 6 undirected edges (linear);
+* ``wedge`` — 6 vertices (triangular prism), 9 undirected edges
+  (two triangles + three verticals).
+
+Higher-order simplicial layouts are out of scope (NekRS itself is
+hex-centric); the mixed-element tests exercise linear tets/wedges glued
+conformally to hex faces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.graph.build import element_edge_template
+from repro.mesh.box import BoxMesh
+from repro.mesh.global_ids import coincident_groups_from_positions
+from repro.mesh.gll import gll_points
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """Topology of one reference element kind."""
+
+    name: str
+    n_nodes: int
+    edges: np.ndarray  # (2, E) directed local template
+
+    def __post_init__(self):
+        if self.edges.ndim != 2 or self.edges.shape[0] != 2:
+            raise ValueError("edges must be (2, E)")
+        if self.edges.size and self.edges.max() >= self.n_nodes:
+            raise ValueError("edge template references nonexistent node")
+
+
+def _directed(undirected_pairs) -> np.ndarray:
+    und = np.asarray(undirected_pairs, dtype=np.int64).T
+    return np.concatenate([und, und[::-1]], axis=1)
+
+
+@lru_cache(maxsize=16)
+def hex_type(p: int) -> ElementType:
+    """Hexahedron with a ``(p+1)^3`` GLL lattice."""
+    return ElementType(f"hex(p={p})", (p + 1) ** 3, element_edge_template(p))
+
+
+TET4 = ElementType(
+    "tet4", 4, _directed([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+)
+
+#: Triangular prism; nodes 0-2 bottom triangle, 3-5 top triangle.
+WEDGE6 = ElementType(
+    "wedge6",
+    6,
+    _directed(
+        [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)]
+    ),
+)
+
+
+class UnstructuredMesh:
+    """A mesh given as explicit per-element node coordinates.
+
+    Parameters
+    ----------
+    blocks:
+        List of ``(element_type, coords)`` with ``coords`` of shape
+        ``(n_elements_of_type, element_type.n_nodes, 3)``. Elements are
+        numbered block-by-block in the given order.
+    tol:
+        Coincidence tolerance for the coordinate-hash global numbering.
+        Must be far below the smallest node spacing.
+    """
+
+    def __init__(self, blocks: list, tol: float = 1e-8):
+        if not blocks:
+            raise ValueError("mesh needs at least one element block")
+        self._types: list[ElementType] = []
+        self._coords: list[np.ndarray] = []
+        for etype, coords in blocks:
+            coords = np.asarray(coords, dtype=np.float64)
+            if coords.ndim != 3 or coords.shape[1:] != (etype.n_nodes, 3):
+                raise ValueError(
+                    f"{etype.name}: coords must be (n, {etype.n_nodes}, 3), "
+                    f"got {coords.shape}"
+                )
+            if len(coords) == 0:
+                continue
+            self._types.append(etype)
+            self._coords.append(coords)
+        if not self._coords:
+            raise ValueError("mesh has no elements")
+
+        # element -> (block, index-in-block)
+        counts = [len(c) for c in self._coords]
+        self._block_of = np.repeat(np.arange(len(counts)), counts)
+        self._index_in_block = np.concatenate([np.arange(c) for c in counts])
+        self.n_elements = int(sum(counts))
+
+        # global numbering by quantized coordinate hashing
+        flat = np.concatenate([c.reshape(-1, 3) for c in self._coords], axis=0)
+        groups = coincident_groups_from_positions(flat, tol=tol)
+        self.n_unique_nodes = int(groups.max()) + 1
+        # per-element gid arrays, sliced from the flat instance array
+        self._gids_flat = groups
+        offsets = np.cumsum([0] + [c.shape[0] * c.shape[1] for c in self._coords])
+        self._block_offsets = offsets
+        # positions of each unique node = first instance occurrence
+        self._positions = np.empty((self.n_unique_nodes, 3))
+        # reversed so the FIRST occurrence wins after overwrite
+        self._positions[groups[::-1]] = flat[::-1]
+
+    # -- duck-typed mesh surface (shared with BoxMesh) -------------------------
+
+    def element_type(self, e: int) -> ElementType:
+        if not 0 <= e < self.n_elements:
+            raise IndexError(f"element {e} out of range [0, {self.n_elements})")
+        return self._types[self._block_of[e]]
+
+    def element_global_ids(self, e: int) -> np.ndarray:
+        b = self._block_of[e]
+        i = self._index_in_block[e]
+        n = self._types[b].n_nodes
+        start = self._block_offsets[b] + i * n
+        return self._gids_flat[start : start + n]
+
+    def element_edges_local(self, e: int) -> np.ndarray:
+        return self.element_type(e).edges
+
+    def node_positions(self, gids: np.ndarray) -> np.ndarray:
+        return self._positions[np.asarray(gids)]
+
+    def all_positions(self) -> np.ndarray:
+        return self._positions.copy()
+
+    def element_centroids(self) -> np.ndarray:
+        """(n_elements, 3) centroids — partitioner input."""
+        out = np.empty((self.n_elements, 3))
+        for e in range(self.n_elements):
+            b, i = self._block_of[e], self._index_in_block[e]
+            out[e] = self._coords[b][i].mean(axis=0)
+        return out
+
+    def type_counts(self) -> dict[str, int]:
+        return {t.name: len(c) for t, c in zip(self._types, self._coords)}
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(f"{v} {k}" for k, v in self.type_counts().items())
+        return f"UnstructuredMesh({kinds}; {self.n_unique_nodes} unique nodes)"
+
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+
+
+def from_box(box: BoxMesh) -> UnstructuredMesh:
+    """Convert a structured box mesh (validation path: the coordinate
+    hashing must reproduce the exact lattice numbering's *structure*)."""
+    coords = np.stack(
+        [box.node_positions(box.element_global_ids(e)) for e in range(box.n_elements)]
+    )
+    return UnstructuredMesh([(hex_type(box.p), coords)])
+
+
+def tet_box(nx: int, ny: int, nz: int, bounds=((0.0, 1.0),) * 3) -> UnstructuredMesh:
+    """Box of ``nx*ny*nz`` cells, each split into 6 tetrahedra.
+
+    Uses the standard Kuhn (Freudenthal) 6-tet decomposition, which is
+    conforming across cells: every cell face is split along the same
+    diagonal.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("cell counts must be >= 1")
+    xs = np.linspace(*bounds[0], nx + 1)
+    ys = np.linspace(*bounds[1], ny + 1)
+    zs = np.linspace(*bounds[2], nz + 1)
+    # Kuhn triangulation: 6 permutations of the path (0,0,0)->(1,1,1)
+    paths = [
+        [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)],
+        [(0, 0, 0), (1, 0, 0), (1, 0, 1), (1, 1, 1)],
+        [(0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 1, 1)],
+        [(0, 0, 0), (0, 1, 0), (0, 1, 1), (1, 1, 1)],
+        [(0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)],
+        [(0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1)],
+    ]
+    tets = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                for path in paths:
+                    tets.append(
+                        [
+                            (xs[i + di], ys[j + dj], zs[k + dk])
+                            for di, dj, dk in path
+                        ]
+                    )
+    return UnstructuredMesh([(TET4, np.asarray(tets))])
+
+
+def wedge_column(
+    n_sides: int = 6, n_layers: int = 3, radius: float = 1.0, height: float = 1.0
+) -> UnstructuredMesh:
+    """Extruded triangulated polygon: a fan of wedges (prisms).
+
+    A simple "complex geometry" demo mesh: ``n_sides`` triangles per
+    layer around the axis, extruded into ``n_layers`` prism layers.
+    """
+    if n_sides < 3 or n_layers < 1:
+        raise ValueError("need >= 3 sides and >= 1 layer")
+    angles = np.linspace(0.0, 2 * np.pi, n_sides, endpoint=False)
+    ring = np.stack([radius * np.cos(angles), radius * np.sin(angles)], axis=1)
+    zs = np.linspace(0.0, height, n_layers + 1)
+    wedges = []
+    for k in range(n_layers):
+        z0, z1 = zs[k], zs[k + 1]
+        for s in range(n_sides):
+            a, b = ring[s], ring[(s + 1) % n_sides]
+            bottom = [(0.0, 0.0, z0), (a[0], a[1], z0), (b[0], b[1], z0)]
+            top = [(0.0, 0.0, z1), (a[0], a[1], z1), (b[0], b[1], z1)]
+            wedges.append(bottom + top)
+    return UnstructuredMesh([(WEDGE6, np.asarray(wedges))])
+
+
+def mixed_hex_wedge_box(nx: int = 2, ny: int = 2, nz: int = 2) -> UnstructuredMesh:
+    """Box of unit cells: hexes everywhere except the top layer, whose
+    cells are each split into two wedges (prisms) along a face diagonal.
+
+    The hex/wedge interface is conforming (wedge quad faces coincide
+    with hex faces), so coincident-node detection glues the blocks —
+    the mixed-element situation the paper attributes to NekRS.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("cell counts must be >= 1")
+    hexes = []
+    wedges = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                x0, x1 = float(i), float(i + 1)
+                y0, y1 = float(j), float(j + 1)
+                z0, z1 = float(k), float(k + 1)
+                if k < nz - 1:
+                    # BoxMesh p=1 local ordering: x fastest, then y, then z
+                    hexes.append(
+                        [
+                            (x0, y0, z0), (x1, y0, z0), (x0, y1, z0), (x1, y1, z0),
+                            (x0, y0, z1), (x1, y0, z1), (x0, y1, z1), (x1, y1, z1),
+                        ]
+                    )
+                else:
+                    # split along the (x0,y0)-(x1,y1) diagonal: two prisms
+                    # whose triangular faces are horizontal
+                    wedges.append(
+                        [
+                            (x0, y0, z0), (x1, y0, z0), (x1, y1, z0),
+                            (x0, y0, z1), (x1, y0, z1), (x1, y1, z1),
+                        ]
+                    )
+                    wedges.append(
+                        [
+                            (x0, y0, z0), (x1, y1, z0), (x0, y1, z0),
+                            (x0, y0, z1), (x1, y1, z1), (x0, y1, z1),
+                        ]
+                    )
+    blocks = []
+    if hexes:
+        blocks.append((hex_type(1), np.asarray(hexes)))
+    blocks.append((WEDGE6, np.asarray(wedges)))
+    return UnstructuredMesh(blocks)
+
+
+def partition_by_centroid(mesh: UnstructuredMesh, size: int, seed: int = 0):
+    """Morton-order partition of an unstructured mesh by element centroid."""
+    from repro.mesh.partition import Partition, _morton_encode
+
+    if size > mesh.n_elements:
+        raise ValueError("more ranks than elements")
+    cent = mesh.element_centroids()
+    lo = cent.min(axis=0)
+    span = np.maximum(cent.max(axis=0) - lo, 1e-12)
+    quant = ((cent - lo) / span * 1023).astype(np.int64)
+    keys = _morton_encode(quant[:, 0], quant[:, 1], quant[:, 2], bits=10)
+    order = np.argsort(keys, kind="stable")
+    owner = np.empty(mesh.n_elements, dtype=np.int64)
+    bounds_ = np.linspace(0, mesh.n_elements, size + 1).round().astype(int)
+    for r in range(size):
+        owner[order[bounds_[r] : bounds_[r + 1]]] = r
+    return Partition(owner, size)

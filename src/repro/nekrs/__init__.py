@@ -1,0 +1,42 @@
+"""Mini NekRS: the solver-side substrate of the paper's workflow.
+
+NekRS is a GPU-capable exascale spectral-element Navier–Stokes solver;
+the paper uses three of its facilities: (1) the partitioned
+element mesh, (2) the gather–scatter ("direct stiffness summation")
+operator that sums values over coincident nodes, and (3) flow fields
+(Taylor–Green vortex) evaluated at the quadrature points. This package
+provides honest small-scale equivalents:
+
+* :mod:`repro.nekrs.gather_scatter` — distributed ``dssum``/``dsavg``
+  built on the same halo plans as the GNN (the two really are the same
+  communication pattern — the consistent NMP layer's sync step *is* a
+  gather–scatter over edge aggregates);
+* :mod:`repro.nekrs.solver` — an explicit advection–diffusion stepper
+  on the mesh graph, used as a physically-plausible data generator
+  (NekRS's spectral operators are out of scope; the GNN only consumes
+  node-collocated fields);
+* :mod:`repro.nekrs.plugin` — the "NekRS-GNN plugin" of Fig. 1: walks
+  the partitioned mesh and emits the connectivity, coincident-node IDs,
+  and snapshots the GNN side consumes.
+"""
+
+from repro.nekrs.gather_scatter import dssum, dsavg
+from repro.nekrs.solver import AdvectionDiffusionSolver
+from repro.nekrs.plugin import NekRSGNNPlugin
+from repro.nekrs.integrators import (
+    ForwardEuler,
+    RK2Midpoint,
+    RK4,
+    make_integrator,
+)
+
+__all__ = [
+    "dssum",
+    "dsavg",
+    "AdvectionDiffusionSolver",
+    "NekRSGNNPlugin",
+    "ForwardEuler",
+    "RK2Midpoint",
+    "RK4",
+    "make_integrator",
+]

@@ -1,0 +1,81 @@
+"""Explicit Runge–Kutta time integrators for the mini solver.
+
+NekRS uses high-order time integration; the mini solver defaults to
+explicit Euler for transparency, but RK2/RK4 are provided for data
+generation where temporal accuracy matters (e.g. long trajectories for
+surrogate training). All stages are built from ``solver.rhs``, which is
+partition-consistent, so every integrator inherits the serial ==
+distributed property — and the test suite verifies both that and the
+formal convergence order of each scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ExplicitIntegrator:
+    """Base class: advances ``u' = rhs(u)`` with fixed steps."""
+
+    #: formal order of accuracy (used by the convergence tests)
+    order: int = 0
+
+    def __init__(self, solver):
+        self.solver = solver
+
+    def step(self, u: np.ndarray, dt: float) -> np.ndarray:
+        raise NotImplementedError
+
+    def run(self, u0: np.ndarray, dt: float, n_steps: int) -> np.ndarray:
+        if n_steps < 0:
+            raise ValueError("n_steps must be >= 0")
+        u = np.array(u0, dtype=np.float64, copy=True)
+        for _ in range(n_steps):
+            u = self.step(u, dt)
+        return u
+
+
+class ForwardEuler(ExplicitIntegrator):
+    """First-order explicit Euler (the solver's built-in scheme)."""
+
+    order = 1
+
+    def step(self, u, dt):
+        return u + dt * self.solver.rhs(u)
+
+
+class RK2Midpoint(ExplicitIntegrator):
+    """Second-order midpoint rule."""
+
+    order = 2
+
+    def step(self, u, dt):
+        k1 = self.solver.rhs(u)
+        k2 = self.solver.rhs(u + 0.5 * dt * k1)
+        return u + dt * k2
+
+
+class RK4(ExplicitIntegrator):
+    """Classical fourth-order Runge–Kutta."""
+
+    order = 4
+
+    def step(self, u, dt):
+        k1 = self.solver.rhs(u)
+        k2 = self.solver.rhs(u + 0.5 * dt * k1)
+        k3 = self.solver.rhs(u + 0.5 * dt * k2)
+        k4 = self.solver.rhs(u + dt * k3)
+        return u + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+
+
+INTEGRATORS = {"euler": ForwardEuler, "rk2": RK2Midpoint, "rk4": RK4}
+
+
+def make_integrator(name: str, solver) -> ExplicitIntegrator:
+    """Factory by name (``euler`` / ``rk2`` / ``rk4``)."""
+    try:
+        return INTEGRATORS[name](solver)
+    except KeyError:
+        raise ValueError(
+            f"unknown integrator {name!r}; options: {sorted(INTEGRATORS)}"
+        ) from None

@@ -1,0 +1,115 @@
+"""The NekRS-GNN plugin (Fig. 1's blue interface box).
+
+In the paper, a plugin compiled against NekRS walks the solver's mesh
+object on each rank and hands PyTorch Geometric the graph connectivity
+and coincident-node (global ID) information. Here the role is the same:
+:class:`NekRSGNNPlugin` owns a mesh + partition (the "solver side"),
+builds the reduced distributed graph once, and exposes per-rank payloads
+plus flow snapshots for training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.backend import Communicator
+from repro.graph.distributed import (
+    DistributedGraph,
+    LocalGraph,
+    build_distributed_graph,
+)
+from repro.mesh.box import BoxMesh
+from repro.mesh.fields import taylor_green_velocity
+from repro.mesh.partition import Partition, auto_partition
+from repro.nekrs.solver import AdvectionDiffusionSolver
+
+
+@dataclass
+class RankPayload:
+    """What the plugin ships to one rank's GNN process.
+
+    Mirrors the paper's plugin outputs: connectivity (local edge list),
+    coincident-node IDs (global IDs + halo plan inside ``graph``), and
+    node positions.
+    """
+
+    graph: LocalGraph
+    positions: np.ndarray  # (n_local, 3)
+
+
+class NekRSGNNPlugin:
+    """Bridge from the solver's partitioned mesh to distributed graphs.
+
+    >>> plugin = NekRSGNNPlugin(BoxMesh(4, 4, 4, p=2), n_ranks=4)
+    >>> payload = plugin.rank_payload(0)
+    >>> payload.graph.rank
+    0
+    """
+
+    def __init__(
+        self,
+        mesh: BoxMesh,
+        n_ranks: int = 1,
+        partition: Partition | None = None,
+    ):
+        self.mesh = mesh
+        self.partition = partition if partition is not None else auto_partition(mesh, n_ranks)
+        if self.partition.size != n_ranks and partition is None:
+            raise AssertionError("auto_partition produced wrong world size")
+        self._graph: DistributedGraph | None = None
+
+    @property
+    def size(self) -> int:
+        return self.partition.size
+
+    @property
+    def distributed_graph(self) -> DistributedGraph:
+        """The reduced distributed graph (built lazily, once)."""
+        if self._graph is None:
+            self._graph = build_distributed_graph(self.mesh, self.partition)
+        return self._graph
+
+    def rank_payload(self, rank: int) -> RankPayload:
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range [0, {self.size})")
+        lg = self.distributed_graph.local(rank)
+        return RankPayload(graph=lg, positions=lg.pos)
+
+    # -- data generation --------------------------------------------------------
+
+    def velocity_snapshot(self, rank: int, t: float = 0.0, nu: float = 0.01) -> np.ndarray:
+        """Taylor–Green velocity at time ``t`` on a rank's local nodes."""
+        lg = self.distributed_graph.local(rank)
+        return taylor_green_velocity(lg.pos, t=t, nu=nu)
+
+    def make_solver(
+        self,
+        rank: int,
+        comm: Communicator | None = None,
+        nu: float = 0.01,
+        velocity: np.ndarray | None = None,
+    ) -> AdvectionDiffusionSolver:
+        """Instantiate the mini solver on a rank's sub-graph."""
+        lg = self.distributed_graph.local(rank)
+        return AdvectionDiffusionSolver(lg, nu=nu, velocity=velocity, comm=comm)
+
+    def training_pair(
+        self,
+        rank: int,
+        t0: float = 0.0,
+        tf: float = 1.0,
+        nu: float = 0.01,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(input, target) = TGV velocity at ``t0`` and ``tf``.
+
+        The node-level regression task of the paper: predict the future
+        flow state from the current one.
+        """
+        if tf < t0:
+            raise ValueError("tf must be >= t0")
+        return (
+            self.velocity_snapshot(rank, t=t0, nu=nu),
+            self.velocity_snapshot(rank, t=tf, nu=nu),
+        )

@@ -1,0 +1,26 @@
+"""Neural-network building blocks over :mod:`repro.tensor`.
+
+Provides the pieces the paper's GNN is assembled from: ``Linear``
+layers, multi-layer perceptrons with ELU activations and optional final
+``LayerNorm`` (the MeshGraphNets-style block used throughout), and
+optimizers. Parameter initialization is deterministic and
+*rank-independent* (see :mod:`repro.utils.seeding`) — a prerequisite for
+the paper's consistency property during training.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.layer_norm import LayerNorm
+from repro.nn.mlp import MLP
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

@@ -1,0 +1,35 @@
+"""Layer normalization module (affine, over the last axis)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor.ops import layer_norm
+
+
+class LayerNorm(Module):
+    """Normalizes the last axis to zero mean / unit variance, then scales.
+
+    The paper applies LayerNorm after the encoder MLPs and after the
+    edge/node update MLPs inside every message passing layer (standard
+    MeshGraphNets recipe); the decoder omits it.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5, *, name: str = "ln", dtype=np.float64):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim, dtype=dtype), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(dim, dtype=dtype), name=f"{name}.beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"LayerNorm dim {self.dim} != input last axis {x.shape[-1]}")
+        return layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(dim={self.dim})"

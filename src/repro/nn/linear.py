@@ -1,0 +1,61 @@
+"""Affine layer with deterministic, rank-independent initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor.ops import linear
+from repro.utils.seeding import rng_for
+
+
+class Linear(Module):
+    """``y = x @ W.T + b``.
+
+    Initialization follows the Kaiming-uniform default of
+    ``torch.nn.Linear`` (``U(-1/sqrt(fan_in), 1/sqrt(fan_in))`` for both
+    weight and bias) so behaviour is familiar. The generator is derived
+    from ``(seed, name)`` — never from an MPI rank — so every rank of a
+    distributed run builds bit-identical weights (required by Eq. 1's
+    rank-independent ``theta``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        *,
+        seed: int = 0,
+        name: str = "linear",
+        dtype=np.float64,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng_for(seed, f"{name}/weight")
+        bound = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, size=(out_features, in_features)).astype(dtype),
+            name=f"{name}.weight",
+        )
+        if bias:
+            rng_b = rng_for(seed, f"{name}/bias")
+            self.bias = Parameter(
+                rng_b.uniform(-bound, bound, size=(out_features,)).astype(dtype),
+                name=f"{name}.bias",
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

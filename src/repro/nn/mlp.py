@@ -1,0 +1,81 @@
+"""The paper's MLP block.
+
+Structure (matching the reference implementation's parameter counts in
+Table I — see ``tests/gnn/test_table1_parameters.py``):
+
+``Linear(in, H) -> ELU -> [Linear(H, H) -> ELU] * n_hidden -> Linear(H, out)``
+
+i.e. ``n_hidden + 2`` linear layers total, optionally followed by a
+``LayerNorm(out)``. "MLP hidden layers" in Table I counts the *middle*
+``Linear(H, H)`` blocks (2 for the small model, 5 for the large one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layer_norm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList
+from repro.tensor import Tensor
+from repro.tensor.ops import elu
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ELU activations.
+
+    Parameters
+    ----------
+    in_features, hidden, out_features:
+        Layer widths. There are ``n_hidden + 2`` linear layers.
+    n_hidden:
+        Number of middle ``Linear(hidden, hidden)`` layers (Table I's
+        "MLP hidden layers").
+    final_norm:
+        Append ``LayerNorm(out_features)`` (used by encoders and
+        message-passing MLPs; not by the decoder).
+    seed, name:
+        Deterministic initialization identity; must not depend on rank.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        out_features: int,
+        n_hidden: int,
+        *,
+        final_norm: bool = False,
+        seed: int = 0,
+        name: str = "mlp",
+        dtype=np.float64,
+    ):
+        super().__init__()
+        if n_hidden < 0:
+            raise ValueError("n_hidden must be >= 0")
+        widths = [in_features] + [hidden] * (n_hidden + 1) + [out_features]
+        self.layers = ModuleList(
+            Linear(a, b, seed=seed, name=f"{name}.lin{i}", dtype=dtype)
+            for i, (a, b) in enumerate(zip(widths[:-1], widths[1:]))
+        )
+        self.norm = (
+            LayerNorm(out_features, name=f"{name}.norm", dtype=dtype) if final_norm else None
+        )
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = len(self.layers)
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < n - 1:  # no activation after the output layer
+                x = elu(x)
+        if self.norm is not None:
+            x = self.norm(x)
+        return x
+
+    def __repr__(self) -> str:
+        return (
+            f"MLP(in={self.in_features}, out={self.out_features}, "
+            f"n_linear={len(self.layers)}, norm={self.norm is not None})"
+        )

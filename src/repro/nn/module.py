@@ -1,0 +1,137 @@
+"""``Module``/``Parameter`` container machinery (torch.nn.Module analog).
+
+Modules register parameters and submodules automatically through
+``__setattr__`` and expose ordered traversal (``parameters()``,
+``named_parameters()``). Ordering is deterministic — insertion order —
+which matters for distributed training: every rank must flatten
+parameters identically so gradient all-reduces line up buffer-by-buffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always ``requires_grad=True``."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; these are discovered automatically for traversal,
+    state-dict export, and optimizer construction.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # -- traversal --------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` in deterministic order."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for name, m in self._modules.items():
+            yield from m.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for m in self._modules.values():
+            yield from m.modules()
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count (the paper's Table I quantity)."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    # -- train/eval -------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            object.__setattr__(m, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradient bookkeeping ----------------------------------------------
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict ---------------------------------------------------------
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        return OrderedDict((k, v.data.copy()) for k, v in self.named_parameters())
+
+    def load_state_dict(self, state: dict) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for k, p in own.items():
+            arr = np.asarray(state[k])
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {k}: expected {p.data.shape}, got {arr.shape}"
+                )
+            p.data[...] = arr
+
+    # -- call protocol --------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """Ordered container of submodules (torch.nn.ModuleList analog)."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: list[Module] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> None:
+        idx = len(self._items)
+        self._items.append(module)
+        self._modules[str(idx)] = module
+        object.__setattr__(self, str(idx), module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]

@@ -1,0 +1,55 @@
+"""Frontier-like performance model for the paper's scaling study.
+
+The paper's Figs. 7–8 measure wall-clock behaviour of distributed
+training on Frontier (MI250X GCDs, Slingshot-11). That hardware is not
+available to this reproduction, so the scaling figures are regenerated
+from an analytic alpha–beta machine model driven by the *exact same
+quantities the real runs are driven by*: per-rank graph/halo/neighbor
+statistics from the partitioner (Table II), buffer sizes implied by the
+model configuration (hidden width x halo rows x 8 bytes), message
+counts per training iteration (2M halo exchanges + 3 loss AllReduce +
+1 gradient AllReduce), and a calibrated per-GCD compute rate.
+
+What is honest and what is modeled is spelled out in EXPERIMENTS.md:
+who-wins ordering, crossover locations, and efficiency trends are
+model *predictions matched against the paper's measurements*; absolute
+seconds are not measurements of anything.
+
+:mod:`repro.perf.calibrate` additionally measures this host's real
+per-node compute rate so the same harness can report genuine local
+numbers.
+"""
+
+from repro.perf.machine import MachineModel, FRONTIER
+from repro.perf.partition_stats import (
+    PartitionStats,
+    grid_partition_stats,
+    materialized_partition_stats,
+    slab_partition_stats,
+    table2_configuration,
+)
+from repro.perf.weak_scaling import (
+    ScalingPoint,
+    simulate_weak_scaling,
+    relative_throughput_series,
+    rank_grid_for,
+    elements_for_loading,
+)
+from repro.perf.calibrate import measure_host_compute_rate, calibrated_machine
+
+__all__ = [
+    "MachineModel",
+    "FRONTIER",
+    "PartitionStats",
+    "grid_partition_stats",
+    "slab_partition_stats",
+    "materialized_partition_stats",
+    "table2_configuration",
+    "ScalingPoint",
+    "simulate_weak_scaling",
+    "relative_throughput_series",
+    "rank_grid_for",
+    "elements_for_loading",
+    "measure_host_compute_rate",
+    "calibrated_machine",
+]

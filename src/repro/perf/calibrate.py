@@ -1,0 +1,76 @@
+"""Calibrate the machine model against this host's real compute rate.
+
+The Frontier constants in :data:`repro.perf.machine.FRONTIER` describe
+hardware we don't have. This module *measures* the actual per-node
+training-iteration time of this repository's implementation on the
+current host (forward + backward + loss on a real mesh graph) and
+builds a :class:`MachineModel` whose ``effective_flops`` matches, so
+the same weak-scaling harness can report genuine local numbers next to
+the Frontier-shaped model outputs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.comm.single import SingleProcessComm
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.gnn.loss import consistent_mse_loss
+from repro.graph.distributed import build_full_graph
+from repro.mesh.box import BoxMesh
+from repro.mesh.fields import taylor_green_velocity
+from repro.perf.machine import MachineModel
+from repro.tensor import Tensor
+
+
+def measure_host_compute_rate(
+    config: GNNConfig,
+    n_elements: int = 4,
+    p: int = 2,
+    repeats: int = 3,
+) -> float:
+    """Measured training-iteration throughput [graph nodes / s] on this host.
+
+    Runs full forward + loss + backward passes on an
+    ``n_elements^3``-element mesh and returns the median rate.
+    """
+    mesh = BoxMesh(n_elements, n_elements, n_elements, p=p)
+    graph = build_full_graph(mesh)
+    x = taylor_green_velocity(graph.pos)
+    edge_attr = graph.edge_attr(node_features=x, kind=config.edge_features)
+    model = MeshGNN(config)
+    comm = SingleProcessComm()
+    xt, yt = Tensor(x), Tensor(x)
+
+    def one_iteration():
+        model.zero_grad()
+        pred = model(xt, edge_attr, graph)
+        loss = consistent_mse_loss(pred, yt, graph, comm)
+        loss.backward()
+
+    one_iteration()  # warm-up
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        one_iteration()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    median = times[len(times) // 2]
+    return graph.n_local / median
+
+
+def calibrated_machine(
+    config: GNNConfig, base: MachineModel | None = None, **measure_kwargs
+) -> MachineModel:
+    """A copy of ``base`` whose compute rate matches this host.
+
+    ``effective_flops`` is set so that
+    ``MachineModel.compute_time(config, N) == N / measured_rate``.
+    """
+    from dataclasses import replace
+
+    base = base or MachineModel()
+    rate = measure_host_compute_rate(config, **measure_kwargs)
+    flops = base.flops_per_node(config)
+    return replace(base, name="local-host", effective_flops=rate * flops)

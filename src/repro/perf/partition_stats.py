@@ -1,0 +1,126 @@
+"""Per-rank partition statistics (Table II of the paper).
+
+Two paths produce the same quantities:
+
+* :func:`materialized_partition_stats` — walk an actually-built
+  :class:`~repro.graph.distributed.DistributedGraph` (exact, any
+  partitioner, used at test scale);
+* :func:`grid_partition_stats` / :func:`slab_partition_stats` — closed
+  forms for structured brick decompositions (used at paper scale, where
+  materializing O(1e9) nodes is not possible on this host). The two
+  paths are asserted equal on small meshes in the test suite.
+
+Quantities per rank: local graph nodes (after coincident collapse),
+halo nodes (copies received from neighbors), and neighbor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.distributed import DistributedGraph
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Min/max/avg summaries per rank, Table II style."""
+
+    ranks: int
+    graph_nodes: tuple  # (min, max, avg)
+    halo_nodes: tuple
+    neighbors: tuple
+
+    @staticmethod
+    def from_arrays(nodes: np.ndarray, halos: np.ndarray, nbrs: np.ndarray) -> "PartitionStats":
+        def mma(a):
+            return (float(np.min(a)), float(np.max(a)), float(np.mean(a)))
+
+        return PartitionStats(
+            ranks=len(nodes),
+            graph_nodes=mma(nodes),
+            halo_nodes=mma(halos),
+            neighbors=mma(nbrs),
+        )
+
+    def row(self) -> str:
+        """Render one Table II row."""
+
+        def fmt(t, scale=1e3):
+            return f"{t[0] / scale:8.1f} {t[1] / scale:8.1f} {t[2] / scale:8.1f}"
+
+        return (
+            f"{self.ranks:6d} | {fmt(self.graph_nodes)} | "
+            f"{fmt(self.halo_nodes)} | "
+            f"{self.neighbors[0]:5.0f} {self.neighbors[1]:5.0f} {self.neighbors[2]:5.1f}"
+        )
+
+
+def materialized_partition_stats(dg: DistributedGraph) -> PartitionStats:
+    """Exact stats from a built distributed graph."""
+    nodes = np.array([lg.n_local for lg in dg.locals])
+    halos = np.array([lg.n_halo for lg in dg.locals])
+    nbrs = np.array([len(lg.halo.neighbors) for lg in dg.locals])
+    return PartitionStats.from_arrays(nodes, halos, nbrs)
+
+
+def grid_partition_stats(
+    rank_grid: tuple[int, int, int],
+    elems_per_rank: tuple[int, int, int],
+    p: int,
+) -> PartitionStats:
+    """Closed-form stats for a 3D brick decomposition.
+
+    Every rank owns an ``(ax, ay, az)``-element brick; rank ``(i, j, k)``
+    of the ``(Rx, Ry, Rz)`` grid shares a face lattice with each
+    face-adjacent rank, an edge line with each edge-adjacent rank, and a
+    single node with each corner-adjacent rank.
+    """
+    rx, ry, rz = rank_grid
+    ax, ay, az = elems_per_rank
+    if min(rx, ry, rz, ax, ay, az) < 1 or p < 1:
+        raise ValueError("grid, elements and order must be >= 1")
+    # lattice points of one rank's brick per axis
+    lx, ly, lz = ax * p + 1, ay * p + 1, az * p + 1
+    n_local = lx * ly * lz
+
+    # per-axis: number of rank-neighbors on this axis (0, 1 or 2)
+    def sides(n):
+        return (np.arange(n) > 0).astype(int) + (np.arange(n) < n - 1).astype(int)
+
+    sx, sy, sz = sides(rx), sides(ry), sides(rz)
+    SX, SY, SZ = np.meshgrid(sx, sy, sz, indexing="ij")
+    # counts of adjacent ranks by type
+    faces = SX + SY + SZ
+    edges = SX * SY + SY * SZ + SX * SZ
+    corners = SX * SY * SZ
+    neighbors = faces + edges + corners
+    # shared-lattice sizes by orientation
+    halo = (
+        SX * (ly * lz) + SY * (lx * lz) + SZ * (lx * ly)  # faces
+        + SX * SY * lz + SY * SZ * lx + SX * SZ * ly  # edges
+        + corners  # corners share exactly 1 node
+    )
+    nodes = np.full(rx * ry * rz, n_local)
+    return PartitionStats.from_arrays(nodes, halo.ravel(), neighbors.ravel())
+
+
+def slab_partition_stats(
+    n_slabs: int, elems_per_rank: tuple[int, int, int], p: int
+) -> PartitionStats:
+    """Closed-form stats for a 1D slab decomposition along z."""
+    return grid_partition_stats((1, 1, n_slabs), elems_per_rank, p)
+
+
+def table2_configuration(
+    ranks: int, loading: int = 512_000, p: int = 5
+) -> tuple[tuple[int, int, int], tuple[int, int, int]]:
+    """Rank grid + per-rank element brick for a Table II row.
+
+    Mirrors the paper's weak-scaling setup: per-rank loading nominally
+    constant, slabs at R <= 8, sub-cubes beyond.
+    """
+    from repro.perf.weak_scaling import elements_for_loading, rank_grid_for
+
+    return rank_grid_for(ranks), elements_for_loading(loading, p)

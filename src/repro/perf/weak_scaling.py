@@ -1,0 +1,184 @@
+"""Weak-scaling simulator: regenerates Figs. 7 and 8.
+
+For each rank count the simulator assembles the exact same inputs the
+real runs have — per-rank loading, halo-row counts and neighbor counts
+from the partition statistics, buffer sizes from the model's hidden
+width — and charges the :class:`~repro.perf.machine.MachineModel` for
+one training iteration:
+
+``t_iter = t_compute + 2M * t_halo(mode) + 3 * t_allreduce(scalar)
+          + t_allreduce(gradients) + t_fixed``
+
+Total throughput is ``total_graph_nodes / t_iter`` (the paper's metric:
+"total number of graph nodes processed per second in one training
+iteration across all ranks"); weak-scaling efficiency normalizes
+per-rank throughput by the smallest-rank-count point of the same
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.modes import HaloMode
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.perf.machine import MachineModel
+from repro.perf.partition_stats import grid_partition_stats
+
+
+def rank_grid_for(ranks: int) -> tuple[int, int, int]:
+    """Rank grid used in the scaling study: slabs up to 8 ranks,
+    near-cubic sub-brick grids beyond (the NekRS partitioner switch)."""
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    if ranks <= 8:
+        return (1, 1, ranks)
+    best = None
+    for rx in range(1, ranks + 1):
+        if ranks % rx:
+            continue
+        for ry in range(rx, ranks // rx + 1):
+            if (ranks // rx) % ry:
+                continue
+            rz = ranks // (rx * ry)
+            if rz < ry:
+                continue
+            score = (rz - rx) + (rz - ry) + (ry - rx)  # prefer cubic
+            if best is None or score < best[0]:
+                best = (score, (rx, ry, rz))
+    assert best is not None
+    return best[1]
+
+
+def elements_for_loading(loading: int, p: int) -> tuple[int, int, int]:
+    """Per-rank element brick whose collapsed node count is closest to
+    the nominal loading (e.g. 512k at p=5 -> 16^3 elements -> 531,441)."""
+    if loading < (p + 1) ** 3:
+        raise ValueError("loading smaller than a single element")
+    base = int(round((loading ** (1.0 / 3.0) - 1) / p))
+    best = None
+    for ax in range(max(1, base - 1), base + 2):
+        for ay in range(max(1, base - 1), base + 2):
+            for az in range(max(1, base - 1), base + 2):
+                n = (ax * p + 1) * (ay * p + 1) * (az * p + 1)
+                score = abs(n - loading)
+                if best is None or score < best[0]:
+                    best = (score, (ax, ay, az))
+    assert best is not None
+    return best[1]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a weak-scaling curve."""
+
+    ranks: int
+    total_nodes: int
+    loading: int
+    time_s: float
+    compute_s: float
+    halo_s: float
+    allreduce_s: float
+    overhead_s: float
+
+    @property
+    def throughput(self) -> float:
+        """Total graph nodes processed per second (Fig. 7 y-axis)."""
+        return self.total_nodes / self.time_s
+
+    @property
+    def per_rank_throughput(self) -> float:
+        return self.throughput / self.ranks
+
+
+def simulate_point(
+    machine: MachineModel,
+    config: GNNConfig,
+    loading: int,
+    ranks: int,
+    mode: HaloMode | str,
+    p: int = 5,
+) -> ScalingPoint:
+    """Model one training iteration at one rank count."""
+    mode = HaloMode.parse(mode)
+    grid = rank_grid_for(ranks)
+    elems = elements_for_loading(loading, p)
+    stats = grid_partition_stats(grid, elems, p)
+    n_local = int(stats.graph_nodes[2])
+    halo_avg = stats.halo_nodes[1]  # max: collectives finish with the slowest rank
+    nbr_avg = stats.neighbors[1]
+    total_nodes = n_local * ranks
+
+    t_compute = machine.compute_time(config, n_local)
+
+    n_exchanges = 2 * config.n_message_passing  # forward + backward per layer
+    feat_bytes = config.hidden * 8
+    if mode is HaloMode.NONE or ranks == 1:
+        t_halo = 0.0
+    elif mode is HaloMode.A2A:
+        # equal-size buffers: padded to the largest pairwise share, which
+        # for a brick decomposition is a full face lattice
+        face_rows = max(
+            (elems[0] * p + 1) * (elems[1] * p + 1),
+            (elems[1] * p + 1) * (elems[2] * p + 1),
+            (elems[0] * p + 1) * (elems[2] * p + 1),
+        )
+        t_halo = n_exchanges * machine.a2a_dense_time(face_rows * feat_bytes, ranks)
+    elif mode in (HaloMode.NEIGHBOR_A2A, HaloMode.SEND_RECV):
+        t_halo = n_exchanges * machine.a2a_neighbor_time(
+            halo_avg * feat_bytes, nbr_avg, ranks
+        )
+    else:  # pragma: no cover - exhaustive over enum
+        raise ValueError(f"unhandled mode {mode}")
+
+    n_params = MeshGNN(config).num_parameters()
+    t_ar = 3 * machine.allreduce_time(8.0, ranks)  # consistent-loss scalars
+    t_ar += machine.allreduce_time(n_params * 8.0, ranks)  # DDP gradients
+
+    t_fixed = machine.fixed_overhead
+    t_total = t_compute + t_halo + t_ar + t_fixed
+    return ScalingPoint(
+        ranks=ranks,
+        total_nodes=total_nodes,
+        loading=n_local,
+        time_s=t_total,
+        compute_s=t_compute,
+        halo_s=t_halo,
+        allreduce_s=t_ar,
+        overhead_s=t_fixed,
+    )
+
+
+def simulate_weak_scaling(
+    machine: MachineModel,
+    config: GNNConfig,
+    loading: int,
+    mode: HaloMode | str,
+    ranks_list: tuple = (8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+    p: int = 5,
+) -> list[ScalingPoint]:
+    """One Fig. 7 curve: the weak-scaling series of one configuration."""
+    return [simulate_point(machine, config, loading, r, mode, p) for r in ranks_list]
+
+
+def efficiency_series(points: list[ScalingPoint]) -> list[float]:
+    """Weak-scaling efficiency (%) relative to the first point."""
+    base = points[0].per_rank_throughput
+    return [100.0 * pt.per_rank_throughput / base for pt in points]
+
+
+def relative_throughput_series(
+    machine: MachineModel,
+    config: GNNConfig,
+    loading: int,
+    mode: HaloMode | str,
+    ranks_list: tuple = (8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+    p: int = 5,
+) -> list[float]:
+    """Fig. 8: throughput of ``mode`` relative to the no-exchange run."""
+    with_mode = simulate_weak_scaling(machine, config, loading, mode, ranks_list, p)
+    without = simulate_weak_scaling(machine, config, loading, HaloMode.NONE, ranks_list, p)
+    return [w.throughput / n.throughput for w, n in zip(with_mode, without)]

@@ -1,0 +1,85 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the reproduction's stand-in for PyTorch's autograd.
+The consistency properties of the paper (Eqs. 2 and 3) are statements
+about arithmetic, and verifying them requires a differentiable tensor
+engine; this one provides exactly the operations the consistent GNN
+needs (dense linear algebra, gather/scatter over node and edge index
+arrays, layer normalization, ELU) plus hooks for differentiable
+communication ops (see :mod:`repro.comm.autograd_ops`).
+
+The public surface mirrors a small slice of torch:
+
+>>> from repro.tensor import Tensor, no_grad
+>>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad
+array([[2., 4.]])
+"""
+
+from repro.tensor.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    set_grad_enabled,
+    asarray,
+    astensor,
+)
+from repro.tensor.ops import (
+    add,
+    concatenate,
+    elu,
+    exp,
+    gather_rows,
+    layer_norm,
+    log,
+    matmul,
+    maximum,
+    mean,
+    mse_loss,
+    mul,
+    relu,
+    reshape,
+    scatter_add,
+    sqrt,
+    stack,
+    sub,
+    sum as tsum,
+    tanh,
+    transpose,
+    where,
+)
+from repro.tensor.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "asarray",
+    "astensor",
+    "add",
+    "concatenate",
+    "elu",
+    "exp",
+    "gather_rows",
+    "layer_norm",
+    "log",
+    "matmul",
+    "maximum",
+    "mean",
+    "mse_loss",
+    "mul",
+    "relu",
+    "reshape",
+    "scatter_add",
+    "sqrt",
+    "stack",
+    "sub",
+    "tsum",
+    "tanh",
+    "transpose",
+    "where",
+    "gradcheck",
+]

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic seeding and lightweight timers."""
+
+from repro.utils.seeding import rng_for, spawn_seed
+from repro.utils.timing import Timer
+
+__all__ = ["rng_for", "spawn_seed", "Timer"]

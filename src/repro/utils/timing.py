@@ -1,0 +1,40 @@
+"""Minimal wall-clock timer used by calibration and the examples."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating context-manager timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.total >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.total += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._start = None

@@ -1,0 +1,212 @@
+"""Tests for differentiable collectives: exact adjoints across ranks."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ThreadWorld, HaloMode
+from repro.comm.autograd_ops import all_reduce_sum_tensor, halo_exchange_tensor
+from repro.comm.modes import ExchangeSpec
+from repro.tensor import Tensor, no_grad
+
+
+def ring_spec(rank: int, size: int, n_rows: int = 2) -> ExchangeSpec:
+    """Each rank sends its first ``n_rows`` rows to both ring neighbors."""
+    left, right = (rank - 1) % size, (rank + 1) % size
+    neighbors = tuple(sorted({left, right}))
+    idx = np.arange(n_rows)
+    return ExchangeSpec(
+        size=size,
+        neighbors=neighbors,
+        send_indices={n: idx.copy() for n in neighbors},
+        recv_counts={n: n_rows for n in neighbors},
+        pad_count=n_rows,
+    )
+
+
+MODES = [HaloMode.A2A, HaloMode.NEIGHBOR_A2A, HaloMode.SEND_RECV]
+
+
+class TestHaloExchangeForward:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_received_rows_match_source(self, mode):
+        size = 4
+
+        def prog(comm):
+            x = Tensor(np.full((5, 3), float(comm.rank)))
+            spec = ring_spec(comm.rank, size)
+            halo = halo_exchange_tensor(x, spec, comm, mode)
+            return spec.neighbors, halo.data
+
+        res = ThreadWorld(size).run(prog)
+        for rank, (neighbors, halo) in enumerate(res):
+            off = 0
+            for nbr in neighbors:
+                np.testing.assert_array_equal(halo[off : off + 2], float(nbr))
+                off += 2
+
+    def test_modes_agree_exactly(self):
+        size = 3
+
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank + 10)
+            x = Tensor(rng.normal(size=(6, 4)))
+            spec = ring_spec(comm.rank, size, n_rows=3)
+            return [
+                halo_exchange_tensor(x, spec, comm, m).data for m in MODES
+            ]
+
+        res = ThreadWorld(size).run(prog)
+        for halos in res:
+            np.testing.assert_array_equal(halos[0], halos[1])
+            np.testing.assert_array_equal(halos[0], halos[2])
+
+    def test_mode_none_rejected(self):
+        def prog(comm):
+            x = Tensor(np.zeros((2, 2)))
+            halo_exchange_tensor(x, ring_spec(comm.rank, comm.size), comm, HaloMode.NONE)
+
+        with pytest.raises(ValueError):
+            ThreadWorld(2, timeout=5.0).run(prog)
+
+    def test_no_grad_builds_no_graph(self):
+        def prog(comm):
+            x = Tensor(np.zeros((3, 2)), requires_grad=True)
+            with no_grad():
+                halo = halo_exchange_tensor(
+                    x, ring_spec(comm.rank, comm.size), comm, HaloMode.NEIGHBOR_A2A
+                )
+            return halo._backward_fn is None
+
+        assert all(ThreadWorld(3).run(prog))
+
+
+class TestHaloExchangeBackward:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_adjoint_identity(self, mode):
+        """<exchange(x), y>_global == <x, exchange_T(y)>_global.
+
+        The exchange as a global linear operator must equal the
+        transpose of its backward; verified by random inner products.
+        """
+        size = 4
+
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+            spec = ring_spec(comm.rank, size)
+            halo = halo_exchange_tensor(x, spec, comm, mode)
+            w = np.random.default_rng(100 + comm.rank).normal(size=halo.shape)
+            s = (halo * w).sum()
+            s.backward()
+            lhs_local = s.item()
+            rhs_local = float(np.sum(x.grad * x.data))
+            return lhs_local, rhs_local
+
+        res = ThreadWorld(size).run(prog)
+        lhs = sum(a for a, _ in res)
+        rhs = sum(b for _, b in res)
+        assert abs(lhs - rhs) < 1e-10
+
+    def test_gradient_routed_to_sender(self):
+        """Seeding only rank 1's halo rows puts gradient on neighbors."""
+        size = 3
+
+        def prog(comm):
+            x = Tensor(np.zeros((4, 2)), requires_grad=True)
+            spec = ring_spec(comm.rank, size, n_rows=1)
+            halo = halo_exchange_tensor(x, spec, comm, HaloMode.NEIGHBOR_A2A)
+            seed = np.ones_like(halo.data) if comm.rank == 1 else np.zeros_like(halo.data)
+            halo.backward(seed)
+            return x.grad.copy()
+
+        res = ThreadWorld(size).run(prog)
+        # rank 1's halo came from ranks 0 and 2: their sent row (row 0) has grad 1
+        np.testing.assert_array_equal(res[0][0], [1.0, 1.0])
+        np.testing.assert_array_equal(res[2][0], [1.0, 1.0])
+        np.testing.assert_array_equal(res[1], 0.0)
+
+    def test_duplicate_send_rows_accumulate(self):
+        """A row sent to two neighbors receives both gradient shares."""
+        size = 3
+
+        def prog(comm):
+            x = Tensor(np.zeros((2, 1)), requires_grad=True)
+            spec = ring_spec(comm.rank, size, n_rows=1)  # row 0 to both neighbors
+            halo = halo_exchange_tensor(x, spec, comm, HaloMode.NEIGHBOR_A2A)
+            halo.backward(np.ones_like(halo.data))
+            return float(x.grad[0, 0])
+
+        res = ThreadWorld(size).run(prog)
+        assert res == [2.0, 2.0, 2.0]
+
+
+class TestAllReduceTensor:
+    def test_forward_sums(self):
+        def prog(comm):
+            x = Tensor(np.array([float(comm.rank + 1)]), requires_grad=True)
+            return all_reduce_sum_tensor(x, comm).data[0]
+
+        assert ThreadWorld(3).run(prog) == [6.0, 6.0, 6.0]
+
+    def test_identity_backward_gives_local_partial(self):
+        def prog(comm):
+            x = Tensor(np.array([float(comm.rank + 1)]), requires_grad=True)
+            y = all_reduce_sum_tensor(x, comm, backward="identity")
+            (y * y).sum().backward()
+            return float(x.grad[0])
+
+        res = ThreadWorld(3).run(prog)
+        # y = 6 on all ranks, d(y^2)/dx_local = 2*y = 12
+        assert res == [12.0, 12.0, 12.0]
+
+    def test_allreduce_backward_matches_torch_convention(self):
+        def prog(comm):
+            x = Tensor(np.array([1.0]), requires_grad=True)
+            y = all_reduce_sum_tensor(x, comm, backward="all_reduce")
+            # only rank 0 consumes the output; others seed zero
+            seed = np.array([1.0]) if comm.rank == 0 else np.array([0.0])
+            y.backward(seed)
+            return float(x.grad[0])
+
+        res = ThreadWorld(3).run(prog)
+        assert res == [1.0, 1.0, 1.0]
+
+    def test_invalid_backward_mode(self):
+        def prog(comm):
+            all_reduce_sum_tensor(Tensor(np.zeros(1)), comm, backward="bogus")
+
+        with pytest.raises(ValueError):
+            ThreadWorld(2, timeout=5.0).run(prog)
+
+
+class TestExchangeSpec:
+    def test_unsorted_neighbors_rejected(self):
+        with pytest.raises(ValueError):
+            ExchangeSpec(
+                size=4,
+                neighbors=(2, 1),
+                send_indices={1: np.arange(1), 2: np.arange(1)},
+                recv_counts={1: 1, 2: 1},
+                pad_count=1,
+            )
+
+    def test_missing_neighbor_buffers_rejected(self):
+        with pytest.raises(ValueError):
+            ExchangeSpec(
+                size=4,
+                neighbors=(1,),
+                send_indices={},
+                recv_counts={1: 1},
+                pad_count=1,
+            )
+
+    def test_counts(self):
+        spec = ring_spec(0, 4, n_rows=3)
+        assert spec.n_halo == 6 and spec.n_send == 6
+
+    def test_transpose_roundtrip_counts(self):
+        spec = ring_spec(1, 4, n_rows=2)
+        t = spec.transpose()
+        assert t.n_halo == spec.n_send
+        assert t.n_send == spec.n_halo
+        assert t.neighbors == spec.neighbors

@@ -1,0 +1,210 @@
+"""Tests of the threaded world's collectives and the single-rank world."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SingleProcessComm, ThreadWorld
+from repro.comm.threaded import CollectiveTimeout
+
+
+class TestThreadWorldBasics:
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            ThreadWorld(0)
+
+    def test_run_returns_results_in_rank_order(self):
+        out = ThreadWorld(4).run(lambda c: c.rank * 10)
+        assert out == [0, 10, 20, 30]
+
+    def test_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            ThreadWorld(4, timeout=5.0).run(prog)
+
+    def test_mismatched_collectives_timeout(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return None  # skips the barrier others wait at
+            comm.barrier()
+
+        with pytest.raises(CollectiveTimeout):
+            ThreadWorld(3, timeout=0.5).run(prog)
+
+
+class TestAllReduce:
+    def test_sum_of_ranks(self):
+        res = ThreadWorld(5).run(
+            lambda c: c.all_reduce_sum(np.array([float(c.rank)]))
+        )
+        for r in res:
+            np.testing.assert_array_equal(r, [10.0])
+
+    def test_identical_bits_on_all_ranks(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.all_reduce_sum(rng.normal(size=(17, 3)))
+
+        res = ThreadWorld(6).run(prog)
+        for r in res[1:]:
+            np.testing.assert_array_equal(res[0], r)
+
+    def test_input_not_mutated(self):
+        def prog(comm):
+            x = np.full(3, float(comm.rank))
+            comm.all_reduce_sum(x)
+            return x
+
+        res = ThreadWorld(3).run(prog)
+        for r, arr in enumerate(res):
+            np.testing.assert_array_equal(arr, float(r))
+
+    def test_repeated_collectives_reuse_barrier(self):
+        def prog(comm):
+            total = 0.0
+            for i in range(20):
+                total += comm.all_reduce_sum(np.array([float(i)]))[0]
+            return total
+
+        res = ThreadWorld(3).run(prog)
+        assert all(abs(v - 3 * sum(range(20))) < 1e-12 for v in res)
+
+
+class TestAllToAll:
+    def test_transpose_pattern(self):
+        def prog(comm):
+            send = [np.array([[comm.rank * 10 + j]], dtype=float) for j in range(comm.size)]
+            recv = comm.all_to_all(send)
+            return [float(r[0, 0]) for r in recv]
+
+        res = ThreadWorld(4).run(prog)
+        for me, got in enumerate(res):
+            assert got == [src * 10 + me for src in range(4)]
+
+    def test_none_buffers_become_empty(self):
+        def prog(comm):
+            send = [None] * comm.size
+            recv = comm.all_to_all(send)
+            return [r.size for r in recv]
+
+        res = ThreadWorld(3).run(prog)
+        assert all(sizes == [0, 0, 0] for sizes in res)
+
+    def test_wrong_length_raises(self):
+        def prog(comm):
+            comm.all_to_all([np.zeros(1)])
+
+        with pytest.raises(ValueError):
+            ThreadWorld(2, timeout=5.0).run(prog)
+
+    def test_variable_sized_buffers(self):
+        def prog(comm):
+            send = [np.arange(float(j)) for j in range(comm.size)]
+            recv = comm.all_to_all(send)
+            return [len(r) for r in recv]
+
+        res = ThreadWorld(4).run(prog)
+        # rank r receives a buffer of length r from every source
+        for me, lens in enumerate(res):
+            assert lens == [me] * 4
+
+
+class TestAllGatherAndP2P:
+    def test_all_gather(self):
+        res = ThreadWorld(3).run(lambda c: c.all_gather(np.array([c.rank, c.rank])))
+        for got in res:
+            np.testing.assert_array_equal(np.stack(got), [[0, 0], [1, 1], [2, 2]])
+
+    def test_all_reduce_max(self):
+        res = ThreadWorld(4).run(lambda c: c.all_reduce_max(float(c.rank) * 2))
+        assert res == [6.0, 6.0, 6.0, 6.0]
+
+    def test_send_recv_ring(self):
+        def prog(comm):
+            dst = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            comm.send(np.array([float(comm.rank)]), dest=dst)
+            return float(comm.recv(source=src)[0])
+
+        res = ThreadWorld(4).run(prog)
+        assert res == [3.0, 0.0, 1.0, 2.0]
+
+    def test_send_to_self_rejected(self):
+        def prog(comm):
+            comm.send(np.zeros(1), dest=comm.rank)
+
+        with pytest.raises(ValueError):
+            ThreadWorld(2, timeout=5.0).run(prog)
+
+    def test_tags_separate_channels(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), dest=1, tag=5)
+                comm.send(np.array([2.0]), dest=1, tag=9)
+                return None
+            b = comm.recv(source=0, tag=9)
+            a = comm.recv(source=0, tag=5)
+            return (float(a[0]), float(b[0]))
+
+        res = ThreadWorld(2).run(prog)
+        assert res[1] == (1.0, 2.0)
+
+
+class TestSingleProcessComm:
+    def test_identity_collectives(self):
+        c = SingleProcessComm()
+        assert c.rank == 0 and c.size == 1
+        np.testing.assert_array_equal(c.all_reduce_sum(np.array([3.0])), [3.0])
+        np.testing.assert_array_equal(c.all_to_all([np.array([1.0])])[0], [1.0])
+        assert len(c.all_gather(np.zeros(2))) == 1
+        c.barrier()
+
+    def test_p2p_forbidden(self):
+        c = SingleProcessComm()
+        with pytest.raises(RuntimeError):
+            c.send(np.zeros(1), 0)
+        with pytest.raises(RuntimeError):
+            c.recv(0)
+
+    def test_all_to_all_wrong_length(self):
+        with pytest.raises(ValueError):
+            SingleProcessComm().all_to_all([np.zeros(1), np.zeros(1)])
+
+
+class TestTrafficStats:
+    def test_allreduce_records_bytes(self):
+        def prog(comm):
+            comm.all_reduce_sum(np.zeros(10))
+            return comm.stats.bytes_sent, comm.stats.calls
+
+        res = ThreadWorld(2).run(prog)
+        nbytes, calls = res[0]
+        assert nbytes == 80 and calls == {"all_reduce": 1}
+
+    def test_a2a_counts_only_nonempty_messages(self):
+        def prog(comm):
+            send = [np.zeros((0, 4)), np.zeros((5, 4))] if comm.rank == 0 else [
+                np.zeros((5, 4)),
+                np.zeros((0, 4)),
+            ]
+            comm.all_to_all(send)
+            return comm.stats.messages, comm.stats.bytes_sent
+
+        res = ThreadWorld(2).run(prog)
+        assert res[0] == (1, 5 * 4 * 8)
+
+    def test_stats_reset_and_merge(self):
+        from repro.comm.backend import TrafficStats
+
+        a = TrafficStats()
+        a.record("x", 10, 1)
+        b = TrafficStats()
+        b.record("x", 5, 2)
+        b.record("y", 1, 1)
+        m = a.merge(b)
+        assert m.bytes_sent == 16 and m.messages == 4 and m.calls == {"x": 2, "y": 1}
+        a.reset()
+        assert a.bytes_sent == 0 and a.calls == {}

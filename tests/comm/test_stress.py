@@ -1,0 +1,70 @@
+"""Stress tests: large worlds, repeated exchanges, big buffers."""
+
+import numpy as np
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.comm.autograd_ops import halo_exchange_tensor
+from repro.comm.modes import ExchangeSpec
+from repro.tensor import Tensor
+
+
+class TestLargeWorlds:
+    def test_32_rank_allreduce(self):
+        res = ThreadWorld(32).run(
+            lambda c: float(c.all_reduce_sum(np.array([1.0]))[0])
+        )
+        assert res == [32.0] * 32
+
+    def test_32_rank_all_to_all(self):
+        def prog(comm):
+            send = [np.array([[float(comm.rank)]]) for _ in range(comm.size)]
+            recv = comm.all_to_all(send)
+            return sum(float(r[0, 0]) for r in recv)
+
+        res = ThreadWorld(32).run(prog)
+        assert all(abs(v - sum(range(32))) < 1e-12 for v in res)
+
+    def test_many_sequential_collectives(self):
+        def prog(comm):
+            total = 0.0
+            for i in range(200):
+                total += float(comm.all_reduce_sum(np.array([float(i)]))[0])
+            return total
+
+        res = ThreadWorld(4).run(prog)
+        expected = 4.0 * sum(range(200))
+        assert all(abs(v - expected) < 1e-9 for v in res)
+
+
+class TestBigBuffers:
+    def test_megabyte_halo_exchange(self):
+        """~1 MiB per neighbor, ring of 4 — exercises the copy paths."""
+        size, rows, feat = 4, 4096, 32
+
+        def prog(comm):
+            left, right = (comm.rank - 1) % size, (comm.rank + 1) % size
+            neighbors = tuple(sorted({left, right}))
+            spec = ExchangeSpec(
+                size=size,
+                neighbors=neighbors,
+                send_indices={n: np.arange(rows) for n in neighbors},
+                recv_counts={n: rows for n in neighbors},
+                pad_count=rows,
+            )
+            x = Tensor(np.full((rows, feat), float(comm.rank)))
+            halo = halo_exchange_tensor(x, spec, comm, HaloMode.NEIGHBOR_A2A)
+            return halo.data.mean()
+
+        res = ThreadWorld(size).run(prog)
+        for rank, mean in enumerate(res):
+            left, right = (rank - 1) % size, (rank + 1) % size
+            assert abs(mean - (left + right) / 2.0) < 1e-12
+
+    def test_traffic_stats_count_big_buffers(self):
+        def prog(comm):
+            send = [np.zeros((1024, 8)) for _ in range(comm.size)]
+            comm.all_to_all(send)
+            return comm.stats.bytes_sent
+
+        res = ThreadWorld(2).run(prog)
+        assert res[0] == 2 * 1024 * 8 * 8

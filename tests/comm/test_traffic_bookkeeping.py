@@ -1,0 +1,84 @@
+"""Collective-count bookkeeping: the paper's per-iteration accounting.
+
+The paper states (Sec. III):
+
+* "one all_to_all needs to be performed for each neural message passing
+  layer in the forward and backward passes" — 2M per training step
+  (8 for M = 4);
+* the consistent loss adds "three (two in the forward and one in the
+  backward passes) additional AllReduce operations ... on top of the
+  standard reduction on the gradients".
+
+These counts drive the performance model, so they are asserted against
+the real implementation's traffic stats here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import GNNConfig, MeshGNN, consistent_mse_loss
+from repro.gnn.ddp import DistributedDataParallel
+from repro.graph import build_distributed_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.tensor import Tensor
+
+MESH = BoxMesh(2, 2, 2, p=1)
+
+
+def run_one_iteration(m_layers, grad_reduction="all_reduce", sync_grads=True):
+    config = GNNConfig(hidden=4, n_message_passing=m_layers, n_mlp_hidden=0, seed=0)
+    dg = build_distributed_graph(MESH, auto_partition(MESH, 2))
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        model = MeshGNN(config)
+        ddp = DistributedDataParallel(
+            model, comm, reduction="average" if grad_reduction == "all_reduce" else "sum"
+        )
+        pred = ddp(x, g.edge_attr(node_features=x), g, comm, HaloMode.NEIGHBOR_A2A)
+        loss = consistent_mse_loss(pred, Tensor(x), g, comm, grad_reduction=grad_reduction)
+        loss.backward()
+        if sync_grads:
+            ddp.sync_gradients()
+        return dict(comm.stats.calls), model.num_parameters()
+
+    return ThreadWorld(2).run(prog)
+
+
+class TestPaperCollectiveCounts:
+    @pytest.mark.parametrize("m_layers", [1, 2, 4])
+    def test_all_to_all_count_is_2m(self, m_layers):
+        """Forward + backward halo exchange per NMP layer."""
+        (calls, _), _ = run_one_iteration(m_layers, sync_grads=False)[0], None
+        assert calls["all_to_all"] == 2 * m_layers
+
+    def test_paper_configuration_eight_exchanges(self):
+        """M=4 -> 'the 8 all_to_all communications performed each
+        training step'."""
+        (calls, _), _ = run_one_iteration(4, sync_grads=False)[0], None
+        assert calls["all_to_all"] == 8
+
+    def test_loss_allreduce_count(self):
+        """2 forward (S_r and N_eff) + 1 backward AllReduce from the
+        consistent loss in the paper's convention."""
+        (calls, _), _ = run_one_iteration(1, sync_grads=False)[0], None
+        assert calls["all_reduce"] == 3
+
+    def test_identity_backward_saves_one_allreduce(self):
+        """The grad_reduction='sum' convention drops the backward
+        AllReduce (2 instead of 3)."""
+        (calls, _), _ = run_one_iteration(1, grad_reduction="sum", sync_grads=False)[0], None
+        assert calls["all_reduce"] == 2
+
+    def test_flat_gradient_sync_is_one_reduction(self):
+        """Bucketing DDP: the whole gradient is one AllReduce — the
+        'standard reduction on the gradients' the paper charges."""
+        results = run_one_iteration(1, sync_grads=True)
+        calls, _ = results[0]
+        assert calls["all_reduce"] == 3 + 1
+
+    def test_counts_identical_on_all_ranks(self):
+        results = run_one_iteration(2)
+        assert results[0][0] == results[1][0]

@@ -1,0 +1,63 @@
+"""Shared fixtures/helpers for GNN tests."""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.comm.single import SingleProcessComm
+from repro.gnn import MeshGNN, GNNConfig
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.tensor import Tensor, no_grad
+
+
+TINY_CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)
+
+
+def full_reference_output(mesh, config) -> np.ndarray:
+    """R = 1 forward pass on the un-partitioned graph."""
+    g = build_full_graph(mesh)
+    x = taylor_green_velocity(g.pos)
+    model = MeshGNN(config)
+    with no_grad():
+        y = model(x, g.edge_attr(node_features=x, kind=config.edge_features), g)
+    return y.data
+
+
+def distributed_forward(mesh, size, config, halo_mode) -> np.ndarray:
+    """R = size forward pass assembled back to global node order."""
+    part = auto_partition(mesh, size)
+    dg = build_distributed_graph(mesh, part)
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        model = MeshGNN(config)
+        with no_grad():
+            y = model(
+                x,
+                g.edge_attr(node_features=x, kind=config.edge_features),
+                g,
+                comm,
+                halo_mode,
+            )
+        return y.data
+
+    outputs = ThreadWorld(size).run(prog)
+    if HaloMode.parse(halo_mode) is HaloMode.NONE:
+        # inconsistent outputs: coincident copies disagree; take first-writer
+        out = np.zeros((dg.n_global_nodes, config.node_out))
+        for lg, vals in zip(dg.locals, outputs):
+            out[lg.global_ids] = vals
+        return out
+    return dg.assemble_global(outputs)
+
+
+@pytest.fixture(scope="session")
+def small_mesh():
+    return BoxMesh(4, 4, 2, p=1)
+
+
+@pytest.fixture(scope="session")
+def p2_mesh():
+    return BoxMesh(2, 2, 2, p=2)

@@ -1,0 +1,180 @@
+"""Negative controls: each consistency ingredient is necessary.
+
+DESIGN.md calls out the design choices to ablate; these tests verify
+that removing any single ingredient (edge-degree scaling, node-degree
+loss weighting, the halo exchange itself, gradient reduction pairing)
+breaks the corresponding invariance — i.e. the machinery is not
+accidentally redundant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.comm.single import SingleProcessComm
+from repro.gnn import GNNConfig, MeshGNN, consistent_mse_loss
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.tensor import Tensor, no_grad
+
+MESH = BoxMesh(4, 2, 2, p=1)
+BASE = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)
+NO_DEGREE = GNNConfig(
+    hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3, degree_scaling=False
+)
+
+
+def r1_output(config):
+    g = build_full_graph(MESH)
+    x = taylor_green_velocity(g.pos)
+    with no_grad():
+        return MeshGNN(config)(x, g.edge_attr(node_features=x), g).data
+
+
+def distributed_outputs(config, size=4, halo_mode=HaloMode.NEIGHBOR_A2A):
+    dg = build_distributed_graph(MESH, auto_partition(MESH, size))
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        with no_grad():
+            return MeshGNN(config)(
+                x, g.edge_attr(node_features=x), g, comm, halo_mode
+            ).data
+
+    return dg, ThreadWorld(size).run(prog)
+
+
+class TestEdgeDegreeScalingAblation:
+    def test_without_scaling_consistency_breaks(self):
+        """1/d_ij removed -> replicated face edges double-counted."""
+        ref = r1_output(NO_DEGREE)
+        dg, outs = distributed_outputs(NO_DEGREE)
+        max_dev = max(
+            np.abs(o - ref[lg.global_ids]).max() for lg, o in zip(dg.locals, outs)
+        )
+        assert max_dev > 1e-6
+
+    def test_with_scaling_consistency_holds(self):
+        ref = r1_output(BASE)
+        dg, outs = distributed_outputs(BASE)
+        out = dg.assemble_global(outs)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_r1_unaffected_by_flag(self):
+        """At R=1 all degrees are 1; the flag must not change anything."""
+        np.testing.assert_array_equal(r1_output(BASE), r1_output(NO_DEGREE))
+
+
+class TestNodeDegreeLossAblation:
+    def _losses(self, degree_weighting):
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        rng = np.random.default_rng(0)
+        pred_g = rng.normal(size=(MESH.n_unique_nodes, 3))
+        targ_g = rng.normal(size=(MESH.n_unique_nodes, 3))
+        expected = float(np.mean((pred_g - targ_g) ** 2))
+
+        def prog(comm):
+            lg = dg.local(comm.rank)
+            return consistent_mse_loss(
+                Tensor(pred_g[lg.global_ids]),
+                Tensor(targ_g[lg.global_ids]),
+                lg,
+                comm,
+                degree_weighting=degree_weighting,
+            ).item()
+
+        return ThreadWorld(4).run(prog), expected
+
+    def test_weighted_loss_matches_global_mse(self):
+        losses, expected = self._losses(True)
+        for l in losses:
+            assert abs(l - expected) < 1e-12
+
+    def test_unweighted_loss_is_biased(self):
+        """Without 1/d_i, boundary nodes are over-counted."""
+        losses, expected = self._losses(False)
+        assert abs(losses[0] - expected) > 1e-6
+
+    def test_unweighted_loss_still_identical_across_ranks(self):
+        """Even the ablated loss is a collective value (same everywhere) —
+        the bias is vs the R=1 value, not across ranks."""
+        losses, _ = self._losses(False)
+        assert len(set(losses)) == 1
+
+
+class TestGradReductionPairing:
+    """Mismatched loss-backward / DDP-reduction conventions give wrong
+    gradient magnitudes (factor R errors)."""
+
+    def _grads(self, grad_reduction, ddp_reduction):
+        from repro.gnn.ddp import DistributedDataParallel
+
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 2))
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            x = taylor_green_velocity(g.pos)
+            model = MeshGNN(BASE)
+            ddp = DistributedDataParallel(model, comm, reduction=ddp_reduction)
+            pred = ddp(x, g.edge_attr(node_features=x), g, comm, HaloMode.NEIGHBOR_A2A)
+            loss = consistent_mse_loss(
+                pred, Tensor(x), g, comm, grad_reduction=grad_reduction
+            )
+            loss.backward()
+            ddp.sync_gradients()
+            return model.parameters()[0].grad.copy()
+
+        return ThreadWorld(2).run(prog)[0]
+
+    def _r1_grad(self):
+        g = build_full_graph(MESH)
+        x = taylor_green_velocity(g.pos)
+        model = MeshGNN(BASE)
+        pred = model(x, g.edge_attr(node_features=x), g)
+        consistent_mse_loss(pred, Tensor(x), g, SingleProcessComm()).backward()
+        return model.parameters()[0].grad.copy()
+
+    def test_matched_pairings_correct(self):
+        ref = self._r1_grad()
+        np.testing.assert_allclose(
+            self._grads("all_reduce", "average"), ref, rtol=1e-8, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            self._grads("sum", "sum"), ref, rtol=1e-8, atol=1e-12
+        )
+
+    def test_mismatched_pairing_scales_by_world_size(self):
+        ref = self._r1_grad()
+        wrong = self._grads("all_reduce", "sum")  # factor R = 2 too large
+        np.testing.assert_allclose(wrong, 2.0 * ref, rtol=1e-8, atol=1e-12)
+
+
+class TestFloat32Support:
+    def test_forward_consistency_in_float32(self):
+        """Consistency also holds in float32, to float32 tolerances."""
+        g1 = build_full_graph(MESH)
+        x1 = taylor_green_velocity(g1.pos).astype(np.float32)
+        model = MeshGNN(BASE)
+        for p in model.parameters():
+            p.data = p.data.astype(np.float32)
+        ea1 = g1.edge_attr(node_features=x1).astype(np.float32)
+        with no_grad():
+            ref = model(Tensor(x1), Tensor(ea1), g1).data
+        assert ref.dtype == np.float32
+
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 2))
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            x = taylor_green_velocity(g.pos).astype(np.float32)
+            m = MeshGNN(BASE)
+            for p in m.parameters():
+                p.data = p.data.astype(np.float32)
+            ea = g.edge_attr(node_features=x).astype(np.float32)
+            with no_grad():
+                return m(Tensor(x), Tensor(ea), g, comm, HaloMode.NEIGHBOR_A2A).data
+
+        outs = ThreadWorld(2).run(prog)
+        for lg, o in zip(dg.locals, outs):
+            np.testing.assert_allclose(o, ref[lg.global_ids], rtol=1e-4, atol=1e-5)

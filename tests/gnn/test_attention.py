@@ -1,0 +1,135 @@
+"""Consistent attention layer — the paper's future-work generalization.
+
+The key claim: halo nodes extend *any* non-local aggregation (here a
+softmax-normalized attention) to partition invariance, including the
+normalization denominator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import ConsistentAttentionLayer
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.tensor import Tensor, no_grad
+
+
+MESH = BoxMesh(4, 4, 2, p=1)
+HIDDEN = 6
+
+
+def _encode(pos):
+    """Deterministic toy encoding of positions into HIDDEN features."""
+    rng = np.random.default_rng(0)
+    proj = rng.normal(size=(3, HIDDEN))
+    return np.tanh(pos @ proj)
+
+
+def _reference_output():
+    g = build_full_graph(MESH)
+    layer = ConsistentAttentionLayer(HIDDEN, seed=5)
+    with no_grad():
+        return layer(Tensor(_encode(g.pos)), g).data
+
+
+def _distributed_outputs(size, halo_mode):
+    dg = build_distributed_graph(MESH, auto_partition(MESH, size))
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        layer = ConsistentAttentionLayer(HIDDEN, seed=5)
+        with no_grad():
+            return layer(Tensor(_encode(g.pos)), g, comm, halo_mode).data
+
+    return dg, ThreadWorld(size).run(prog)
+
+
+class TestAttentionConsistency:
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_distributed_matches_r1(self, size):
+        ref = _reference_output()
+        dg, outs = _distributed_outputs(size, HaloMode.NEIGHBOR_A2A)
+        out = dg.assemble_global(outs)
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+    def test_all_modes_agree(self):
+        ref = _reference_output()
+        for mode in (HaloMode.A2A, HaloMode.SEND_RECV):
+            dg, outs = _distributed_outputs(4, mode)
+            np.testing.assert_allclose(
+                dg.assemble_global(outs), ref, rtol=1e-10, atol=1e-12
+            )
+
+    def test_without_halo_is_inconsistent(self):
+        """The denominator (softmax norm) is wrong at boundaries without
+        exchange — deviation must appear."""
+        ref = _reference_output()
+        dg, outs = _distributed_outputs(4, HaloMode.NONE)
+        devs = [
+            np.abs(o - ref[lg.global_ids]).max() for lg, o in zip(dg.locals, outs)
+        ]
+        assert max(devs) > 1e-6
+
+    def test_gradients_flow_across_ranks(self):
+        """Backward through attention + halo exchange must match R=1."""
+        g1 = build_full_graph(MESH)
+        x1 = Tensor(_encode(g1.pos), requires_grad=True)
+        layer = ConsistentAttentionLayer(HIDDEN, seed=5)
+        (layer(x1, g1) ** 2).sum().backward()
+        ref_grads = {n: p.grad.copy() for n, p in layer.named_parameters()}
+
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 2))
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            lay = ConsistentAttentionLayer(HIDDEN, seed=5)
+            x = Tensor(_encode(g.pos), requires_grad=True)
+            out = lay(x, g, comm, HaloMode.NEIGHBOR_A2A)
+            # the R=1 sum over nodes counts each unique node once: scale
+            # squared terms by 1/d_i to avoid double counting
+            w = (1.0 / g.node_degree)[:, None]
+            ((out * out) * w).sum().backward()
+            return {n: p.grad.copy() for n, p in lay.named_parameters()}
+
+        per_rank = ThreadWorld(2).run(prog)
+        for name, ref in ref_grads.items():
+            total = per_rank[0][name] + per_rank[1][name]
+            np.testing.assert_allclose(total, ref, rtol=1e-7, atol=1e-10, err_msg=name)
+
+
+class TestAttentionMechanics:
+    def test_output_shape(self):
+        g = build_full_graph(BoxMesh(2, 2, 1, p=1))
+        layer = ConsistentAttentionLayer(HIDDEN)
+        out = layer(Tensor(_encode(g.pos)), g)
+        assert out.shape == (g.n_local, HIDDEN)
+
+    def test_requires_comm_with_halo_mode(self):
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 2))
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            layer = ConsistentAttentionLayer(HIDDEN)
+            layer(Tensor(_encode(g.pos)), g, None, HaloMode.NEIGHBOR_A2A)
+
+        with pytest.raises(ValueError, match="no communicator"):
+            ThreadWorld(2, timeout=5.0).run(prog)
+
+    def test_score_scale_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentAttentionLayer(4, score_scale=0.0)
+
+    def test_bounded_weights_no_overflow(self):
+        g = build_full_graph(BoxMesh(2, 2, 1, p=1))
+        layer = ConsistentAttentionLayer(HIDDEN, score_scale=4.0)
+        x = Tensor(_encode(g.pos) * 1e3)  # huge inputs
+        out = layer(x, g)
+        assert np.isfinite(out.data).all()
+
+    def test_deterministic(self):
+        g = build_full_graph(BoxMesh(2, 1, 1, p=1))
+        x = _encode(g.pos)
+        a = ConsistentAttentionLayer(HIDDEN, seed=9)(Tensor(x), g).data
+        b = ConsistentAttentionLayer(HIDDEN, seed=9)(Tensor(x), g).data
+        np.testing.assert_array_equal(a, b)

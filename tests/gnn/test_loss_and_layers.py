@@ -1,0 +1,195 @@
+"""Unit tests for the consistent loss, NMP layer, DDP, and architecture."""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.comm.single import SingleProcessComm
+from repro.gnn import (
+    ConsistentNMPLayer,
+    DistributedDataParallel,
+    MeshGNN,
+    consistent_mse_loss,
+    local_mse_loss,
+)
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, SlabPartitioner, taylor_green_velocity
+from repro.tensor import Tensor
+from repro.tensor.ops import mse_loss
+
+from tests.gnn.conftest import TINY_CONFIG
+
+
+class TestConsistentLoss:
+    def test_r1_equals_standard_mse(self):
+        g = build_full_graph(BoxMesh(2, 2, 2, p=1))
+        rng = np.random.default_rng(0)
+        pred = Tensor(rng.normal(size=(g.n_local, 3)))
+        target = Tensor(rng.normal(size=(g.n_local, 3)))
+        lc = consistent_mse_loss(pred, target, g, SingleProcessComm())
+        ls = mse_loss(pred, target)
+        assert abs(lc.item() - ls.item()) < 1e-14
+
+    def test_distributed_equals_global_mse(self):
+        """Distributed consistent loss == MSE evaluated on the full graph."""
+        mesh = BoxMesh(4, 1, 1, p=2)
+        part = SlabPartitioner(axis=0).partition(mesh, 2)
+        dg = build_distributed_graph(mesh, part)
+        rng = np.random.default_rng(1)
+        pred_g = rng.normal(size=(mesh.n_unique_nodes, 3))
+        targ_g = rng.normal(size=(mesh.n_unique_nodes, 3))
+        expected = float(np.mean((pred_g - targ_g) ** 2))
+
+        def prog(comm):
+            lg = dg.local(comm.rank)
+            return consistent_mse_loss(
+                Tensor(pred_g[lg.global_ids]),
+                Tensor(targ_g[lg.global_ids]),
+                lg,
+                comm,
+            ).item()
+
+        losses = ThreadWorld(2).run(prog)
+        for l in losses:
+            assert abs(l - expected) < 1e-13
+
+    def test_naive_local_mse_is_biased(self):
+        """Averaging local MSEs double-counts boundary nodes (the paper's
+        motivation for Eq. 6)."""
+        mesh = BoxMesh(4, 1, 1, p=2)
+        part = SlabPartitioner(axis=0).partition(mesh, 2)
+        dg = build_distributed_graph(mesh, part)
+        rng = np.random.default_rng(2)
+        pred_g = rng.normal(size=(mesh.n_unique_nodes, 3))
+        targ_g = np.zeros((mesh.n_unique_nodes, 3))
+        expected = float(np.mean(pred_g**2))
+        locals_mse = [
+            local_mse_loss(
+                Tensor(pred_g[lg.global_ids]), Tensor(targ_g[lg.global_ids])
+            ).item()
+            for lg in dg.locals
+        ]
+        assert abs(np.mean(locals_mse) - expected) > 1e-6
+
+    def test_shape_validation(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=1))
+        c = SingleProcessComm()
+        with pytest.raises(ValueError):
+            consistent_mse_loss(
+                Tensor(np.zeros((g.n_local, 3))), Tensor(np.zeros((g.n_local, 2))), g, c
+            )
+        with pytest.raises(ValueError):
+            consistent_mse_loss(
+                Tensor(np.zeros((3, 3))), Tensor(np.zeros((3, 3))), g, c
+            )
+        with pytest.raises(ValueError):
+            consistent_mse_loss(
+                Tensor(np.zeros((g.n_local, 3))),
+                Tensor(np.zeros((g.n_local, 3))),
+                g,
+                c,
+                grad_reduction="bogus",
+            )
+
+
+class TestNMPLayer:
+    def test_shapes_preserved(self):
+        g = build_full_graph(BoxMesh(2, 2, 1, p=1))
+        layer = ConsistentNMPLayer(hidden=5, n_mlp_hidden=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(g.n_local, 5)))
+        e = Tensor(np.random.default_rng(1).normal(size=(g.n_edges, 5)))
+        x2, e2 = layer(x, e, g)
+        assert x2.shape == x.shape and e2.shape == e.shape
+
+    def test_halo_mode_requires_comm(self):
+        mesh = BoxMesh(2, 1, 1, p=1)
+        part = SlabPartitioner(axis=0).partition(mesh, 2)
+        dg = build_distributed_graph(mesh, part)
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            layer = ConsistentNMPLayer(hidden=4, n_mlp_hidden=0)
+            x = Tensor(np.zeros((g.n_local, 4)))
+            e = Tensor(np.zeros((g.n_edges, 4)))
+            layer(x, e, g, comm=None, halo_mode=HaloMode.NEIGHBOR_A2A)
+
+        with pytest.raises(ValueError, match="no communicator"):
+            ThreadWorld(2, timeout=5.0).run(prog)
+
+    def test_none_mode_without_comm_ok(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=2))
+        layer = ConsistentNMPLayer(hidden=4, n_mlp_hidden=0)
+        x = Tensor(np.zeros((g.n_local, 4)))
+        e = Tensor(np.zeros((g.n_edges, 4)))
+        layer(x, e, g)  # should not raise
+
+
+class TestArchitecture:
+    def test_input_shape_validation(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=1))
+        model = MeshGNN(TINY_CONFIG)
+        with pytest.raises(ValueError, match="x has shape"):
+            model(np.zeros((g.n_local, 2)), np.zeros((g.n_edges, 4)), g)
+        with pytest.raises(ValueError, match="edge_attr"):
+            model(np.zeros((g.n_local, 3)), np.zeros((g.n_edges, 3)), g)
+
+    def test_deterministic_across_instances(self):
+        g = build_full_graph(BoxMesh(2, 1, 1, p=1))
+        x = taylor_green_velocity(g.pos)
+        ea = g.edge_attr(node_features=x)
+        y1 = MeshGNN(TINY_CONFIG)(x, ea, g).data
+        y2 = MeshGNN(TINY_CONFIG)(x, ea, g).data
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_seed_changes_output(self):
+        g = build_full_graph(BoxMesh(2, 1, 1, p=1))
+        x = taylor_green_velocity(g.pos)
+        ea = g.edge_attr(node_features=x)
+        y1 = MeshGNN(TINY_CONFIG)(x, ea, g).data
+        y2 = MeshGNN(TINY_CONFIG.with_seed(99))(x, ea, g).data
+        assert not np.allclose(y1, y2)
+
+    def test_output_width(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=2))
+        x = taylor_green_velocity(g.pos)
+        y = MeshGNN(TINY_CONFIG)(x, g.edge_attr(node_features=x), g)
+        assert y.shape == (g.n_local, 3)
+
+
+class TestDDP:
+    def test_reduction_validation(self):
+        model = MeshGNN(TINY_CONFIG)
+        with pytest.raises(ValueError):
+            DistributedDataParallel(model, SingleProcessComm(), reduction="bogus")
+
+    def test_sync_fills_missing_grads_with_zeros(self):
+        def prog(comm):
+            model = MeshGNN(TINY_CONFIG)
+            ddp = DistributedDataParallel(model, comm, reduction="sum")
+            ddp.sync_gradients()  # no backward ran; must still participate
+            return all(np.all(p.grad == 0) for p in model.parameters())
+
+        assert all(ThreadWorld(2).run(prog))
+
+    def test_assert_replicas_identical_detects_divergence(self):
+        def prog(comm):
+            model = MeshGNN(TINY_CONFIG)
+            if comm.rank == 1:
+                model.parameters()[0].data += 1.0
+            ddp = DistributedDataParallel(model, comm)
+            ddp.assert_replicas_identical()
+
+        with pytest.raises(AssertionError, match="diverged"):
+            ThreadWorld(2, timeout=5.0).run(prog)
+
+    def test_average_reduction_divides(self):
+        def prog(comm):
+            model = MeshGNN(TINY_CONFIG)
+            ddp = DistributedDataParallel(model, comm, reduction="average")
+            for p in model.parameters():
+                p.grad = np.ones_like(p.data) * (comm.rank + 1)
+            ddp.sync_gradients()
+            return float(model.parameters()[0].grad.flat[0])
+
+        res = ThreadWorld(2).run(prog)
+        assert res == [1.5, 1.5]

@@ -1,0 +1,173 @@
+"""Multiscale consistent message passing: coarsening + Eq. 2 across levels."""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn.multiscale import CoarseContext, MultiscaleNMPBlock, build_coarse_contexts
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.graph.coarsen import coarsen_distributed_graph
+from repro.graph.distributed import DistributedGraph
+from repro.mesh import BoxMesh, Partition, auto_partition
+from repro.tensor import Tensor, no_grad
+
+MESH = BoxMesh(4, 4, 2, p=1)
+HIDDEN = 6
+
+
+def features(pos):
+    rng = np.random.default_rng(0)
+    return np.tanh(pos @ rng.normal(size=(3, HIDDEN)))
+
+
+def full_dg(mesh):
+    return build_distributed_graph(
+        mesh, Partition(np.zeros(mesh.n_elements, dtype=np.int64), 1)
+    )
+
+
+class TestCoarsening:
+    def test_r1_cluster_counts(self):
+        dg = full_dg(MESH)
+        level = coarsen_distributed_graph(dg, factor=2)
+        g = level.local(0)
+        gx, gy, gz = MESH.grid_shape  # (5, 5, 3)
+        assert g.n_local == 3 * 3 * 2
+        assert g.n_local == level.n_global
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            coarsen_distributed_graph(full_dg(MESH), factor=1)
+
+    def test_restriction_maps_cover_all_coarse_nodes(self):
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        level = coarsen_distributed_graph(dg)
+        for r in range(4):
+            assert set(level.restrictions[r]) == set(range(level.local(r).n_local))
+
+    def test_coarse_degrees_and_weights_invariants(self):
+        """sum over ranks of (1/d_c) == number of clusters; member
+        weights identical on every copy of a cluster."""
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        level = coarsen_distributed_graph(dg)
+        neff = sum(np.sum(1.0 / g.node_degree) for g in level.locals)
+        assert abs(neff - level.n_global) < 1e-9
+        seen = {}
+        for g, w in zip(level.locals, level.member_weight):
+            for gid, wi in zip(g.global_ids.tolist(), w):
+                if gid in seen:
+                    assert abs(seen[gid] - wi) < 1e-12
+                seen[gid] = wi
+
+    def test_coarse_graphs_validate(self):
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        for g in coarsen_distributed_graph(dg).locals:
+            g.validate()
+
+    def test_total_member_weight_equals_fine_unique(self):
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 2))
+        level = coarsen_distributed_graph(dg)
+        # sum over clusters (counting each once) of member weight == N_fine
+        totals = {}
+        for g, w in zip(level.locals, level.member_weight):
+            for gid, wi in zip(g.global_ids.tolist(), w):
+                totals[gid] = wi
+        assert abs(sum(totals.values()) - MESH.n_unique_nodes) < 1e-9
+
+
+class TestRestrictionConsistency:
+    def test_restriction_partition_invariant(self):
+        """Restricted coarse features equal the R=1 restriction."""
+        dg1 = full_dg(MESH)
+        ctx1 = build_coarse_contexts(dg1)[0]
+        block = MultiscaleNMPBlock(HIDDEN, 0, seed=1)
+        x_global = features(dg1.local(0).pos)
+        with no_grad():
+            ref = block.restrict(
+                Tensor(x_global), dg1.local(0), ctx1, None, HaloMode.NONE
+            ).data
+        ref_by_gid = {g: v for g, v in zip(ctx1.graph.global_ids.tolist(), ref)}
+
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        ctxs = build_coarse_contexts(dg)
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            x = x_global[g.global_ids]
+            with no_grad():
+                out = block.restrict(
+                    Tensor(x), g, ctxs[comm.rank], comm, HaloMode.NEIGHBOR_A2A
+                ).data
+            return ctxs[comm.rank].graph.global_ids, out
+
+        for gids, out in ThreadWorld(4).run(prog):
+            for gid, v in zip(gids.tolist(), out):
+                np.testing.assert_allclose(v, ref_by_gid[gid], rtol=1e-10, atol=1e-12)
+
+
+class TestBlockConsistency:
+    def _reference(self):
+        dg1 = full_dg(MESH)
+        g1 = dg1.local(0)
+        ctx1 = build_coarse_contexts(dg1)[0]
+        block = MultiscaleNMPBlock(HIDDEN, 0, seed=2)
+        x = features(g1.pos)
+        e = np.zeros((g1.n_edges, HIDDEN))
+        with no_grad():
+            xo, _ = block(Tensor(x), Tensor(e), g1, ctx1)
+        return xo.data
+
+    def test_distributed_matches_r1(self):
+        ref = self._reference()
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        ctxs = build_coarse_contexts(dg)
+        block = MultiscaleNMPBlock(HIDDEN, 0, seed=2)
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            x = features(g.pos)
+            e = np.zeros((g.n_edges, HIDDEN))
+            with no_grad():
+                xo, _ = block(
+                    Tensor(x), Tensor(e), g, ctxs[comm.rank], comm,
+                    HaloMode.NEIGHBOR_A2A,
+                )
+            return xo.data
+
+        out = dg.assemble_global(ThreadWorld(4).run(prog))
+        np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-11)
+
+    def test_without_halo_inconsistent(self):
+        ref = self._reference()
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        ctxs = build_coarse_contexts(dg)
+        block = MultiscaleNMPBlock(HIDDEN, 0, seed=2)
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            x = features(g.pos)
+            e = np.zeros((g.n_edges, HIDDEN))
+            with no_grad():
+                xo, _ = block(Tensor(x), Tensor(e), g, ctxs[comm.rank], comm,
+                              HaloMode.NONE)
+            return xo.data
+
+        outs = ThreadWorld(4).run(prog)
+        dev = max(
+            np.abs(o - ref[lg.global_ids]).max() for lg, o in zip(dg.locals, outs)
+        )
+        assert dev > 1e-6
+
+    def test_gradients_flow_through_both_levels(self):
+        dg1 = full_dg(MESH)
+        g1 = dg1.local(0)
+        ctx1 = build_coarse_contexts(dg1)[0]
+        block = MultiscaleNMPBlock(HIDDEN, 0, seed=2)
+        x = Tensor(features(g1.pos), requires_grad=True)
+        e = Tensor(np.zeros((g1.n_edges, HIDDEN)))
+        xo, _ = block(x, e, g1, ctx1)
+        (xo * xo).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+        for name, p in block.named_parameters():
+            if "coarse" in name:
+                assert p.grad is not None, name

@@ -1,0 +1,88 @@
+"""Distributed-consistent feature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ThreadWorld
+from repro.gnn.normalization import DistributedStandardScaler
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, RandomPartitioner, auto_partition
+
+MESH = BoxMesh(3, 3, 2, p=2)
+
+
+def global_data(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(loc=2.0, scale=3.0, size=(MESH.n_unique_nodes, 3))
+
+
+class TestSingleRankFit:
+    def test_moments_match_numpy(self):
+        g = build_full_graph(MESH)
+        x = global_data()
+        s = DistributedStandardScaler().fit(x, g)
+        np.testing.assert_allclose(s.mean_, x.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(s.std_, x.std(axis=0) + 1e-8, rtol=1e-9)
+
+    def test_transform_standardizes(self):
+        g = build_full_graph(MESH)
+        x = global_data()
+        z = DistributedStandardScaler().fit_transform(x, g)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-6)
+
+    def test_inverse_roundtrip(self):
+        g = build_full_graph(MESH)
+        x = global_data()
+        s = DistributedStandardScaler().fit(x, g)
+        np.testing.assert_allclose(s.inverse_transform(s.transform(x)), x, rtol=1e-12)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DistributedStandardScaler().transform(np.zeros((2, 2)))
+
+    def test_validation(self):
+        g = build_full_graph(MESH)
+        with pytest.raises(ValueError):
+            DistributedStandardScaler(eps=0.0)
+        with pytest.raises(ValueError):
+            DistributedStandardScaler().fit(np.zeros((3, 2)), g)
+
+
+class TestDistributedFit:
+    @pytest.mark.parametrize("partitioner", ["auto", "random"])
+    def test_statistics_partition_invariant(self, partitioner):
+        """The fitted moments equal the un-partitioned fit, even for
+        pathological partitions (the boundary double-count is undone by
+        the 1/d_i weighting)."""
+        x = global_data()
+        g1 = build_full_graph(MESH)
+        ref = DistributedStandardScaler().fit(x, g1)
+
+        part = (
+            auto_partition(MESH, 4)
+            if partitioner == "auto"
+            else RandomPartitioner(seed=3).partition(MESH, 4)
+        )
+        dg = build_distributed_graph(MESH, part)
+
+        def prog(comm):
+            lg = dg.local(comm.rank)
+            s = DistributedStandardScaler().fit(x[lg.global_ids], lg, comm)
+            return s.mean_, s.std_
+
+        res = ThreadWorld(4).run(prog)
+        for mean, std in res:
+            np.testing.assert_allclose(mean, ref.mean_, rtol=1e-11)
+            np.testing.assert_allclose(std, ref.std_, rtol=1e-11)
+
+    def test_naive_fit_is_biased(self):
+        """Per-rank unweighted means disagree with the global mean —
+        the failure mode the scaler exists to prevent."""
+        x = global_data()
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+        g1 = build_full_graph(MESH)
+        global_mean = x.mean(axis=0)
+        # mean over all rank-local copies (double-counts boundaries)
+        all_copies = np.concatenate([x[lg.global_ids] for lg in dg.locals])
+        assert np.abs(all_copies.mean(axis=0) - global_mean).max() > 1e-6

@@ -1,0 +1,66 @@
+"""Table I of the paper: exact trainable-parameter counts."""
+
+import pytest
+
+from repro.gnn import LARGE_CONFIG, MeshGNN, SMALL_CONFIG, GNNConfig
+from repro.graph.features import EDGE_FEATURES_FULL
+
+
+class TestTable1:
+    def test_small_config_settings(self):
+        assert SMALL_CONFIG.hidden == 8
+        assert SMALL_CONFIG.n_message_passing == 4
+        assert SMALL_CONFIG.n_mlp_hidden == 2
+
+    def test_large_config_settings(self):
+        assert LARGE_CONFIG.hidden == 32
+        assert LARGE_CONFIG.n_message_passing == 4
+        assert LARGE_CONFIG.n_mlp_hidden == 5
+
+    def test_small_parameter_count_exact(self):
+        """Paper: 3,979 trainable parameters."""
+        assert MeshGNN(SMALL_CONFIG).num_parameters() == 3979
+
+    def test_large_parameter_count_exact(self):
+        """Paper: 91,459 trainable parameters."""
+        assert MeshGNN(LARGE_CONFIG).num_parameters() == 91459
+
+    @pytest.mark.parametrize("config", [SMALL_CONFIG, LARGE_CONFIG])
+    def test_closed_form_matches_construction(self, config):
+        assert MeshGNN(config).num_parameters() == config.expected_parameters()
+
+    def test_full_edge_features_add_3h(self):
+        """The 7-dim edge-input variant costs exactly 3 * NH extra."""
+        for base in (SMALL_CONFIG, LARGE_CONFIG):
+            full = GNNConfig(
+                hidden=base.hidden,
+                n_message_passing=base.n_message_passing,
+                n_mlp_hidden=base.n_mlp_hidden,
+                edge_features=EDGE_FEATURES_FULL,
+            )
+            assert (
+                MeshGNN(full).num_parameters()
+                == MeshGNN(base).num_parameters() + 3 * base.hidden
+            )
+
+
+class TestConfigValidation:
+    def test_bad_hidden(self):
+        with pytest.raises(ValueError):
+            GNNConfig(hidden=0)
+
+    def test_bad_mlp_hidden(self):
+        with pytest.raises(ValueError):
+            GNNConfig(n_mlp_hidden=-1)
+
+    def test_bad_edge_kind(self):
+        with pytest.raises(ValueError):
+            GNNConfig(edge_features="bogus")
+
+    def test_edge_in_dims(self):
+        assert SMALL_CONFIG.edge_in == 4
+        assert GNNConfig(edge_features=EDGE_FEATURES_FULL).edge_in == 7
+
+    def test_with_seed(self):
+        assert SMALL_CONFIG.with_seed(5).seed == 5
+        assert SMALL_CONFIG.with_seed(5).hidden == SMALL_CONFIG.hidden

@@ -1,0 +1,195 @@
+"""Distributed graph construction: collapse, degrees, halo plans."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, GridPartitioner, Partition, SlabPartitioner, auto_partition
+
+
+def two_rank_graph(p=1, nx=2):
+    mesh = BoxMesh(nx, 1, 1, p=p)
+    part = SlabPartitioner(axis=0).partition(mesh, 2)
+    return mesh, build_distributed_graph(mesh, part)
+
+
+class TestFullGraph:
+    def test_r1_has_no_halo(self):
+        mesh = BoxMesh(2, 2, 2, p=2)
+        g = build_full_graph(mesh)
+        assert g.size == 1 and g.n_halo == 0
+        assert g.halo.neighbors == ()
+
+    def test_r1_covers_all_unique_nodes(self):
+        mesh = BoxMesh(3, 2, 2, p=3)
+        g = build_full_graph(mesh)
+        assert g.n_local == mesh.n_unique_nodes
+        np.testing.assert_array_equal(g.global_ids, np.arange(mesh.n_unique_nodes))
+
+    def test_r1_degrees_all_one(self):
+        g = build_full_graph(BoxMesh(2, 2, 2, p=1))
+        np.testing.assert_array_equal(g.node_degree, 1.0)
+        np.testing.assert_array_equal(g.edge_degree, 1.0)
+
+    def test_validate_passes(self):
+        build_full_graph(BoxMesh(2, 2, 1, p=2)).validate()
+
+
+class TestTwoRankDecomposition:
+    """The Fig. 4 configuration: two p=1 elements on two ranks."""
+
+    def test_local_counts(self):
+        _, dg = two_rank_graph()
+        for lg in dg.locals:
+            assert lg.n_local == 8  # one p=1 element each
+
+    def test_shared_face_becomes_halo(self):
+        _, dg = two_rank_graph()
+        for lg in dg.locals:
+            assert lg.halo.neighbors == ((1,) if lg.rank == 0 else (0,))
+            assert lg.n_halo == 4  # p=1 face has 4 nodes
+
+    def test_nonlocal_coincident_degree_two(self):
+        _, dg = two_rank_graph()
+        for lg in dg.locals:
+            assert np.sum(lg.node_degree == 2.0) == 4
+            assert np.sum(lg.node_degree == 1.0) == 4
+
+    def test_face_edges_have_degree_two(self):
+        """Edges connecting two shared-face nodes exist on both ranks."""
+        _, dg = two_rank_graph()
+        lg = dg.local(0)
+        shared_local = set(lg.halo.spec.send_indices[1].tolist())
+        both_shared = np.array(
+            [s in shared_local and d in shared_local for s, d in lg.edge_index.T]
+        )
+        np.testing.assert_array_equal(lg.edge_degree[both_shared], 2.0)
+        np.testing.assert_array_equal(lg.edge_degree[~both_shared], 1.0)
+        # p=1 shared face: 4 undirected = 8 directed edges
+        assert both_shared.sum() == 8
+
+    def test_send_and_halo_rows_reference_same_ids(self):
+        _, dg = two_rank_graph()
+        g0, g1 = dg.locals
+        sent_ids = g0.global_ids[g0.halo.spec.send_indices[1]]
+        target_ids = g1.global_ids[g1.halo.halo_to_local]
+        np.testing.assert_array_equal(sent_ids, target_ids)
+
+    def test_halo_counts_symmetric(self):
+        _, dg = two_rank_graph(p=3, nx=4)
+        part_pairs = {}
+        for lg in dg.locals:
+            for nbr in lg.halo.neighbors:
+                part_pairs[(lg.rank, nbr)] = lg.halo.spec.recv_counts[nbr]
+        for (r, s), cnt in part_pairs.items():
+            assert part_pairs[(s, r)] == cnt
+
+
+class TestGridDecomposition:
+    def test_eight_subcubes_corner_degree(self):
+        """Center vertex of a 2x2x2 p=1 grid split into 8 ranks has 8 copies."""
+        mesh = BoxMesh(2, 2, 2, p=1)
+        part = GridPartitioner(grid=(2, 2, 2)).partition(mesh, 8)
+        dg = build_distributed_graph(mesh, part)
+        for lg in dg.locals:
+            assert lg.node_degree.max() == 8.0  # the center vertex
+            assert lg.halo.neighbors == tuple(r for r in range(8) if r != lg.rank)
+            lg.validate()
+
+    def test_total_effective_nodes_matches_unique(self):
+        """sum over ranks of sum(1/d_i) == N_unique (Eq. 6c)."""
+        mesh = BoxMesh(4, 4, 4, p=2)
+        part = GridPartitioner(grid=(2, 2, 2)).partition(mesh, 8)
+        dg = build_distributed_graph(mesh, part)
+        neff = sum(np.sum(1.0 / lg.node_degree) for lg in dg.locals)
+        assert abs(neff - mesh.n_unique_nodes) < 1e-9
+
+    def test_total_effective_edges_matches_full_graph(self):
+        """sum over ranks of sum(1/d_ij) == E_full (the Eq. 4b scaling)."""
+        mesh = BoxMesh(4, 4, 2, p=1)
+        part = GridPartitioner(grid=(2, 2, 1)).partition(mesh, 4)
+        dg = build_distributed_graph(mesh, part)
+        full = build_full_graph(mesh)
+        eeff = sum(np.sum(1.0 / lg.edge_degree) for lg in dg.locals)
+        assert abs(eeff - full.n_edges) < 1e-9
+
+    def test_positions_match_global(self):
+        mesh = BoxMesh(3, 3, 3, p=2)
+        part = auto_partition(mesh, 4)
+        dg = build_distributed_graph(mesh, part)
+        all_pos = mesh.all_positions()
+        for lg in dg.locals:
+            np.testing.assert_array_equal(lg.pos, all_pos[lg.global_ids])
+
+    def test_pad_count_is_global_max(self):
+        mesh = BoxMesh(4, 4, 4, p=1)
+        part = GridPartitioner(grid=(2, 2, 2)).partition(mesh, 8)
+        dg = build_distributed_graph(mesh, part)
+        max_shared = max(
+            lg.halo.spec.recv_counts[n] for lg in dg.locals for n in lg.halo.neighbors
+        )
+        for lg in dg.locals:
+            assert lg.halo.spec.pad_count == max_shared
+
+
+class TestAssembleGlobal:
+    def test_assemble_roundtrip(self):
+        mesh = BoxMesh(2, 2, 2, p=2)
+        part = auto_partition(mesh, 4)
+        dg = build_distributed_graph(mesh, part)
+        truth = np.random.default_rng(0).normal(size=(mesh.n_unique_nodes, 3))
+        parts = [truth[lg.global_ids] for lg in dg.locals]
+        np.testing.assert_array_equal(dg.assemble_global(parts), truth)
+
+    def test_assemble_detects_inconsistency(self):
+        mesh = BoxMesh(2, 1, 1, p=1)
+        part = SlabPartitioner(axis=0).partition(mesh, 2)
+        dg = build_distributed_graph(mesh, part)
+        truth = np.zeros((mesh.n_unique_nodes, 1))
+        parts = [truth[lg.global_ids].copy() for lg in dg.locals]
+        parts[1][:] = 1.0  # coincident copies now disagree
+        with pytest.raises(AssertionError):
+            dg.assemble_global(parts)
+
+    def test_assemble_rejects_wrong_row_count(self):
+        mesh = BoxMesh(2, 1, 1, p=1)
+        part = SlabPartitioner(axis=0).partition(mesh, 2)
+        dg = build_distributed_graph(mesh, part)
+        with pytest.raises(ValueError):
+            dg.assemble_global([np.zeros((3, 1)), np.zeros((3, 1))])
+
+
+class TestEdgeFeatures:
+    def test_geometric_features(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=1, bounds=((0, 1), (0, 1), (0, 1))))
+        ef = g.edge_attr()
+        assert ef.shape == (g.n_edges, 4)
+        np.testing.assert_allclose(ef[:, 3], 1.0)  # unit cube edges all length 1
+        np.testing.assert_allclose(
+            np.linalg.norm(ef[:, :3], axis=1), ef[:, 3], atol=1e-14
+        )
+
+    def test_full_features_require_node_features(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=1))
+        with pytest.raises(ValueError):
+            g.edge_attr(kind="full")
+
+    def test_full_features_shape(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=2))
+        x = np.random.default_rng(0).normal(size=(g.n_local, 3))
+        assert g.edge_attr(node_features=x, kind="full").shape == (g.n_edges, 7)
+
+    def test_replicated_edges_identical_features_across_ranks(self):
+        """Coincident edges must get bit-identical features on every rank."""
+        mesh = BoxMesh(2, 2, 2, p=2)
+        part = GridPartitioner(grid=(2, 1, 1)).partition(mesh, 2)
+        dg = build_distributed_graph(mesh, part)
+        n = mesh.n_unique_nodes
+        feats = {}
+        for lg in dg.locals:
+            ef = lg.edge_attr()
+            keys = lg.global_ids[lg.edge_index[0]] * n + lg.global_ids[lg.edge_index[1]]
+            for k, f in zip(keys.tolist(), ef):
+                if k in feats:
+                    np.testing.assert_array_equal(feats[k], f)
+                feats[k] = f

@@ -1,0 +1,80 @@
+"""Coverage for edge-feature helpers and HaloPlan edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.comm.modes import ExchangeSpec
+from repro.graph import (
+    EDGE_FEATURES_FULL,
+    EDGE_FEATURES_GEOMETRIC,
+    HaloPlan,
+    edge_features,
+)
+from repro.graph.features import edge_feature_dim
+
+
+class TestEdgeFeatureHelpers:
+    def test_geometric_dim(self):
+        assert edge_feature_dim(EDGE_FEATURES_GEOMETRIC) == 4
+
+    def test_full_dim_tracks_node_features(self):
+        assert edge_feature_dim(EDGE_FEATURES_FULL, node_feature_dim=3) == 7
+        assert edge_feature_dim(EDGE_FEATURES_FULL, node_feature_dim=5) == 9
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            edge_feature_dim("nope")
+        with pytest.raises(ValueError):
+            edge_features(np.zeros((2, 3)), np.array([[0], [1]]), kind="nope")
+
+    def test_bad_edge_index_shape(self):
+        with pytest.raises(ValueError):
+            edge_features(np.zeros((2, 3)), np.zeros((3, 2), dtype=int))
+
+    def test_directionality(self):
+        """Features of edge (i, j) are the negation of (j, i) in the
+        vector parts and equal in the magnitude part."""
+        pos = np.array([[0.0, 0, 0], [1.0, 2.0, 2.0]])
+        ei = np.array([[0, 1], [1, 0]])
+        f = edge_features(pos, ei)
+        np.testing.assert_array_equal(f[0, :3], -f[1, :3])
+        assert f[0, 3] == f[1, 3] == 3.0
+
+    def test_full_includes_feature_difference(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        nf = np.array([[1.0, 0, 0], [3.0, 0, 0]])
+        f = edge_features(pos, np.array([[0], [1]]), node_features=nf, kind="full")
+        assert f.shape == (1, 7)
+        assert f[0, 0] == 2.0  # du
+
+
+class TestHaloPlanEdgeCases:
+    def test_empty_plan(self):
+        plan = HaloPlan.empty(size=4, rank=2)
+        assert plan.n_halo == 0
+        assert plan.neighbors == ()
+        assert plan.send_row_count == 0
+        assert plan.buffer_bytes(32) == 0
+
+    def test_mismatched_halo_map_rejected(self):
+        spec = ExchangeSpec(
+            size=2,
+            neighbors=(1,),
+            send_indices={1: np.arange(3)},
+            recv_counts={1: 3},
+            pad_count=3,
+        )
+        with pytest.raises(ValueError):
+            HaloPlan(spec=spec, halo_to_local=np.arange(2))
+
+    def test_buffer_bytes(self):
+        spec = ExchangeSpec(
+            size=2,
+            neighbors=(1,),
+            send_indices={1: np.arange(5)},
+            recv_counts={1: 5},
+            pad_count=5,
+        )
+        plan = HaloPlan(spec=spec, halo_to_local=np.arange(5))
+        assert plan.buffer_bytes(n_features=8) == 5 * 8 * 8
+        assert plan.buffer_bytes(n_features=8, itemsize=4) == 5 * 8 * 4

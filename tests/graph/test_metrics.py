@@ -1,0 +1,63 @@
+"""Graph analysis metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.graph.metrics import (
+    boundary_fraction_by_rank,
+    communication_summary,
+    halo_volume_bytes,
+    local_graph_metrics,
+)
+from repro.mesh import BoxMesh, SlabPartitioner, auto_partition
+
+
+class TestLocalMetrics:
+    def test_full_graph_has_no_boundary(self):
+        g = build_full_graph(BoxMesh(2, 2, 2, p=1))
+        m = local_graph_metrics(g)
+        assert m.boundary_nodes == 0 and m.boundary_fraction == 0.0
+        assert m.n_halo == 0 and m.n_neighbors == 0
+        assert m.replicated_edges == 0
+
+    def test_edge_lengths_unit_cube(self):
+        g = build_full_graph(BoxMesh(2, 2, 2, p=1, bounds=((0, 2), (0, 2), (0, 2))))
+        m = local_graph_metrics(g)
+        assert m.min_edge_length == m.max_edge_length == 1.0
+
+    def test_gll_spacing_spreads_lengths(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=5))
+        m = local_graph_metrics(g)
+        assert m.max_edge_length > 2 * m.min_edge_length
+
+    def test_two_rank_boundary_counts(self):
+        mesh = BoxMesh(2, 1, 1, p=1)
+        dg = build_distributed_graph(mesh, SlabPartitioner(axis=0).partition(mesh, 2))
+        m = local_graph_metrics(dg.local(0))
+        assert m.boundary_nodes == 4  # the shared face
+        assert m.replicated_edges == 8  # face edges, both directions
+
+
+class TestAggregateMetrics:
+    def test_boundary_fraction_grows_with_ranks(self):
+        """The driver of the Fig. 6 (left) inconsistency trend."""
+        mesh = BoxMesh(8, 8, 8, p=1)
+        fracs = []
+        for r in (2, 4, 8):
+            dg = build_distributed_graph(mesh, auto_partition(mesh, r))
+            fracs.append(boundary_fraction_by_rank(dg).mean())
+        assert fracs[0] < fracs[1] < fracs[2]
+
+    def test_halo_volume_scales_with_features(self):
+        mesh = BoxMesh(4, 2, 2, p=1)
+        dg = build_distributed_graph(mesh, auto_partition(mesh, 2))
+        assert halo_volume_bytes(dg, 32) == 4 * halo_volume_bytes(dg, 8)
+
+    def test_communication_summary_keys(self):
+        mesh = BoxMesh(4, 2, 2, p=1)
+        dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+        s = communication_summary(dg, hidden=8)
+        assert s["ranks"] == 4 and s["hidden"] == 8
+        assert s["total_bytes"] > 0
+        assert s["max_neighbors"] >= s["mean_neighbors"] > 0

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples carry their own assertions (consistency checks, training
+convergence), so a clean exit is a real end-to-end verification, not
+just an import check.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "element_graphs.py",
+    "partitioning_walkthrough.py",
+    "solver_in_the_loop.py",
+    "complex_geometry.py",
+    "multiscale_gnn.py",
+]
+
+
+def test_examples_directory_complete():
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    for name in FAST_EXAMPLES + ["consistency_demo.py", "surrogate_rollout.py",
+                                 "scaling_study.py"]:
+        assert name in found, f"example {name} missing"
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stdout}\n{proc.stderr}"

@@ -1,0 +1,53 @@
+"""Consistency at the scaling study's polynomial order (p = 5).
+
+The weak-scaling experiments use p=5 hexahedra (216 nodes per element);
+the consistency tests elsewhere run p <= 3 for speed. This test closes
+the gap: Eq. 2 at p=5 with the Table I "small" model.
+"""
+
+import numpy as np
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import MeshGNN, SMALL_CONFIG
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, GridPartitioner, taylor_green_velocity
+from repro.tensor import no_grad
+
+
+def test_p5_consistency_small_model():
+    mesh = BoxMesh(2, 2, 2, p=5)
+    assert mesh.nodes_per_element == 216  # Fig. 2's p=5 element
+
+    g1 = build_full_graph(mesh)
+    x1 = taylor_green_velocity(g1.pos)
+    model = MeshGNN(SMALL_CONFIG)
+    with no_grad():
+        ref = model(x1, g1.edge_attr(node_features=x1), g1).data
+
+    part = GridPartitioner(grid=(2, 2, 2)).partition(mesh, 8)
+    dg = build_distributed_graph(mesh, part)
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        m = MeshGNN(SMALL_CONFIG)
+        with no_grad():
+            return m(
+                x, g.edge_attr(node_features=x), g, comm, HaloMode.NEIGHBOR_A2A
+            ).data
+
+    out = dg.assemble_global(ThreadWorld(8).run(prog))
+    np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-12)
+
+
+def test_p5_halo_structure_matches_table2_shape():
+    """Sub-cube partition of p=5 elements: face halos are (ap+1)^2."""
+    mesh = BoxMesh(4, 4, 4, p=5)
+    part = GridPartitioner(grid=(2, 2, 2)).partition(mesh, 8)
+    dg = build_distributed_graph(mesh, part)
+    for lg in dg.locals:
+        # each rank is a 2x2x2-element brick: 11^3 lattice
+        assert lg.n_local == 11**3
+        # 3 face neighbors (11^2 each) + 3 edge (11) + 1 corner
+        assert lg.n_halo == 3 * 121 + 3 * 11 + 1
+        assert len(lg.halo.neighbors) == 7

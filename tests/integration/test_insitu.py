@@ -1,0 +1,80 @@
+"""In-situ training loop (solver as on-rank data generator)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.comm.single import SingleProcessComm
+from repro.experiments.insitu import run_insitu_training
+from repro.gnn import GNNConfig
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+
+MESH = BoxMesh(3, 3, 2, p=1)
+CONFIG = GNNConfig(hidden=5, n_message_passing=2, n_mlp_hidden=0, seed=6)
+
+
+def u0_for(graph):
+    return taylor_green_velocity(graph.pos)
+
+
+class TestInSitu:
+    def test_serial_run_trains(self):
+        g = build_full_graph(MESH)
+        res = run_insitu_training(
+            SingleProcessComm(), g, CONFIG, u0_for(g), n_cycles=2
+        )
+        assert len(res.cycle_losses) == 2
+        assert len(res.all_losses) == 6
+        assert all(np.isfinite(res.all_losses))
+
+    def test_distributed_matches_serial(self):
+        """The whole coupled loop — solver steps AND training steps — is
+        partition-invariant."""
+        g1 = build_full_graph(MESH)
+        ref = run_insitu_training(
+            SingleProcessComm(), g1, CONFIG, u0_for(g1), n_cycles=2
+        )
+
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 4))
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            return run_insitu_training(
+                comm, g, CONFIG, u0_for(g), n_cycles=2, verify_replicas=True
+            )
+
+        results = ThreadWorld(4).run(prog)
+        for res in results:
+            np.testing.assert_allclose(res.all_losses, ref.all_losses, rtol=1e-7)
+        for name, val in ref.state_dict.items():
+            np.testing.assert_allclose(
+                results[0].state_dict[name], val, rtol=1e-6, atol=1e-10
+            )
+
+    def test_losses_identical_across_ranks(self):
+        dg = build_distributed_graph(MESH, auto_partition(MESH, 2))
+
+        def prog(comm):
+            g = dg.local(comm.rank)
+            return run_insitu_training(comm, g, CONFIG, u0_for(g), n_cycles=1)
+
+        results = ThreadWorld(2).run(prog)
+        assert results[0].all_losses == results[1].all_losses
+
+    def test_validation(self):
+        g = build_full_graph(MESH)
+        with pytest.raises(ValueError):
+            run_insitu_training(SingleProcessComm(), g, CONFIG, u0_for(g), n_cycles=0)
+
+    def test_new_data_each_cycle_changes_training(self):
+        """If the solver were not advancing, cycles would see identical
+        data; verify the targets actually evolve."""
+        g = build_full_graph(MESH)
+        res_moving = run_insitu_training(
+            SingleProcessComm(), g, CONFIG, u0_for(g),
+            n_cycles=3, solver_steps_per_cycle=3, nu=0.1,
+        )
+        # the loss trace should not be 3 identical repeats
+        c = res_moving.all_losses
+        assert not np.allclose(c[0:3], c[3:6])

@@ -1,0 +1,84 @@
+"""Taylor-Green vortex fields: the paper's node-feature source."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import BoxMesh, taylor_green_pressure, taylor_green_velocity
+from repro.mesh.fields import taylor_green_velocity as tgv
+
+
+class TestTaylorGreenVelocity:
+    def test_shape_and_dtype(self):
+        pos = np.random.default_rng(0).random((10, 3)) * 2 * np.pi
+        v = taylor_green_velocity(pos)
+        assert v.shape == (10, 3) and v.dtype == np.float64
+
+    def test_w_component_zero(self):
+        pos = np.random.default_rng(0).random((50, 3)) * 2 * np.pi
+        np.testing.assert_array_equal(taylor_green_velocity(pos)[:, 2], 0.0)
+
+    def test_divergence_free_analytically(self):
+        """du/dx + dv/dy + dw/dz == 0 (checked by finite differences)."""
+        rng = np.random.default_rng(1)
+        pos = rng.random((30, 3)) * 2 * np.pi
+        h = 1e-6
+        div = np.zeros(30)
+        for axis in range(3):
+            dp = pos.copy()
+            dm = pos.copy()
+            dp[:, axis] += h
+            dm[:, axis] -= h
+            div += (
+                taylor_green_velocity(dp)[:, axis] - taylor_green_velocity(dm)[:, axis]
+            ) / (2 * h)
+        np.testing.assert_allclose(div, 0.0, atol=1e-8)
+
+    def test_viscous_decay(self):
+        pos = np.random.default_rng(2).random((20, 3)) * 2 * np.pi
+        v0 = taylor_green_velocity(pos, t=0.0, nu=0.1)
+        v1 = taylor_green_velocity(pos, t=1.0, nu=0.1)
+        np.testing.assert_allclose(v1, v0 * np.exp(-0.2), rtol=1e-12)
+
+    def test_periodicity(self):
+        pos = np.random.default_rng(3).random((20, 3)) * 2 * np.pi
+        shifted = pos + 2 * np.pi
+        np.testing.assert_allclose(
+            taylor_green_velocity(pos), taylor_green_velocity(shifted), atol=1e-10
+        )
+
+    def test_amplitude_scaling(self):
+        pos = np.random.default_rng(4).random((20, 3)) * 2 * np.pi
+        np.testing.assert_allclose(
+            taylor_green_velocity(pos, u0=2.0), 2 * taylor_green_velocity(pos), rtol=1e-14
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            taylor_green_velocity(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            taylor_green_velocity(np.zeros(5))
+
+
+class TestTaylorGreenPressure:
+    def test_shape(self):
+        pos = np.random.default_rng(0).random((10, 3)) * 2 * np.pi
+        assert taylor_green_pressure(pos).shape == (10,)
+
+    def test_decay_rate_doubled(self):
+        """Pressure decays at twice the kinetic rate (exp(-4 nu t))."""
+        pos = np.random.default_rng(1).random((10, 3)) * 2 * np.pi
+        p0 = taylor_green_pressure(pos, t=0.0, nu=0.1)
+        p1 = taylor_green_pressure(pos, t=1.0, nu=0.1)
+        np.testing.assert_allclose(p1, p0 * np.exp(-0.4), rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            taylor_green_pressure(np.zeros((3, 4)))
+
+
+class TestOnMesh:
+    def test_kinetic_energy_positive_and_decaying(self):
+        mesh = BoxMesh(4, 4, 4, p=2)
+        pos = mesh.all_positions()
+        ke = [0.5 * np.mean(np.sum(tgv(pos, t=t, nu=0.1) ** 2, axis=1)) for t in (0, 1, 2)]
+        assert ke[0] > ke[1] > ke[2] > 0

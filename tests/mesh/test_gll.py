@@ -1,0 +1,61 @@
+"""GLL quadrature correctness."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import gll_points, gll_points_and_weights
+
+
+class TestGLLPoints:
+    def test_order_one_is_endpoints(self):
+        np.testing.assert_allclose(gll_points(1), [-1.0, 1.0])
+
+    def test_order_two_has_midpoint(self):
+        np.testing.assert_allclose(gll_points(2), [-1.0, 0.0, 1.0], atol=1e-14)
+
+    def test_known_p3_points(self):
+        # interior points of p=3 GLL: +-1/sqrt(5)
+        pts = gll_points(3)
+        np.testing.assert_allclose(pts, [-1.0, -1 / np.sqrt(5), 1 / np.sqrt(5), 1.0], atol=1e-12)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 7, 11])
+    def test_count_and_ordering(self, p):
+        pts = gll_points(p)
+        assert len(pts) == p + 1
+        assert pts[0] == -1.0 and pts[-1] == 1.0
+        assert np.all(np.diff(pts) > 0)
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 7])
+    def test_symmetry(self, p):
+        pts = gll_points(p)
+        np.testing.assert_allclose(pts, -pts[::-1], atol=1e-12)
+
+    def test_nonuniform_spacing_for_high_order(self):
+        pts = gll_points(5)
+        spacing = np.diff(pts)
+        assert spacing[0] < spacing[len(spacing) // 2]  # clustered at ends
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            gll_points(0)
+
+
+class TestGLLWeights:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 7])
+    def test_weights_sum_to_two(self, p):
+        _, w = gll_points_and_weights(p)
+        np.testing.assert_allclose(w.sum(), 2.0, atol=1e-12)
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 7])
+    def test_integrates_polynomials_exactly(self, p):
+        """GLL of order p integrates degree <= 2p-1 exactly."""
+        x, w = gll_points_and_weights(p)
+        for deg in range(2 * p):
+            integral = np.sum(w * x**deg)
+            exact = 0.0 if deg % 2 else 2.0 / (deg + 1)
+            np.testing.assert_allclose(integral, exact, atol=1e-11)
+
+    def test_weights_positive(self):
+        for p in (1, 3, 5, 9):
+            _, w = gll_points_and_weights(p)
+            assert np.all(w > 0)

@@ -1,0 +1,145 @@
+"""Partitioners: balance, coverage, shape of the decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    BoxMesh,
+    GridPartitioner,
+    MortonPartitioner,
+    Partition,
+    PencilPartitioner,
+    SlabPartitioner,
+    auto_partition,
+)
+
+
+MESH = BoxMesh(8, 8, 8, p=1)
+
+
+class TestPartitionValidation:
+    def test_owner_out_of_range(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, 5]), size=2)
+
+    def test_empty_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, 0, 2, 2]), size=3)
+
+    def test_counts_and_imbalance(self):
+        p = Partition(np.array([0, 0, 0, 1]), size=2)
+        np.testing.assert_array_equal(p.counts(), [3, 1])
+        assert p.imbalance == 1.5
+
+    def test_elements_of(self):
+        p = Partition(np.array([1, 0, 1, 0]), size=2)
+        np.testing.assert_array_equal(p.elements_of(1), [0, 2])
+
+
+class TestSlab:
+    def test_balanced_slabs(self):
+        part = SlabPartitioner(axis=2).partition(MESH, 4)
+        np.testing.assert_array_equal(part.counts(), [128] * 4)
+
+    def test_slabs_are_contiguous_layers(self):
+        part = SlabPartitioner(axis=2).partition(MESH, 4)
+        coords = MESH.all_element_coords()
+        for r in range(4):
+            zs = coords[part.elements_of(r), 2]
+            assert zs.min() == 2 * r and zs.max() == 2 * r + 1
+
+    def test_too_many_slabs(self):
+        with pytest.raises(ValueError):
+            SlabPartitioner(axis=0).partition(MESH, 9)
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            SlabPartitioner(axis=3)
+
+    def test_uneven_division_still_covers(self):
+        part = SlabPartitioner(axis=2).partition(MESH, 3)
+        assert part.counts().sum() == MESH.n_elements
+        assert part.imbalance < 1.6
+
+
+class TestPencilAndGrid:
+    def test_pencil_balanced(self):
+        part = PencilPartitioner(axis=0).partition(MESH, 16)
+        np.testing.assert_array_equal(part.counts(), [32] * 16)
+
+    def test_grid_explicit(self):
+        part = GridPartitioner(grid=(2, 2, 2)).partition(MESH, 8)
+        np.testing.assert_array_equal(part.counts(), [64] * 8)
+
+    def test_grid_auto_factorization_is_cubic(self):
+        part = GridPartitioner().partition(MESH, 64)
+        # should factor to 4x4x4 sub-bricks of 2x2x2 elements
+        np.testing.assert_array_equal(part.counts(), [8] * 64)
+
+    def test_grid_wrong_product(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(grid=(2, 2, 3)).partition(MESH, 8)
+
+    def test_grid_exceeding_elements(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(grid=(16, 1, 1)).partition(MESH, 16)
+
+    def test_grid_subbricks_are_boxes(self):
+        part = GridPartitioner(grid=(2, 2, 2)).partition(MESH, 8)
+        coords = MESH.all_element_coords()
+        for r in range(8):
+            c = coords[part.elements_of(r)]
+            spans = c.max(axis=0) - c.min(axis=0) + 1
+            assert np.prod(spans) == len(c)  # a full rectangular brick
+
+
+class TestMorton:
+    def test_equal_chunks(self):
+        part = MortonPartitioner().partition(MESH, 32)
+        np.testing.assert_array_equal(part.counts(), [16] * 32)
+
+    def test_works_for_awkward_rank_counts(self):
+        part = MortonPartitioner().partition(MESH, 7)
+        assert part.counts().sum() == MESH.n_elements
+        assert part.imbalance < 1.1
+
+    def test_chunks_are_spatially_compact(self):
+        part = MortonPartitioner().partition(MESH, 8)
+        coords = MESH.all_element_coords()
+        for r in range(8):
+            c = coords[part.elements_of(r)]
+            spans = c.max(axis=0) - c.min(axis=0) + 1
+            assert np.all(spans <= 4)  # 64 elements confined to a 4^3 region
+
+    def test_more_ranks_than_elements(self):
+        with pytest.raises(ValueError):
+            MortonPartitioner().partition(BoxMesh(1, 1, 1, p=1), 2)
+
+
+class TestAutoPartition:
+    def test_r1(self):
+        part = auto_partition(MESH, 1)
+        assert part.size == 1 and part.counts()[0] == MESH.n_elements
+
+    def test_small_r_uses_slabs(self):
+        part = auto_partition(MESH, 8)
+        coords = MESH.all_element_coords()
+        for r in range(8):
+            c = coords[part.elements_of(r)]
+            # slab: full extent in x and y, single layer in z
+            assert c[:, 0].max() - c[:, 0].min() + 1 == 8
+            assert c[:, 1].max() - c[:, 1].min() + 1 == 8
+            assert c[:, 2].max() == c[:, 2].min()
+
+    def test_large_r_uses_subcubes(self):
+        part = auto_partition(MESH, 64)
+        coords = MESH.all_element_coords()
+        for r in range(64):
+            c = coords[part.elements_of(r)]
+            spans = c.max(axis=0) - c.min(axis=0) + 1
+            np.testing.assert_array_equal(spans, [2, 2, 2])
+
+    def test_awkward_r_falls_back_to_morton(self):
+        part = auto_partition(BoxMesh(3, 3, 3, p=1), 13)
+        assert part.size == 13
+        assert part.counts().sum() == 27

@@ -1,0 +1,171 @@
+"""Unstructured / mixed-element meshes."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    BoxMesh,
+    TET4,
+    UnstructuredMesh,
+    WEDGE6,
+    from_box,
+    hex_type,
+    mixed_hex_wedge_box,
+    partition_by_centroid,
+    tet_box,
+    wedge_column,
+)
+from repro.mesh.unstructured import ElementType
+
+
+class TestElementTypes:
+    def test_hex_type_matches_box_template(self):
+        t = hex_type(2)
+        assert t.n_nodes == 27 and t.edges.shape == (2, 6 * 2 * 9)
+
+    def test_tet_counts(self):
+        assert TET4.n_nodes == 4 and TET4.edges.shape == (2, 12)
+
+    def test_wedge_counts(self):
+        assert WEDGE6.n_nodes == 6 and WEDGE6.edges.shape == (2, 18)
+
+    def test_templates_symmetric_no_self_loops(self):
+        for t in (TET4, WEDGE6, hex_type(1)):
+            pairs = set(map(tuple, t.edges.T.tolist()))
+            assert all((b, a) in pairs for a, b in pairs)
+            assert all(a != b for a, b in pairs)
+
+    def test_bad_template_rejected(self):
+        with pytest.raises(ValueError):
+            ElementType("bad", 2, np.array([[0], [5]]))
+        with pytest.raises(ValueError):
+            ElementType("bad", 2, np.zeros((3, 1), dtype=np.int64))
+
+
+class TestFromBox:
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_same_unique_count_as_lattice(self, p):
+        box = BoxMesh(2, 2, 2, p=p)
+        um = from_box(box)
+        assert um.n_unique_nodes == box.n_unique_nodes
+        assert um.n_elements == box.n_elements
+
+    def test_element_gid_sharing_matches(self):
+        box = BoxMesh(2, 1, 1, p=1)
+        um = from_box(box)
+        shared_box = len(
+            np.intersect1d(box.element_global_ids(0), box.element_global_ids(1))
+        )
+        shared_um = len(
+            np.intersect1d(um.element_global_ids(0), um.element_global_ids(1))
+        )
+        assert shared_box == shared_um == 4
+
+    def test_positions_consistent(self):
+        box = BoxMesh(2, 2, 1, p=1)
+        um = from_box(box)
+        for e in range(box.n_elements):
+            np.testing.assert_allclose(
+                um.node_positions(um.element_global_ids(e)),
+                box.node_positions(box.element_global_ids(e)),
+                atol=1e-12,
+            )
+
+
+class TestTetBox:
+    def test_counts(self):
+        m = tet_box(2, 2, 2)
+        assert m.n_elements == 8 * 6
+        # Kuhn triangulation introduces no new vertices
+        assert m.n_unique_nodes == 3**3
+
+    def test_conforming_across_cells(self):
+        """Neighboring cells share exactly the 9 lattice nodes of their face
+        (no hanging nodes from inconsistent diagonals)."""
+        m = tet_box(2, 1, 1)
+        # all nodes on the plane x=0.5 ... count unique nodes with x=0.5
+        pos = m.all_positions()
+        on_face = np.isclose(pos[:, 0], 0.5)
+        assert on_face.sum() == 4  # 2x2 vertex grid on the shared face
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tet_box(0, 1, 1)
+
+
+class TestWedgeColumn:
+    def test_counts(self):
+        m = wedge_column(n_sides=6, n_layers=2)
+        assert m.n_elements == 12
+        # nodes: (6 rim + 1 center) per ring x 3 rings
+        assert m.n_unique_nodes == 7 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wedge_column(n_sides=2)
+        with pytest.raises(ValueError):
+            wedge_column(n_layers=0)
+
+
+class TestMixedMesh:
+    def test_type_counts(self):
+        m = mixed_hex_wedge_box(2, 2, 2)
+        counts = m.type_counts()
+        assert counts["hex(p=1)"] == 4  # bottom layer
+        assert counts["wedge6"] == 8  # top layer, 2 wedges per cell
+
+    def test_conforming_interface(self):
+        """Hex top faces and wedge bottom faces share global IDs."""
+        m = mixed_hex_wedge_box(1, 1, 2)
+        hex_ids = set(m.element_global_ids(0).tolist())
+        wedge_ids = set(m.element_global_ids(1).tolist()) | set(
+            m.element_global_ids(2).tolist()
+        )
+        # interface plane z=1 has 4 vertices
+        assert len(hex_ids & wedge_ids) == 4
+
+    def test_unique_node_count(self):
+        m = mixed_hex_wedge_box(1, 1, 2)
+        # 2x2x3 vertex grid, wedges add no new nodes
+        assert m.n_unique_nodes == 12
+
+    def test_repr(self):
+        assert "wedge6" in repr(mixed_hex_wedge_box(1, 1, 1))
+
+
+class TestMeshValidation:
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            UnstructuredMesh([])
+        with pytest.raises(ValueError):
+            UnstructuredMesh([(TET4, np.zeros((0, 4, 3)))])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            UnstructuredMesh([(TET4, np.zeros((2, 5, 3)))])
+
+    def test_element_index_range(self):
+        m = tet_box(1, 1, 1)
+        with pytest.raises(IndexError):
+            m.element_type(6)
+
+
+class TestCentroidPartition:
+    def test_balanced_and_complete(self):
+        m = tet_box(2, 2, 2)
+        part = partition_by_centroid(m, 4)
+        assert part.counts().sum() == m.n_elements
+        assert part.imbalance < 1.1
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ValueError):
+            partition_by_centroid(tet_box(1, 1, 1), 7)
+
+    def test_chunks_spatially_compact(self):
+        m = tet_box(4, 4, 4)
+        part = partition_by_centroid(m, 8)
+        cent = m.element_centroids()
+        for r in range(8):
+            c = cent[part.elements_of(r)]
+            span = (c.max(axis=0) - c.min(axis=0)).max()
+            assert span <= 3.0  # of a 4-unit box

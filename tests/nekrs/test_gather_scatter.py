@@ -1,0 +1,105 @@
+"""dssum/dsavg: the solver-side coincident-node reduction."""
+
+import numpy as np
+import pytest
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, GridPartitioner, SlabPartitioner
+from repro.nekrs import dsavg, dssum
+
+
+def make(mesh, size, partitioner):
+    part = partitioner.partition(mesh, size)
+    return build_distributed_graph(mesh, part)
+
+
+class TestDssum:
+    def test_r1_is_copy(self):
+        g = build_full_graph(BoxMesh(2, 1, 1, p=1))
+        v = np.arange(float(g.n_local))
+        out = dssum(v, g)
+        np.testing.assert_array_equal(out, v)
+        assert out is not v
+
+    def test_requires_comm_when_partitioned(self):
+        mesh = BoxMesh(2, 1, 1, p=1)
+        dg = make(mesh, 2, SlabPartitioner(axis=0))
+        with pytest.raises(ValueError, match="communicator"):
+            dssum(np.zeros(dg.local(0).n_local), dg.local(0))
+
+    def test_sums_equal_global_copy_totals(self):
+        """dssum of ones gives the node degree (copies count each other)."""
+        mesh = BoxMesh(2, 2, 2, p=1)
+        dg = make(mesh, 8, GridPartitioner(grid=(2, 2, 2)))
+
+        def prog(comm):
+            lg = dg.local(comm.rank)
+            return dssum(np.ones(lg.n_local), lg, comm)
+
+        res = ThreadWorld(8).run(prog)
+        for lg, out in zip(dg.locals, res):
+            np.testing.assert_array_equal(out, lg.node_degree)
+
+    def test_matches_serial_reduction(self):
+        """Partitioned dssum of per-copy partials == global per-node sums."""
+        mesh = BoxMesh(4, 2, 2, p=2)
+        dg = make(mesh, 4, GridPartitioner(grid=(2, 2, 1)))
+        rng = np.random.default_rng(0)
+        partials = [rng.normal(size=(lg.n_local, 2)) for lg in dg.locals]
+        expected = np.zeros((mesh.n_unique_nodes, 2))
+        for lg, v in zip(dg.locals, partials):
+            expected[lg.global_ids] += v
+
+        def prog(comm):
+            lg = dg.local(comm.rank)
+            return dssum(partials[comm.rank], lg, comm)
+
+        res = ThreadWorld(4).run(prog)
+        for lg, out in zip(dg.locals, res):
+            np.testing.assert_allclose(out, expected[lg.global_ids], rtol=1e-13)
+
+    @pytest.mark.parametrize("mode", [HaloMode.A2A, HaloMode.SEND_RECV])
+    def test_modes_agree(self, mode):
+        mesh = BoxMesh(2, 2, 1, p=1)
+        dg = make(mesh, 2, SlabPartitioner(axis=0))
+        rng = np.random.default_rng(1)
+        partials = [rng.normal(size=lg.n_local) for lg in dg.locals]
+
+        def prog(comm, m):
+            return dssum(partials[comm.rank], dg.local(comm.rank), comm, m)
+
+        a = ThreadWorld(2).run(prog, HaloMode.NEIGHBOR_A2A)
+        b = ThreadWorld(2).run(prog, mode)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_shape_validation(self):
+        g = build_full_graph(BoxMesh(1, 1, 1, p=1))
+        with pytest.raises(ValueError, match="rows"):
+            dssum(np.zeros(3), g)
+
+
+class TestDsavg:
+    def test_makes_copies_consistent(self):
+        """After dsavg, coincident copies agree (hold the mean)."""
+        mesh = BoxMesh(2, 1, 1, p=1)
+        dg = make(mesh, 2, SlabPartitioner(axis=0))
+        rng = np.random.default_rng(3)
+        vals = [rng.normal(size=lg.n_local) for lg in dg.locals]
+
+        def prog(comm):
+            return dsavg(vals[comm.rank], dg.local(comm.rank), comm)
+
+        res = ThreadWorld(2).run(prog)
+        merged = {}
+        for lg, out in zip(dg.locals, res):
+            for gid, v in zip(lg.global_ids.tolist(), out):
+                if gid in merged:
+                    assert abs(merged[gid] - v) < 1e-13
+                merged[gid] = v
+
+    def test_average_of_unique_nodes_unchanged(self):
+        g = build_full_graph(BoxMesh(2, 2, 2, p=1))
+        v = np.arange(float(g.n_local))
+        np.testing.assert_array_equal(dsavg(v, g), v)

@@ -1,0 +1,99 @@
+"""Time integrators: formal order of convergence + distributed consistency."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ThreadWorld
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, GridPartitioner
+from repro.nekrs import AdvectionDiffusionSolver
+from repro.nekrs.integrators import (
+    INTEGRATORS,
+    ForwardEuler,
+    RK2Midpoint,
+    RK4,
+    make_integrator,
+)
+
+
+class _LinearDecaySolver:
+    """Stand-in rhs with an exact solution: u' = -l u."""
+
+    def __init__(self, lam=1.3):
+        self.lam = lam
+
+    def rhs(self, u):
+        return -self.lam * u
+
+
+class TestConvergenceOrder:
+    """Richardson-style: error(dt) ~ dt^order on u' = -l u."""
+
+    @pytest.mark.parametrize("cls", [ForwardEuler, RK2Midpoint, RK4])
+    def test_observed_order(self, cls):
+        solver = _LinearDecaySolver()
+        integ = cls(solver)
+        u0 = np.array([1.0])
+        t_final = 1.0
+        errors = []
+        for n in (8, 16, 32):
+            dt = t_final / n
+            u = integ.run(u0, dt, n)
+            exact = np.exp(-solver.lam * t_final)
+            errors.append(abs(float(u[0]) - exact))
+        observed = np.log2(errors[0] / errors[1]), np.log2(errors[1] / errors[2])
+        for p_obs in observed:
+            assert abs(p_obs - cls.order) < 0.35, (cls.__name__, observed)
+
+    def test_rk4_far_more_accurate_than_euler(self):
+        solver = _LinearDecaySolver()
+        u0, dt, n = np.array([1.0]), 0.1, 10
+        e1 = abs(ForwardEuler(solver).run(u0, dt, n)[0] - np.exp(-1.3))
+        e4 = abs(RK4(solver).run(u0, dt, n)[0] - np.exp(-1.3))
+        assert e4 < e1 / 1e3
+
+
+class TestOnMeshSolver:
+    MESH = BoxMesh(4, 4, 2, p=1)
+
+    def test_all_integrators_run(self):
+        g = build_full_graph(self.MESH)
+        solver = AdvectionDiffusionSolver(g, nu=0.05)
+        u0 = np.sin(g.pos[:, 0])
+        dt = solver.stable_dt()
+        for name in INTEGRATORS:
+            out = make_integrator(name, solver).run(u0, dt, 3)
+            assert np.isfinite(out).all()
+
+    def test_unknown_integrator(self):
+        g = build_full_graph(self.MESH)
+        solver = AdvectionDiffusionSolver(g, nu=0.05)
+        with pytest.raises(ValueError, match="unknown integrator"):
+            make_integrator("rk9", solver)
+
+    def test_negative_steps(self):
+        g = build_full_graph(self.MESH)
+        solver = AdvectionDiffusionSolver(g, nu=0.05)
+        with pytest.raises(ValueError):
+            RK4(solver).run(np.zeros(g.n_local), 0.1, -1)
+
+    @pytest.mark.parametrize("name", ["rk2", "rk4"])
+    def test_distributed_matches_serial(self, name):
+        """Every RK stage communicates; the result must still equal the
+        serial integration exactly."""
+        g1 = build_full_graph(self.MESH)
+        serial = AdvectionDiffusionSolver(g1, nu=0.05)
+        u0 = np.sin(g1.pos[:, 0]) * np.cos(g1.pos[:, 1])
+        dt = serial.stable_dt()
+        ref = make_integrator(name, serial).run(u0, dt, 5)
+
+        part = GridPartitioner(grid=(2, 2, 1)).partition(self.MESH, 4)
+        dg = build_distributed_graph(self.MESH, part)
+
+        def prog(comm):
+            lg = dg.local(comm.rank)
+            solver = AdvectionDiffusionSolver(lg, nu=0.05, comm=comm)
+            return make_integrator(name, solver).run(u0[lg.global_ids], dt, 5)
+
+        out = dg.assemble_global(ThreadWorld(4).run(prog))
+        np.testing.assert_allclose(out, ref, rtol=1e-10, atol=1e-13)

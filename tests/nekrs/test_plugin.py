@@ -1,0 +1,57 @@
+"""NekRS-GNN plugin: payload extraction and data generation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import BoxMesh, SlabPartitioner, taylor_green_velocity
+from repro.nekrs import NekRSGNNPlugin
+
+
+class TestPlugin:
+    def test_payload_matches_graph(self):
+        plugin = NekRSGNNPlugin(BoxMesh(4, 2, 2, p=1), n_ranks=4)
+        for r in range(4):
+            payload = plugin.rank_payload(r)
+            assert payload.graph.rank == r
+            np.testing.assert_array_equal(payload.positions, payload.graph.pos)
+
+    def test_rank_out_of_range(self):
+        plugin = NekRSGNNPlugin(BoxMesh(2, 2, 2, p=1), n_ranks=2)
+        with pytest.raises(IndexError):
+            plugin.rank_payload(2)
+
+    def test_graph_built_lazily_once(self):
+        plugin = NekRSGNNPlugin(BoxMesh(2, 2, 2, p=1), n_ranks=2)
+        assert plugin._graph is None
+        g1 = plugin.distributed_graph
+        assert plugin.distributed_graph is g1
+
+    def test_explicit_partition_respected(self):
+        mesh = BoxMesh(4, 1, 1, p=1)
+        part = SlabPartitioner(axis=0).partition(mesh, 2)
+        plugin = NekRSGNNPlugin(mesh, n_ranks=2, partition=part)
+        assert plugin.partition is part
+
+    def test_velocity_snapshot_matches_field(self):
+        plugin = NekRSGNNPlugin(BoxMesh(2, 2, 2, p=2), n_ranks=2)
+        lg = plugin.distributed_graph.local(1)
+        np.testing.assert_array_equal(
+            plugin.velocity_snapshot(1, t=0.5, nu=0.02),
+            taylor_green_velocity(lg.pos, t=0.5, nu=0.02),
+        )
+
+    def test_training_pair_decays(self):
+        plugin = NekRSGNNPlugin(BoxMesh(2, 2, 2, p=1), n_ranks=1)
+        x, y = plugin.training_pair(0, t0=0.0, tf=2.0, nu=0.1)
+        assert np.linalg.norm(y) < np.linalg.norm(x)
+
+    def test_training_pair_validation(self):
+        plugin = NekRSGNNPlugin(BoxMesh(2, 2, 2, p=1), n_ranks=1)
+        with pytest.raises(ValueError):
+            plugin.training_pair(0, t0=1.0, tf=0.0)
+
+    def test_make_solver(self):
+        plugin = NekRSGNNPlugin(BoxMesh(2, 2, 2, p=1), n_ranks=1)
+        solver = plugin.make_solver(0, nu=0.05)
+        u = plugin.velocity_snapshot(0)
+        assert solver.step(u, solver.stable_dt()).shape == u.shape

@@ -1,0 +1,239 @@
+"""Tests for Module/Parameter registration, Linear, LayerNorm, MLP."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, LayerNorm, Linear, Module, Parameter, SGD
+from repro.nn.module import ModuleList
+from repro.tensor import Tensor, gradcheck
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered_in_order(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Parameter(np.zeros(2))
+                self.b = Parameter(np.ones(3))
+
+        names = [n for n, _ in M().named_parameters()]
+        assert names == ["a", "b"]
+
+    def test_nested_modules(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.v = Parameter(np.zeros(1))
+
+        names = [n for n, _ in Outer().named_parameters()]
+        assert names == ["v", "inner.w"]
+
+    def test_num_parameters(self):
+        lin = Linear(3, 4)
+        assert lin.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self):
+        a, b = Linear(3, 4, seed=1), Linear(3, 4, seed=2)
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_missing(self):
+        lin = Linear(2, 2)
+        with pytest.raises(KeyError):
+            lin.load_state_dict({})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        lin = Linear(2, 2)
+        sd = lin.state_dict()
+        sd["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            lin.load_state_dict(sd)
+
+    def test_zero_grad(self):
+        lin = Linear(2, 2)
+        out = lin(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_train_eval_flags(self):
+        m = MLP(2, 4, 2, 1)
+        m.eval()
+        assert all(not sub.training for sub in m.modules())
+        m.train()
+        assert all(sub.training for sub in m.modules())
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2, name=f"l{i}") for i in range(3)])
+        assert len(ml) == 3
+        assert ml[1] is list(ml)[1]
+        assert len(list(ModuleList([Linear(2, 2)]).modules())) == 2
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        assert Linear(3, 5)(Tensor(np.zeros((7, 3)))).shape == (7, 5)
+
+    def test_deterministic_init_same_seed_name(self):
+        a = Linear(3, 4, seed=42, name="enc")
+        b = Linear(3, 4, seed=42, name="enc")
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+    def test_different_names_differ(self):
+        a = Linear(3, 4, seed=42, name="enc")
+        b = Linear(3, 4, seed=42, name="dec")
+        assert not np.allclose(a.weight.data, b.weight.data)
+
+    def test_no_bias(self):
+        lin = Linear(3, 4, bias=False)
+        assert lin.bias is None
+        assert lin.num_parameters() == 12
+
+    def test_init_bound(self):
+        lin = Linear(100, 50, seed=0)
+        assert np.abs(lin.weight.data).max() <= 1.0 / 10.0
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients_flow(self):
+        lin = Linear(3, 2, seed=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda x: (lin(x) ** 2).sum(), [x])
+
+
+class TestLayerNorm:
+    def test_output_normalized(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 8)) * 4 + 2)
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0, atol=1e-12)
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LayerNorm(8)(Tensor(np.zeros((2, 4))))
+
+    def test_param_count(self):
+        assert LayerNorm(16).num_parameters() == 32
+
+    def test_grad_through_affine(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda x: (ln(x) ** 2).sum(), [x], rtol=1e-4, atol=1e-6)
+
+
+class TestMLP:
+    def test_layer_structure(self):
+        mlp = MLP(3, 8, 5, n_hidden=2)
+        assert len(mlp.layers) == 4  # in->h, 2x h->h, h->out
+        assert mlp.layers[0].in_features == 3
+        assert mlp.layers[-1].out_features == 5
+
+    def test_param_count_formula(self):
+        def lin(i, o):
+            return i * o + o
+
+        mlp = MLP(3, 8, 8, n_hidden=2, final_norm=True)
+        expected = lin(3, 8) + 2 * lin(8, 8) + lin(8, 8) + 2 * 8
+        assert mlp.num_parameters() == expected
+
+    def test_forward_shape(self):
+        assert MLP(3, 16, 5, 2)(Tensor(np.zeros((10, 3)))).shape == (10, 5)
+
+    def test_zero_hidden_layers(self):
+        mlp = MLP(3, 8, 2, n_hidden=0)
+        assert len(mlp.layers) == 2
+
+    def test_negative_hidden_raises(self):
+        with pytest.raises(ValueError):
+            MLP(3, 8, 2, n_hidden=-1)
+
+    def test_deterministic(self):
+        a = MLP(3, 8, 2, 2, seed=7, name="m")
+        b = MLP(3, 8, 2, 2, seed=7, name="m")
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        np.testing.assert_array_equal(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_gradcheck_through_whole_mlp(self):
+        mlp = MLP(3, 6, 2, 1, final_norm=True, seed=3)
+        x = Tensor(np.random.default_rng(2).normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda x: (mlp(x) ** 2).sum(), [x], rtol=1e-4, atol=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_setup(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        return p
+
+    def test_sgd_descends(self):
+        p = self._quadratic_setup()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-6)
+
+    def test_sgd_momentum_descends(self):
+        p = self._quadratic_setup()
+        opt = SGD([p], lr=0.01, momentum=0.9)
+        for _ in range(500):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-4)
+
+    def test_adam_descends(self):
+        p = self._quadratic_setup()
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-4)
+
+    def test_adam_skips_gradless_params(self):
+        p, q = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = Adam([p, q], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        np.testing.assert_array_equal(q.data, 1.0)
+        assert not np.allclose(p.data, 1.0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_adam_deterministic_across_instances(self):
+        """Two replicas fed identical grads stay bit-identical (DDP invariant)."""
+        p1, p2 = Parameter(np.array([1.0, 2.0])), Parameter(np.array([1.0, 2.0]))
+        o1, o2 = Adam([p1], lr=0.01), Adam([p2], lr=0.01)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            g = rng.normal(size=2)
+            p1.grad, p2.grad = g.copy(), g.copy()
+            o1.step()
+            o2.step()
+        np.testing.assert_array_equal(p1.data, p2.data)

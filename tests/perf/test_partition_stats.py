@@ -1,0 +1,105 @@
+"""Partition statistics: closed forms vs materialized graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_distributed_graph
+from repro.mesh import BoxMesh, GridPartitioner, SlabPartitioner
+from repro.perf import (
+    grid_partition_stats,
+    materialized_partition_stats,
+    slab_partition_stats,
+    table2_configuration,
+)
+
+
+class TestClosedFormMatchesMaterialized:
+    @pytest.mark.parametrize(
+        "rank_grid,elems,p",
+        [
+            ((2, 1, 1), (2, 2, 2), 1),
+            ((2, 2, 1), (2, 2, 2), 2),
+            ((2, 2, 2), (2, 2, 2), 1),
+            ((1, 1, 4), (3, 3, 1), 2),
+            ((3, 2, 1), (2, 3, 2), 1),
+        ],
+    )
+    def test_grid_agrees_with_built_graph(self, rank_grid, elems, p):
+        rx, ry, rz = rank_grid
+        ax, ay, az = elems
+        mesh = BoxMesh(rx * ax, ry * ay, rz * az, p=p)
+        part = GridPartitioner(grid=rank_grid).partition(mesh, rx * ry * rz)
+        dg = build_distributed_graph(mesh, part)
+        exact = materialized_partition_stats(dg)
+        closed = grid_partition_stats(rank_grid, elems, p)
+        assert closed.graph_nodes == exact.graph_nodes
+        assert closed.halo_nodes == exact.halo_nodes
+        assert closed.neighbors == exact.neighbors
+
+    def test_slab_agrees_with_built_graph(self):
+        mesh = BoxMesh(2, 2, 8, p=1)
+        part = SlabPartitioner(axis=2).partition(mesh, 4)
+        dg = build_distributed_graph(mesh, part)
+        exact = materialized_partition_stats(dg)
+        closed = slab_partition_stats(4, (2, 2, 2), 1)
+        assert closed.graph_nodes == exact.graph_nodes
+        assert closed.halo_nodes == exact.halo_nodes
+        assert closed.neighbors == exact.neighbors
+
+
+class TestClosedFormStructure:
+    def test_interior_rank_has_26_neighbors(self):
+        st = grid_partition_stats((3, 3, 3), (2, 2, 2), 1)
+        assert st.neighbors[1] == 26  # max: the center rank
+
+    def test_corner_rank_has_7_neighbors(self):
+        st = grid_partition_stats((3, 3, 3), (2, 2, 2), 1)
+        assert st.neighbors[0] == 7  # min: 3 faces + 3 edges + 1 corner
+
+    def test_slab_neighbors(self):
+        st = slab_partition_stats(8, (4, 4, 4), 1)
+        assert st.neighbors == (1.0, 2.0, 2.0 - 2.0 / 8)
+
+    def test_halo_of_two_slabs_is_one_face(self):
+        st = slab_partition_stats(2, (2, 2, 2), 3)
+        face = (2 * 3 + 1) ** 2
+        assert st.halo_nodes == (face, face, face)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_partition_stats((0, 1, 1), (1, 1, 1), 1)
+
+
+class TestTable2Configuration:
+    def test_paper_scale_512k(self):
+        """Nominal 512k loading (paper: 518-544k per rank)."""
+        for ranks in (8, 64, 512, 2048):
+            grid, elems = table2_configuration(ranks, loading=518_750)
+            st = grid_partition_stats(grid, elems, 5)
+            assert 490_000 < st.graph_nodes[0] <= 560_000
+            # halo nodes bounded: same order as the paper's 12.8k-67.6k
+            assert 5_000 < st.halo_nodes[2] < 80_000
+            # neighbor counts bounded regardless of rank count
+            assert st.neighbors[1] <= 26
+
+    def test_slab_to_subcube_switch(self):
+        g8, _ = table2_configuration(8)
+        g64, _ = table2_configuration(64)
+        assert g8 == (1, 1, 8)
+        assert g64 == (4, 4, 4)
+
+    def test_total_graph_grows_linearly(self):
+        """Paper: 4.15e6 nodes at R=8 up to 1.105e9 at R=2048."""
+        grid, elems = table2_configuration(8, loading=518_750)
+        st8 = grid_partition_stats(grid, elems, 5)
+        total8 = st8.graph_nodes[2] * 8
+        grid, elems = table2_configuration(2048, loading=518_750)
+        st2048 = grid_partition_stats(grid, elems, 5)
+        total2048 = st2048.graph_nodes[2] * 2048
+        assert 3.9e6 < total8 < 4.4e6
+        assert 1.0e9 < total2048 < 1.2e9
+
+    def test_row_renders(self):
+        grid, elems = table2_configuration(64)
+        row = grid_partition_stats(grid, elems, 5).row()
+        assert "64" in row and "|" in row

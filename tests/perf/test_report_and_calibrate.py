@@ -1,0 +1,100 @@
+"""Report emitters and host calibration."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import SMALL_CONFIG
+from repro.perf import (
+    FRONTIER,
+    calibrated_machine,
+    measure_host_compute_rate,
+    table2_configuration,
+    grid_partition_stats,
+)
+from repro.perf.report import (
+    csv_table,
+    fig7_markdown,
+    fig8_markdown,
+    markdown_table,
+    table2_markdown,
+)
+
+
+class TestMarkdownTable:
+    def test_basic(self):
+        md = markdown_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.5 |" in md
+
+    def test_float_formatting(self):
+        md = markdown_table(["v"], [[1.23456789e9], [0.0], [1e-7]])
+        assert "1.23e+09" in md and "| 0 |" in md and "1.00e-07" in md
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            markdown_table([], [])
+
+    def test_csv(self):
+        out = csv_table(["x", "y"], [[1, 2.0]])
+        assert out.splitlines() == ["x,y", "1,2.0"]
+
+    def test_csv_row_mismatch(self):
+        with pytest.raises(ValueError):
+            csv_table(["x"], [[1, 2]])
+
+
+class TestFigureRenderers:
+    def test_fig7_fig8_markdown(self):
+        from repro.experiments.scaling import fig7_weak_scaling, fig8_relative_throughput
+
+        f7 = fig7_weak_scaling(FRONTIER, ranks_list=(8, 64))
+        md = fig7_markdown(f7)
+        assert "large - none" in md and "| curve |" in md.replace("| curve | ", "| curve |")
+        f8 = fig8_relative_throughput(FRONTIER, ranks_list=(8, 64))
+        md8 = fig8_markdown(f8)
+        assert "N-A2A" in md8
+
+    def test_table2_markdown(self):
+        grid, elems = table2_configuration(8)
+        md = table2_markdown([grid_partition_stats(grid, elems, 5)])
+        assert "| 8 |" in md
+
+
+class TestCalibration:
+    def test_measured_rate_positive(self):
+        rate = measure_host_compute_rate(SMALL_CONFIG, n_elements=2, p=1, repeats=1)
+        assert rate > 0
+
+    def test_calibrated_machine_reproduces_measurement(self):
+        m = calibrated_machine(SMALL_CONFIG, n_elements=2, p=1, repeats=1)
+        rate = m.effective_flops / m.flops_per_node(SMALL_CONFIG)
+        # compute_time must equal loading / rate by construction
+        loading = 10_000
+        assert abs(m.compute_time(SMALL_CONFIG, loading) - loading / rate) < 1e-9
+        assert m.name == "local-host"
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--list"]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_unknown_artifact(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_run_fig2_and_table1(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fig2", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "1080" in out and "91,459" in out

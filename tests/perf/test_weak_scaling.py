@@ -1,0 +1,159 @@
+"""Weak-scaling model: the qualitative claims of Figs. 7-8 must hold."""
+
+import pytest
+
+from repro.comm import HaloMode
+from repro.gnn import LARGE_CONFIG, SMALL_CONFIG
+from repro.perf import (
+    FRONTIER,
+    MachineModel,
+    elements_for_loading,
+    rank_grid_for,
+    relative_throughput_series,
+    simulate_weak_scaling,
+)
+from repro.perf.weak_scaling import efficiency_series, simulate_point
+
+
+RANKS = (8, 64, 512, 2048)
+L512 = 518_750  # the paper's measured per-rank loading (4.15e6 / 8)
+L256 = 259_375
+
+
+class TestHelpers:
+    def test_rank_grid_slabs_small(self):
+        assert rank_grid_for(8) == (1, 1, 8)
+        assert rank_grid_for(2) == (1, 1, 2)
+
+    def test_rank_grid_cubic_large(self):
+        assert rank_grid_for(64) == (4, 4, 4)
+        assert rank_grid_for(512) == (8, 8, 8)
+        assert sorted(rank_grid_for(2048)) == [8, 16, 16]
+
+    def test_rank_grid_validation(self):
+        with pytest.raises(ValueError):
+            rank_grid_for(0)
+
+    def test_elements_for_loading_512k(self):
+        ax, ay, az = elements_for_loading(L512, 5)
+        n = (ax * 5 + 1) * (ay * 5 + 1) * (az * 5 + 1)
+        assert abs(n - L512) / L512 < 0.05
+
+    def test_elements_for_loading_validation(self):
+        with pytest.raises(ValueError):
+            elements_for_loading(5, 5)
+
+
+class TestFig7Claims:
+    def test_inconsistent_model_scales_above_90pct(self):
+        """Paper: no-exchange runs achieve >90% efficiency to 2048 ranks
+        at the larger loading."""
+        for config in (SMALL_CONFIG, LARGE_CONFIG):
+            pts = simulate_weak_scaling(FRONTIER, config, L512, HaloMode.NONE, RANKS)
+            assert min(efficiency_series(pts)) > 90.0
+
+    def test_smaller_loading_scales_worse(self):
+        for config in (SMALL_CONFIG, LARGE_CONFIG):
+            e512 = efficiency_series(
+                simulate_weak_scaling(FRONTIER, config, L512, HaloMode.NEIGHBOR_A2A, RANKS)
+            )
+            e256 = efficiency_series(
+                simulate_weak_scaling(FRONTIER, config, L256, HaloMode.NEIGHBOR_A2A, RANKS)
+            )
+            assert e256[-1] < e512[-1]
+
+    def test_a2a_efficiency_collapses(self):
+        pts = simulate_weak_scaling(FRONTIER, LARGE_CONFIG, L512, HaloMode.A2A, RANKS)
+        assert efficiency_series(pts)[-1] < 5.0
+
+    def test_na2a_dramatically_better_than_a2a(self):
+        a2a = simulate_weak_scaling(FRONTIER, LARGE_CONFIG, L512, HaloMode.A2A, RANKS)
+        na2a = simulate_weak_scaling(
+            FRONTIER, LARGE_CONFIG, L512, HaloMode.NEIGHBOR_A2A, RANKS
+        )
+        assert na2a[-1].throughput > 50 * a2a[-1].throughput
+
+    def test_total_graph_size_matches_paper(self):
+        pts = simulate_weak_scaling(FRONTIER, LARGE_CONFIG, L512, HaloMode.NONE, RANKS)
+        assert 3.9e6 < pts[0].total_nodes < 4.4e6  # paper: 4.15e6 at R=8
+        assert 1.0e9 < pts[-1].total_nodes < 1.2e9  # paper: 1.105e9 at R=2048
+
+    def test_throughput_grows_with_ranks_for_consistent_model(self):
+        pts = simulate_weak_scaling(
+            FRONTIER, LARGE_CONFIG, L512, HaloMode.NEIGHBOR_A2A, RANKS
+        )
+        tps = [p.throughput for p in pts]
+        assert tps == sorted(tps)
+
+    def test_send_recv_costed_like_neighbor(self):
+        a = simulate_point(FRONTIER, SMALL_CONFIG, L512, 64, HaloMode.NEIGHBOR_A2A)
+        b = simulate_point(FRONTIER, SMALL_CONFIG, L512, 64, HaloMode.SEND_RECV)
+        assert a.halo_s == b.halo_s
+
+
+class TestFig8Claims:
+    def test_relative_throughput_at_most_one(self):
+        for mode in (HaloMode.A2A, HaloMode.NEIGHBOR_A2A):
+            rel = relative_throughput_series(FRONTIER, LARGE_CONFIG, L512, mode, RANKS)
+            assert all(r <= 1.0 + 1e-12 for r in rel)
+
+    def test_na2a_above_095_until_64_ranks_large(self):
+        """Paper: relative throughput above 0.95 until 64 ranks (512k)."""
+        rel = relative_throughput_series(
+            FRONTIER, LARGE_CONFIG, L512, HaloMode.NEIGHBOR_A2A, (8, 16, 32, 64)
+        )
+        assert all(r > 0.95 for r in rel)
+
+    def test_na2a_large_mild_cost_at_scale(self):
+        """Paper: large model ~10-25% penalty at 1024-2048 ranks."""
+        rel = relative_throughput_series(
+            FRONTIER, LARGE_CONFIG, L512, HaloMode.NEIGHBOR_A2A, (1024, 2048)
+        )
+        assert 0.7 < rel[0] <= 0.95
+        assert 0.6 < rel[1] <= 0.9
+
+    def test_a2a_impractical_at_scale(self):
+        rel = relative_throughput_series(
+            FRONTIER, LARGE_CONFIG, L512, HaloMode.A2A, (512, 2048)
+        )
+        assert rel[0] < 0.2 and rel[1] < 0.05
+
+    def test_small_subgraphs_pay_more(self):
+        """Paper: with 256k loading, relative throughput drops below 0.9
+        beyond 128 ranks."""
+        rel = relative_throughput_series(
+            FRONTIER, SMALL_CONFIG, L256, HaloMode.NEIGHBOR_A2A, (256, 512)
+        )
+        assert all(r < 0.9 for r in rel)
+
+    def test_small_model_pays_more_than_large_at_scale(self):
+        """Paper: the small model shows noticeably reduced relative
+        throughput at large scale despite smaller buffers."""
+        rel_small = relative_throughput_series(
+            FRONTIER, SMALL_CONFIG, L512, HaloMode.NEIGHBOR_A2A, (2048,)
+        )
+        rel_large = relative_throughput_series(
+            FRONTIER, LARGE_CONFIG, L512, HaloMode.NEIGHBOR_A2A, (2048,)
+        )
+        assert rel_small[0] < rel_large[0]
+
+
+class TestMachineModel:
+    def test_flops_per_node_scales_with_model(self):
+        assert FRONTIER.flops_per_node(LARGE_CONFIG) > 5 * FRONTIER.flops_per_node(
+            SMALL_CONFIG
+        )
+
+    def test_compute_time_floor(self):
+        m = MachineModel(effective_flops=1e18)  # flops free -> floor binds
+        assert m.compute_time(SMALL_CONFIG, 1000) == 1000 * m.min_node_time
+
+    def test_collectives_free_at_r1(self):
+        assert FRONTIER.allreduce_time(1e6, 1) == 0.0
+        assert FRONTIER.a2a_dense_time(1e6, 1) == 0.0
+        assert FRONTIER.a2a_neighbor_time(1e6, 0, 1) == 0.0
+
+    def test_dense_a2a_grows_superlinearly(self):
+        t64 = FRONTIER.a2a_dense_time(1e6, 64)
+        t2048 = FRONTIER.a2a_dense_time(1e6, 2048)
+        assert t2048 > 32 * t64  # worse than linear in R

@@ -1,0 +1,110 @@
+"""Property-based tests of the autodiff engine's algebraic structure."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.tensor import Tensor
+from repro.tensor import ops
+
+
+finite = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+
+
+def matrices(max_side=5):
+    return arrays(
+        np.float64,
+        array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=max_side),
+        elements=finite,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=matrices())
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=matrices())
+def test_mean_gradient_is_uniform(x):
+    t = Tensor(x, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad, 1.0 / x.size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=matrices(), seed=st.integers(0, 2**31 - 1))
+def test_gather_scatter_adjoint_identity(x, seed):
+    """<scatter_add(x, idx, m), y> == <x, gather_rows(y, idx)>."""
+    rng = np.random.default_rng(seed)
+    m = rng.integers(1, 6)
+    idx = rng.integers(0, m, size=x.shape[0])
+    y = rng.normal(size=(m,) + x.shape[1:])
+    lhs = float(np.sum(ops.scatter_add(Tensor(x), idx, int(m)).data * y))
+    rhs = float(np.sum(x * y[idx]))
+    assert abs(lhs - rhs) < 1e-9 * max(1.0, abs(lhs))
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=matrices(), seed=st.integers(0, 2**31 - 1))
+def test_linearity_of_backward(x, seed):
+    """grad of (a*f + b*g) == a*grad(f) + b*grad(g)."""
+    rng = np.random.default_rng(seed)
+    a, b = rng.normal(), rng.normal()
+    w1 = rng.normal(size=x.shape)
+    w2 = rng.normal(size=x.shape)
+
+    def grad_of(fn):
+        t = Tensor(x, requires_grad=True)
+        fn(t).backward()
+        return t.grad
+
+    g1 = grad_of(lambda t: (t * w1).sum())
+    g2 = grad_of(lambda t: (t * w2).sum())
+    g3 = grad_of(lambda t: (a * (t * w1).sum() + b * (t * w2).sum()))
+    np.testing.assert_allclose(g3, a * g1 + b * g2, rtol=1e-9, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=matrices())
+def test_elu_matches_definition(x):
+    out = ops.elu(Tensor(x)).data
+    expected = np.where(x > 0, x, np.expm1(x))
+    np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=matrices())
+def test_concat_split_roundtrip(x):
+    t = Tensor(x)
+    halves = max(1, x.shape[0] // 2)
+    joined = ops.concatenate([t[:halves], t[halves:]], axis=0)
+    np.testing.assert_array_equal(joined.data, x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=matrices(), seed=st.integers(0, 2**31 - 1))
+def test_matmul_transpose_adjoint(x, seed):
+    """<A @ B, C> == <A, C @ B.T> (the matmul backward identity)."""
+    rng = np.random.default_rng(seed)
+    k, m = x.shape[1], rng.integers(1, 4)
+    b = rng.normal(size=(k, m))
+    c = rng.normal(size=(x.shape[0], m))
+    lhs = float(np.sum((x @ b) * c))
+    rhs = float(np.sum(x * (c @ b.T)))
+    assert abs(lhs - rhs) < 1e-8 * max(1.0, abs(lhs))
+
+
+@settings(max_examples=30, deadline=None)
+@given(x=matrices())
+def test_layer_norm_output_statistics(x):
+    if x.shape[1] < 2 or np.any(np.std(x, axis=1) < 1e-8):
+        return  # degenerate rows: LN of a constant row is eps-dominated
+    g = Tensor(np.ones(x.shape[1]))
+    b = Tensor(np.zeros(x.shape[1]))
+    out = ops.layer_norm(Tensor(x), g, b).data
+    np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-10)
+    assert np.all(out.std(axis=1) <= 1.0 + 1e-9)

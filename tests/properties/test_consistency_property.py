@@ -1,0 +1,89 @@
+"""The paper's Eq. 2 as a *property*: for random meshes, random model
+seeds and pathological random partitions, the consistent distributed
+evaluation equals the un-partitioned one."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import HaloMode, ThreadWorld
+from repro.gnn import GNNConfig, MeshGNN
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, RandomPartitioner, taylor_green_velocity
+from repro.nekrs import dssum
+from repro.tensor import Tensor, no_grad
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nx=st.integers(2, 3),
+    ny=st.integers(1, 3),
+    p=st.integers(1, 2),
+    size=st.integers(2, 4),
+    seed=st.integers(0, 1000),
+    model_seed=st.integers(0, 1000),
+)
+def test_forward_consistency_for_random_partitions(nx, ny, p, size, seed, model_seed):
+    mesh = BoxMesh(nx, ny, 2, p=p)
+    size = min(size, mesh.n_elements)
+    config = GNNConfig(hidden=4, n_message_passing=2, n_mlp_hidden=0, seed=model_seed)
+
+    g1 = build_full_graph(mesh)
+    x1 = taylor_green_velocity(g1.pos)
+    with no_grad():
+        ref = MeshGNN(config)(x1, g1.edge_attr(node_features=x1), g1).data
+
+    part = RandomPartitioner(seed=seed).partition(mesh, size)
+    dg = build_distributed_graph(mesh, part)
+
+    def prog(comm):
+        g = dg.local(comm.rank)
+        x = taylor_green_velocity(g.pos)
+        with no_grad():
+            return MeshGNN(config)(
+                x, g.edge_attr(node_features=x), g, comm, HaloMode.NEIGHBOR_A2A
+            ).data
+
+    outs = ThreadWorld(size).run(prog)
+    out = dg.assemble_global(outs)
+    np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-11)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nx=st.integers(2, 4),
+    p=st.integers(1, 3),
+    size=st.integers(2, 4),
+    seed=st.integers(0, 1000),
+    data_seed=st.integers(0, 1000),
+)
+def test_dssum_linearity_and_consistency(nx, p, size, seed, data_seed):
+    """dssum is linear and partition-invariant for random partitions."""
+    mesh = BoxMesh(nx, 2, 2, p=p)
+    size = min(size, mesh.n_elements)
+    part = RandomPartitioner(seed=seed).partition(mesh, size)
+    dg = build_distributed_graph(mesh, part)
+    rng = np.random.default_rng(data_seed)
+    u = [rng.normal(size=lg.n_local) for lg in dg.locals]
+    v = [rng.normal(size=lg.n_local) for lg in dg.locals]
+    a, b = rng.normal(), rng.normal()
+
+    def prog(comm):
+        lg = dg.local(comm.rank)
+        lin = dssum(a * u[comm.rank] + b * v[comm.rank], lg, comm)
+        parts = a * dssum(u[comm.rank], lg, comm) + b * dssum(v[comm.rank], lg, comm)
+        return lin, parts
+
+    res = ThreadWorld(size).run(prog)
+    for lin, parts in res:
+        np.testing.assert_allclose(lin, parts, rtol=1e-9, atol=1e-9)
+
+    # consistency vs the serial reduction
+    expected = np.zeros(mesh.n_unique_nodes)
+    for lg, vals in zip(dg.locals, u):
+        expected[lg.global_ids] += vals
+
+    def prog2(comm):
+        return dssum(u[comm.rank], dg.local(comm.rank), comm)
+
+    for lg, out in zip(dg.locals, ThreadWorld(size).run(prog2)):
+        np.testing.assert_allclose(out, expected[lg.global_ids], rtol=1e-9, atol=1e-9)

@@ -1,0 +1,118 @@
+"""Property-based tests of the distributed-graph invariants.
+
+Hypothesis drives random meshes and random (including pathological)
+partitions; the invariants below are exactly the quantities the
+consistency proofs rest on.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, MortonPartitioner, RandomPartitioner
+
+
+meshes = st.builds(
+    BoxMesh,
+    nx=st.integers(1, 3),
+    ny=st.integers(1, 3),
+    nz=st.integers(1, 3),
+    p=st.integers(1, 3),
+)
+
+
+def random_partition(mesh, size, seed):
+    size = min(size, mesh.n_elements)
+    return RandomPartitioner(seed=seed).partition(mesh, size), size
+
+
+@settings(max_examples=25, deadline=None)
+@given(mesh=meshes, size=st.integers(2, 6), seed=st.integers(0, 10_000))
+def test_effective_node_count_invariant(mesh, size, seed):
+    """sum_r sum_i 1/d_i == N_unique for ANY partition (Eq. 6c)."""
+    part, size = random_partition(mesh, size, seed)
+    dg = build_distributed_graph(mesh, part)
+    neff = sum(np.sum(1.0 / lg.node_degree) for lg in dg.locals)
+    assert abs(neff - mesh.n_unique_nodes) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(mesh=meshes, size=st.integers(2, 6), seed=st.integers(0, 10_000))
+def test_effective_edge_count_invariant(mesh, size, seed):
+    """sum_r sum_e 1/d_ij == E_full for ANY partition (Eq. 4b scaling)."""
+    part, size = random_partition(mesh, size, seed)
+    dg = build_distributed_graph(mesh, part)
+    full = build_full_graph(mesh)
+    eeff = sum(np.sum(1.0 / lg.edge_degree) for lg in dg.locals)
+    assert abs(eeff - full.n_edges) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(mesh=meshes, size=st.integers(2, 6), seed=st.integers(0, 10_000))
+def test_halo_channels_symmetric(mesh, size, seed):
+    """r sends to s exactly as many rows as s expects from r, and the
+    global IDs agree in order."""
+    part, size = random_partition(mesh, size, seed)
+    dg = build_distributed_graph(mesh, part)
+    for lg in dg.locals:
+        for nbr in lg.halo.neighbors:
+            other = dg.local(nbr)
+            assert lg.rank in other.halo.neighbors
+            sent = lg.global_ids[lg.halo.spec.send_indices[nbr]]
+            expected = other.halo.spec.recv_counts[lg.rank]
+            assert len(sent) == expected
+            theirs = other.global_ids[other.halo.spec.send_indices[lg.rank]]
+            np.testing.assert_array_equal(sent, theirs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mesh=meshes, size=st.integers(2, 6), seed=st.integers(0, 10_000))
+def test_node_degree_equals_copy_count(mesh, size, seed):
+    part, size = random_partition(mesh, size, seed)
+    dg = build_distributed_graph(mesh, part)
+    copies = np.zeros(mesh.n_unique_nodes)
+    for lg in dg.locals:
+        copies[lg.global_ids] += 1
+    for lg in dg.locals:
+        np.testing.assert_array_equal(lg.node_degree, copies[lg.global_ids])
+
+
+@settings(max_examples=25, deadline=None)
+@given(mesh=meshes, size=st.integers(2, 6), seed=st.integers(0, 10_000))
+def test_local_graphs_validate(mesh, size, seed):
+    part, size = random_partition(mesh, size, seed)
+    dg = build_distributed_graph(mesh, part)
+    for lg in dg.locals:
+        lg.validate()
+
+
+@settings(max_examples=15, deadline=None)
+@given(mesh=meshes, seed=st.integers(0, 10_000))
+def test_union_of_local_edges_is_full_edge_set(mesh, seed):
+    """Every full-graph edge appears on >= 1 rank; no phantom edges."""
+    part, size = random_partition(mesh, 4, seed)
+    dg = build_distributed_graph(mesh, part)
+    full = build_full_graph(mesh)
+    n = mesh.n_unique_nodes
+    full_keys = set(
+        (full.global_ids[full.edge_index[0]] * n + full.global_ids[full.edge_index[1]]).tolist()
+    )
+    local_keys = set()
+    for lg in dg.locals:
+        local_keys.update(
+            (lg.global_ids[lg.edge_index[0]] * n + lg.global_ids[lg.edge_index[1]]).tolist()
+        )
+    assert local_keys == full_keys
+
+
+@settings(max_examples=15, deadline=None)
+@given(mesh=meshes)
+def test_full_graph_node_and_edge_formulas(mesh):
+    """Closed-form lattice counts hold for every mesh shape/order."""
+    g = build_full_graph(mesh)
+    gx, gy, gz = mesh.grid_shape
+    assert g.n_local == gx * gy * gz
+    expected_edges = 2 * (
+        (gx - 1) * gy * gz + gx * (gy - 1) * gz + gx * gy * (gz - 1)
+    )
+    assert g.n_edges == expected_edges

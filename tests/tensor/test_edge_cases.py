@@ -1,0 +1,113 @@
+"""Autodiff edge cases: empty tensors, degenerate shapes, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import ops
+
+
+class TestEmptyTensors:
+    def test_empty_sum(self):
+        t = Tensor(np.zeros((0, 3)), requires_grad=True)
+        s = t.sum()
+        assert s.item() == 0.0
+        s.backward()
+        assert t.grad.shape == (0, 3)
+
+    def test_empty_scatter_add(self):
+        src = Tensor(np.zeros((0, 4)), requires_grad=True)
+        out = ops.scatter_add(src, np.zeros(0, dtype=np.int64), 5)
+        assert out.shape == (5, 4)
+        np.testing.assert_array_equal(out.data, 0.0)
+        (out * np.ones((5, 4))).sum().backward()
+        assert src.grad.shape == (0, 4)
+
+    def test_empty_gather(self):
+        t = Tensor(np.ones((4, 2)))
+        out = ops.gather_rows(t, np.zeros(0, dtype=np.int64))
+        assert out.shape == (0, 2)
+
+    def test_empty_concat_segment(self):
+        a = Tensor(np.zeros((0, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = ops.concatenate([a, b], axis=0)
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (0, 2)
+        np.testing.assert_array_equal(b.grad, 1.0)
+
+
+class TestDegenerateShapes:
+    def test_single_element(self):
+        t = Tensor(np.array([[2.0]]), requires_grad=True)
+        (t * t).sum().backward()
+        np.testing.assert_array_equal(t.grad, [[4.0]])
+
+    def test_scalar_0d(self):
+        t = Tensor(np.array(3.0), requires_grad=True)
+        (t * t).backward()
+        np.testing.assert_allclose(t.grad, 6.0)
+
+    def test_matmul_1x1(self):
+        a = Tensor(np.array([[2.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0]]), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [[3.0]])
+        np.testing.assert_array_equal(b.grad, [[2.0]])
+
+    def test_matmul_3d_rejected(self):
+        with pytest.raises(NotImplementedError):
+            ops.matmul(Tensor(np.zeros((2, 2, 2))), Tensor(np.zeros((2, 2))))
+
+    def test_layer_norm_width_one(self):
+        """LN over a single feature: output is beta (variance ~ 0)."""
+        out = ops.layer_norm(
+            Tensor(np.array([[5.0], [7.0]])),
+            Tensor(np.ones(1)),
+            Tensor(np.full(1, 2.0)),
+        )
+        np.testing.assert_allclose(out.data, 2.0, atol=1e-2)
+
+
+class TestNumericalRobustness:
+    def test_elu_extreme_inputs(self):
+        out = ops.elu(Tensor(np.array([-1e8, -700.0, 700.0, 1e8])))
+        assert np.isfinite(out.data).all()
+
+    def test_layer_norm_huge_values(self):
+        x = Tensor(np.array([[1e12, 2e12, 3e12]]))
+        out = ops.layer_norm(x, Tensor(np.ones(3)), Tensor(np.zeros(3)))
+        assert np.isfinite(out.data).all()
+
+    def test_div_by_tiny(self):
+        out = Tensor(np.array([1.0])) / Tensor(np.array([1e-300]))
+        assert np.isfinite(out.data).all()
+
+    def test_grad_accumulation_many_paths(self):
+        """A node fanned out 100 ways accumulates exactly 100 shares."""
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        terms = [x * float(i) for i in range(100)]
+        total = terms[0]
+        for t in terms[1:]:
+            total = total + t
+        total.sum().backward()
+        np.testing.assert_allclose(x.grad, [sum(range(100))])
+
+
+class TestErrorPaths:
+    def test_backward_twice_reuses_graph(self):
+        """Backward is re-runnable (grads accumulate); not an error."""
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError):
+            ops.concatenate([], axis=0)
+
+    def test_getitem_out_of_bounds(self):
+        with pytest.raises(IndexError):
+            Tensor(np.zeros(3))[np.array([5])]

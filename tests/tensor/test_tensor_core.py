@@ -1,0 +1,167 @@
+"""Tests of the Tensor type itself: graph mechanics, grad bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import ops
+
+
+class TestConstruction:
+    def test_float_list_promotes_to_float64(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_int_array_preserved(self):
+        assert Tensor(np.array([1, 2, 3])).dtype.kind == "i"
+
+    def test_float32_preserved(self):
+        assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+
+    def test_zeros_ones(self):
+        assert Tensor.zeros((2, 3)).data.sum() == 0.0
+        assert Tensor.ones((2, 3)).data.sum() == 6.0
+
+    def test_from_tensor_shares_nothing_weird(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_repr(self):
+        r = repr(Tensor(np.zeros((2, 2)), requires_grad=True, name="x"))
+        assert "requires_grad" in r and "x" in r
+
+    def test_len_shape_ndim_size(self):
+        a = Tensor(np.zeros((4, 5)))
+        assert len(a) == 4 and a.shape == (4, 5) and a.ndim == 2 and a.size == 20
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_seed(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_nonscalar_backward_requires_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * x).backward()
+
+    def test_explicit_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * x).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 40.0])
+
+    def test_seed_shape_mismatch(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * x).backward(np.array([1.0]))
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_zero_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*x used twice: z = y + y -> dz/dx = 4x
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        z = (y + y).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_deep_chain_no_recursion_limit(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_shared_subexpression_reused_many_times(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0
+        total = y
+        for _ in range(10):
+            total = total + y
+        total.sum().backward()
+        np.testing.assert_allclose(x.grad, [22.0])
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * x).detach()
+        z = (y * x).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [9.0])  # only the direct factor
+
+    def test_constant_inputs_get_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        c = Tensor([5.0])
+        (x * c).sum().backward()
+        assert c.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_builds_no_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * x
+        assert y._backward_fn is None and y._parents == ()
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+    def test_no_grad_exception_safe(self):
+        try:
+            with no_grad():
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestDtypePropagation:
+    def test_float32_graph(self):
+        x = Tensor(np.ones((3, 3), dtype=np.float32), requires_grad=True)
+        y = (x * x).sum()
+        assert y.dtype == np.float32
+        y.backward()
+        assert x.grad.dtype == np.float32
+
+    def test_astype_roundtrip_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = ops.astype(x, np.float32)
+        y.sum().backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, 1.0)
+
+
+class TestViewsAndItem:
+    def test_item(self):
+        assert Tensor([2.5]).item() == 2.5
+
+    def test_numpy_shares_memory(self):
+        x = Tensor(np.zeros(3))
+        x.numpy()[0] = 7.0
+        assert x.data[0] == 7.0
+
+    def test_copy_is_independent(self):
+        x = Tensor(np.zeros(3))
+        y = x.copy()
+        y.data[0] = 1.0
+        assert x.data[0] == 0.0

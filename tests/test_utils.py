@@ -1,0 +1,74 @@
+"""Seeding and timing utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, rng_for, spawn_seed
+
+
+class TestSeeding:
+    def test_deterministic(self):
+        assert spawn_seed(42, "a") == spawn_seed(42, "a")
+
+    def test_tag_sensitivity(self):
+        assert spawn_seed(42, "a") != spawn_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert spawn_seed(1, "a") != spawn_seed(2, "a")
+
+    def test_in_63_bit_range(self):
+        for tag in ("x", "y", "weights/0"):
+            s = spawn_seed(123456789, tag)
+            assert 0 <= s < 2**63
+
+    def test_rng_reproducible(self):
+        a = rng_for(7, "layer").normal(size=5)
+        b = rng_for(7, "layer").normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_independent_streams(self):
+        a = rng_for(7, "layer0").normal(size=100)
+        b = rng_for(7, "layer1").normal(size=100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+    def test_not_python_hash_dependent(self):
+        """Must not use salted hash(): known stable value across runs."""
+        assert spawn_seed(0, "t") == spawn_seed(0, "t")
+        # sha-256 derived: stays fixed forever (regression pin)
+        import hashlib
+
+        expected = int.from_bytes(
+            hashlib.sha256(b"0:t").digest()[:8], "little"
+        ) & (2**63 - 1)
+        assert spawn_seed(0, "t") == expected
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.count == 2
+        assert t.total >= 0.02
+        assert abs(t.mean - t.total / 2) < 1e-12
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.total == 0.0 and t.count == 0
+
+    def test_mean_of_empty(self):
+        assert Timer().mean == 0.0
+
+    def test_exception_safe(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError
+        assert t.count == 1
