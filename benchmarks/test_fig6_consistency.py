@@ -5,7 +5,6 @@ is invariant to R; (2) without them the output deviation grows with R.
 The benchmark times a distributed consistent forward+loss evaluation.
 """
 
-import numpy as np
 import pytest
 
 from repro.comm import HaloMode, ThreadWorld

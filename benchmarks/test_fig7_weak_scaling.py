@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.comm import HaloMode, ThreadWorld
-from repro.experiments.scaling import LOADINGS, fig7_weak_scaling
+from repro.experiments.scaling import fig7_weak_scaling
 from repro.gnn import SMALL_CONFIG, train_distributed
 from repro.graph import build_distributed_graph
 from repro.mesh import BoxMesh, Partition, taylor_green_velocity

@@ -14,7 +14,7 @@ from repro.comm import HaloMode, ThreadWorld
 from repro.gnn import GNNConfig, MeshGNN
 from repro.graph import build_distributed_graph, build_full_graph
 from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
-from repro.tensor import Tensor, no_grad
+from repro.tensor import no_grad
 
 MESH = BoxMesh(6, 6, 4, p=1)
 BASE = GNNConfig(hidden=8, n_message_passing=3, n_mlp_hidden=1, seed=1)

@@ -6,7 +6,6 @@ volume is not — this bench quantifies how much the partition quality
 matters for the halo exchange the scaling study prices.
 """
 
-import numpy as np
 import pytest
 
 from repro.graph import build_distributed_graph

@@ -1,0 +1,158 @@
+"""Serving throughput — dynamic batching vs sequential per-request rollout.
+
+The claim: coalescing concurrent same-key requests into one tiled
+forward pass per step amortizes the per-op overhead (and, distributed,
+the per-collective latency) that a sequential per-request loop pays
+``B`` times, so a batched service clears strictly more requests per
+second than a sequential one. The benchmark fires the same concurrent
+burst at two service configurations — ``max_batch_size=1`` (sequential)
+and ``max_batch_size=BURST`` (dynamic batching) — and reports wall
+time, throughput, cache hit rate, and queue metrics for each.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.gnn import GNNConfig, MeshGNN
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.perf.report import markdown_table
+from repro.serve import InferenceService, ServeConfig
+
+CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)
+BURST = 12  # concurrent requests per burst
+N_STEPS = 5
+WARMUP_STEPS = 1
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return BoxMesh(4, 4, 2, p=1)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MeshGNN(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def x0(mesh):
+    return taylor_green_velocity(mesh.all_positions())
+
+
+def fire_burst(service, x0, n_requests, n_steps):
+    """Submit ``n_requests`` concurrently; return wall seconds to drain."""
+    errors = []
+
+    def fire(i):
+        try:
+            states = service.rollout("m", "g", x0, n_steps)
+            assert len(states) == n_steps + 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=fire, args=(i,)) for i in range(n_requests)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[0]
+    return elapsed
+
+
+def run_config(graphs, model, x0, max_batch_size, max_wait_s):
+    config = ServeConfig(max_batch_size=max_batch_size, max_wait_s=max_wait_s)
+    with InferenceService(config) as service:
+        service.register_model("m", model)
+        service.register_graph("g", graphs)
+        fire_burst(service, x0, 2, WARMUP_STEPS)  # warm cache + code paths
+        elapsed = fire_burst(service, x0, BURST, N_STEPS)
+        stats = service.stats()
+    return elapsed, stats
+
+
+@pytest.fixture(scope="module")
+def single_rank_results(mesh, model, x0):
+    graphs = [build_full_graph(mesh)]
+    seq_s, seq_stats = run_config(graphs, model, x0, 1, 0.0)
+    bat_s, bat_stats = run_config(graphs, model, x0, BURST, 0.05)
+    return {"sequential": (seq_s, seq_stats), "batched": (bat_s, bat_stats)}
+
+
+@pytest.fixture(scope="module")
+def multi_rank_results(mesh, model, x0):
+    dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+    seq_s, seq_stats = run_config(dg.locals, model, x0, 1, 0.0)
+    bat_s, bat_stats = run_config(dg.locals, model, x0, BURST, 0.05)
+    return {"sequential": (seq_s, seq_stats), "batched": (bat_s, bat_stats)}
+
+
+def _report(title, results):
+    rows = []
+    for name, (elapsed, stats) in results.items():
+        rows.append([
+            name,
+            f"{elapsed * 1e3:.1f}",
+            f"{BURST / elapsed:.1f}",
+            f"{stats.mean_batch_size:.2f}",
+            stats.batches,
+            f"{stats.cache.hit_rate:.2f}",
+            stats.queue_depth_high_water,
+            f"{stats.mean_queue_wait_s * 1e3:.2f}",
+        ])
+    print(f"\n{title} — {BURST} concurrent requests x {N_STEPS} steps")
+    print(markdown_table(
+        ["config", "wall (ms)", "req/s", "mean batch", "batches",
+         "cache hit rate", "queue high water", "mean wait (ms)"],
+        rows,
+    ))
+
+
+def test_single_rank_batching_beats_sequential(single_rank_results):
+    _report("single-rank serving", single_rank_results)
+    seq_s, seq_stats = single_rank_results["sequential"]
+    bat_s, bat_stats = single_rank_results["batched"]
+    assert bat_stats.mean_batch_size > 1.5, "batching never engaged"
+    assert seq_stats.mean_batch_size == 1.0
+    assert BURST / bat_s > BURST / seq_s, (
+        f"batched throughput {BURST / bat_s:.1f} req/s did not beat "
+        f"sequential {BURST / seq_s:.1f} req/s"
+    )
+
+
+def test_multi_rank_batching_beats_sequential(multi_rank_results):
+    _report("4-rank threaded serving", multi_rank_results)
+    seq_s, _ = multi_rank_results["sequential"]
+    bat_s, bat_stats = multi_rank_results["batched"]
+    assert bat_stats.mean_batch_size > 1.5, "batching never engaged"
+    assert BURST / bat_s > BURST / seq_s
+
+
+def test_cache_hit_rate_reported(single_rank_results):
+    """Every burst after warmup hits the resident graph asset."""
+    for name in ("sequential", "batched"):
+        _, stats = single_rank_results[name]
+        assert stats.cache.misses == 1
+        assert stats.cache.hit_rate >= 0.5
+
+
+def test_queue_metrics_reported(single_rank_results):
+    _, seq_stats = single_rank_results["sequential"]
+    assert seq_stats.queue_depth_high_water >= 2  # burst actually queued
+    assert seq_stats.requests == BURST + 2
+    assert seq_stats.mean_queue_wait_s >= 0.0
+
+
+def test_benchmark_batched_burst(benchmark, mesh, model, x0):
+    """pytest-benchmark timing of a batched burst end to end."""
+    graphs = [build_full_graph(mesh)]
+    config = ServeConfig(max_batch_size=BURST, max_wait_s=0.05)
+    with InferenceService(config) as service:
+        service.register_model("m", model)
+        service.register_graph("g", graphs)
+        fire_burst(service, x0, 2, WARMUP_STEPS)
+        benchmark(fire_burst, service, x0, BURST, N_STEPS)

@@ -4,7 +4,6 @@ Closed-form at paper scale (R = 8 ... 2048); benchmarks materialized
 distributed-graph construction at reduced scale.
 """
 
-import pytest
 
 from repro.experiments.partition_table import (
     table2_materialized,

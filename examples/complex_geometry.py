@@ -15,7 +15,6 @@ import numpy as np
 from repro.comm import HaloMode, ThreadWorld
 from repro.gnn import GNNConfig, MeshGNN
 from repro.graph import build_distributed_graph
-from repro.graph.distributed import DistributedGraph
 from repro.mesh import mixed_hex_wedge_box, partition_by_centroid, wedge_column
 from repro.mesh.partition import Partition
 from repro.tensor import no_grad

@@ -10,7 +10,6 @@ that both runs produce identical losses.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.comm import HaloMode, ThreadWorld
 from repro.gnn import SMALL_CONFIG, train_distributed, train_single

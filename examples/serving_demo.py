@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Serve a trained surrogate behind the batched inference service.
+
+Where ``surrogate_rollout.py`` hand-wires one rollout per script, this
+demo runs the production shape: a trained checkpoint and a partitioned
+graph are registered once as named assets, then many concurrent clients
+request trajectories. The service coalesces simultaneous requests into
+single batched forward passes (block-diagonal graph tiling), streams
+frames back per step, and the result is checked to be *bitwise
+identical* to a direct ``rollout()`` call — batching and serving add
+zero numerical perturbation.
+
+Run:  python examples/serving_demo.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.gnn import GNNConfig, MeshGNN, rollout, save_checkpoint, train_single
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.graph.io import save_distributed_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.serve import InferenceService, ServeClient, ServeConfig
+
+CONFIG = GNNConfig(hidden=8, n_message_passing=2, n_mlp_hidden=1, seed=5)
+NU, DT = 0.05, 1.0
+STEPS = 4
+CLIENTS = 6
+
+
+def main() -> None:
+    mesh = BoxMesh(4, 4, 2, p=1)
+    g1 = build_full_graph(mesh)
+    x0 = taylor_green_velocity(g1.pos, t=0.0, nu=NU)
+    x1 = taylor_green_velocity(g1.pos, t=DT, nu=NU)
+
+    print("training the one-step surrogate ...")
+    result = train_single(CONFIG, g1, x0, x1, iterations=40, lr=3e-3)
+    print(f"  loss {result.losses[0]:.5f} -> {result.final_loss:.5f}")
+    model = MeshGNN(CONFIG)
+    model.load_state_dict(result.state_dict)
+
+    # the reference trajectory the service must reproduce exactly
+    reference = rollout(model, g1, x0, n_steps=STEPS)
+
+    dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
+
+    with tempfile.TemporaryDirectory(prefix="repro-serving-demo-") as tmp:
+        ckpt = Path(tmp) / "surrogate.npz"
+        save_checkpoint(model, ckpt)
+        graph_dir = Path(tmp) / "graphs-r4"
+        save_distributed_graph(dg, graph_dir)
+
+        config = ServeConfig(max_batch_size=CLIENTS, max_wait_s=0.02)
+        with InferenceService(config) as service:
+            client = ServeClient(service)
+            client.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
+            client.register_graph("mesh-r1", [g1])
+            client.register_graph_dir("mesh-r4", graph_dir)
+
+            # burst of concurrent clients against the single-rank asset
+            print(f"\nserving {CLIENTS} concurrent rollout requests (R=1) ...")
+            outputs: list = [None] * CLIENTS
+
+            def fire(i: int) -> None:
+                outputs[i] = client.rollout("tgv", "mesh-r1", x0, n_steps=STEPS)
+
+            threads = [threading.Thread(target=fire, args=(i,)) for i in range(CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for states in outputs:
+                assert len(states) == STEPS + 1
+                for served, direct in zip(states, reference):
+                    assert np.array_equal(served, direct)
+            print("  every served trajectory is bitwise equal to rollout() ✓")
+
+            # distributed asset: frames stream in while later steps compute
+            print("\nstreaming one request against the 4-rank asset ...")
+            for k, frame in enumerate(client.stream("tgv", "mesh-r4", x0, STEPS)):
+                dev = float(np.abs(frame - reference[k]).max())
+                print(f"  frame {k}: max |R=4 - R=1| = {dev:.3e}")
+                assert dev < 1e-9
+            print("  distributed serving matches to machine precision ✓")
+
+            print("\nserving stats:")
+            print(client.stats_markdown())
+
+
+if __name__ == "__main__":
+    main()

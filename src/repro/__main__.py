@@ -1,34 +1,19 @@
-"""Command-line entry point: regenerate every paper artifact.
+"""Command-line entry point: paper artifacts and the serving demo.
 
 Usage::
 
-    python -m repro                 # run all experiment drivers
-    python -m repro fig2 table1     # run a subset
+    python -m repro                     # run all experiment drivers
+    python -m repro fig2 table1         # run a subset of artifacts
+    python -m repro serve --requests 8  # batched-inference service demo
     python -m repro --list
 
 Artifact names: fig2, table1, fig6, table2, fig7, fig8, all.
+Commands: serve (flags follow the command; ``serve --help`` lists them).
 """
 
 from __future__ import annotations
 
 import sys
-
-
-def _run_fig7_fig8() -> None:
-    from repro.experiments.scaling import print_fig7, print_fig8
-
-    print_fig7()
-    print_fig8()
-
-
-DRIVERS = {
-    "fig2": lambda: _import_main("repro.experiments.element_counts"),
-    "table1": lambda: _import_main("repro.experiments.model_table"),
-    "fig6": lambda: _import_main("repro.experiments.consistency"),
-    "table2": lambda: _import_main("repro.experiments.partition_table"),
-    "fig7": lambda: _print_fig("fig7"),
-    "fig8": lambda: _print_fig("fig8"),
-}
 
 
 def _import_main(module: str) -> None:
@@ -43,17 +28,48 @@ def _print_fig(which: str) -> None:
     (print_fig7 if which == "fig7" else print_fig8)()
 
 
+def _serve(argv: list[str]) -> int:
+    from repro.serve.cli import main as serve_main
+
+    return serve_main(argv)
+
+
+DRIVERS = {
+    "fig2": lambda: _import_main("repro.experiments.element_counts"),
+    "table1": lambda: _import_main("repro.experiments.model_table"),
+    "fig6": lambda: _import_main("repro.experiments.consistency"),
+    "table2": lambda: _import_main("repro.experiments.partition_table"),
+    "fig7": lambda: _print_fig("fig7"),
+    "fig8": lambda: _print_fig("fig8"),
+}
+
+#: commands take the remaining argv and own their argument parsing
+COMMANDS = {
+    "serve": _serve,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in COMMANDS:
+        return COMMANDS[argv[0]](argv[1:])
     if "--list" in argv:
         print("available artifacts:", ", ".join(list(DRIVERS) + ["all"]))
+        print("available commands:", ", ".join(COMMANDS))
+        return 0
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
         return 0
     targets = argv or ["all"]
     if "all" in targets:
         targets = list(DRIVERS)
     unknown = [t for t in targets if t not in DRIVERS]
     if unknown:
-        print(f"unknown artifacts: {unknown}; use --list", file=sys.stderr)
+        print(
+            f"unknown artifacts: {unknown}; use --list "
+            f"(commands like 'serve' must come first)",
+            file=sys.stderr,
+        )
         return 2
     for i, t in enumerate(targets):
         if i:

@@ -10,7 +10,7 @@ available in ``benchmarks/test_fig7_weak_scaling.py``.
 from __future__ import annotations
 
 from repro.comm.modes import HaloMode
-from repro.gnn import LARGE_CONFIG, SMALL_CONFIG, GNNConfig
+from repro.gnn import LARGE_CONFIG, SMALL_CONFIG
 from repro.perf import FRONTIER, MachineModel, simulate_weak_scaling
 from repro.perf.weak_scaling import efficiency_series, relative_throughput_series
 

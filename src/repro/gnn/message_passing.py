@@ -60,7 +60,7 @@ class ConsistentNMPLayer(Module):
         #: ablation switch: disable the 1/d_ij scaling of Eq. 4b. With it
         #: off, replicated boundary edges are double-counted after the
         #: sync step and Eq. 2 is violated — kept as a negative control
-        #: (see benchmarks/test_ablations.py).
+        #: (see benchmarks/test_paper_ablations.py).
         self.degree_scaling = degree_scaling
         self.edge_mlp = MLP(
             3 * hidden, hidden, hidden, n_mlp_hidden,

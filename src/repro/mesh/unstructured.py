@@ -34,7 +34,6 @@ import numpy as np
 from repro.graph.build import element_edge_template
 from repro.mesh.box import BoxMesh
 from repro.mesh.global_ids import coincident_groups_from_positions
-from repro.mesh.gll import gll_points
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,66 @@
+"""Batched surrogate-inference serving.
+
+The paper trains consistent distributed mesh GNNs so they can replace
+solver steps downstream; this subpackage is the machinery that turns a
+trained model into a *service*:
+
+* :mod:`repro.serve.registry` — named models loaded from checkpoints,
+  with config-compatibility validation;
+* :mod:`repro.serve.cache` — LRU cache of partitioned graph assets so
+  repeated requests skip partitioning/halo-plan construction;
+* :mod:`repro.serve.batching` — request queue with dynamic batching:
+  concurrent same-key requests coalesce into one batch;
+* :mod:`repro.serve.tiling` — block-diagonal graph replication that
+  makes one batched forward bitwise-equal to per-request forwards;
+* :mod:`repro.serve.executor` — batch execution over the single and
+  threaded comm backends, streaming frames per step;
+* :mod:`repro.serve.metrics` — per-request latency/queue/traffic
+  metrics and the stats table;
+* :mod:`repro.serve.service` / :mod:`repro.serve.client` — the engine
+  and its in-process client facade;
+* :mod:`repro.serve.cli` — the ``python -m repro serve`` demo.
+"""
+
+from repro.serve.batching import (
+    BatchKey,
+    InferenceRequest,
+    RequestQueue,
+    RolloutHandle,
+)
+from repro.serve.cache import CacheStats, GraphAsset, GraphCache
+from repro.serve.client import ServeClient
+from repro.serve.executor import BatchExecution, execute_batch
+from repro.serve.metrics import RequestMetrics, ServeStats, stats_markdown
+from repro.serve.registry import (
+    IncompatibleModel,
+    ModelNotFound,
+    ModelRegistry,
+    RegistryStats,
+)
+from repro.serve.service import InferenceService, ServeConfig
+from repro.serve.tiling import split_states, stack_states, tile_local_graph
+
+__all__ = [
+    "BatchExecution",
+    "BatchKey",
+    "CacheStats",
+    "GraphAsset",
+    "GraphCache",
+    "IncompatibleModel",
+    "InferenceRequest",
+    "InferenceService",
+    "ModelNotFound",
+    "ModelRegistry",
+    "RegistryStats",
+    "RequestMetrics",
+    "RequestQueue",
+    "RolloutHandle",
+    "ServeClient",
+    "ServeConfig",
+    "ServeStats",
+    "execute_batch",
+    "split_states",
+    "stack_states",
+    "stats_markdown",
+    "tile_local_graph",
+]

@@ -1,0 +1,229 @@
+"""Request queue with dynamic batching.
+
+Concurrent rollout requests against the same ``(model, graph,
+halo_mode, residual)`` key are coalesced into one batch and executed as
+a single tiled forward pass per step (:mod:`repro.serve.tiling`). The
+queue applies the classic dynamic-batching policy: the first request
+opens a batch, the collector then waits up to ``max_wait_s`` for more
+same-key requests (leaving other keys queued in arrival order) and
+closes the batch early once ``max_batch_size`` is reached.
+
+Results stream back through :class:`RolloutHandle`: frames are pushed
+as each rollout step completes, so a client can consume a trajectory
+incrementally while later steps are still being computed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.modes import HaloMode
+
+_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """Requests coalesce iff every field matches."""
+
+    model: str
+    graph: str
+    halo_mode: str
+    residual: bool
+
+
+@dataclass
+class InferenceRequest:
+    """One rollout (``n_steps >= 1``) or single-step (``n_steps == 1``)
+    surrogate query.
+
+    ``x0`` is the *global* initial state ``(n_global_nodes, node_in)``;
+    the executor scatters it to ranks by global ID and assembles global
+    frames back.
+    """
+
+    model: str
+    graph: str
+    x0: np.ndarray
+    n_steps: int
+    halo_mode: str = HaloMode.NEIGHBOR_A2A.value
+    residual: bool = False
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+    def __post_init__(self) -> None:
+        if self.n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        self.halo_mode = HaloMode.parse(self.halo_mode).value
+        self.x0 = np.asarray(self.x0, dtype=np.float64)
+        if self.x0.ndim != 2:
+            raise ValueError(f"x0 must be 2-D (nodes, features), got {self.x0.shape}")
+
+    @property
+    def key(self) -> BatchKey:
+        return BatchKey(self.model, self.graph, self.halo_mode, self.residual)
+
+
+class RolloutHandle:
+    """Client-side view of an in-flight request (stream or await).
+
+    Frames arrive in step order, frame 0 being ``x0`` itself (matching
+    :func:`repro.gnn.rollout.rollout`, which returns ``n_steps + 1``
+    states). ``frames()`` yields them as they are produced; ``result()``
+    blocks for the complete trajectory. A failure in the worker is
+    re-raised in the consumer.
+    """
+
+    _DONE = object()
+
+    def __init__(self, request: InferenceRequest):
+        self.request = request
+        self.metrics = None  # RequestMetrics, attached on completion
+        self._frames: queue_mod.Queue = queue_mod.Queue()
+        self._done = threading.Event()
+        self._error: BaseException | None = None
+        self._collected: list[np.ndarray] = []
+
+    # -- producer side (service internals) -----------------------------------
+
+    def _push_frame(self, state: np.ndarray) -> None:
+        self._frames.put(np.array(state, copy=True))
+
+    def _finish(self, error: BaseException | None = None) -> None:
+        self._error = error
+        self._frames.put(self._DONE)
+        self._done.set()
+
+    # -- consumer side -------------------------------------------------------
+
+    def frames(self, timeout: float | None = 60.0):
+        """Yield frames incrementally (``n_steps + 1`` of them).
+
+        ``timeout`` is a per-frame inactivity bound: it caps how long
+        to wait for the *next* frame, not the whole trajectory. Raises
+        :class:`TimeoutError` when the producer goes quiet.
+        """
+        while True:
+            try:
+                item = self._frames.get(timeout=timeout)
+            except queue_mod.Empty:
+                raise TimeoutError(
+                    f"request {self.request.request_id}: no frame within "
+                    f"{timeout}s"
+                ) from None
+            if item is self._DONE:
+                if self._error is not None:
+                    raise self._error
+                return
+            self._collected.append(item)
+            yield item
+
+    def result(self, timeout: float | None = 60.0) -> list[np.ndarray]:
+        """Block until done; return the full trajectory (incl. frame 0).
+
+        ``timeout`` bounds each frame's arrival (see :meth:`frames`).
+        """
+        for _ in self.frames(timeout=timeout):
+            pass
+        return self._collected
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class RequestQueue:
+    """FIFO of pending requests with same-key batch collection."""
+
+    def __init__(self) -> None:
+        self._pending: list[tuple[InferenceRequest, RolloutHandle]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._depth_high_water = 0
+
+    def submit(self, request: InferenceRequest) -> RolloutHandle:
+        handle = RolloutHandle(request)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._pending.append((request, handle))
+            self._depth_high_water = max(self._depth_high_water, len(self._pending))
+            self._cond.notify_all()
+        return handle
+
+    def next_batch(
+        self,
+        max_batch_size: int,
+        max_wait_s: float,
+        poll_s: float = 1.0,
+    ) -> list[tuple[InferenceRequest, RolloutHandle]] | None:
+        """Collect the next batch, or ``None`` once closed and drained.
+
+        The head-of-line request determines the batch key; same-key
+        requests (in arrival order) join until ``max_batch_size`` or
+        until ``max_wait_s`` has elapsed since collection began.
+        Other-key requests stay queued and are served by subsequent
+        calls in arrival order.
+        """
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait(timeout=poll_s)
+            head_req, head_handle = self._pending.pop(0)
+            batch = [(head_req, head_handle)]
+            key = head_req.key
+            deadline = time.perf_counter() + max_wait_s
+            while len(batch) < max_batch_size:
+                self._take_matching(key, batch, max_batch_size)
+                if len(batch) >= max_batch_size or self._closed:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            self._take_matching(key, batch, max_batch_size)
+            return batch
+
+    def _take_matching(
+        self,
+        key: BatchKey,
+        batch: list,
+        max_batch_size: int,
+    ) -> None:
+        # caller holds the lock
+        kept = []
+        for item in self._pending:
+            if len(batch) < max_batch_size and item[0].key == key:
+                batch.append(item)
+            else:
+                kept.append(item)
+        self._pending[:] = kept
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    @property
+    def depth_high_water(self) -> int:
+        with self._cond:
+            return self._depth_high_water
+
+    def close(self) -> None:
+        """Stop accepting requests; pending ones are still served."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

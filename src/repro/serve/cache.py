@@ -1,0 +1,205 @@
+"""LRU cache of partitioned graph assets.
+
+Partitioning a mesh and constructing halo plans is far more expensive
+than a single surrogate step, so the serving layer loads each
+partitioned graph once — through :mod:`repro.graph.io` when the asset
+lives on disk — and keeps it resident. The cache is bounded both by
+entry count and by (estimated) resident bytes; eviction is
+least-recently-used, and hit/miss/eviction counts feed the service
+stats API.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.graph.distributed import LocalGraph
+from repro.graph.io import load_rank_graphs
+
+
+@dataclass(frozen=True)
+class GraphAsset:
+    """A resident, ready-to-serve partitioned graph (all ranks)."""
+
+    key: str
+    graphs: tuple[LocalGraph, ...]
+
+    @property
+    def size(self) -> int:
+        """World size ``R`` of the asset."""
+        return len(self.graphs)
+
+    @property
+    def n_global(self) -> int:
+        """Global node count (1 + the largest global ID present)."""
+        return 1 + max(int(g.global_ids[-1]) for g in self.graphs)
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated resident bytes (arrays of every rank payload)."""
+        total = 0
+        for g in self.graphs:
+            total += (
+                g.global_ids.nbytes
+                + g.pos.nbytes
+                + g.edge_index.nbytes
+                + g.edge_degree.nbytes
+                + g.node_degree.nbytes
+                + g.halo.halo_to_local.nbytes
+            )
+            total += sum(idx.nbytes for idx in g.halo.spec.send_indices.values())
+        return total
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting (snapshot)."""
+
+    entries: int = 0
+    resident_bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class GraphCache:
+    """Size-bounded LRU of :class:`GraphAsset` keyed by string.
+
+    ``max_entries`` bounds the entry count; ``max_bytes`` (optional)
+    additionally bounds the estimated resident footprint. An asset
+    larger than ``max_bytes`` on its own is still admitted (evicting
+    everything else) — refusing it would make the cache useless for
+    exactly the graphs that are most expensive to reload.
+    """
+
+    def __init__(self, max_entries: int = 8, max_bytes: int | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._assets: OrderedDict[str, GraphAsset] = OrderedDict()
+        self._lock = threading.Lock()
+        self._load_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core ----------------------------------------------------------------
+
+    def get(self, key: str) -> GraphAsset | None:
+        """Return the asset (refreshing recency) or None on a miss."""
+        with self._lock:
+            asset = self._assets.get(key)
+            if asset is None:
+                self._misses += 1
+                return None
+            self._assets.move_to_end(key)
+            self._hits += 1
+            return asset
+
+    def put(self, key: str, graphs: Sequence[LocalGraph]) -> GraphAsset:
+        """Insert (or replace) an asset and apply the size bounds."""
+        if not graphs:
+            raise ValueError("asset must contain at least one rank graph")
+        asset = GraphAsset(key=key, graphs=tuple(graphs))
+        with self._lock:
+            self._assets[key] = asset
+            self._assets.move_to_end(key)
+            self._enforce_bounds(keep=key)
+        return asset
+
+    def get_or_load(
+        self, key: str, loader: Callable[[], Sequence[LocalGraph]]
+    ) -> GraphAsset:
+        """Cache-through read: on a miss, run ``loader`` and admit it.
+
+        Loads are serialized so concurrent misses on the same key run
+        the (expensive) loader once; the losers of the race hit the
+        freshly admitted asset instead.
+        """
+        asset = self.get(key)
+        if asset is not None:
+            return asset
+        with self._load_lock:
+            with self._lock:
+                raced = self._assets.get(key)
+                if raced is not None:
+                    self._assets.move_to_end(key)
+                    self._hits += 1
+                    return raced
+            return self.put(key, loader())
+
+    def load_directory(self, directory: str | Path) -> GraphAsset:
+        """Load (or hit) the rank payloads of a graph directory, keyed by
+        its resolved path (see :func:`repro.graph.io.load_rank_graphs`)."""
+        directory = Path(directory)
+        key = str(directory.resolve())
+        return self.get_or_load(key, lambda: load_rank_graphs(directory))
+
+    def evict(self, key: str) -> bool:
+        """Drop one asset; returns whether it was resident."""
+        with self._lock:
+            if key in self._assets:
+                del self._assets[key]
+                self._evictions += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._evictions += len(self._assets)
+            self._assets.clear()
+
+    def _enforce_bounds(self, keep: str) -> None:
+        # caller holds the lock
+        while len(self._assets) > self._max_entries:
+            self._evict_lru(keep)
+        if self._max_bytes is not None:
+            while (
+                len(self._assets) > 1
+                and sum(a.nbytes for a in self._assets.values()) > self._max_bytes
+            ):
+                self._evict_lru(keep)
+
+    def _evict_lru(self, keep: str) -> None:
+        for key in self._assets:
+            if key != keep:
+                del self._assets[key]
+                self._evictions += 1
+                return
+        # only `keep` remains; nothing else to evict
+        raise AssertionError("LRU eviction found no evictable entry")
+
+    # -- introspection -------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._assets
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._assets)
+
+    def keys(self) -> list[str]:
+        """Keys in LRU → MRU order."""
+        with self._lock:
+            return list(self._assets)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                entries=len(self._assets),
+                resident_bytes=sum(a.nbytes for a in self._assets.values()),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )

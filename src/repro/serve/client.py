@@ -1,0 +1,136 @@
+"""In-process client for the inference service.
+
+``ServeClient`` is the API surface application code should hold: it
+hides the service object behind the small set of operations a surrogate
+consumer needs (single step, full rollout, streaming rollout), mirrors
+the asset-registration calls, and exposes the stats snapshot. Keeping
+clients on this narrow interface means a future out-of-process
+transport (sockets serializing ``InferenceRequest``) can slot in
+without touching callers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.comm.modes import HaloMode
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.graph.distributed import LocalGraph
+from repro.serve.batching import RolloutHandle
+from repro.serve.metrics import ServeStats
+from repro.serve.service import InferenceService, ServeConfig
+
+
+class ServeClient:
+    """Thin, typed facade over an :class:`InferenceService`.
+
+    >>> # client = ServeClient.local(ServeConfig(max_batch_size=4))
+    >>> # client.register_model("m", model)
+    >>> # client.register_graph("g", dg.locals)
+    >>> # x1 = client.step("m", "g", x0)
+    """
+
+    def __init__(self, service: InferenceService):
+        self._service = service
+
+    @classmethod
+    def local(cls, config: ServeConfig | None = None) -> "ServeClient":
+        """Create and start a private in-process service."""
+        return cls(InferenceService(config).start())
+
+    @property
+    def service(self) -> InferenceService:
+        return self._service
+
+    def close(self) -> None:
+        self._service.stop()
+
+    def __enter__(self) -> "ServeClient":
+        self._service.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- assets --------------------------------------------------------------
+
+    def register_model(self, name: str, model: MeshGNN) -> None:
+        self._service.register_model(name, model)
+
+    def register_checkpoint(
+        self,
+        name: str,
+        path: str | Path,
+        expect_config: GNNConfig | None = None,
+        eager: bool = False,
+    ) -> None:
+        self._service.register_checkpoint(name, path, expect_config, eager)
+
+    def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
+        self._service.register_graph(key, graphs)
+
+    def register_graph_dir(self, key: str, directory: str | Path) -> None:
+        self._service.register_graph_dir(key, directory)
+
+    # -- queries -------------------------------------------------------------
+
+    def step(
+        self,
+        model: str,
+        graph: str,
+        x: np.ndarray,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+    ) -> np.ndarray:
+        """One surrogate time step: returns the next global state."""
+        states = self._service.rollout(model, graph, x, 1, halo_mode, residual)
+        return states[1]
+
+    def rollout(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+    ) -> list[np.ndarray]:
+        """Full trajectory (``n_steps + 1`` states including ``x0``)."""
+        return self._service.rollout(model, graph, x0, n_steps, halo_mode, residual)
+
+    def submit(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+    ) -> RolloutHandle:
+        """Asynchronous submit; the handle streams frames as computed."""
+        return self._service.submit(model, graph, x0, n_steps, halo_mode, residual)
+
+    def stream(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+    ) -> Iterator[np.ndarray]:
+        """Generator of frames, yielding each step as it completes."""
+        handle = self.submit(model, graph, x0, n_steps, halo_mode, residual)
+        yield from handle.frames(timeout=self._service.config.request_timeout_s)
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> ServeStats:
+        return self._service.stats()
+
+    def stats_markdown(self) -> str:
+        return self._service.stats_markdown()

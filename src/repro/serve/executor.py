@@ -1,0 +1,211 @@
+"""Batch execution engine: tiled rollouts over the comm backends.
+
+One batch = requests sharing a ``(model, graph, halo_mode, residual)``
+key. The engine scatters each request's global initial state to ranks
+by global ID, tiles every rank's :class:`LocalGraph` ``B``-fold
+(:mod:`repro.serve.tiling`), and steps all ``B`` trajectories with a
+single model forward per step. Single-rank assets run inline on
+:class:`~repro.comm.single.SingleProcessComm`; multi-rank assets run
+SPMD over :class:`~repro.comm.threaded.ThreadWorld`, with each rank
+depositing its per-step states into a collector so frames stream to
+clients while later steps are still computing.
+
+The arithmetic is exactly that of :func:`repro.gnn.rollout.rollout` —
+edge features recomputed from the current state each step, residual or
+direct update — so a served trajectory is bitwise identical to a
+hand-wired rollout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.comm.backend import TrafficStats
+from repro.comm.modes import HaloMode
+from repro.comm.single import SingleProcessComm
+from repro.comm.threaded import ThreadWorld
+from repro.gnn.architecture import MeshGNN
+from repro.serve.cache import GraphAsset
+from repro.serve.batching import InferenceRequest
+from repro.serve.registry import IncompatibleModel, ModelRegistry
+from repro.serve.tiling import stack_states, tile_local_graph
+from repro.tensor import Tensor, no_grad
+
+#: frame dispatcher: ``(request_index, step, global_state)``
+FrameDispatch = Callable[[int, int, np.ndarray], None]
+
+
+@dataclass(frozen=True)
+class BatchExecution:
+    """What one batch cost (per-batch metrics input)."""
+
+    batch_size: int
+    world_size: int
+    n_steps: int
+    exec_s: float
+    comm: TrafficStats
+
+
+class _StepCollector:
+    """Rendezvous for per-step rank states (multi-rank streaming)."""
+
+    def __init__(self, n_ranks: int):
+        self._n = n_ranks
+        self._cond = threading.Condition()
+        self._store: dict[int, dict[int, np.ndarray]] = {}
+        self._failure: BaseException | None = None
+
+    def put(self, rank: int, step: int, state: np.ndarray) -> None:
+        with self._cond:
+            self._store.setdefault(step, {})[rank] = state
+            self._cond.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._cond:
+            if self._failure is None:
+                self._failure = exc
+            self._cond.notify_all()
+
+    def failure(self) -> BaseException | None:
+        with self._cond:
+            return self._failure
+
+    def wait_step(self, step: int, timeout: float) -> list[np.ndarray]:
+        """Block until every rank deposited ``step``; returns rank order."""
+        deadline = time.perf_counter() + timeout
+        with self._cond:
+            while True:
+                if self._failure is not None:
+                    raise self._failure
+                ranks = self._store.get(step)
+                if ranks is not None and len(ranks) == self._n:
+                    del self._store[step]
+                    return [ranks[r] for r in range(self._n)]
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TimeoutError(f"rank states for step {step} never arrived")
+                self._cond.wait(remaining)
+
+
+def _validate_batch(
+    model: MeshGNN, asset: GraphAsset, requests: Sequence[InferenceRequest]
+) -> None:
+    ModelRegistry.validate_rollout(model)
+    n_global = asset.n_global
+    node_in = model.config.node_in
+    for req in requests:
+        if req.x0.shape != (n_global, node_in):
+            raise IncompatibleModel(
+                f"request {req.request_id}: x0 has shape {req.x0.shape}, "
+                f"graph/model expect {(n_global, node_in)}"
+            )
+
+
+def _assemble(asset: GraphAsset, rank_states: list[np.ndarray], copy: int,
+              width: int) -> np.ndarray:
+    """Merge copy ``copy`` of each rank's tiled state into global order."""
+    out = np.empty((asset.n_global, width))
+    for g, state in zip(asset.graphs, rank_states):
+        n = g.n_local
+        out[g.global_ids] = state[copy * n : (copy + 1) * n]
+    return out
+
+
+def execute_batch(
+    model: MeshGNN,
+    asset: GraphAsset,
+    requests: Sequence[InferenceRequest],
+    dispatch: FrameDispatch,
+    timeout: float = 120.0,
+) -> BatchExecution:
+    """Run one coalesced batch, streaming frames through ``dispatch``.
+
+    Frame 0 (the request's own ``x0``) is dispatched immediately; frames
+    ``1..n_steps`` follow as each batched step completes. Requests with
+    fewer steps than the batch maximum simply stop receiving frames
+    early (their rows still ride along in the tiled state — the cost of
+    a straggler-free batch shape).
+    """
+    if not requests:
+        raise ValueError("empty batch")
+    _validate_batch(model, asset, requests)
+    batch = len(requests)
+    halo_mode = HaloMode.parse(requests[0].halo_mode)
+    residual = requests[0].residual
+    max_steps = max(r.n_steps for r in requests)
+    width = model.config.node_out
+
+    for i, req in enumerate(requests):
+        dispatch(i, 0, req.x0)
+
+    started = time.perf_counter()
+
+    def rank_program(comm, emit):
+        g = asset.graphs[comm.rank]
+        tiled = tile_local_graph(g, batch)
+        x = stack_states([req.x0[g.global_ids] for req in requests])
+        with no_grad():
+            for step in range(1, max_steps + 1):
+                edge_attr = tiled.edge_attr(
+                    node_features=x, kind=model.config.edge_features
+                )
+                y = model(Tensor(x), edge_attr, tiled, comm, halo_mode).data
+                x = x + y if residual else y
+                emit(comm.rank, step, np.array(x, copy=True))
+        return comm.stats
+
+    def dispatch_step(step: int, rank_states: list[np.ndarray]) -> None:
+        for i, req in enumerate(requests):
+            if step <= req.n_steps:
+                dispatch(i, step, _assemble(asset, rank_states, i, width))
+
+    if asset.size == 1:
+        comm = SingleProcessComm()
+        stats = rank_program(
+            comm, lambda rank, step, state: dispatch_step(step, [state])
+        )
+        total = stats
+    else:
+        collector = _StepCollector(asset.size)
+        world = ThreadWorld(asset.size, timeout=timeout)
+        results: list = []
+
+        def run_world() -> None:
+            try:
+                results.extend(world.run(rank_program, collector.put))
+            except BaseException as exc:  # noqa: BLE001 - surfaced to consumer
+                collector.fail(exc)
+
+        runner = threading.Thread(target=run_world, name="serve-world", daemon=True)
+        runner.start()
+        for step in range(1, max_steps + 1):
+            dispatch_step(step, collector.wait_step(step, timeout))
+        runner.join(timeout=timeout)
+        if runner.is_alive():
+            raise TimeoutError("rank world failed to finish after last step")
+        # a failure after the last frames were collected (e.g. a rank
+        # dying at teardown) must not be reported as success
+        late_failure = collector.failure()
+        if late_failure is not None:
+            raise late_failure
+        if len(results) != asset.size:
+            raise RuntimeError(
+                f"rank world returned {len(results)} results for "
+                f"{asset.size} ranks"
+            )
+        total = TrafficStats()
+        for st in results:
+            total = total.merge(st)
+
+    return BatchExecution(
+        batch_size=batch,
+        world_size=asset.size,
+        n_steps=max_steps,
+        exec_s=time.perf_counter() - started,
+        comm=total,
+    )

@@ -1,0 +1,155 @@
+"""Per-request and aggregate serving metrics.
+
+Every completed request carries a :class:`RequestMetrics`; the service
+aggregates them into :class:`ServeStats` together with cache, registry
+and queue counters. Rendering reuses the markdown-table idiom of
+:mod:`repro.perf.report` so serving reports read like the paper's
+performance tables.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.perf.report import markdown_table
+from repro.serve.cache import CacheStats
+from repro.serve.registry import RegistryStats
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Latency decomposition and context of one served request.
+
+    ``batch_comm_*`` describe the whole batch this request rode in
+    (the tiled pass is shared, so per-request attribution would be
+    arbitrary); aggregate traffic totals are summed per *batch* in
+    :class:`MetricsAggregator`, not per request.
+    """
+
+    request_id: int
+    model: str
+    graph: str
+    world_size: int
+    batch_size: int
+    n_steps: int
+    queue_wait_s: float
+    exec_s: float
+    latency_s: float
+    batch_comm_bytes: int
+    batch_comm_messages: int
+
+
+@dataclass
+class ServeStats:
+    """Aggregate snapshot returned by ``InferenceService.stats()``."""
+
+    requests: int = 0
+    batches: int = 0
+    steps: int = 0
+    mean_batch_size: float = 0.0
+    max_batch_size: int = 0
+    mean_queue_wait_s: float = 0.0
+    mean_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    comm_bytes: int = 0
+    comm_messages: int = 0
+    queue_depth: int = 0
+    queue_depth_high_water: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+    registry: RegistryStats = field(default_factory=RegistryStats)
+
+    @property
+    def batching_factor(self) -> float:
+        """Mean requests served per executed batch (1.0 = no batching)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class MetricsAggregator:
+    """Thread-safe accumulator the worker pool reports into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._completed: list[RequestMetrics] = []
+        self._batches = 0
+        self._steps = 0
+        self._comm_bytes = 0
+        self._comm_messages = 0
+
+    def record_batch(
+        self,
+        per_request: list[RequestMetrics],
+        n_steps: int,
+        comm_bytes: int = 0,
+        comm_messages: int = 0,
+    ) -> None:
+        with self._lock:
+            self._completed.extend(per_request)
+            self._batches += 1
+            self._steps += n_steps
+            self._comm_bytes += comm_bytes
+            self._comm_messages += comm_messages
+
+    def completed(self) -> list[RequestMetrics]:
+        with self._lock:
+            return list(self._completed)
+
+    def snapshot(
+        self,
+        cache: CacheStats,
+        registry: RegistryStats,
+        queue_depth: int,
+        queue_depth_high_water: int,
+    ) -> ServeStats:
+        with self._lock:
+            reqs = list(self._completed)
+            batches = self._batches
+            steps = self._steps
+            comm_bytes = self._comm_bytes
+            comm_messages = self._comm_messages
+        n = len(reqs)
+        mean = lambda vals: sum(vals) / n if n else 0.0  # noqa: E731
+        return ServeStats(
+            requests=n,
+            batches=batches,
+            steps=steps,
+            mean_batch_size=mean([m.batch_size for m in reqs]),
+            max_batch_size=max((m.batch_size for m in reqs), default=0),
+            mean_queue_wait_s=mean([m.queue_wait_s for m in reqs]),
+            mean_latency_s=mean([m.latency_s for m in reqs]),
+            max_latency_s=max((m.latency_s for m in reqs), default=0.0),
+            comm_bytes=comm_bytes,
+            comm_messages=comm_messages,
+            queue_depth=queue_depth,
+            queue_depth_high_water=queue_depth_high_water,
+            cache=cache,
+            registry=registry,
+        )
+
+
+def stats_markdown(stats: ServeStats) -> str:
+    """Render a serving-stats snapshot as a markdown table."""
+    rows = [
+        ["requests served", stats.requests],
+        ["batches executed", stats.batches],
+        ["rollout steps computed", stats.steps],
+        ["mean batch size", f"{stats.mean_batch_size:.2f}"],
+        ["max batch size", stats.max_batch_size],
+        ["batching factor", f"{stats.batching_factor:.2f}"],
+        ["mean queue wait (ms)", f"{stats.mean_queue_wait_s * 1e3:.2f}"],
+        ["mean latency (ms)", f"{stats.mean_latency_s * 1e3:.2f}"],
+        ["max latency (ms)", f"{stats.max_latency_s * 1e3:.2f}"],
+        ["comm bytes", stats.comm_bytes],
+        ["comm messages", stats.comm_messages],
+        ["queue depth (now / high water)",
+         f"{stats.queue_depth} / {stats.queue_depth_high_water}"],
+        ["graph-cache hit rate", f"{stats.cache.hit_rate:.2f}"],
+        ["graph-cache entries / bytes",
+         f"{stats.cache.entries} / {stats.cache.resident_bytes}"],
+        ["graph-cache evictions", stats.cache.evictions],
+        ["models registered / resident",
+         f"{stats.registry.registered} / {stats.registry.resident}"],
+        ["model loads / evictions",
+         f"{stats.registry.loads} / {stats.registry.evictions}"],
+    ]
+    return markdown_table(["metric", "value"], rows)

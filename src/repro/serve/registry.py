@@ -1,0 +1,190 @@
+"""Model registry: named, reloadable surrogate checkpoints.
+
+The serving layer treats trained models as named assets. A model can be
+registered in-memory (an already-constructed :class:`MeshGNN`) or as a
+checkpoint path loaded lazily via :mod:`repro.gnn.checkpoint` on first
+use and kept resident until evicted. Registration validates config
+compatibility so a request can't silently hit a model whose feature
+widths disagree with what the caller expects.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.checkpoint import load_checkpoint
+from repro.gnn.config import GNNConfig
+
+
+class ModelNotFound(KeyError):
+    """No model registered under the requested name."""
+
+
+class IncompatibleModel(ValueError):
+    """A model's config violates what the request or caller requires."""
+
+
+@dataclass
+class _Entry:
+    name: str
+    path: Path | None = None
+    model: MeshGNN | None = None
+    expect_config: GNNConfig | None = None
+    loads: int = 0
+
+    @property
+    def resident(self) -> bool:
+        return self.model is not None
+
+
+@dataclass
+class RegistryStats:
+    """Counters exposed through the service stats API."""
+
+    registered: int = 0
+    resident: int = 0
+    loads: int = 0
+    evictions: int = 0
+    per_model_loads: dict = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Thread-safe name → :class:`MeshGNN` registry with lazy loading.
+
+    >>> from repro.gnn import GNNConfig, MeshGNN
+    >>> reg = ModelRegistry()
+    >>> reg.register_model("tgv", MeshGNN(GNNConfig(hidden=4,
+    ...     n_message_passing=1, n_mlp_hidden=0)))
+    >>> reg.get("tgv").config.hidden
+    4
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+        self._lock = threading.Lock()
+        self._evictions = 0
+
+    # -- registration --------------------------------------------------------
+
+    def register_model(self, name: str, model: MeshGNN) -> None:
+        """Register an in-memory model (resident immediately)."""
+        with self._lock:
+            self._check_name_free(name)
+            self._entries[name] = _Entry(name=name, model=model, loads=1)
+
+    def register_checkpoint(
+        self,
+        name: str,
+        path: str | Path,
+        expect_config: GNNConfig | None = None,
+        eager: bool = False,
+    ) -> None:
+        """Register a checkpoint file, loaded lazily on first :meth:`get`.
+
+        ``expect_config`` pins the config the checkpoint must carry;
+        mismatch raises :class:`IncompatibleModel` (at registration when
+        ``eager``, else at first load).
+        """
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"checkpoint {path} does not exist")
+        with self._lock:
+            self._check_name_free(name)
+            self._entries[name] = _Entry(
+                name=name, path=path, expect_config=expect_config
+            )
+        if eager:
+            try:
+                self.get(name)
+            except BaseException:
+                # don't leave a known-broken entry squatting on the name
+                with self._lock:
+                    self._entries.pop(name, None)
+                raise
+
+    def _check_name_free(self, name: str) -> None:
+        if name in self._entries:
+            raise ValueError(f"model {name!r} already registered; evict first")
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str) -> MeshGNN:
+        """Return the named model, loading its checkpoint if needed."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise ModelNotFound(
+                    f"no model {name!r}; registered: {sorted(self._entries)}"
+                )
+            if entry.model is None:
+                assert entry.path is not None
+                model = load_checkpoint(entry.path)
+                expect = entry.expect_config
+                if expect is not None and model.config != expect:
+                    raise IncompatibleModel(
+                        f"checkpoint {entry.path} carries config {model.config}, "
+                        f"registration expected {expect}"
+                    )
+                entry.model = model
+                entry.loads += 1
+            return entry.model
+
+    def config(self, name: str) -> GNNConfig:
+        return self.get(name).config
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    # -- eviction ------------------------------------------------------------
+
+    def evict(self, name: str) -> None:
+        """Drop a resident model's parameters (checkpoint entries reload
+        on next use; in-memory entries are removed entirely)."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise ModelNotFound(f"no model {name!r}")
+            if entry.path is None:
+                del self._entries[name]
+            else:
+                entry.model = None
+            self._evictions += 1
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            if name not in self._entries:
+                raise ModelNotFound(f"no model {name!r}")
+            del self._entries[name]
+
+    # -- validation ----------------------------------------------------------
+
+    @staticmethod
+    def validate_rollout(model: MeshGNN) -> None:
+        """Autoregressive rollout feeds outputs back as inputs."""
+        cfg = model.config
+        if cfg.node_in != cfg.node_out:
+            raise IncompatibleModel(
+                f"rollout requires node_in == node_out, got "
+                f"{cfg.node_in} != {cfg.node_out}"
+            )
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> RegistryStats:
+        with self._lock:
+            per_model = {n: e.loads for n, e in self._entries.items()}
+            return RegistryStats(
+                registered=len(self._entries),
+                resident=sum(1 for e in self._entries.values() if e.resident),
+                loads=sum(per_model.values()),
+                evictions=self._evictions,
+                per_model_loads=per_model,
+            )

@@ -1,0 +1,310 @@
+"""The inference service: registry + cache + queue + worker pool.
+
+:class:`InferenceService` is the in-process serving engine. Clients
+submit rollout requests naming a registered model and graph; a pool of
+worker threads pulls dynamically-coalesced batches off the queue,
+executes them through :mod:`repro.serve.executor`, and streams frames
+back through each request's :class:`~repro.serve.batching.RolloutHandle`.
+
+Graph assets can be registered in-memory (a list of
+:class:`~repro.graph.distributed.LocalGraph`, e.g. ``dg.locals``) or as
+a directory of rank payloads written by
+:func:`repro.graph.io.save_distributed_graph`; directory-backed assets
+are reloadable after cache eviction, in-memory ones are pinned.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm.modes import HaloMode
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.graph.distributed import LocalGraph
+from repro.graph.io import load_rank_graphs
+from repro.serve.batching import InferenceRequest, RequestQueue, RolloutHandle
+from repro.serve.cache import GraphAsset, GraphCache
+from repro.serve.executor import execute_batch
+from repro.serve.metrics import (
+    MetricsAggregator,
+    RequestMetrics,
+    ServeStats,
+    stats_markdown,
+)
+from repro.serve.registry import ModelRegistry
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving engine.
+
+    ``max_wait_s`` is the dynamic-batching window: how long a batch
+    collector lingers for more same-key requests before executing a
+    partial batch. ``0`` disables coalescing-by-waiting (a batch still
+    forms from requests that are already queued).
+    """
+
+    max_batch_size: int = 8
+    max_wait_s: float = 0.005
+    n_workers: int = 1
+    cache_entries: int = 8
+    cache_bytes: int | None = None
+    default_halo_mode: str = HaloMode.NEIGHBOR_A2A.value
+    request_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+class InferenceService:
+    """Batched surrogate-inference engine (start/stop or context manager).
+
+    >>> # doctest-style sketch; see examples/serving_demo.py for a run
+    >>> # with InferenceService(ServeConfig(max_batch_size=4)) as svc:
+    >>> #     svc.register_model("m", model)
+    >>> #     svc.register_graph("g", dg.locals)
+    >>> #     states = svc.rollout("m", "g", x0, n_steps=5)
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        registry: ModelRegistry | None = None,
+        cache: GraphCache | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.registry = registry or ModelRegistry()
+        self.cache = cache or GraphCache(
+            max_entries=self.config.cache_entries,
+            max_bytes=self.config.cache_bytes,
+        )
+        self._queue = RequestQueue()
+        self._queue_high_water_prev = 0
+        self._metrics = MetricsAggregator()
+        self._graph_dirs: dict[str, Path] = {}
+        self._pinned_graphs: dict[str, tuple[LocalGraph, ...]] = {}
+        self._workers: list[threading.Thread] = []
+        self._started = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "InferenceService":
+        with self._lock:
+            if self._started:
+                return self
+            if self._queue.closed:
+                # restart after stop(): workers need a live queue; keep
+                # the old peak depth so stats span the service lifetime
+                self._queue_high_water_prev = max(
+                    self._queue_high_water_prev, self._queue.depth_high_water
+                )
+                self._queue = RequestQueue()
+            self._started = True
+            for i in range(self.config.n_workers):
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker{i}", daemon=True
+                )
+                t.start()
+                self._workers.append(t)
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain pending requests, then stop the workers."""
+        self._queue.close()
+        for t in self._workers:
+            t.join(timeout=timeout)
+        self._workers.clear()
+        with self._lock:
+            self._started = False
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- asset registration --------------------------------------------------
+
+    def register_model(self, name: str, model: MeshGNN) -> None:
+        self.registry.register_model(name, model)
+
+    def register_checkpoint(
+        self,
+        name: str,
+        path: str | Path,
+        expect_config: GNNConfig | None = None,
+        eager: bool = False,
+    ) -> None:
+        self.registry.register_checkpoint(name, path, expect_config, eager)
+
+    def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
+        """Pin an in-memory partitioned graph (e.g. ``dg.locals``).
+
+        Re-registering a key replaces the asset: any cached copy is
+        evicted so subsequent requests see the new graph.
+        """
+        if not graphs:
+            raise ValueError("graphs must be non-empty")
+        self._graph_dirs.pop(key, None)
+        self._pinned_graphs[key] = tuple(graphs)
+        self.cache.evict(key)
+
+    def register_graph_dir(self, key: str, directory: str | Path) -> None:
+        """Register an on-disk graph directory (reloadable on eviction).
+
+        Re-registering a key replaces the asset: any cached copy is
+        evicted so subsequent requests see the new graph.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"graph directory {directory} does not exist")
+        self._pinned_graphs.pop(key, None)
+        self._graph_dirs[key] = directory
+        self.cache.evict(key)
+
+    def graph_keys(self) -> list[str]:
+        return sorted(set(self._pinned_graphs) | set(self._graph_dirs))
+
+    def _asset(self, key: str) -> GraphAsset:
+        pinned = self._pinned_graphs.get(key)
+        if pinned is not None:
+            return self.cache.get_or_load(key, lambda: pinned)
+        directory = self._graph_dirs.get(key)
+        if directory is not None:
+            return self.cache.get_or_load(key, lambda: load_rank_graphs(directory))
+        raise KeyError(
+            f"no graph registered under {key!r}; known: {self.graph_keys()}"
+        )
+
+    # -- request API ---------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+    ) -> RolloutHandle:
+        """Enqueue a rollout request; returns a streaming handle."""
+        if not self._started:
+            raise RuntimeError("service is not started (use start() or `with`)")
+        self.registry.get(model)  # fail fast on unknown/incompatible names
+        if graph not in self._pinned_graphs and graph not in self._graph_dirs:
+            raise KeyError(
+                f"no graph registered under {graph!r}; known: {self.graph_keys()}"
+            )
+        mode = HaloMode.parse(
+            self.config.default_halo_mode if halo_mode is None else halo_mode
+        )
+        request = InferenceRequest(
+            model=model,
+            graph=graph,
+            x0=x0,
+            n_steps=n_steps,
+            halo_mode=mode.value,
+            residual=residual,
+        )
+        return self._queue.submit(request)
+
+    def rollout(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+    ) -> list[np.ndarray]:
+        """Synchronous convenience: submit and wait for the trajectory."""
+        handle = self.submit(model, graph, x0, n_steps, halo_mode, residual)
+        return handle.result(timeout=self.config.request_timeout_s)
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.next_batch(
+                self.config.max_batch_size, self.config.max_wait_s
+            )
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(
+        self, batch: list[tuple[InferenceRequest, RolloutHandle]]
+    ) -> None:
+        requests = [req for req, _ in batch]
+        handles = [h for _, h in batch]
+        dequeued = time.perf_counter()
+        try:
+            model = self.registry.get(requests[0].model)
+            asset = self._asset(requests[0].graph)
+
+            def dispatch(i: int, step: int, state: np.ndarray) -> None:
+                handles[i]._push_frame(state)
+
+            execution = execute_batch(
+                model,
+                asset,
+                requests,
+                dispatch,
+                timeout=self.config.request_timeout_s,
+            )
+        except BaseException as exc:  # noqa: BLE001 - failures go to clients
+            for h in handles:
+                h._finish(exc)
+            return
+        finished = time.perf_counter()
+        per_request = []
+        for req, handle in batch:
+            metrics = RequestMetrics(
+                request_id=req.request_id,
+                model=req.model,
+                graph=req.graph,
+                world_size=execution.world_size,
+                batch_size=execution.batch_size,
+                n_steps=req.n_steps,
+                queue_wait_s=dequeued - req.submitted_at,
+                exec_s=execution.exec_s,
+                latency_s=finished - req.submitted_at,
+                batch_comm_bytes=execution.comm.bytes_sent,
+                batch_comm_messages=execution.comm.messages,
+            )
+            handle.metrics = metrics
+            per_request.append(metrics)
+            handle._finish()
+        self._metrics.record_batch(
+            per_request,
+            execution.n_steps,
+            comm_bytes=execution.comm.bytes_sent,
+            comm_messages=execution.comm.messages,
+        )
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> ServeStats:
+        return self._metrics.snapshot(
+            cache=self.cache.stats(),
+            registry=self.registry.stats(),
+            queue_depth=self._queue.depth(),
+            queue_depth_high_water=max(
+                self._queue_high_water_prev, self._queue.depth_high_water
+            ),
+        )
+
+    def stats_markdown(self) -> str:
+        return stats_markdown(self.stats())

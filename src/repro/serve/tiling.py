@@ -1,0 +1,105 @@
+"""Graph tiling: the numerical core of dynamic request batching.
+
+A batch of ``B`` requests against the same :class:`LocalGraph` is
+executed as ONE forward pass over a block-diagonal replica of the
+graph: ``B`` disjoint copies of the nodes and edges stacked row-wise,
+with the halo plan tiled so each copy exchanges only with its own
+replicas on neighbor ranks. Every operation in the model (Linear,
+LayerNorm, gather, scatter-add, halo exchange) is row-local or
+accumulates in an order preserved per copy, so the batched result is
+*bitwise identical* to running each request alone — asserted by
+``tests/serve/test_consistency.py``. The win is amortization: one
+``(B·N, F)`` matmul instead of ``B`` ``(N, F)`` matmuls, and one halo
+collective instead of ``B``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm.modes import ExchangeSpec
+from repro.graph.distributed import LocalGraph
+from repro.graph.halo import HaloPlan
+
+
+def tile_local_graph(graph: LocalGraph, batch: int) -> LocalGraph:
+    """Return the block-diagonal ``batch``-fold replica of ``graph``.
+
+    Copy ``k`` occupies local rows ``[k*n_local, (k+1)*n_local)`` and
+    edge rows ``[k*n_edges, (k+1)*n_edges)``. The halo plan is tiled
+    per neighbor so the received block keeps the
+    neighbor-after-neighbor layout the exchange engine produces, with
+    copies ordered within each neighbor block on both sides of every
+    channel (sender and receiver tile identically, so the pairing of
+    rows is preserved).
+
+    All ranks of a world must tile with the same ``batch`` — the tiled
+    ``pad_count`` (used by dense-A2A buffers) scales accordingly.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if batch == 1:
+        return graph
+
+    n = graph.n_local
+    spec = graph.halo.spec
+
+    def tile_rows_idx(idx: np.ndarray) -> np.ndarray:
+        return np.concatenate([idx + k * n for k in range(batch)])
+
+    send_indices = {nbr: tile_rows_idx(spec.send_indices[nbr]) for nbr in spec.neighbors}
+    recv_counts = {nbr: spec.recv_counts[nbr] * batch for nbr in spec.neighbors}
+    tiled_spec = ExchangeSpec(
+        size=spec.size,
+        neighbors=spec.neighbors,
+        send_indices=send_indices,
+        recv_counts=recv_counts,
+        pad_count=spec.pad_count * batch,
+    )
+    # halo_to_local is laid out neighbor-after-neighbor; tile each
+    # neighbor's slice independently to match the tiled recv layout
+    blocks = []
+    off = 0
+    for nbr in spec.neighbors:
+        cnt = spec.recv_counts[nbr]
+        blocks.append(tile_rows_idx(graph.halo.halo_to_local[off : off + cnt]))
+        off += cnt
+    halo_to_local = (
+        np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
+    )
+
+    # keep global_ids strictly increasing (validate() holds on the tile)
+    stride = int(graph.global_ids[-1]) + 1 if n else 0
+    global_ids = np.concatenate(
+        [graph.global_ids + k * stride for k in range(batch)]
+    )
+    edge_index = np.concatenate(
+        [graph.edge_index + k * n for k in range(batch)], axis=1
+    )
+    return LocalGraph(
+        rank=graph.rank,
+        size=graph.size,
+        global_ids=global_ids,
+        pos=np.concatenate([graph.pos] * batch, axis=0),
+        edge_index=edge_index,
+        edge_degree=np.concatenate([graph.edge_degree] * batch),
+        node_degree=np.concatenate([graph.node_degree] * batch),
+        halo=HaloPlan(spec=tiled_spec, halo_to_local=halo_to_local),
+    )
+
+
+def stack_states(states: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack per-request ``(n_local, F)`` states into ``(B·n_local, F)``."""
+    if not states:
+        raise ValueError("no states to stack")
+    return np.concatenate([np.asarray(s, dtype=np.float64) for s in states], axis=0)
+
+
+def split_states(x: np.ndarray, batch: int) -> list[np.ndarray]:
+    """Invert :func:`stack_states`: split rows back into ``batch`` copies."""
+    if batch < 1 or x.shape[0] % batch:
+        raise ValueError(f"cannot split {x.shape[0]} rows into {batch} copies")
+    n = x.shape[0] // batch
+    return [np.array(x[k * n : (k + 1) * n], copy=True) for k in range(batch)]

@@ -13,7 +13,6 @@ These counts drive the performance model, so they are asserted against
 the real implementation's traffic stats here.
 """
 
-import numpy as np
 import pytest
 
 from repro.comm import HaloMode, ThreadWorld

@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 from repro.comm import HaloMode, ThreadWorld
-from repro.comm.single import SingleProcessComm
 from repro.gnn import MeshGNN, GNNConfig
 from repro.graph import build_distributed_graph, build_full_graph
 from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
-from repro.tensor import Tensor, no_grad
+from repro.tensor import no_grad
 
 
 TINY_CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)

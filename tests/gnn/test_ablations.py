@@ -8,7 +8,6 @@ accidentally redundant.
 """
 
 import numpy as np
-import pytest
 
 from repro.comm import HaloMode, ThreadWorld
 from repro.comm.single import SingleProcessComm

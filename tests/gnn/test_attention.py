@@ -11,7 +11,7 @@ import pytest
 from repro.comm import HaloMode, ThreadWorld
 from repro.gnn import ConsistentAttentionLayer
 from repro.graph import build_distributed_graph, build_full_graph
-from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.mesh import BoxMesh, auto_partition
 from repro.tensor import Tensor, no_grad
 
 

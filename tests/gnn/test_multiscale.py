@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.comm import HaloMode, ThreadWorld
-from repro.gnn.multiscale import CoarseContext, MultiscaleNMPBlock, build_coarse_contexts
-from repro.graph import build_distributed_graph, build_full_graph
+from repro.gnn.multiscale import MultiscaleNMPBlock, build_coarse_contexts
+from repro.graph import build_distributed_graph
 from repro.graph.coarsen import coarsen_distributed_graph
-from repro.graph.distributed import DistributedGraph
 from repro.mesh import BoxMesh, Partition, auto_partition
 from repro.tensor import Tensor, no_grad
 

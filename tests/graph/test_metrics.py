@@ -1,7 +1,5 @@
 """Graph analysis metrics."""
 
-import numpy as np
-import pytest
 
 from repro.graph import build_distributed_graph, build_full_graph
 from repro.graph.metrics import (

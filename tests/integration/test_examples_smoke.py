@@ -5,13 +5,23 @@ convergence), so a clean exit is a real end-to-end verification, not
 just an import check.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+# the example subprocesses need src/ importable regardless of whether
+# the invoking pytest got it from PYTHONPATH or pyproject's pythonpath
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(REPO_ROOT / "src")]
+    + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else [])
+)
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -20,6 +30,7 @@ FAST_EXAMPLES = [
     "solver_in_the_loop.py",
     "complex_geometry.py",
     "multiscale_gnn.py",
+    "serving_demo.py",
 ]
 
 
@@ -37,5 +48,6 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_ENV,
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stdout}\n{proc.stderr}"

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm import HaloMode, ThreadWorld
+from repro.comm import ThreadWorld
 from repro.comm.single import SingleProcessComm
 from repro.experiments.insitu import run_insitu_training
 from repro.gnn import GNNConfig

@@ -6,7 +6,6 @@ This is the one test that runs the *actual* paper mesh (35,937 graph
 nodes) rather than a scaled-down replica; it takes ~15 s.
 """
 
-import numpy as np
 
 from repro.experiments.consistency import fig6_loss_vs_ranks
 from repro.mesh import BoxMesh

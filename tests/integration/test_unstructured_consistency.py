@@ -3,12 +3,10 @@ meshes — the paper's generality claim ("any mesh composed by a
 collection of finite elements")."""
 
 import numpy as np
-import pytest
 
 from repro.comm import HaloMode, ThreadWorld
 from repro.gnn import GNNConfig, MeshGNN, consistent_mse_loss
-from repro.graph import build_distributed_graph, build_full_graph
-from repro.graph.distributed import DistributedGraph
+from repro.graph import build_distributed_graph
 from repro.mesh import (
     mixed_hex_wedge_box,
     partition_by_centroid,

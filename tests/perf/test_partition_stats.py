@@ -1,6 +1,5 @@
 """Partition statistics: closed forms vs materialized graphs."""
 
-import numpy as np
 import pytest
 
 from repro.graph import build_distributed_graph

@@ -1,6 +1,5 @@
 """Report emitters and host calibration."""
 
-import numpy as np
 import pytest
 
 from repro.gnn import SMALL_CONFIG

@@ -10,7 +10,7 @@ from repro.gnn import GNNConfig, MeshGNN
 from repro.graph import build_distributed_graph, build_full_graph
 from repro.mesh import BoxMesh, RandomPartitioner, taylor_green_velocity
 from repro.nekrs import dssum
-from repro.tensor import Tensor, no_grad
+from repro.tensor import no_grad
 
 
 @settings(max_examples=10, deadline=None)

@@ -9,7 +9,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import build_distributed_graph, build_full_graph
-from repro.mesh import BoxMesh, MortonPartitioner, RandomPartitioner
+from repro.mesh import BoxMesh, RandomPartitioner
 
 
 meshes = st.builds(

@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import pytest
+
+from repro.gnn import GNNConfig, MeshGNN
+from repro.graph import build_distributed_graph, build_full_graph
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+
+SERVE_CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def serve_mesh():
+    return BoxMesh(4, 4, 2, p=1)
+
+
+@pytest.fixture(scope="session")
+def full_graph(serve_mesh):
+    return build_full_graph(serve_mesh)
+
+
+@pytest.fixture(scope="session")
+def dist_graph(serve_mesh):
+    return build_distributed_graph(serve_mesh, auto_partition(serve_mesh, 4))
+
+
+@pytest.fixture(scope="session")
+def serve_model():
+    return MeshGNN(SERVE_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def x0(serve_mesh):
+    return taylor_green_velocity(serve_mesh.all_positions())

@@ -1,0 +1,94 @@
+"""GraphCache: LRU eviction, byte bounds, hit/miss accounting, disk path."""
+
+import pytest
+
+from repro.graph.io import save_distributed_graph
+from repro.serve import GraphCache
+
+
+@pytest.fixture()
+def rank_graphs(dist_graph):
+    return list(dist_graph.locals)
+
+
+def test_miss_then_hit(full_graph):
+    cache = GraphCache(max_entries=2)
+    assert cache.get("g") is None
+    cache.put("g", [full_graph])
+    asset = cache.get("g")
+    assert asset is not None and asset.size == 1
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert stats.hit_rate == 0.5
+
+
+def test_lru_eviction_order(full_graph):
+    cache = GraphCache(max_entries=2)
+    cache.put("a", [full_graph])
+    cache.put("b", [full_graph])
+    assert cache.get("a") is not None  # refresh: b is now LRU
+    cache.put("c", [full_graph])
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.stats().evictions == 1
+
+
+def test_byte_bound_evicts_down(rank_graphs):
+    one = GraphCache(max_entries=8).put("x", rank_graphs)
+    cache = GraphCache(max_entries=8, max_bytes=one.nbytes + 1)
+    cache.put("a", rank_graphs)
+    cache.put("b", rank_graphs)  # together exceed the byte bound
+    assert len(cache) == 1
+    assert "b" in cache  # newest kept
+    # a single oversized asset is still admitted
+    big = GraphCache(max_entries=8, max_bytes=1)
+    big.put("huge", rank_graphs)
+    assert "huge" in big
+
+
+def test_get_or_load_runs_loader_once(full_graph):
+    cache = GraphCache()
+    calls = []
+
+    def loader():
+        calls.append(1)
+        return [full_graph]
+
+    a1 = cache.get_or_load("k", loader)
+    a2 = cache.get_or_load("k", loader)
+    assert a1 is a2
+    assert len(calls) == 1
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+
+
+def test_load_directory_hits_on_reuse(dist_graph, tmp_path):
+    directory = tmp_path / "graphs"
+    save_distributed_graph(dist_graph, directory)
+    cache = GraphCache()
+    asset = cache.load_directory(directory)
+    assert asset.size == dist_graph.size
+    assert asset.n_global == dist_graph.n_global_nodes
+    again = cache.load_directory(directory)
+    assert again is asset
+    assert cache.stats().hits == 1
+
+
+def test_asset_nbytes_positive(rank_graphs):
+    asset = GraphCache().put("k", rank_graphs)
+    assert asset.nbytes > 0
+
+
+def test_explicit_evict_and_clear(full_graph):
+    cache = GraphCache()
+    cache.put("a", [full_graph])
+    assert cache.evict("a") is True
+    assert cache.evict("a") is False
+    cache.put("b", [full_graph])
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_empty_asset_rejected():
+    with pytest.raises(ValueError):
+        GraphCache().put("k", [])

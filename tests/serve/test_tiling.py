@@ -1,0 +1,77 @@
+"""Block-diagonal graph tiling invariants."""
+
+import numpy as np
+import pytest
+
+from repro.serve import split_states, stack_states, tile_local_graph
+
+
+def test_tile_batch_one_is_identity(full_graph):
+    assert tile_local_graph(full_graph, 1) is full_graph
+
+
+def test_tile_rejects_bad_batch(full_graph):
+    with pytest.raises(ValueError):
+        tile_local_graph(full_graph, 0)
+
+
+@pytest.mark.parametrize("batch", [2, 3])
+def test_tiled_graph_validates_and_scales(full_graph, batch):
+    tiled = tile_local_graph(full_graph, batch)
+    tiled.validate()
+    assert tiled.n_local == batch * full_graph.n_local
+    assert tiled.n_edges == batch * full_graph.n_edges
+    assert tiled.n_halo == batch * full_graph.n_halo
+
+
+@pytest.mark.parametrize("batch", [2, 4])
+def test_tiled_rank_graphs_preserve_halo_structure(dist_graph, batch):
+    for g in dist_graph.locals:
+        tiled = tile_local_graph(g, batch)
+        tiled.validate()
+        spec, tspec = g.halo.spec, tiled.halo.spec
+        assert tspec.neighbors == spec.neighbors
+        assert tspec.pad_count == spec.pad_count * batch
+        for nbr in spec.neighbors:
+            assert tspec.recv_counts[nbr] == spec.recv_counts[nbr] * batch
+            n = g.n_local
+            sends = tspec.send_indices[nbr]
+            base = spec.send_indices[nbr]
+            for k in range(batch):
+                block = sends[k * len(base) : (k + 1) * len(base)]
+                assert np.array_equal(block, base + k * n)
+
+
+def test_tiled_edges_are_block_diagonal(dist_graph):
+    g = dist_graph.local(0)
+    tiled = tile_local_graph(g, 3)
+    n, ne = g.n_local, g.n_edges
+    for k in range(3):
+        block = tiled.edge_index[:, k * ne : (k + 1) * ne]
+        assert block.min() >= k * n and block.max() < (k + 1) * n
+        assert np.array_equal(block, g.edge_index + k * n)
+
+
+def test_stack_split_roundtrip():
+    states = [np.full((4, 3), float(k)) for k in range(3)]
+    stacked = stack_states(states)
+    assert stacked.shape == (12, 3)
+    back = split_states(stacked, 3)
+    for orig, out in zip(states, back):
+        assert np.array_equal(orig, out)
+
+
+def test_split_rejects_uneven_rows():
+    with pytest.raises(ValueError):
+        split_states(np.zeros((5, 3)), 2)
+    with pytest.raises(ValueError):
+        stack_states([])
+
+
+def test_tiled_edge_attr_tiles_rowwise(full_graph, x0):
+    tiled = tile_local_graph(full_graph, 2)
+    base = full_graph.edge_attr(node_features=x0, kind="full")
+    both = tiled.edge_attr(node_features=np.concatenate([x0, x0]), kind="full")
+    ne = full_graph.n_edges
+    assert np.array_equal(both[:ne], base)
+    assert np.array_equal(both[ne:], base)
