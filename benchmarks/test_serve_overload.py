@@ -1,0 +1,166 @@
+"""Overload behavior — admission control vs an unbounded queue.
+
+The claim: under a burst far beyond service capacity, an unbounded
+queue converts overload into latency (every request is served, but the
+median waits behind half the backlog), while admission control sheds
+the excess at submission and keeps the latency of *accepted* requests
+bounded by the short queue it enforces. The benchmark fires the same
+oversized burst at two configurations of a deliberately serialized
+service (one worker, batch size 1) — no admission, and a small queue
+cap — and compares the p50/p95 latency of requests that completed,
+plus the shed/accepted split.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.gnn import GNNConfig, MeshGNN
+from repro.graph import build_full_graph
+from repro.mesh import BoxMesh, taylor_green_velocity
+from repro.perf.report import markdown_table
+from repro.serve import InferenceService, RequestRejected, ServeConfig
+
+CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)
+BURST = 24  # concurrent requests, far beyond the 1-worker capacity
+N_STEPS = 4
+QUEUE_CAP = 2
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return BoxMesh(4, 4, 2, p=1)
+
+
+@pytest.fixture(scope="module")
+def assets(mesh):
+    return [build_full_graph(mesh)], MeshGNN(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def x0(mesh):
+    return taylor_green_velocity(mesh.all_positions())
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def fire_overload_burst(service, x0):
+    """Fire BURST concurrent requests; returns (latencies_s, n_rejected).
+
+    Rejections (QueueFull at submit, DeadlineExpired from the queue)
+    are counted, not raised — they are the behavior under test.
+    """
+    latencies: list = []
+    rejected = [0]
+    lock = threading.Lock()
+
+    def fire(i):
+        start = time.perf_counter()
+        try:
+            states = service.rollout("m", "g", x0, N_STEPS)
+            assert len(states) == N_STEPS + 1
+            with lock:
+                latencies.append(time.perf_counter() - start)
+        except RequestRejected:
+            with lock:
+                rejected[0] += 1
+
+    threads = [threading.Thread(target=fire, args=(i,)) for i in range(BURST)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return latencies, rejected[0]
+
+
+def run_config(assets, x0, max_queue_depth):
+    graphs, model = assets
+    config = ServeConfig(
+        max_batch_size=1,  # serialize execution so the queue must absorb load
+        max_wait_s=0.0,
+        n_workers=1,
+        max_queue_depth=max_queue_depth,
+    )
+    with InferenceService(config) as service:
+        service.register_model("m", model)
+        service.register_graph("g", graphs)
+        service.rollout("m", "g", x0, 1)  # warm cache + code paths
+        latencies, shed = fire_overload_burst(service, x0)
+        stats = service.stats()
+    return latencies, shed, stats
+
+
+@pytest.fixture(scope="module")
+def overload_results(assets, x0):
+    baseline = run_config(assets, x0, max_queue_depth=None)
+    admitted = run_config(assets, x0, max_queue_depth=QUEUE_CAP)
+    return {"no admission": baseline, f"cap={QUEUE_CAP}": admitted}
+
+
+def _report(results):
+    rows = []
+    for name, (latencies, shed, stats) in results.items():
+        rows.append([
+            name,
+            len(latencies),
+            shed,
+            f"{percentile(latencies, 0.5) * 1e3:.1f}",
+            f"{percentile(latencies, 0.95) * 1e3:.1f}",
+            stats.queue_depth_high_water,
+            f"{stats.admission.queue_wait.quantile(0.5) * 1e3:.0f}",
+        ])
+    print(f"\noverload: {BURST} concurrent requests x {N_STEPS} steps, "
+          f"1 worker, batch size 1")
+    print(markdown_table(
+        ["config", "served", "shed", "p50 latency (ms)", "p95 latency (ms)",
+         "queue high water", "wait p50 bucket (ms)"],
+        rows,
+    ))
+
+
+def test_shedding_bounds_latency_of_accepted_requests(overload_results):
+    _report(overload_results)
+    base_lat, base_shed, base_stats = overload_results["no admission"]
+    adm_lat, adm_shed, adm_stats = overload_results[f"cap={QUEUE_CAP}"]
+
+    # the unbounded baseline serves everything but queues deeply
+    assert base_shed == 0 and len(base_lat) == BURST
+    assert base_stats.queue_depth_high_water > QUEUE_CAP
+
+    # admission control actually sheds under this burst, and what it
+    # accepts is served from a queue never deeper than the cap
+    assert adm_shed > 0
+    assert len(adm_lat) + adm_shed == BURST
+    assert adm_stats.admission.shed == adm_shed
+    assert adm_stats.queue_depth_high_water <= QUEUE_CAP + 1
+
+    # the headline claim: accepted-request latency stays bounded while
+    # the no-admission baseline degrades with the backlog
+    assert percentile(adm_lat, 0.5) < percentile(base_lat, 0.5) / 2, (
+        "shedding should keep accepted p50 well under the overloaded baseline"
+    )
+
+
+def test_expired_requests_are_shed_not_executed(assets, x0):
+    graphs, model = assets
+    config = ServeConfig(
+        max_batch_size=1, max_wait_s=0.0, n_workers=1,
+        default_deadline_s=0.010,
+    )
+    with InferenceService(config) as service:
+        service.register_model("m", model)
+        service.register_graph("g", graphs)
+        service.rollout("m", "g", x0, 1, deadline_s=60.0)  # warm up
+        latencies, _ = fire_overload_burst(service, x0)
+        deadline = time.perf_counter() + 30.0
+        while service.stats().queue_depth and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        stats = service.stats()
+    # under a 10ms queue budget most of the burst expires in the queue;
+    # whatever was served dequeued within its deadline
+    assert stats.admission.expired > 0
+    assert stats.admission.expired + stats.requests >= BURST

@@ -10,17 +10,34 @@ trained model into a *service*:
   repeated requests skip partitioning/halo-plan construction;
 * :mod:`repro.serve.batching` — request queue with dynamic batching:
   concurrent same-key requests coalesce into one batch;
+* :mod:`repro.serve.admission` — admission control: queue caps,
+  per-request deadlines, load shedding with typed rejections;
 * :mod:`repro.serve.tiling` — block-diagonal graph replication that
   makes one batched forward bitwise-equal to per-request forwards;
 * :mod:`repro.serve.executor` — batch execution over the single and
   threaded comm backends, streaming frames per step;
 * :mod:`repro.serve.metrics` — per-request latency/queue/traffic
-  metrics and the stats table;
+  metrics, admission counters, and the stats table;
 * :mod:`repro.serve.service` / :mod:`repro.serve.client` — the engine
   and its in-process client facade;
-* :mod:`repro.serve.cli` — the ``python -m repro serve`` demo.
+* :mod:`repro.serve.protocol` / :mod:`repro.serve.transport` — the
+  length-prefixed socket wire format, the :class:`ServeServer` front
+  end, and the :class:`NetworkClient` mirror of ``ServeClient``;
+* :mod:`repro.serve.cli` — ``python -m repro serve`` (demo burst or
+  ``--listen HOST:PORT`` network mode).
+
+See ``docs/architecture.md`` for the request lifecycle end to end.
 """
 
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+    DeadlineExpired,
+    QueueFull,
+    RequestRejected,
+    WaitHistogram,
+)
 from repro.serve.batching import (
     BatchKey,
     InferenceRequest,
@@ -31,6 +48,7 @@ from repro.serve.cache import CacheStats, GraphAsset, GraphCache
 from repro.serve.client import ServeClient
 from repro.serve.executor import BatchExecution, execute_batch
 from repro.serve.metrics import RequestMetrics, ServeStats, stats_markdown
+from repro.serve.protocol import ProtocolError
 from repro.serve.registry import (
     IncompatibleModel,
     ModelNotFound,
@@ -39,11 +57,23 @@ from repro.serve.registry import (
 )
 from repro.serve.service import InferenceService, ServeConfig
 from repro.serve.tiling import split_states, stack_states, tile_local_graph
+from repro.serve.transport import (
+    NetworkClient,
+    NetworkRolloutHandle,
+    RemoteServeError,
+    ServeServer,
+    TransportError,
+    parse_endpoint,
+)
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
     "BatchExecution",
     "BatchKey",
     "CacheStats",
+    "DeadlineExpired",
     "GraphAsset",
     "GraphCache",
     "IncompatibleModel",
@@ -51,14 +81,24 @@ __all__ = [
     "InferenceService",
     "ModelNotFound",
     "ModelRegistry",
+    "NetworkClient",
+    "NetworkRolloutHandle",
+    "ProtocolError",
+    "QueueFull",
     "RegistryStats",
+    "RemoteServeError",
     "RequestMetrics",
     "RequestQueue",
+    "RequestRejected",
     "RolloutHandle",
     "ServeClient",
     "ServeConfig",
+    "ServeServer",
     "ServeStats",
+    "TransportError",
+    "WaitHistogram",
     "execute_batch",
+    "parse_endpoint",
     "split_states",
     "stack_states",
     "stats_markdown",

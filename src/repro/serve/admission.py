@@ -1,0 +1,253 @@
+"""Admission control: queue caps, per-request deadlines, load shedding.
+
+An unbounded request queue converts overload into unbounded latency —
+every request is eventually served, but the tail grows with the backlog
+until nobody gets a useful answer. Admission control trades completeness
+for bounded latency: requests beyond a configurable queue depth are
+*shed* at submission with a typed rejection (:class:`QueueFull`), and
+requests whose deadline passes while they wait are *expired* at dequeue
+(:class:`DeadlineExpired`) instead of wasting a batch slot on an answer
+the client has already given up on. ``benchmarks/test_serve_overload.py``
+measures the effect: with shedding, the p50 latency of *accepted*
+requests stays bounded under a burst that degrades an unbounded queue.
+
+The controller also owns the queue-wait histogram surfaced through the
+service stats (log-spaced buckets; rendered as bucket-bound quantiles
+by :func:`repro.serve.metrics.stats_markdown`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class RequestRejected(RuntimeError):
+    """Base of typed admission rejections (maps to a wire error code).
+
+    Thread safety: exception instances are not shared; raising/catching
+    is safe anywhere. Determinism: rejections depend only on queue
+    state and clock at submission, never on request content.
+    """
+
+    #: stable machine-readable code, mirrored by the transport layer
+    code = "rejected"
+
+
+class QueueFull(RequestRejected):
+    """Shed at submission: the pending queue is at its configured cap."""
+
+    code = "queue_full"
+
+
+class DeadlineExpired(RequestRejected):
+    """Shed at dequeue: the deadline passed while the request queued."""
+
+    code = "deadline_expired"
+
+
+#: Upper bucket bounds (seconds) of the queue-wait histogram; the
+#: implicit final bucket is +inf. Log-spaced 1 ms .. 30 s.
+WAIT_BUCKETS_S = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission policy knobs (immutable; validated at construction).
+
+    ``max_queue_depth`` caps how many requests may be *pending* (not yet
+    collected into a batch); ``None`` disables shedding. A submission
+    arriving at a full queue is rejected with :class:`QueueFull`.
+
+    ``default_deadline_s`` is the queue-wait budget applied to requests
+    that do not carry their own ``deadline_s``; ``None`` means requests
+    without an explicit deadline never expire.
+    """
+
+    max_queue_depth: int | None = None
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be > 0 (or None)")
+
+
+@dataclass
+class WaitHistogram:
+    """Bucketed histogram of queue-wait seconds (snapshot).
+
+    Counts are *per bucket*, not cumulative: ``counts[i]`` is the
+    number of observations in ``(bounds_s[i-1], bounds_s[i]]``, with
+    ``counts[-1]`` the overflow bucket above ``bounds_s[-1]``.
+    Snapshots are plain data: safe to share across threads once
+    returned.
+    """
+
+    bounds_s: tuple = WAIT_BUCKETS_S
+    counts: list = field(default_factory=lambda: [0] * (len(WAIT_BUCKETS_S) + 1))
+    total: int = 0
+    sum_s: float = 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q * total`` (``inf`` when it falls in the
+        overflow bucket, ``0.0`` when the histogram is empty).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        seen = 0
+        for bound, count in zip(self.bounds_s, self.counts):
+            seen += count
+            if seen >= target:
+                return bound
+        return math.inf
+
+    def to_dict(self) -> dict:
+        """JSON-able form (used by the stats wire message)."""
+        return {
+            "bounds_s": list(self.bounds_s),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum_s": self.sum_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WaitHistogram":
+        return cls(
+            bounds_s=tuple(d["bounds_s"]),
+            counts=list(d["counts"]),
+            total=int(d["total"]),
+            sum_s=float(d["sum_s"]),
+        )
+
+
+@dataclass
+class AdmissionStats:
+    """Admission counters + queue-wait histogram (snapshot, plain data).
+
+    ``accepted`` counts submissions that entered the queue, ``shed``
+    counts :class:`QueueFull` rejections, ``expired`` counts requests
+    dropped at dequeue because their deadline had passed. The histogram
+    observes the queue wait of every request *leaving* the queue —
+    both those handed to a batch and those shed as expired (whose wait
+    is by definition at least their deadline), so under deadline
+    pressure the upper buckets reflect shed traffic, not served
+    latency.
+    """
+
+    accepted: int = 0
+    shed: int = 0
+    expired: int = 0
+    queue_wait: WaitHistogram = field(default_factory=WaitHistogram)
+
+    def to_dict(self) -> dict:
+        return {
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "expired": self.expired,
+            "queue_wait": self.queue_wait.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AdmissionStats":
+        return cls(
+            accepted=int(d["accepted"]),
+            shed=int(d["shed"]),
+            expired=int(d["expired"]),
+            queue_wait=WaitHistogram.from_dict(d["queue_wait"]),
+        )
+
+
+class AdmissionController:
+    """Admission decisions + accounting for one request queue.
+
+    Thread safety: all methods are safe to call concurrently (one lock
+    guards the counters); the queue calls :meth:`admit` under its own
+    lock so the depth it passes is exact, not racy. Determinism: given
+    the same sequence of depths/deadlines/clock readings the decisions
+    are identical — policy is pure, only the counters are stateful.
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self._lock = threading.Lock()
+        self._accepted = 0
+        self._shed = 0
+        self._expired = 0
+        self._wait_counts = [0] * (len(WAIT_BUCKETS_S) + 1)
+        self._wait_total = 0
+        self._wait_sum = 0.0
+
+    # -- decisions -----------------------------------------------------------
+
+    def admit(self, queue_depth: int) -> None:
+        """Accept or shed a submission given the current pending depth.
+
+        Raises :class:`QueueFull` (and counts the shed) when the queue
+        is at ``max_queue_depth``; otherwise counts an acceptance.
+        """
+        cap = self.config.max_queue_depth
+        if cap is not None and queue_depth >= cap:
+            with self._lock:
+                self._shed += 1
+            raise QueueFull(
+                f"queue at capacity ({queue_depth}/{cap} pending); request shed"
+            )
+        with self._lock:
+            self._accepted += 1
+
+    def effective_deadline_s(self, deadline_s: float | None) -> float | None:
+        """Resolve a request's deadline against the configured default."""
+        return self.config.default_deadline_s if deadline_s is None else deadline_s
+
+    # -- accounting ----------------------------------------------------------
+
+    def note_expired(self, waited_s: float) -> None:
+        """Record one deadline-expired request shed at dequeue."""
+        with self._lock:
+            self._expired += 1
+            self._observe(waited_s)
+
+    def note_dequeued(self, waited_s: float) -> None:
+        """Record the queue wait of one request handed to a batch."""
+        with self._lock:
+            self._observe(waited_s)
+
+    def _observe(self, waited_s: float) -> None:
+        # caller holds the lock
+        for i, bound in enumerate(WAIT_BUCKETS_S):
+            if waited_s <= bound:
+                self._wait_counts[i] += 1
+                break
+        else:
+            self._wait_counts[-1] += 1
+        self._wait_total += 1
+        self._wait_sum += waited_s
+
+    def stats(self) -> AdmissionStats:
+        """Snapshot the counters (consistent under the lock)."""
+        with self._lock:
+            return AdmissionStats(
+                accepted=self._accepted,
+                shed=self._shed,
+                expired=self._expired,
+                queue_wait=WaitHistogram(
+                    counts=list(self._wait_counts),
+                    total=self._wait_total,
+                    sum_s=self._wait_sum,
+                ),
+            )
+
+
+def now() -> float:
+    """The admission clock (``time.perf_counter``; one place to swap)."""
+    return time.perf_counter()

@@ -1,4 +1,4 @@
-"""Request queue with dynamic batching.
+"""Request queue with dynamic batching and admission control.
 
 Concurrent rollout requests against the same ``(model, graph,
 halo_mode, residual)`` key are coalesced into one batch and executed as
@@ -7,6 +7,14 @@ queue applies the classic dynamic-batching policy: the first request
 opens a batch, the collector then waits up to ``max_wait_s`` for more
 same-key requests (leaving other keys queued in arrival order) and
 closes the batch early once ``max_batch_size`` is reached.
+
+Admission control (:mod:`repro.serve.admission`) layers on top: a
+queue constructed with an :class:`~repro.serve.admission.AdmissionController`
+sheds submissions beyond the configured depth cap
+(:class:`~repro.serve.admission.QueueFull` at ``submit()``) and expires
+requests whose deadline passed while queued
+(:class:`~repro.serve.admission.DeadlineExpired` delivered through the
+handle at dequeue time).
 
 Results stream back through :class:`RolloutHandle`: frames are pushed
 as each rollout step completes, so a client can consume a trajectory
@@ -24,13 +32,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.comm.modes import HaloMode
+from repro.serve.admission import AdmissionController, DeadlineExpired
 
 _request_ids = itertools.count()
 
 
 @dataclass(frozen=True)
 class BatchKey:
-    """Requests coalesce iff every field matches."""
+    """Requests coalesce iff every field matches.
+
+    Thread safety: immutable value object, safe to share.
+    Determinism: equality/hash derive purely from the four fields, so
+    batch formation depends only on request content and arrival order.
+    """
 
     model: str
     graph: str
@@ -45,7 +59,16 @@ class InferenceRequest:
 
     ``x0`` is the *global* initial state ``(n_global_nodes, node_in)``;
     the executor scatters it to ranks by global ID and assembles global
-    frames back.
+    frames back. ``deadline_s`` is an optional queue-wait budget: a
+    request still pending ``deadline_s`` seconds after submission is
+    shed at dequeue with :class:`~repro.serve.admission.DeadlineExpired`
+    instead of being executed.
+
+    Thread safety: treated as immutable after construction — the queue
+    and workers only read it; do not mutate a submitted request.
+    Determinism: ``x0`` is canonicalized to ``float64`` once here, so
+    every downstream consumer (tiling, executor, transport) sees the
+    same bits regardless of the input's original dtype.
     """
 
     model: str
@@ -54,12 +77,15 @@ class InferenceRequest:
     n_steps: int
     halo_mode: str = HaloMode.NEIGHBOR_A2A.value
     residual: bool = False
+    deadline_s: float | None = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     submitted_at: float = field(default_factory=time.perf_counter)
 
     def __post_init__(self) -> None:
         if self.n_steps < 1:
             raise ValueError("n_steps must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 (or None)")
         self.halo_mode = HaloMode.parse(self.halo_mode).value
         self.x0 = np.asarray(self.x0, dtype=np.float64)
         if self.x0.ndim != 2:
@@ -67,7 +93,26 @@ class InferenceRequest:
 
     @property
     def key(self) -> BatchKey:
+        """The coalescing key (deadline deliberately excluded — requests
+        with different deadlines still share a batch)."""
         return BatchKey(self.model, self.graph, self.halo_mode, self.residual)
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute expiry on the ``perf_counter`` clock, or ``None``."""
+        if self.deadline_s is None:
+            return None
+        return self.submitted_at + self.deadline_s
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the queue-wait deadline has passed (``False`` if none)."""
+        if self.deadline_s is None:
+            return False
+        return (time.perf_counter() if now is None else now) > self.deadline
+
+    def waited_s(self, now: float | None = None) -> float:
+        """Seconds spent since submission (queue wait until dequeued)."""
+        return (time.perf_counter() if now is None else now) - self.submitted_at
 
 
 class RolloutHandle:
@@ -76,8 +121,16 @@ class RolloutHandle:
     Frames arrive in step order, frame 0 being ``x0`` itself (matching
     :func:`repro.gnn.rollout.rollout`, which returns ``n_steps + 1``
     states). ``frames()`` yields them as they are produced; ``result()``
-    blocks for the complete trajectory. A failure in the worker is
-    re-raised in the consumer.
+    blocks for the complete trajectory. A failure in the worker —
+    including a typed admission rejection — is re-raised in the
+    consumer.
+
+    Thread safety: one producer (the worker) and one consumer (the
+    client thread) are the supported topology; ``frames()``/``result()``
+    must not be iterated from two threads at once. ``done`` may be
+    polled from anywhere. Determinism: frames are deep-copied on push,
+    so a trajectory read from the handle is bitwise identical to the
+    worker's computation regardless of consumer timing.
     """
 
     _DONE = object()
@@ -135,23 +188,42 @@ class RolloutHandle:
 
     @property
     def done(self) -> bool:
+        """Whether the request finished (successfully or not)."""
         return self._done.is_set()
 
 
 class RequestQueue:
-    """FIFO of pending requests with same-key batch collection."""
+    """FIFO of pending requests with same-key batch collection.
 
-    def __init__(self) -> None:
+    Thread safety: fully thread-safe — any number of submitting threads
+    and any number of worker threads calling :meth:`next_batch` may run
+    concurrently; one condition variable guards all state, so the depth
+    an :class:`~repro.serve.admission.AdmissionController` decides on is
+    exact. Determinism: batch composition is a pure function of arrival
+    order, keys, deadlines and the collector's timing parameters; it
+    never depends on request payloads.
+    """
+
+    def __init__(self, admission: AdmissionController | None = None) -> None:
         self._pending: list[tuple[InferenceRequest, RolloutHandle]] = []
         self._cond = threading.Condition()
         self._closed = False
         self._depth_high_water = 0
+        self._admission = admission
 
     def submit(self, request: InferenceRequest) -> RolloutHandle:
+        """Enqueue one request (applying admission control) → handle.
+
+        Raises :class:`~repro.serve.admission.QueueFull` when an
+        admission controller is attached and the pending depth is at its
+        cap; the rejected request never enters the queue.
+        """
         handle = RolloutHandle(request)
         with self._cond:
             if self._closed:
                 raise RuntimeError("queue is closed")
+            if self._admission is not None:
+                self._admission.admit(len(self._pending))
             self._pending.append((request, handle))
             self._depth_high_water = max(self._depth_high_water, len(self._pending))
             self._cond.notify_all()
@@ -170,17 +242,26 @@ class RequestQueue:
         until ``max_wait_s`` has elapsed since collection began.
         Other-key requests stay queued and are served by subsequent
         calls in arrival order.
+
+        Requests whose deadline expired while queued are shed here:
+        their handles finish with
+        :class:`~repro.serve.admission.DeadlineExpired` and they never
+        join a batch. Expiry is checked at dequeue only — a request
+        that expires *after* joining a batch still executes.
         """
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         with self._cond:
-            while not self._pending:
-                if self._closed:
-                    return None
-                self._cond.wait(timeout=poll_s)
-            head_req, head_handle = self._pending.pop(0)
-            batch = [(head_req, head_handle)]
-            key = head_req.key
+            while True:
+                head = self._pop_live_head()
+                if head is not None:
+                    break
+                if not self._pending:
+                    if self._closed:
+                        return None
+                    self._cond.wait(timeout=poll_s)
+            batch = [head]
+            key = head[0].key
             deadline = time.perf_counter() + max_wait_s
             while len(batch) < max_batch_size:
                 self._take_matching(key, batch, max_batch_size)
@@ -191,7 +272,39 @@ class RequestQueue:
                     break
                 self._cond.wait(timeout=remaining)
             self._take_matching(key, batch, max_batch_size)
+            if self._admission is not None:
+                now = time.perf_counter()
+                for req, _ in batch:
+                    self._admission.note_dequeued(req.waited_s(now))
             return batch
+
+    def _pop_live_head(self) -> tuple[InferenceRequest, RolloutHandle] | None:
+        """Pop the first non-expired request, shedding expired ones.
+
+        Caller holds the lock. Returns ``None`` when the queue is empty
+        after shedding.
+        """
+        now = time.perf_counter()
+        while self._pending:
+            req, handle = self._pending.pop(0)
+            if req.expired(now):
+                self._shed_expired(req, handle, now)
+                continue
+            return req, handle
+        return None
+
+    def _shed_expired(
+        self, req: InferenceRequest, handle: RolloutHandle, now: float
+    ) -> None:
+        # caller holds the lock
+        if self._admission is not None:
+            self._admission.note_expired(req.waited_s(now))
+        handle._finish(
+            DeadlineExpired(
+                f"request {req.request_id} waited {req.waited_s(now) * 1e3:.1f}ms, "
+                f"deadline was {req.deadline_s * 1e3:.1f}ms"
+            )
+        )
 
     def _take_matching(
         self,
@@ -200,25 +313,31 @@ class RequestQueue:
         max_batch_size: int,
     ) -> None:
         # caller holds the lock
+        now = time.perf_counter()
         kept = []
         for item in self._pending:
-            if len(batch) < max_batch_size and item[0].key == key:
+            if item[0].expired(now):
+                self._shed_expired(item[0], item[1], now)
+            elif len(batch) < max_batch_size and item[0].key == key:
                 batch.append(item)
             else:
                 kept.append(item)
         self._pending[:] = kept
 
     def depth(self) -> int:
+        """Current number of pending (not yet collected) requests."""
         with self._cond:
             return len(self._pending)
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
         with self._cond:
             return self._closed
 
     @property
     def depth_high_water(self) -> int:
+        """Peak pending depth observed over the queue's lifetime."""
         with self._cond:
             return self._depth_high_water
 

@@ -23,14 +23,20 @@ from repro.graph.io import load_rank_graphs
 
 @dataclass(frozen=True)
 class GraphAsset:
-    """A resident, ready-to-serve partitioned graph (all ranks)."""
+    """A resident, ready-to-serve partitioned graph (all ranks).
+
+    Immutable value object: safe to hand to any number of concurrent
+    workers, which only read the rank graphs. Determinism: the asset is
+    exactly the graphs the loader produced — the cache layer never
+    transforms them, so cache hits and misses serve identical bits.
+    """
 
     key: str
     graphs: tuple[LocalGraph, ...]
 
     @property
     def size(self) -> int:
-        """World size ``R`` of the asset."""
+        """World size ``R`` of the asset (pure read)."""
         return len(self.graphs)
 
     @property
@@ -57,7 +63,10 @@ class GraphAsset:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting (snapshot)."""
+    """Hit/miss/eviction accounting (snapshot).
+
+    Plain data taken under the cache lock; safe to share once returned.
+    """
 
     entries: int = 0
     resident_bytes: int = 0
@@ -67,6 +76,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -79,6 +89,13 @@ class GraphCache:
     larger than ``max_bytes`` on its own is still admitted (evicting
     everything else) — refusing it would make the cache useless for
     exactly the graphs that are most expensive to reload.
+
+    Thread safety: all methods may be called from any thread; one lock
+    guards the LRU table, and :meth:`get_or_load` serializes loader
+    runs so concurrent misses on one key load once. Determinism: the
+    cache only stores and returns what loaders produce — eviction and
+    reload change *when* work happens, never the served bits (directory
+    loaders re-read the same ``.npz`` payloads exactly).
     """
 
     def __init__(self, max_entries: int = 8, max_bytes: int | None = None):
@@ -107,7 +124,8 @@ class GraphCache:
             return asset
 
     def put(self, key: str, graphs: Sequence[LocalGraph]) -> GraphAsset:
-        """Insert (or replace) an asset and apply the size bounds."""
+        """Insert (or replace) an asset and apply the size bounds
+        (thread-safe; the returned asset is immutable)."""
         if not graphs:
             raise ValueError("asset must contain at least one rank graph")
         asset = GraphAsset(key=key, graphs=tuple(graphs))
@@ -146,7 +164,7 @@ class GraphCache:
         return self.get_or_load(key, lambda: load_rank_graphs(directory))
 
     def evict(self, key: str) -> bool:
-        """Drop one asset; returns whether it was resident."""
+        """Drop one asset; returns whether it was resident (thread-safe)."""
         with self._lock:
             if key in self._assets:
                 del self._assets[key]
@@ -155,6 +173,7 @@ class GraphCache:
             return False
 
     def clear(self) -> None:
+        """Evict everything (thread-safe; counted as evictions)."""
         with self._lock:
             self._evictions += len(self._assets)
             self._assets.clear()
@@ -182,10 +201,12 @@ class GraphCache:
     # -- introspection -------------------------------------------------------
 
     def __contains__(self, key: str) -> bool:
+        """Residency test without touching recency (thread-safe)."""
         with self._lock:
             return key in self._assets
 
     def __len__(self) -> int:
+        """Resident entry count (thread-safe point read)."""
         with self._lock:
             return len(self._assets)
 
@@ -195,6 +216,7 @@ class GraphCache:
             return list(self._assets)
 
     def stats(self) -> CacheStats:
+        """Snapshot the counters (consistent under the lock)."""
         with self._lock:
             return CacheStats(
                 entries=len(self._assets),

@@ -1,12 +1,19 @@
-"""``python -m repro serve`` — self-contained serving demo.
+"""``python -m repro serve`` — serving demo and network listener.
 
-There is no network listener in the reproduction (the comm substrate is
-in-process by design), so "serving" means: stand up the
-:class:`~repro.serve.service.InferenceService`, register a checkpointed
-model and partitioned graph assets the way a deployment would, fire a
-burst of concurrent rollout requests at it, and print the serving
-stats table. The demo exercises the full asset path — checkpoint file
-→ registry, graph directory → cache — not just in-memory objects.
+Two modes share one asset setup (a checkpointed demo model and a
+partitioned graph directory, registered the way a deployment would):
+
+* **demo** (default): stand up the in-process
+  :class:`~repro.serve.service.InferenceService`, fire a burst of
+  concurrent rollout requests at it, and print the serving stats table.
+* **listen** (``--listen HOST:PORT``): additionally bind the
+  :class:`~repro.serve.transport.ServeServer` socket front end and
+  serve external clients until interrupted — the two-terminal
+  quickstart in the README talks to this mode through
+  :class:`~repro.serve.transport.NetworkClient`.
+
+Admission control is exposed through ``--max-queue`` (pending-depth cap,
+shedding beyond it) and ``--deadline-ms`` (default queue-wait budget).
 """
 
 from __future__ import annotations
@@ -22,14 +29,24 @@ from repro.graph.io import save_distributed_graph
 from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
 from repro.serve.client import ServeClient
 from repro.serve.service import InferenceService, ServeConfig
+from repro.serve.transport import ServeServer, parse_endpoint
 
 DEMO_CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=7)
+
+
+def listen_endpoint(value: str) -> tuple[str, int]:
+    """``argparse`` type for ``--listen`` (HOST:PORT with a real port)."""
+    try:
+        return parse_endpoint(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro serve",
-        description="run the batched surrogate-inference service demo",
+        description="run the batched surrogate-inference service "
+        "(demo burst, or a network listener with --listen)",
     )
     p.add_argument("--requests", type=int, default=12,
                    help="concurrent rollout requests to fire (default 12)")
@@ -44,30 +61,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mesh", type=int, nargs=3, default=(4, 4, 2),
                    metavar=("NX", "NY", "NZ"),
                    help="box-mesh element counts (default 4 4 2)")
+    p.add_argument("--listen", type=listen_endpoint, default=None,
+                   metavar="HOST:PORT",
+                   help="serve external clients on this socket endpoint "
+                   "(port 0 picks an ephemeral port) instead of running "
+                   "the demo burst")
+    p.add_argument("--max-queue", type=int, default=None, metavar="N",
+                   help="admission control: shed requests beyond N pending "
+                   "(default: unbounded)")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="admission control: default per-request queue-wait "
+                   "deadline (default: none)")
     return p
 
 
-def run_demo(args: argparse.Namespace) -> int:
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue_depth=args.max_queue,
+        default_deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms / 1e3
+        ),
+    )
+
+
+def _demo_assets(args: argparse.Namespace, tmp_path: Path):
+    """Build the demo mesh/model assets a deployment would load from disk."""
     nx, ny, nz = args.mesh
     mesh = BoxMesh(nx, ny, nz, p=1)
     dg = build_distributed_graph(mesh, auto_partition(mesh, args.ranks))
     x0 = taylor_green_velocity(mesh.all_positions())
+    ckpt = tmp_path / "model.npz"
+    save_checkpoint(MeshGNN(DEMO_CONFIG), ckpt)
+    graph_dir = tmp_path / "graphs"
+    save_distributed_graph(dg, graph_dir)
+    return x0, ckpt, graph_dir
 
+
+def run_demo(args: argparse.Namespace) -> int:
+    nx, ny, nz = args.mesh
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
-        tmp_path = Path(tmp)
-        ckpt = tmp_path / "model.npz"
-        save_checkpoint(MeshGNN(DEMO_CONFIG), ckpt)
-        graph_dir = tmp_path / "graphs"
-        save_distributed_graph(dg, graph_dir)
-
-        config = ServeConfig(
-            max_batch_size=args.max_batch,
-            max_wait_s=args.max_wait_ms / 1e3,
-        )
+        x0, ckpt, graph_dir = _demo_assets(args, Path(tmp))
         print(f"mesh {nx}x{ny}x{nz} (p=1), {args.ranks} ranks, "
               f"{args.requests} requests x {args.steps} steps, "
               f"max_batch={args.max_batch}, window={args.max_wait_ms}ms\n")
-        with InferenceService(config) as service:
+        with InferenceService(_serve_config(args)) as service:
             client = ServeClient(service)
             client.register_checkpoint("tgv-surrogate", ckpt,
                                        expect_config=DEMO_CONFIG)
@@ -97,8 +136,49 @@ def run_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_listen(
+    args: argparse.Namespace,
+    ready=None,
+    stop: threading.Event | None = None,
+) -> int:
+    """Serve external clients until interrupted (or ``stop`` is set).
+
+    ``ready`` (a callback receiving the started
+    :class:`~repro.serve.transport.ServeServer`) and ``stop`` exist so
+    tests can synchronize with a listener running on a thread and learn
+    its ephemeral port; interactive use just hits Ctrl-C.
+    """
+    host, port = args.listen
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        x0, ckpt, graph_dir = _demo_assets(args, Path(tmp))
+        del x0  # clients bring their own initial states
+        with InferenceService(_serve_config(args)) as service:
+            service.register_checkpoint("tgv-surrogate", ckpt,
+                                        expect_config=DEMO_CONFIG)
+            service.register_graph_dir("tgv-box", graph_dir)
+            with ServeServer(service, host, port) as server:
+                print(f"serving on {server.endpoint} "
+                      f"(model 'tgv-surrogate', graph 'tgv-box'; "
+                      f"max_queue={args.max_queue}, "
+                      f"deadline_ms={args.deadline_ms})")
+                print("connect with: NetworkClient.connect"
+                      f"({server.endpoint!r})  — Ctrl-C to stop")
+                if ready is not None:
+                    ready(server)
+                try:
+                    if stop is not None:
+                        stop.wait()
+                    else:
+                        threading.Event().wait()  # serve until interrupted
+                except KeyboardInterrupt:
+                    print("\nshutting down")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.listen is not None:
+        return run_listen(args)
     return run_demo(args)
 
 

@@ -3,10 +3,10 @@
 ``ServeClient`` is the API surface application code should hold: it
 hides the service object behind the small set of operations a surrogate
 consumer needs (single step, full rollout, streaming rollout), mirrors
-the asset-registration calls, and exposes the stats snapshot. Keeping
-clients on this narrow interface means a future out-of-process
-transport (sockets serializing ``InferenceRequest``) can slot in
-without touching callers.
+the asset-registration calls, and exposes the stats snapshot. The
+out-of-process :class:`repro.serve.transport.NetworkClient` mirrors
+this interface over a socket, so application code written against
+either client is portable between in-process and networked serving.
 """
 
 from __future__ import annotations
@@ -85,9 +85,12 @@ class ServeClient:
         x: np.ndarray,
         halo_mode: str | HaloMode | None = None,
         residual: bool = False,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """One surrogate time step: returns the next global state."""
-        states = self._service.rollout(model, graph, x, 1, halo_mode, residual)
+        states = self._service.rollout(
+            model, graph, x, 1, halo_mode, residual, deadline_s
+        )
         return states[1]
 
     def rollout(
@@ -98,9 +101,12 @@ class ServeClient:
         n_steps: int,
         halo_mode: str | HaloMode | None = None,
         residual: bool = False,
+        deadline_s: float | None = None,
     ) -> list[np.ndarray]:
         """Full trajectory (``n_steps + 1`` states including ``x0``)."""
-        return self._service.rollout(model, graph, x0, n_steps, halo_mode, residual)
+        return self._service.rollout(
+            model, graph, x0, n_steps, halo_mode, residual, deadline_s
+        )
 
     def submit(
         self,
@@ -110,9 +116,18 @@ class ServeClient:
         n_steps: int,
         halo_mode: str | HaloMode | None = None,
         residual: bool = False,
+        deadline_s: float | None = None,
     ) -> RolloutHandle:
-        """Asynchronous submit; the handle streams frames as computed."""
-        return self._service.submit(model, graph, x0, n_steps, halo_mode, residual)
+        """Asynchronous submit; the handle streams frames as computed.
+
+        Raises :class:`~repro.serve.admission.QueueFull` when admission
+        control sheds the request at submission; a deadline that expires
+        while queued surfaces as
+        :class:`~repro.serve.admission.DeadlineExpired` from the handle.
+        """
+        return self._service.submit(
+            model, graph, x0, n_steps, halo_mode, residual, deadline_s
+        )
 
     def stream(
         self,
@@ -122,9 +137,12 @@ class ServeClient:
         n_steps: int,
         halo_mode: str | HaloMode | None = None,
         residual: bool = False,
+        deadline_s: float | None = None,
     ) -> Iterator[np.ndarray]:
         """Generator of frames, yielding each step as it completes."""
-        handle = self.submit(model, graph, x0, n_steps, halo_mode, residual)
+        handle = self.submit(
+            model, graph, x0, n_steps, halo_mode, residual, deadline_s
+        )
         yield from handle.frames(timeout=self._service.config.request_timeout_s)
 
     # -- stats ---------------------------------------------------------------

@@ -42,7 +42,13 @@ FrameDispatch = Callable[[int, int, np.ndarray], None]
 
 @dataclass(frozen=True)
 class BatchExecution:
-    """What one batch cost (per-batch metrics input)."""
+    """What one batch cost (per-batch metrics input).
+
+    Immutable record produced once per :func:`execute_batch`; safe to
+    share across threads. ``exec_s`` is wall time (nondeterministic);
+    the traffic counters are exact and deterministic for a given
+    ``(graph, batch, halo_mode, n_steps)``.
+    """
 
     batch_size: int
     world_size: int
@@ -52,7 +58,11 @@ class BatchExecution:
 
 
 class _StepCollector:
-    """Rendezvous for per-step rank states (multi-rank streaming)."""
+    """Rendezvous for per-step rank states (multi-rank streaming).
+
+    Thread-safe by construction: rank threads ``put``, one consumer
+    ``wait_step``s, a single condition variable guards the store.
+    """
 
     def __init__(self, n_ranks: int):
         self._n = n_ranks
@@ -130,6 +140,20 @@ def execute_batch(
     fewer steps than the batch maximum simply stop receiving frames
     early (their rows still ride along in the tiled state — the cost of
     a straggler-free batch shape).
+
+    Thread safety: one call owns its batch — the function may run on
+    many worker threads concurrently (distinct batches), but a single
+    batch must not be executed twice. ``dispatch`` is invoked from this
+    thread in single-rank mode and from this thread (after the step
+    rendezvous) in multi-rank mode, never concurrently for one request.
+    The model and asset are only read; sharing them across concurrent
+    batches is safe.
+
+    Determinism: the arithmetic is exactly
+    :func:`repro.gnn.rollout.rollout` on the tiled graph, and tiling
+    preserves per-copy accumulation order, so every dispatched frame is
+    bitwise identical to a hand-wired rollout of that request — batch
+    composition, worker count, and timing never change the bits.
     """
     if not requests:
         raise ValueError("empty batch")

@@ -10,9 +10,10 @@ performance tables.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.perf.report import markdown_table
+from repro.serve.admission import AdmissionStats
 from repro.serve.cache import CacheStats
 from repro.serve.registry import RegistryStats
 
@@ -58,11 +59,25 @@ class ServeStats:
     queue_depth_high_water: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     registry: RegistryStats = field(default_factory=RegistryStats)
+    admission: AdmissionStats = field(default_factory=AdmissionStats)
 
     @property
     def batching_factor(self) -> float:
         """Mean requests served per executed batch (1.0 = no batching)."""
         return self.requests / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the ``stats`` wire message payload)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ServeStats":
+        """Invert :meth:`to_dict` (reconstructing the nested stats)."""
+        d = dict(d)
+        d["cache"] = CacheStats(**d["cache"])
+        d["registry"] = RegistryStats(**d["registry"])
+        d["admission"] = AdmissionStats.from_dict(d["admission"])
+        return cls(**d)
 
 
 class MetricsAggregator:
@@ -100,6 +115,7 @@ class MetricsAggregator:
         registry: RegistryStats,
         queue_depth: int,
         queue_depth_high_water: int,
+        admission: AdmissionStats | None = None,
     ) -> ServeStats:
         with self._lock:
             reqs = list(self._completed)
@@ -124,7 +140,21 @@ class MetricsAggregator:
             queue_depth_high_water=queue_depth_high_water,
             cache=cache,
             registry=registry,
+            admission=admission or AdmissionStats(),
         )
+
+
+def _wait_quantiles(admission: AdmissionStats) -> str:
+    """Render bucket-upper-bound quantiles of the queue-wait histogram."""
+    hist = admission.queue_wait
+    if hist.total == 0:
+        return "- / - / -"
+
+    def fmt(q: float) -> str:
+        bound = hist.quantile(q)
+        return "inf" if bound == float("inf") else f"<={bound * 1e3:.0f}"
+
+    return f"{fmt(0.5)} / {fmt(0.9)} / {fmt(0.99)}"
 
 
 def stats_markdown(stats: ServeStats) -> str:
@@ -143,6 +173,10 @@ def stats_markdown(stats: ServeStats) -> str:
         ["comm messages", stats.comm_messages],
         ["queue depth (now / high water)",
          f"{stats.queue_depth} / {stats.queue_depth_high_water}"],
+        ["admission accepted / shed / expired",
+         f"{stats.admission.accepted} / {stats.admission.shed} / "
+         f"{stats.admission.expired}"],
+        ["queue wait p50 / p90 / p99 (ms)", _wait_quantiles(stats.admission)],
         ["graph-cache hit rate", f"{stats.cache.hit_rate:.2f}"],
         ["graph-cache entries / bytes",
          f"{stats.cache.entries} / {stats.cache.resident_bytes}"],

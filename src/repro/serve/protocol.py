@@ -1,0 +1,151 @@
+"""Wire protocol of the out-of-process serving transport.
+
+A *message* is one length-prefixed JSON header followed by zero or more
+length-prefixed ``.npy`` blobs (one per array the header announces):
+
+.. code-block:: text
+
+    u32  header_len          (big-endian)
+    ...  header JSON (utf-8) carrying "arrays": <count>
+    --- repeated <count> times ---
+    u64  blob_len            (big-endian)
+    ...  npy bytes (numpy .npy format, allow_pickle=False)
+
+JSON carries the small, human-auditable part (operation, asset names,
+flags, error codes); arrays travel in the ``.npy`` binary format so
+dtype/shape round-trip exactly — a ``float64`` state that crosses the
+socket comes back bitwise identical, which the transport consistency
+tests assert end-to-end.
+
+The module is transport-agnostic: readers/writers operate on binary
+file-like objects (``socket.makefile("rwb")``, ``BytesIO``, pipes), so
+the framing is unit-testable without sockets.
+
+Thread safety: the functions here are pure stream transformations and
+hold no state; concurrent use on *distinct* streams is safe, and one
+stream must not be shared by concurrent readers or writers.
+Determinism: encoding is canonical (sorted-key compact JSON, ``.npy``
+v1 format), so the same header + arrays always produce the same bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import BinaryIO, Sequence
+
+import numpy as np
+
+#: Sanity bound on the JSON header frame — a peer speaking a different
+#: protocol (or random garbage) fails fast instead of allocating.
+MAX_HEADER_BYTES = 1 << 20
+#: Sanity bound on one array blob (covers far-beyond-paper-scale states).
+MAX_ARRAY_BYTES = 1 << 32
+
+_HEADER_LEN = struct.Struct(">I")
+_BLOB_LEN = struct.Struct(">Q")
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that do not parse as a protocol message."""
+
+
+# -- typed status codes (server -> client error messages) --------------------
+
+#: Admission control refused the request: the queue is at capacity.
+ERR_QUEUE_FULL = "queue_full"
+#: The request's deadline passed while it waited in the queue.
+ERR_DEADLINE_EXPIRED = "deadline_expired"
+#: No model registered under the requested name.
+ERR_MODEL_NOT_FOUND = "model_not_found"
+#: No graph registered under the requested key.
+ERR_GRAPH_NOT_FOUND = "graph_not_found"
+#: Model/graph/request shapes or configs disagree.
+ERR_INCOMPATIBLE = "incompatible"
+#: Request header failed validation before reaching the service.
+ERR_BAD_REQUEST = "bad_request"
+#: Anything else that escaped the worker (reported with its repr).
+ERR_INTERNAL = "internal"
+
+
+def _read_exact(stream: BinaryIO, n: int, *, eof_ok: bool = False) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = stream.read(n - got)
+        if not chunk:
+            if got == 0 and eof_ok:
+                return None
+            raise ProtocolError(
+                f"stream truncated: wanted {n} bytes, got {got}"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def encode_array(array: np.ndarray) -> bytes:
+    """Serialize one array to ``.npy`` bytes (dtype/shape-exact)."""
+    buf = io.BytesIO()
+    np.save(buf, np.ascontiguousarray(array), allow_pickle=False)
+    return buf.getvalue()
+
+
+def decode_array(blob: bytes) -> np.ndarray:
+    """Invert :func:`encode_array`; rejects pickled payloads."""
+    try:
+        return np.load(io.BytesIO(blob), allow_pickle=False)
+    except ValueError as exc:
+        raise ProtocolError(f"array blob does not parse as .npy: {exc}") from None
+
+
+def write_message(
+    stream: BinaryIO, header: dict, arrays: Sequence[np.ndarray] = ()
+) -> None:
+    """Frame and write one message (header JSON + array blobs), then flush."""
+    body = dict(header)
+    body["arrays"] = len(arrays)
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large ({len(payload)} bytes)")
+    stream.write(_HEADER_LEN.pack(len(payload)))
+    stream.write(payload)
+    for array in arrays:
+        blob = encode_array(array)
+        if len(blob) > MAX_ARRAY_BYTES:
+            raise ProtocolError(f"array too large ({len(blob)} bytes)")
+        stream.write(_BLOB_LEN.pack(len(blob)))
+        stream.write(blob)
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> tuple[dict, list[np.ndarray]] | None:
+    """Read one message; ``None`` on clean EOF at a message boundary.
+
+    Raises :class:`ProtocolError` on truncation mid-message, oversized
+    frames, or headers that do not parse as a JSON object.
+    """
+    raw_len = _read_exact(stream, _HEADER_LEN.size, eof_ok=True)
+    if raw_len is None:
+        return None
+    (header_len,) = _HEADER_LEN.unpack(raw_len)
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header frame of {header_len} bytes exceeds bound")
+    try:
+        header = json.loads(_read_exact(stream, header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError(f"header must be a JSON object, got {type(header)}")
+    n_arrays = header.pop("arrays", 0)
+    if not isinstance(n_arrays, int) or n_arrays < 0:
+        raise ProtocolError(f"bad array count {n_arrays!r}")
+    arrays = []
+    for _ in range(n_arrays):
+        (blob_len,) = _BLOB_LEN.unpack(_read_exact(stream, _BLOB_LEN.size))
+        if blob_len > MAX_ARRAY_BYTES:
+            raise ProtocolError(f"array blob of {blob_len} bytes exceeds bound")
+        arrays.append(decode_array(_read_exact(stream, blob_len)))
+    return header, arrays

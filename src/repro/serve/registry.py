@@ -20,11 +20,19 @@ from repro.gnn.config import GNNConfig
 
 
 class ModelNotFound(KeyError):
-    """No model registered under the requested name."""
+    """No model registered under the requested name.
+
+    Raised deterministically from name lookup alone; safe to raise and
+    catch from any thread.
+    """
 
 
 class IncompatibleModel(ValueError):
-    """A model's config violates what the request or caller requires."""
+    """A model's config violates what the request or caller requires.
+
+    Raised deterministically from config/shape comparison alone; safe
+    to raise and catch from any thread.
+    """
 
 
 @dataclass
@@ -42,7 +50,11 @@ class _Entry:
 
 @dataclass
 class RegistryStats:
-    """Counters exposed through the service stats API."""
+    """Counters exposed through the service stats API.
+
+    A snapshot: plain data taken under the registry lock, safe to share
+    across threads after it is returned.
+    """
 
     registered: int = 0
     resident: int = 0
@@ -53,6 +65,13 @@ class RegistryStats:
 
 class ModelRegistry:
     """Thread-safe name → :class:`MeshGNN` registry with lazy loading.
+
+    Thread safety: every method may be called from any thread; one lock
+    guards the entry table, and checkpoint loads happen under it so
+    concurrent ``get`` calls observe a consistent resident set.
+    Determinism: ``get`` returns the *same* model object every call
+    until eviction, and checkpoint loading is exact (``.npz`` weights),
+    so which thread triggers the lazy load never affects served bits.
 
     >>> from repro.gnn import GNNConfig, MeshGNN
     >>> reg = ModelRegistry()
@@ -70,7 +89,12 @@ class ModelRegistry:
     # -- registration --------------------------------------------------------
 
     def register_model(self, name: str, model: MeshGNN) -> None:
-        """Register an in-memory model (resident immediately)."""
+        """Register an in-memory model (resident immediately).
+
+        Thread-safe; raises :class:`ValueError` if the name is taken.
+        The registry shares (not copies) ``model`` — do not mutate its
+        parameters afterwards or served results will change.
+        """
         with self._lock:
             self._check_name_free(name)
             self._entries[name] = _Entry(name=name, model=model, loads=1)
@@ -112,7 +136,12 @@ class ModelRegistry:
     # -- lookup --------------------------------------------------------------
 
     def get(self, name: str) -> MeshGNN:
-        """Return the named model, loading its checkpoint if needed."""
+        """Return the named model, loading its checkpoint if needed.
+
+        Thread-safe (loads are serialized under the lock, so a
+        checkpoint is read at most once per residency). Deterministic:
+        repeated calls return the identical object and bits.
+        """
         with self._lock:
             entry = self._entries.get(name)
             if entry is None:
@@ -133,13 +162,16 @@ class ModelRegistry:
             return entry.model
 
     def config(self, name: str) -> GNNConfig:
+        """The named model's config (thread-safe; may trigger the load)."""
         return self.get(name).config
 
     def __contains__(self, name: str) -> bool:
+        """Whether ``name`` is registered (thread-safe point read)."""
         with self._lock:
             return name in self._entries
 
     def names(self) -> list[str]:
+        """Registered names, sorted (thread-safe snapshot)."""
         with self._lock:
             return sorted(self._entries)
 
@@ -147,7 +179,12 @@ class ModelRegistry:
 
     def evict(self, name: str) -> None:
         """Drop a resident model's parameters (checkpoint entries reload
-        on next use; in-memory entries are removed entirely)."""
+        on next use; in-memory entries are removed entirely).
+
+        Thread-safe; a concurrent ``get`` either sees the old resident
+        model or triggers a fresh (bit-identical) reload, never a torn
+        state.
+        """
         with self._lock:
             entry = self._entries.get(name)
             if entry is None:
@@ -159,6 +196,7 @@ class ModelRegistry:
             self._evictions += 1
 
     def unregister(self, name: str) -> None:
+        """Remove an entry entirely (thread-safe)."""
         with self._lock:
             if name not in self._entries:
                 raise ModelNotFound(f"no model {name!r}")
@@ -168,7 +206,11 @@ class ModelRegistry:
 
     @staticmethod
     def validate_rollout(model: MeshGNN) -> None:
-        """Autoregressive rollout feeds outputs back as inputs."""
+        """Autoregressive rollout feeds outputs back as inputs.
+
+        Pure check (no state, any thread): raises
+        :class:`IncompatibleModel` unless ``node_in == node_out``.
+        """
         cfg = model.config
         if cfg.node_in != cfg.node_out:
             raise IncompatibleModel(
@@ -179,6 +221,7 @@ class ModelRegistry:
     # -- stats ---------------------------------------------------------------
 
     def stats(self) -> RegistryStats:
+        """Snapshot the counters (consistent under the lock)."""
         with self._lock:
             per_model = {n: e.loads for n, e in self._entries.items()}
             return RegistryStats(

@@ -28,6 +28,7 @@ from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
 from repro.graph.io import load_rank_graphs
+from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.batching import InferenceRequest, RequestQueue, RolloutHandle
 from repro.serve.cache import GraphAsset, GraphCache
 from repro.serve.executor import execute_batch
@@ -48,6 +49,12 @@ class ServeConfig:
     collector lingers for more same-key requests before executing a
     partial batch. ``0`` disables coalescing-by-waiting (a batch still
     forms from requests that are already queued).
+
+    ``max_queue_depth`` and ``default_deadline_s`` configure admission
+    control (see :mod:`repro.serve.admission`): submissions beyond the
+    depth cap are shed with :class:`~repro.serve.admission.QueueFull`,
+    and queued requests older than their deadline are expired at
+    dequeue. Both default to off (unbounded queue, no deadline).
     """
 
     max_batch_size: int = 8
@@ -57,6 +64,8 @@ class ServeConfig:
     cache_bytes: int | None = None
     default_halo_mode: str = HaloMode.NEIGHBOR_A2A.value
     request_timeout_s: float = 120.0
+    max_queue_depth: int | None = None
+    default_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -65,6 +74,13 @@ class ServeConfig:
             raise ValueError("n_workers must be >= 1")
         if self.max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        # delegate validation of the admission knobs
+        AdmissionConfig(self.max_queue_depth, self.default_deadline_s)
+
+    @property
+    def admission(self) -> AdmissionConfig:
+        """The admission policy induced by this config."""
+        return AdmissionConfig(self.max_queue_depth, self.default_deadline_s)
 
 
 class InferenceService:
@@ -89,7 +105,8 @@ class InferenceService:
             max_entries=self.config.cache_entries,
             max_bytes=self.config.cache_bytes,
         )
-        self._queue = RequestQueue()
+        self._admission = AdmissionController(self.config.admission)
+        self._queue = RequestQueue(self._admission)
         self._queue_high_water_prev = 0
         self._metrics = MetricsAggregator()
         self._graph_dirs: dict[str, Path] = {}
@@ -110,7 +127,7 @@ class InferenceService:
                 self._queue_high_water_prev = max(
                     self._queue_high_water_prev, self._queue.depth_high_water
                 )
-                self._queue = RequestQueue()
+                self._queue = RequestQueue(self._admission)
             self._started = True
             for i in range(self.config.n_workers):
                 t = threading.Thread(
@@ -198,8 +215,15 @@ class InferenceService:
         n_steps: int,
         halo_mode: str | HaloMode | None = None,
         residual: bool = False,
+        deadline_s: float | None = None,
     ) -> RolloutHandle:
-        """Enqueue a rollout request; returns a streaming handle."""
+        """Enqueue a rollout request; returns a streaming handle.
+
+        ``deadline_s`` is the queue-wait budget (falling back to
+        ``config.default_deadline_s``); raises
+        :class:`~repro.serve.admission.QueueFull` when the queue is at
+        its configured cap.
+        """
         if not self._started:
             raise RuntimeError("service is not started (use start() or `with`)")
         self.registry.get(model)  # fail fast on unknown/incompatible names
@@ -217,6 +241,7 @@ class InferenceService:
             n_steps=n_steps,
             halo_mode=mode.value,
             residual=residual,
+            deadline_s=self._admission.effective_deadline_s(deadline_s),
         )
         return self._queue.submit(request)
 
@@ -228,9 +253,12 @@ class InferenceService:
         n_steps: int,
         halo_mode: str | HaloMode | None = None,
         residual: bool = False,
+        deadline_s: float | None = None,
     ) -> list[np.ndarray]:
         """Synchronous convenience: submit and wait for the trajectory."""
-        handle = self.submit(model, graph, x0, n_steps, halo_mode, residual)
+        handle = self.submit(
+            model, graph, x0, n_steps, halo_mode, residual, deadline_s
+        )
         return handle.result(timeout=self.config.request_timeout_s)
 
     # -- worker pool ---------------------------------------------------------
@@ -304,6 +332,7 @@ class InferenceService:
             queue_depth_high_water=max(
                 self._queue_high_water_prev, self._queue.depth_high_water
             ),
+            admission=self._admission.stats(),
         )
 
     def stats_markdown(self) -> str:

@@ -37,6 +37,15 @@ def tile_local_graph(graph: LocalGraph, batch: int) -> LocalGraph:
 
     All ranks of a world must tile with the same ``batch`` — the tiled
     ``pad_count`` (used by dense-A2A buffers) scales accordingly.
+
+    Thread safety: pure function of an immutable input — callers on
+    different threads may tile the same ``LocalGraph`` concurrently
+    (the input is only read; the returned replica shares no mutable
+    state with it, and ``batch == 1`` returns the input unchanged).
+    Determinism: the replica's row layout is a fixed function of
+    ``(graph, batch)``, which is what makes the batched forward
+    *bitwise* equal to per-request forwards — accumulation order within
+    each copy is preserved exactly.
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
@@ -91,14 +100,24 @@ def tile_local_graph(graph: LocalGraph, batch: int) -> LocalGraph:
 
 
 def stack_states(states: Sequence[np.ndarray]) -> np.ndarray:
-    """Stack per-request ``(n_local, F)`` states into ``(B·n_local, F)``."""
+    """Stack per-request ``(n_local, F)`` states into ``(B·n_local, F)``.
+
+    Pure function (any thread); canonicalizes to ``float64`` and copies,
+    so the stacked buffer never aliases request inputs. Row order
+    follows the input order — copy ``k`` is ``states[k]`` exactly.
+    """
     if not states:
         raise ValueError("no states to stack")
     return np.concatenate([np.asarray(s, dtype=np.float64) for s in states], axis=0)
 
 
 def split_states(x: np.ndarray, batch: int) -> list[np.ndarray]:
-    """Invert :func:`stack_states`: split rows back into ``batch`` copies."""
+    """Invert :func:`stack_states`: split rows back into ``batch`` copies.
+
+    Pure function (any thread); returns fresh copies, so consumers may
+    mutate them without corrupting the batched buffer. Bitwise inverse:
+    ``split_states(stack_states(xs), len(xs))`` equals ``xs`` exactly.
+    """
     if batch < 1 or x.shape[0] % batch:
         raise ValueError(f"cannot split {x.shape[0]} rows into {batch} copies")
     n = x.shape[0] // batch

@@ -1,0 +1,618 @@
+"""Out-of-process serving transport: socket server + network client.
+
+This is the piece that turns the in-process batched executor into a
+*service*: :class:`ServeServer` listens on a TCP socket and speaks the
+:mod:`repro.serve.protocol` framing, so a client in another process (or
+on another machine) can submit rollout requests, stream frames as steps
+complete, read the stats table, and register path-backed assets.
+:class:`NetworkClient` mirrors the in-process
+:class:`~repro.serve.client.ServeClient` API — ``step`` / ``rollout`` /
+``submit`` / ``stream`` / ``stats`` — and the transport consistency
+tests assert that a trajectory fetched through the socket is bitwise
+identical to the same request served in-process.
+
+Everything is stdlib (``socketserver`` + ``socket``): one thread per
+connection on the server (``ThreadingTCPServer``), one connection per
+request on the client (no multiplexing — a streaming rollout owns its
+socket until the final ``done``/``error`` message).
+
+**Trust model**: the transport is unauthenticated and unencrypted —
+it is meant for localhost and trusted networks (a lab cluster behind a
+firewall), not the open internet. In particular the registration ops
+let any connected peer name *server-visible* filesystem paths to load;
+bind to ``127.0.0.1`` (the default) unless every peer that can reach
+the port is trusted. TLS/auth hardening is a ROADMAP follow-on.
+
+Typed failures cross the wire as error codes (:mod:`repro.serve.protocol`)
+and are re-raised client-side as the same exception types the
+in-process client raises: admission shedding surfaces as
+:class:`~repro.serve.admission.QueueFull` /
+:class:`~repro.serve.admission.DeadlineExpired`, unknown assets as
+:class:`~repro.serve.registry.ModelNotFound` / :class:`KeyError`, shape
+or config mismatches as
+:class:`~repro.serve.registry.IncompatibleModel`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import socketserver
+import threading
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.comm.modes import HaloMode
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.graph.distributed import LocalGraph
+from repro.serve import protocol
+from repro.serve.admission import DeadlineExpired, QueueFull, RequestRejected
+from repro.serve.metrics import ServeStats
+from repro.serve.protocol import ProtocolError, read_message, write_message
+from repro.serve.registry import IncompatibleModel, ModelNotFound
+from repro.serve.service import InferenceService
+
+
+class TransportError(RuntimeError):
+    """Connection/protocol failure, or a server error with no local type."""
+
+
+class RemoteServeError(TransportError):
+    """The server reported an internal failure; carries its message."""
+
+
+def parse_endpoint(value: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (the ``--listen`` / client address syntax).
+
+    Thread safety: pure function. Raises :class:`ValueError` with a
+    human-readable reason on malformed input (empty host, non-numeric
+    or out-of-range port, missing colon).
+    """
+    host, sep, port_s = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"port {port_s!r} is not an integer") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} outside [0, 65535]")
+    return host, port
+
+
+def _require(header: dict, key: str):
+    """Fetch a required header field; missing fields are bad requests
+    (a bare ``KeyError`` would masquerade as graph-not-found)."""
+    try:
+        return header[key]
+    except KeyError:
+        raise ValueError(f"message is missing required field {key!r}") from None
+
+
+def _error_code(exc: BaseException) -> str:
+    """Map a server-side exception to its wire error code."""
+    if isinstance(exc, RequestRejected):
+        return exc.code  # queue_full / deadline_expired
+    if isinstance(exc, ModelNotFound):
+        return protocol.ERR_MODEL_NOT_FOUND
+    if isinstance(exc, KeyError):
+        return protocol.ERR_GRAPH_NOT_FOUND
+    if isinstance(exc, IncompatibleModel):
+        return protocol.ERR_INCOMPATIBLE
+    if isinstance(exc, (ValueError, FileNotFoundError)):
+        return protocol.ERR_BAD_REQUEST
+    return protocol.ERR_INTERNAL
+
+
+def _raise_for_code(code: str, message: str) -> None:
+    """Client-side inverse of :func:`_error_code` (always raises)."""
+    if code == protocol.ERR_QUEUE_FULL:
+        raise QueueFull(message)
+    if code == protocol.ERR_DEADLINE_EXPIRED:
+        raise DeadlineExpired(message)
+    if code == protocol.ERR_MODEL_NOT_FOUND:
+        raise ModelNotFound(message)
+    if code == protocol.ERR_GRAPH_NOT_FOUND:
+        raise KeyError(message)
+    if code == protocol.ERR_INCOMPATIBLE:
+        raise IncompatibleModel(message)
+    if code == protocol.ERR_BAD_REQUEST:
+        raise ValueError(message)
+    raise RemoteServeError(f"[{code}] {message}")
+
+
+# -- server ------------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request messages until the peer hangs up.
+
+    Runs on its own thread (``ThreadingTCPServer``); everything it
+    touches on the service is the service's own thread-safe API, so any
+    number of connections may be in flight concurrently.
+    """
+
+    def handle(self) -> None:  # noqa: D102 - socketserver hook
+        while True:
+            try:
+                message = read_message(self.rfile)
+            except ProtocolError as exc:
+                self._reply_error(protocol.ERR_BAD_REQUEST, str(exc))
+                return
+            if message is None:  # clean EOF: client closed the connection
+                return
+            header, arrays = message
+            try:
+                if not self._dispatch(header, arrays):
+                    return
+            except (BrokenPipeError, ConnectionError, OSError):
+                return  # peer went away mid-reply; nothing to clean up
+
+    def _dispatch(self, header: dict, arrays: list[np.ndarray]) -> bool:
+        """Serve one message; returns False to end the connection."""
+        service: InferenceService = self.server.service  # type: ignore[attr-defined]
+        op = header.get("op")
+        try:
+            if op == "ping":
+                self._reply({"type": "pong"})
+            elif op == "rollout":
+                self._rollout(service, header, arrays)
+            elif op == "stats":
+                stats = service.stats()
+                self._reply(
+                    {
+                        "type": "stats",
+                        "stats": stats.to_dict(),
+                        "markdown": service.stats_markdown(),
+                    }
+                )
+            elif op == "graph_keys":
+                self._reply({"type": "graph_keys", "keys": service.graph_keys()})
+            elif op == "models":
+                self._reply({"type": "models", "names": service.registry.names()})
+            elif op == "register_checkpoint":
+                expect = header.get("expect_config")
+                service.register_checkpoint(
+                    _require(header, "name"),
+                    _require(header, "path"),
+                    expect_config=GNNConfig(**expect) if expect else None,
+                    eager=bool(header.get("eager", False)),
+                )
+                self._reply({"type": "ok"})
+            elif op == "register_graph_dir":
+                service.register_graph_dir(
+                    _require(header, "key"), _require(header, "path")
+                )
+                self._reply({"type": "ok"})
+            else:
+                self._reply_error(
+                    protocol.ERR_BAD_REQUEST, f"unknown op {op!r}"
+                )
+                return False
+        except BaseException as exc:  # noqa: BLE001 - typed and sent to client
+            if isinstance(exc, (BrokenPipeError, ConnectionError)):
+                raise
+            self._reply_error(_error_code(exc), str(exc) or repr(exc))
+        return True
+
+    def _rollout(
+        self, service: InferenceService, header: dict, arrays: list[np.ndarray]
+    ) -> None:
+        if len(arrays) != 1:
+            self._reply_error(
+                protocol.ERR_BAD_REQUEST,
+                f"rollout carries exactly one array (x0), got {len(arrays)}",
+            )
+            return
+        handle = service.submit(
+            model=_require(header, "model"),
+            graph=_require(header, "graph"),
+            x0=arrays[0],
+            n_steps=int(_require(header, "n_steps")),
+            halo_mode=header.get("halo_mode"),
+            residual=bool(header.get("residual", False)),
+            deadline_s=header.get("deadline_s"),
+        )
+        step = 0
+        try:
+            for frame in handle.frames(timeout=service.config.request_timeout_s):
+                self._reply({"type": "frame", "step": step}, [frame])
+                step += 1
+        except BaseException as exc:  # noqa: BLE001 - forwarded as typed error
+            if isinstance(exc, (BrokenPipeError, ConnectionError)):
+                raise
+            self._reply_error(_error_code(exc), str(exc) or repr(exc))
+            return
+        metrics = (
+            dataclasses.asdict(handle.metrics) if handle.metrics is not None else None
+        )
+        self._reply({"type": "done", "n_frames": step, "metrics": metrics})
+
+    def _reply(self, header: dict, arrays: Sequence[np.ndarray] = ()) -> None:
+        write_message(self.wfile, header, arrays)
+
+    def _reply_error(self, code: str, message: str) -> None:
+        try:
+            self._reply({"type": "error", "code": code, "message": message})
+        except (BrokenPipeError, ConnectionError, OSError):
+            pass
+
+
+class _ServeTCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: InferenceService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class ServeServer:
+    """TCP front end of one :class:`InferenceService` (start/stop or ``with``).
+
+    Binds immediately at construction (``port=0`` picks an ephemeral
+    port, exposed through :attr:`address` / :attr:`endpoint`);
+    :meth:`start` spawns the accept loop on a daemon thread. The server
+    does *not* own the service lifecycle — start the service first,
+    stop the server before (or independently of) the service.
+
+    Thread safety: ``start``/``stop`` are idempotent and may be called
+    from any thread; connection handlers run one thread each and only
+    touch the service's thread-safe API. Determinism: the transport
+    adds no arithmetic — frames cross the wire in the ``.npy`` format,
+    so served trajectories are bitwise identical to in-process ones.
+    """
+
+    def __init__(
+        self,
+        service: InferenceService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self._tcp = _ServeTCPServer((host, port), service)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolved, even for ``port=0``)."""
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def endpoint(self) -> str:
+        """``HOST:PORT`` string clients can pass to :meth:`NetworkClient.connect`."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "ServeServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="serve-transport",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting connections and close the listening socket."""
+        if self._thread is not None:
+            self._tcp.shutdown()
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        self._tcp.server_close()
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# -- client ------------------------------------------------------------------
+
+
+class NetworkRolloutHandle:
+    """Streaming view of one networked rollout (mirrors ``RolloutHandle``).
+
+    Owns its connection: frames are read off the socket lazily as the
+    consumer iterates, so a slow consumer naturally backpressures only
+    its own stream. Thread safety: single-consumer — do not iterate
+    from two threads. Determinism: frames decode to the exact arrays
+    the worker produced (``.npy`` round-trip).
+    """
+
+    def __init__(self, sock: socket.socket, request_timeout_s: float):
+        self._sock = sock
+        self._stream = sock.makefile("rb")
+        self._timeout = request_timeout_s
+        self._collected: list[np.ndarray] = []
+        self._done = False
+        #: server-side RequestMetrics as a dict, set once done
+        self.metrics: dict | None = None
+
+    def frames(self, timeout: float | None = None) -> Iterator[np.ndarray]:
+        """Yield frames as the server streams them (frame 0 is ``x0``).
+
+        ``timeout`` bounds each frame's arrival (defaults to the
+        handle's request timeout). Raises the typed exception carried
+        by a server error message, or :class:`TransportError` when the
+        connection drops mid-stream.
+        """
+        if self._done:
+            raise TransportError("stream already consumed")
+        self._sock.settimeout(self._timeout if timeout is None else timeout)
+        try:
+            while True:
+                try:
+                    message = read_message(self._stream)
+                except ProtocolError as exc:
+                    raise TransportError(f"stream broke mid-rollout: {exc}") from None
+                if message is None:
+                    raise TransportError("server closed the stream before done")
+                header, arrays = message
+                kind = header.get("type")
+                if kind == "frame":
+                    if not arrays:
+                        raise TransportError("frame message carried no array")
+                    self._collected.append(arrays[0])
+                    yield arrays[0]
+                elif kind == "done":
+                    self.metrics = header.get("metrics")
+                    return
+                elif kind == "error":
+                    _raise_for_code(header["code"], header["message"])
+                else:
+                    raise TransportError(f"unexpected message {kind!r} in stream")
+        finally:
+            self._done = True
+            self._close()
+
+    def result(self, timeout: float | None = None) -> list[np.ndarray]:
+        """Drain the stream; returns the full trajectory (incl. frame 0)."""
+        for _ in self.frames(timeout=timeout):
+            pass
+        return self._collected
+
+    @property
+    def done(self) -> bool:
+        """Whether the stream has been fully consumed (or failed)."""
+        return self._done
+
+    def _close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._sock.close()
+
+
+class NetworkClient:
+    """Socket client mirroring the in-process ``ServeClient`` API.
+
+    Each operation opens its own connection (``connect_timeout_s``
+    bounds the dial, ``request_timeout_s`` bounds each reply/frame), so
+    one client object may be shared freely across threads — there is no
+    connection state to corrupt. In-memory asset registration
+    (``register_model`` / ``register_graph``) cannot cross the process
+    boundary; use the path-backed forms, which name files the *server*
+    can see.
+
+    >>> # client = NetworkClient.connect("127.0.0.1:7431")
+    >>> # states = client.rollout("tgv", "mesh-r4", x0, n_steps=10)
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        request_timeout_s: float = 120.0,
+        connect_timeout_s: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self.request_timeout_s = request_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+
+    @classmethod
+    def connect(
+        cls, endpoint: str, request_timeout_s: float = 120.0
+    ) -> "NetworkClient":
+        """Build a client from a ``HOST:PORT`` string and verify liveness."""
+        host, port = parse_endpoint(endpoint)
+        client = cls(host, port, request_timeout_s=request_timeout_s)
+        client.ping()
+        return client
+
+    def close(self) -> None:
+        """No-op (connections are per-call); kept for API symmetry."""
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _dial(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach serve endpoint {self.host}:{self.port}: {exc}"
+            ) from None
+        sock.settimeout(self.request_timeout_s)
+        return sock
+
+    def _call(
+        self, header: dict, arrays: Sequence[np.ndarray] = ()
+    ) -> tuple[dict, list[np.ndarray]]:
+        """One unary round trip; raises the typed error on error replies."""
+        sock = self._dial()
+        try:
+            with sock.makefile("rwb") as stream:
+                write_message(stream, header, arrays)
+                try:
+                    message = read_message(stream)
+                except ProtocolError as exc:
+                    raise TransportError(f"bad reply: {exc}") from None
+                if message is None:
+                    raise TransportError("server closed connection without reply")
+                reply, reply_arrays = message
+                if reply.get("type") == "error":
+                    _raise_for_code(reply["code"], reply["message"])
+                return reply, reply_arrays
+        finally:
+            sock.close()
+
+    # -- assets --------------------------------------------------------------
+
+    def register_model(self, name: str, model: MeshGNN) -> None:
+        """Unsupported over the wire — models register by checkpoint path."""
+        raise TransportError(
+            "in-memory models cannot cross the process boundary; "
+            "save a checkpoint and use register_checkpoint(name, path)"
+        )
+
+    def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
+        """Unsupported over the wire — graphs register by directory path."""
+        raise TransportError(
+            "in-memory graphs cannot cross the process boundary; "
+            "save_distributed_graph(...) and use register_graph_dir(key, path)"
+        )
+
+    def register_checkpoint(
+        self,
+        name: str,
+        path,
+        expect_config: GNNConfig | None = None,
+        eager: bool = False,
+    ) -> None:
+        """Register a checkpoint by *server-visible* path."""
+        self._call(
+            {
+                "op": "register_checkpoint",
+                "name": name,
+                "path": str(path),
+                "expect_config": (
+                    dataclasses.asdict(expect_config) if expect_config else None
+                ),
+                "eager": eager,
+            }
+        )
+
+    def register_graph_dir(self, key: str, directory) -> None:
+        """Register a graph directory by *server-visible* path."""
+        self._call(
+            {"op": "register_graph_dir", "key": key, "path": str(directory)}
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def ping(self) -> None:
+        """Round-trip a no-op message (raises on unreachable/bad peer)."""
+        self._call({"op": "ping"})
+
+    def graph_keys(self) -> list[str]:
+        return list(self._call({"op": "graph_keys"})[0]["keys"])
+
+    def model_names(self) -> list[str]:
+        return list(self._call({"op": "models"})[0]["names"])
+
+    def submit(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+        deadline_s: float | None = None,
+    ) -> NetworkRolloutHandle:
+        """Start a rollout; returns a lazy streaming handle.
+
+        Note: unlike the in-process client, admission rejections are
+        raised from the *handle* (on first frame read), not here — the
+        request is not parsed server-side until the stream is consumed.
+        """
+        sock = self._dial()
+        try:
+            mode = None if halo_mode is None else HaloMode.parse(halo_mode).value
+            with sock.makefile("wb") as out:
+                write_message(
+                    out,
+                    {
+                        "op": "rollout",
+                        "model": model,
+                        "graph": graph,
+                        "n_steps": int(n_steps),
+                        "halo_mode": mode,
+                        "residual": bool(residual),
+                        "deadline_s": deadline_s,
+                    },
+                    [np.asarray(x0, dtype=np.float64)],
+                )
+        except BaseException:
+            sock.close()
+            raise
+        return NetworkRolloutHandle(sock, self.request_timeout_s)
+
+    def stream(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+        deadline_s: float | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Generator of frames, yielding each step as the server sends it."""
+        handle = self.submit(
+            model, graph, x0, n_steps, halo_mode, residual, deadline_s
+        )
+        yield from handle.frames()
+
+    def rollout(
+        self,
+        model: str,
+        graph: str,
+        x0: np.ndarray,
+        n_steps: int,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+        deadline_s: float | None = None,
+    ) -> list[np.ndarray]:
+        """Full trajectory (``n_steps + 1`` states including ``x0``)."""
+        return self.submit(
+            model, graph, x0, n_steps, halo_mode, residual, deadline_s
+        ).result()
+
+    def step(
+        self,
+        model: str,
+        graph: str,
+        x: np.ndarray,
+        halo_mode: str | HaloMode | None = None,
+        residual: bool = False,
+        deadline_s: float | None = None,
+    ) -> np.ndarray:
+        """One surrogate time step: returns the next global state."""
+        states = self.rollout(model, graph, x, 1, halo_mode, residual, deadline_s)
+        return states[1]
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> ServeStats:
+        """The server's aggregate stats snapshot (reconstructed)."""
+        return ServeStats.from_dict(self._call({"op": "stats"})[0]["stats"])
+
+    def stats_markdown(self) -> str:
+        """The server-rendered markdown stats table."""
+        return self._call({"op": "stats"})[0]["markdown"]

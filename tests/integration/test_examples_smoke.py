@@ -31,6 +31,7 @@ FAST_EXAMPLES = [
     "complex_geometry.py",
     "multiscale_gnn.py",
     "serving_demo.py",
+    "serving_network_demo.py",
 ]
 
 

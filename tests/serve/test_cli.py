@@ -1,0 +1,115 @@
+"""CLI surfaces: serve flag parsing, ``--list`` output, unknown commands.
+
+Covers the previously-untested argument handling of
+``repro.serve.cli`` (notably malformed ``--listen`` endpoints) and the
+``python -m repro`` dispatcher's ``--list`` / unknown-artifact paths.
+"""
+
+import threading
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.serve.cli import build_parser, listen_endpoint, run_listen
+
+
+class TestServeFlagParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.requests == 12
+        assert args.steps == 3
+        assert args.listen is None
+        assert args.max_queue is None
+        assert args.deadline_ms is None
+
+    def test_listen_parses_host_port(self):
+        args = build_parser().parse_args(["--listen", "127.0.0.1:7431"])
+        assert args.listen == ("127.0.0.1", 7431)
+
+    def test_listen_port_zero_allowed(self):
+        assert build_parser().parse_args(["--listen", "localhost:0"]).listen == (
+            "localhost", 0,
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "no-port", ":7431", "host:", "host:abc", "host:-5", "host:99999",
+    ])
+    def test_bad_listen_values_exit_2(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--listen", bad])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--listen" in err
+
+    @pytest.mark.parametrize("bad,reason", [
+        ("no-port", "HOST:PORT"),
+        ("host:abc", "not an integer"),
+        ("host:70000", "outside"),
+    ])
+    def test_listen_endpoint_error_text(self, bad, reason):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError, match=reason):
+            listen_endpoint(bad)
+
+    def test_admission_flags(self):
+        args = build_parser().parse_args(
+            ["--max-queue", "16", "--deadline-ms", "250"]
+        )
+        assert args.max_queue == 16
+        assert args.deadline_ms == 250.0
+
+
+class TestReproDispatcher:
+    def test_list_output_names_artifacts_and_commands(self, capsys):
+        assert repro_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "table1", "fig6", "table2", "fig7", "fig8", "all"):
+            assert name in out
+        assert "serve" in out
+
+    def test_unknown_command_error_text(self, capsys):
+        code = repro_main(["definitely-not-an-artifact"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown artifacts" in err
+        assert "definitely-not-an-artifact" in err
+        assert "--list" in err
+
+    def test_help_prints_usage(self, capsys):
+        assert repro_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "python -m repro" in out
+
+
+class TestListenMode:
+    def test_listen_serves_network_clients(self, x0):
+        """Full loop: `serve --listen` answers a NetworkClient rollout."""
+        from repro.serve.transport import NetworkClient
+
+        args = build_parser().parse_args(
+            ["--listen", "127.0.0.1:0", "--ranks", "2", "--max-queue", "64"]
+        )
+        ready = threading.Event()
+        stop = threading.Event()
+        endpoint: list = []
+
+        def on_ready(server):
+            endpoint.append(server.endpoint)
+            ready.set()
+
+        t = threading.Thread(
+            target=run_listen, args=(args,),
+            kwargs={"ready": on_ready, "stop": stop}, daemon=True,
+        )
+        t.start()
+        try:
+            assert ready.wait(timeout=60.0), "listener never came up"
+            client = NetworkClient.connect(endpoint[0])
+            assert client.model_names() == ["tgv-surrogate"]
+            assert client.graph_keys() == ["tgv-box"]
+            states = client.rollout("tgv-surrogate", "tgv-box", x0, n_steps=2)
+            assert len(states) == 3
+        finally:
+            stop.set()
+            t.join(timeout=30.0)
+        assert not t.is_alive()

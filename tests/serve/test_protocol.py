@@ -1,0 +1,129 @@
+"""Wire-format tests: framing, array round-trips, malformed streams."""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    decode_array,
+    encode_array,
+    read_message,
+    write_message,
+)
+
+
+def roundtrip(header, arrays=()):
+    buf = io.BytesIO()
+    write_message(buf, header, arrays)
+    buf.seek(0)
+    return read_message(buf)
+
+
+class TestMessageRoundtrip:
+    def test_header_only(self):
+        header, arrays = roundtrip({"op": "ping", "n": 3, "flag": True})
+        assert header == {"op": "ping", "n": 3, "flag": True}
+        assert arrays == []
+
+    def test_header_with_arrays(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        b = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        header, arrays = roundtrip({"op": "rollout"}, [a, b])
+        assert header == {"op": "rollout"}
+        assert len(arrays) == 2
+        np.testing.assert_array_equal(arrays[0], a)
+        np.testing.assert_array_equal(arrays[1], b)
+        assert arrays[0].dtype == np.float64 and arrays[1].dtype == np.int64
+
+    def test_float64_bitwise_exact(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((50, 3))  # full-precision doubles
+        _, (y,) = roundtrip({}, [x])
+        assert y.dtype == x.dtype
+        assert np.array_equal(
+            x.view(np.uint64), y.view(np.uint64)
+        ), "payload must survive the wire bit for bit"
+
+    def test_empty_and_zero_size_arrays(self):
+        _, arrays = roundtrip({"op": "x"}, [np.empty((0, 3))])
+        assert arrays[0].shape == (0, 3)
+
+    def test_multiple_messages_one_stream(self):
+        buf = io.BytesIO()
+        write_message(buf, {"i": 0})
+        write_message(buf, {"i": 1}, [np.ones(2)])
+        write_message(buf, {"i": 2})
+        buf.seek(0)
+        seen = []
+        while (msg := read_message(buf)) is not None:
+            seen.append(msg[0]["i"])
+        assert seen == [0, 1, 2]
+
+    def test_clean_eof_returns_none(self):
+        assert read_message(io.BytesIO()) is None
+
+    def test_canonical_encoding_is_deterministic(self):
+        bufs = []
+        for _ in range(2):
+            buf = io.BytesIO()
+            write_message(buf, {"b": 1, "a": 2}, [np.arange(3.0)])
+            bufs.append(buf.getvalue())
+        assert bufs[0] == bufs[1]
+
+
+class TestArrayCodec:
+    def test_roundtrip_preserves_noncontiguous(self):
+        x = np.arange(24, dtype=np.float64).reshape(4, 6)[:, ::2]
+        y = decode_array(encode_array(x))
+        np.testing.assert_array_equal(x, y)
+
+    def test_garbage_blob_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="npy"):
+            decode_array(b"not an npy payload")
+
+
+class TestMalformedStreams:
+    def test_truncated_header(self):
+        buf = io.BytesIO()
+        write_message(buf, {"op": "ping"})
+        data = buf.getvalue()
+        with pytest.raises(ProtocolError, match="truncated"):
+            read_message(io.BytesIO(data[: len(data) - 2]))
+
+    def test_truncated_length_prefix(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            read_message(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_array_blob(self):
+        buf = io.BytesIO()
+        write_message(buf, {"op": "x"}, [np.arange(100.0)])
+        data = buf.getvalue()
+        with pytest.raises(ProtocolError, match="truncated"):
+            read_message(io.BytesIO(data[:-10]))
+
+    def test_header_not_json(self):
+        payload = b"\xff\xfenot json"
+        framed = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            read_message(io.BytesIO(framed))
+
+    def test_header_not_object(self):
+        payload = b"[1,2,3]"
+        framed = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_message(io.BytesIO(framed))
+
+    def test_oversized_header_rejected_before_allocation(self):
+        framed = struct.pack(">I", MAX_HEADER_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds bound"):
+            read_message(io.BytesIO(framed + b"x" * 16))
+
+    def test_negative_array_count_rejected(self):
+        payload = b'{"arrays":-1}'
+        framed = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="array count"):
+            read_message(io.BytesIO(framed))

@@ -1,0 +1,263 @@
+"""End-to-end socket transport: bitwise consistency, streaming, errors.
+
+The acceptance claim of the transport layer: a trajectory requested
+through the socket is **bitwise identical** to the same request through
+the in-process ``ServeClient``, in single- and multi-rank modes. These
+tests stand up a real ``ServeServer`` on an ephemeral port and speak to
+it through ``NetworkClient`` over actual TCP connections.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gnn import save_checkpoint
+from repro.graph.io import save_distributed_graph
+from repro.serve import (
+    InferenceService,
+    NetworkClient,
+    QueueFull,
+    ServeClient,
+    ServeConfig,
+    ServeServer,
+    ServeStats,
+    TransportError,
+    parse_endpoint,
+)
+from repro.serve.registry import IncompatibleModel, ModelNotFound
+from tests.serve.conftest import SERVE_CONFIG
+
+
+@pytest.fixture()
+def service(serve_model, full_graph, dist_graph):
+    with InferenceService(ServeConfig(max_batch_size=4, max_wait_s=0.0)) as svc:
+        svc.register_model("m", serve_model)
+        svc.register_graph("g1", [full_graph])
+        svc.register_graph("g4", dist_graph.locals)
+        yield svc
+
+
+@pytest.fixture()
+def server(service):
+    with ServeServer(service) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return NetworkClient.connect(server.endpoint, request_timeout_s=60.0)
+
+
+def assert_bitwise_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.dtype == y.dtype == np.float64
+        assert np.array_equal(x.view(np.uint64), y.view(np.uint64))
+
+
+class TestEndpointParsing:
+    @pytest.mark.parametrize("value,expected", [
+        ("127.0.0.1:7431", ("127.0.0.1", 7431)),
+        ("localhost:0", ("localhost", 0)),
+        ("::1:8080", ("::1", 8080)),
+    ])
+    def test_valid(self, value, expected):
+        assert parse_endpoint(value) == expected
+
+    @pytest.mark.parametrize("value", [
+        "no-port", ":7431", "host:", "host:notaport", "host:-1", "host:70000",
+    ])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            parse_endpoint(value)
+
+
+class TestBitwiseConsistency:
+    def test_single_rank(self, service, client, x0):
+        local = ServeClient(service).rollout("m", "g1", x0, n_steps=3)
+        net = client.rollout("m", "g1", x0, n_steps=3)
+        assert_bitwise_equal(local, net)
+
+    def test_multi_rank(self, service, client, x0):
+        local = ServeClient(service).rollout("m", "g4", x0, n_steps=3)
+        net = client.rollout("m", "g4", x0, n_steps=3)
+        assert_bitwise_equal(local, net)
+
+    def test_step_matches_in_process(self, service, client, x0):
+        assert_bitwise_equal(
+            [ServeClient(service).step("m", "g4", x0)],
+            [client.step("m", "g4", x0)],
+        )
+
+    def test_residual_and_halo_mode_forwarded(self, service, client, x0):
+        local = ServeClient(service).rollout(
+            "m", "g4", x0, n_steps=2, halo_mode="a2a", residual=True
+        )
+        net = client.rollout(
+            "m", "g4", x0, n_steps=2, halo_mode="a2a", residual=True
+        )
+        assert_bitwise_equal(local, net)
+
+
+class TestStreaming:
+    def test_frames_arrive_in_order_with_x0_first(self, client, x0):
+        frames = list(client.stream("m", "g1", x0, n_steps=3))
+        assert len(frames) == 4
+        np.testing.assert_array_equal(frames[0], x0)
+
+    def test_submit_handle_result_and_metrics(self, client, x0):
+        handle = client.submit("m", "g4", x0, n_steps=2)
+        assert not handle.done
+        states = handle.result()
+        assert handle.done and len(states) == 3
+        assert handle.metrics is not None
+        assert handle.metrics["n_steps"] == 2
+        assert handle.metrics["world_size"] == 4
+
+    def test_stream_already_consumed(self, client, x0):
+        handle = client.submit("m", "g1", x0, n_steps=1)
+        handle.result()
+        with pytest.raises(TransportError, match="consumed"):
+            handle.result()
+
+
+class TestErrorPropagation:
+    def test_unknown_model(self, client, x0):
+        with pytest.raises(ModelNotFound):
+            client.rollout("nope", "g1", x0, n_steps=1)
+
+    def test_unknown_graph(self, client, x0):
+        with pytest.raises(KeyError):
+            client.rollout("m", "nope", x0, n_steps=1)
+
+    def test_shape_mismatch(self, client, x0):
+        with pytest.raises(IncompatibleModel):
+            client.rollout("m", "g1", x0[:-1], n_steps=1)
+
+    def test_bad_request_rejected(self, client, x0):
+        with pytest.raises(ValueError):
+            client.rollout("m", "g1", x0, n_steps=0)
+
+    def test_missing_header_field_is_bad_request(self, server):
+        """A malformed message must not masquerade as graph-not-found."""
+        import socket
+
+        from repro.serve.protocol import read_message, write_message
+
+        sock = socket.create_connection(server.address, timeout=10.0)
+        with sock, sock.makefile("rwb") as stream:
+            write_message(
+                stream,
+                {"op": "rollout", "graph": "g1", "n_steps": 1},  # no "model"
+                [np.zeros((75, 3))],
+            )
+            header, _ = read_message(stream)
+        assert header["type"] == "error"
+        assert header["code"] == "bad_request"
+        assert "model" in header["message"]
+
+    def test_unreachable_endpoint(self):
+        with pytest.raises(TransportError, match="cannot reach"):
+            NetworkClient("127.0.0.1", 1, connect_timeout_s=0.5).ping()
+
+    def test_in_memory_registration_refused(self, client, serve_model, full_graph):
+        with pytest.raises(TransportError, match="checkpoint"):
+            client.register_model("m2", serve_model)
+        with pytest.raises(TransportError, match="graph_dir"):
+            client.register_graph("g2", [full_graph])
+
+
+class TestAdmissionOverTheWire:
+    def test_queue_full_surfaces_as_typed_rejection(
+        self, serve_model, full_graph, x0
+    ):
+        config = ServeConfig(
+            max_batch_size=1, max_wait_s=0.0, max_queue_depth=1, n_workers=1
+        )
+        svc = InferenceService(config)
+        svc.register_model("m", serve_model)
+        svc.register_graph("g1", [full_graph])
+        svc._started = True  # no worker: queue depth is fully controlled
+        try:
+            with ServeServer(svc) as srv:
+                client = NetworkClient.connect(srv.endpoint)
+                first = client.submit("m", "g1", x0, n_steps=1)
+                # occupy the single queue slot server-side
+                import time
+                deadline = time.perf_counter() + 5.0
+                while svc._queue.depth() < 1:
+                    assert time.perf_counter() < deadline
+                    time.sleep(0.005)
+                with pytest.raises(QueueFull):
+                    client.rollout("m", "g1", x0, n_steps=1)
+                assert not first.done
+        finally:
+            svc._queue.close()
+
+
+class TestAssetRegistrationByPath:
+    def test_checkpoint_and_graph_dir(
+        self, client, serve_model, dist_graph, x0, tmp_path
+    ):
+        ckpt = tmp_path / "model.npz"
+        save_checkpoint(serve_model, ckpt)
+        graph_dir = tmp_path / "graphs"
+        save_distributed_graph(dist_graph, graph_dir)
+
+        client.register_checkpoint("ckpt", ckpt, expect_config=SERVE_CONFIG)
+        client.register_graph_dir("gdir", graph_dir)
+        assert "gdir" in client.graph_keys()
+        assert "ckpt" in client.model_names()
+
+        net = client.rollout("ckpt", "gdir", x0, n_steps=2)
+        direct = client.rollout("m", "g4", x0, n_steps=2)
+        assert_bitwise_equal(net, direct)
+
+    def test_missing_checkpoint_path(self, client, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            client.register_checkpoint("nope", tmp_path / "missing.npz")
+
+
+class TestStatsOverTheWire:
+    def test_stats_reconstruct(self, client, x0):
+        client.rollout("m", "g1", x0, n_steps=1)
+        stats = client.stats()
+        assert isinstance(stats, ServeStats)
+        assert stats.requests >= 1
+        assert stats.admission.accepted >= 1
+        assert stats.admission.queue_wait.total >= 1
+
+    def test_markdown_rendered_server_side(self, client, x0):
+        client.rollout("m", "g1", x0, n_steps=1)
+        md = client.stats_markdown()
+        assert "admission accepted / shed / expired" in md
+        assert "queue wait p50" in md
+
+
+class TestConcurrentClients:
+    def test_parallel_networked_requests_batch_and_match(
+        self, service, server, x0
+    ):
+        n = 6
+        results: list = [None] * n
+
+        def fire(i):
+            c = NetworkClient(*server.address)
+            results[i] = c.rollout("m", "g4", x0, n_steps=2)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reference = ServeClient(service).rollout("m", "g4", x0, n_steps=2)
+        for res in results:
+            assert_bitwise_equal(res, reference)
+
+    def test_one_connection_serves_many_requests(self, server, x0):
+        # unary ops reuse the dial loop; this asserts the handler loops
+        client = NetworkClient(*server.address)
+        for _ in range(3):
+            client.ping()
+        assert client.graph_keys() == ["g1", "g4"]

@@ -1,0 +1,51 @@
+"""Tier-1 guard: markdown never references repo paths that don't exist.
+
+Runs the same scan as ``tools/check_docs.py`` (which CI also executes
+as a standalone step), so an EXPERIMENTS.md-style dangling reference
+fails the ordinary test run, not just CI.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs import (  # noqa: E402 - needs the tools/ path above
+    EXCLUDED_MD,
+    dangling_references,
+    markdown_files,
+)
+
+
+def test_no_dangling_repo_path_references():
+    missing = dangling_references(REPO_ROOT)
+    assert not missing, "dangling markdown references: " + ", ".join(
+        f"{md}: {path}" for md, path in missing
+    )
+
+
+def test_scan_covers_the_core_docs():
+    names = {p.name for p in markdown_files(REPO_ROOT)}
+    for expected in ("README.md", "ROADMAP.md", "EXPERIMENTS.md"):
+        assert expected in names, f"{expected} not scanned"
+    assert not (names & EXCLUDED_MD)
+
+
+def test_checker_catches_a_planted_dangling_reference(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "see `src/repro/nope.py` and [guide](docs/missing.md) "
+        "and `tests/test_real.py`\n"
+    )
+    (tmp_path / "tests").mkdir()
+    (tmp_path / "tests" / "test_real.py").write_text("")
+    missing = {path for _, path in dangling_references(tmp_path)}
+    assert missing == {"src/repro/nope.py", "docs/missing.md"}
+
+
+def test_checker_ignores_non_repo_tokens(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "run `pip install -e .`, module `repro.serve.registry`, "
+        "output in `graphs-r4/`, link [paper](https://example.com/x)\n"
+    )
+    assert dangling_references(tmp_path) == []

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Docs-consistency check: every repo path a ``*.md`` file mentions must exist.
+
+The failure mode this guards against: documentation pointing at a file
+that was renamed, deleted, or never written (README shipped a reference
+to ``EXPERIMENTS.md`` before the file existed). The checker scans all
+tracked markdown files for *repo-path-shaped* references — inline-code
+spans and link targets that start with a known top-level directory
+(``src/``, ``tests/``, ``benchmarks/``, ``examples/``, ``docs/``,
+``tools/``, ``.github/``) or name a root-level ``*.md`` / ``*.toml``
+file — and fails listing every reference that does not resolve.
+
+Deliberately conservative: tokens that do not look like repo paths
+(module dotted names, example output paths like ``graphs-r4/``, shell
+fragments) are ignored, so prose stays free-form. Files whose *job* is
+to reference things that no longer or don't yet exist are excluded:
+``CHANGES.md`` (a historical log of renames/removals), ``ISSUE.md``
+(the transient per-PR task card), and ``PAPERS.md`` / ``SNIPPETS.md``
+(they quote paths of *other* repositories).
+
+Run:  python tools/check_docs.py          (exit 1 on dangling references)
+CI runs this next to the tier-1 suite; ``tests/test_docs_paths.py``
+runs the same scan in-process so drift also fails the local test run.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: markdown files whose references are historical/external by design
+EXCLUDED_MD = {"CHANGES.md", "ISSUE.md", "PAPERS.md", "SNIPPETS.md"}
+
+#: a reference is checked iff it starts with one of these directories...
+CHECKED_PREFIXES = (
+    "src/", "tests/", "benchmarks/", "examples/", "docs/", "tools/", ".github/",
+)
+#: ...or is a root-level file with one of these suffixes
+CHECKED_ROOT_SUFFIXES = (".md", ".toml")
+
+#: inline-code spans and markdown link targets
+_CODE_SPAN = re.compile(r"`([^`\n]+)`")
+_LINK_TARGET = re.compile(r"\]\(([^)\s]+)\)")
+
+
+def _candidates(text: str):
+    for match in _CODE_SPAN.finditer(text):
+        yield match.group(1)
+    for match in _LINK_TARGET.finditer(text):
+        target = match.group(1)
+        if not target.startswith(("http://", "https://", "mailto:", "#")):
+            yield target
+
+
+def _normalize(token: str) -> str | None:
+    """Reduce a candidate token to a checkable repo path, or ``None``."""
+    token = token.strip().split("#", 1)[0]  # drop link anchors
+    # strip a trailing :LINE or :LINE:COL reference
+    token = re.sub(r":\d+(?::\d+)?$", "", token)
+    if not token or " " in token or token.startswith("$"):
+        return None
+    if token.startswith("./"):
+        token = token[2:]
+    if token.startswith(CHECKED_PREFIXES):
+        return token
+    if "/" not in token and token.endswith(CHECKED_ROOT_SUFFIXES):
+        return token
+    return None
+
+
+def markdown_files(root: Path = REPO_ROOT) -> list[Path]:
+    """All checked markdown files (root plus ``docs/``, excluded names out)."""
+    found = sorted(
+        p
+        for pattern in ("*.md", "docs/**/*.md")
+        for p in root.glob(pattern)
+        if p.name not in EXCLUDED_MD
+    )
+    return found
+
+
+def dangling_references(root: Path = REPO_ROOT) -> list[tuple[Path, str]]:
+    """All (markdown file, reference) pairs that do not resolve in ``root``."""
+    missing = []
+    for md in markdown_files(root):
+        seen = set()
+        for raw in _candidates(md.read_text(encoding="utf-8")):
+            path = _normalize(raw)
+            if path is None or path in seen:
+                continue
+            seen.add(path)
+            if not (root / path).exists():
+                missing.append((md.relative_to(root), path))
+    return missing
+
+
+def main() -> int:
+    missing = dangling_references()
+    files = markdown_files()
+    if missing:
+        print("dangling repo-path references in markdown:", file=sys.stderr)
+        for md, path in missing:
+            print(f"  {md}: {path}", file=sys.stderr)
+        return 1
+    print(f"docs consistency: {len(files)} markdown files, "
+          "all repo-path references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
