@@ -5,10 +5,12 @@ Usage::
     python -m repro                     # run all experiment drivers
     python -m repro fig2 table1         # run a subset of artifacts
     python -m repro serve --requests 8  # batched-inference service demo
+    python -m repro bench --quick       # inference perf microbenchmarks
     python -m repro --list
 
 Artifact names: fig2, table1, fig6, table2, fig7, fig8, all.
-Commands: serve (flags follow the command; ``serve --help`` lists them).
+Commands: serve, bench (flags follow the command; ``<cmd> --help``
+lists them).
 """
 
 from __future__ import annotations
@@ -34,6 +36,12 @@ def _serve(argv: list[str]) -> int:
     return serve_main(argv)
 
 
+def _bench(argv: list[str]) -> int:
+    from repro.perf.bench import main as bench_main
+
+    return bench_main(argv)
+
+
 DRIVERS = {
     "fig2": lambda: _import_main("repro.experiments.element_counts"),
     "table1": lambda: _import_main("repro.experiments.model_table"),
@@ -46,6 +54,7 @@ DRIVERS = {
 #: commands take the remaining argv and own their argument parsing
 COMMANDS = {
     "serve": _serve,
+    "bench": _bench,
 }
 
 

@@ -29,7 +29,9 @@ import numpy as np
 from repro.comm.backend import Communicator
 from repro.comm.modes import ExchangeSpec, HaloMode
 from repro.tensor import Tensor
+from repro.tensor.aggregation import aggregation_plans_enabled, plan_for
 from repro.tensor.tensor import accumulate_parent_grad, collect_parents, is_grad_enabled
+from repro.tensor.workspace import arena_adopt, arena_out, arena_recycle, pooled_take
 
 
 def _raw_exchange(
@@ -48,19 +50,45 @@ def _raw_exchange(
     n_feat = payload.shape[1] if payload.ndim == 2 else 1
     dtype = payload.dtype
     n_halo = spec.n_halo
-    out = np.empty((n_halo, n_feat) if payload.ndim == 2 else (n_halo,), dtype=dtype)
+    out_shape = (n_halo, n_feat) if payload.ndim == 2 else (n_halo,)
+    out = arena_out(out_shape, dtype)
+    if out is None:
+        out = np.empty(out_shape, dtype=dtype)
+
+    def gather_send(rows: np.ndarray) -> np.ndarray:
+        """``payload[rows]``, into a reused workspace slot when available.
+
+        Safe to hand to the collectives: the comm backends copy send
+        payloads before the collective completes (threaded ranks copy
+        between the two barriers; ``send`` copies at enqueue), so the
+        slot is dead before its next reuse one step later. Halo specs
+        are built from validated local rows (``pooled_take``'s
+        contract).
+        """
+        if payload.ndim == 2:
+            return pooled_take(payload, rows)
+        return np.ascontiguousarray(payload[rows])
 
     if mode is HaloMode.A2A:
         # dense all-to-all with equal (padded) buffer sizes for ALL ranks
         pad = spec.pad_count
         send: list[np.ndarray | None] = []
         for dst in range(spec.size):
-            buf = np.zeros((pad, n_feat), dtype=dtype)
+            buf = arena_out((pad, n_feat), dtype)
+            if buf is None:
+                buf = np.zeros((pad, n_feat), dtype=dtype)
+            else:
+                buf.fill(0.0)
             if dst in spec.send_indices:
                 rows = spec.send_indices[dst]
                 buf[: len(rows)] = payload[rows]
             send.append(buf)
         recv = comm.all_to_all(send)
+        # the collective copies payloads before returning (threaded
+        # ranks read between the two barriers), so send buffers are
+        # dead here and can be recycled
+        for buf in send:
+            arena_recycle(buf)
         off = 0
         for nbr in spec.neighbors:
             cnt = spec.recv_counts[nbr]
@@ -71,8 +99,10 @@ def _raw_exchange(
         empty = np.empty((0, n_feat), dtype=dtype)
         send = [empty] * spec.size
         for nbr in spec.neighbors:
-            send[nbr] = np.ascontiguousarray(payload[spec.send_indices[nbr]])
+            send[nbr] = gather_send(spec.send_indices[nbr])
         recv = comm.all_to_all(send)
+        for nbr in spec.neighbors:  # dead after the collective (copied)
+            arena_recycle(send[nbr])
         off = 0
         for nbr in spec.neighbors:
             cnt = spec.recv_counts[nbr]
@@ -81,7 +111,9 @@ def _raw_exchange(
     elif mode is HaloMode.SEND_RECV:
         # explicit nonblocking-style point-to-point between neighbors
         for nbr in spec.neighbors:
-            comm.send(payload[spec.send_indices[nbr]], dest=nbr, tag=tag)
+            buf = gather_send(spec.send_indices[nbr])
+            comm.send(buf, dest=nbr, tag=tag)  # send() copies at enqueue
+            arena_recycle(buf)
         off = 0
         for nbr in spec.neighbors:
             cnt = spec.recv_counts[nbr]
@@ -125,7 +157,9 @@ def halo_exchange_tensor(
 
     out_data = _raw_exchange(x.data, spec, comm, mode, tag=0)
     if not is_grad_enabled():
-        return Tensor(out_data)
+        halo = Tensor(out_data)
+        arena_adopt(halo, out_data)  # recycle the recv block on death
+        return halo
     parents = collect_parents(x)
     tspec = spec.transpose()
 
@@ -133,12 +167,16 @@ def halo_exchange_tensor(
         # ship halo-block gradients back along reversed channels
         returned = _raw_exchange(np.ascontiguousarray(g), tspec, comm, mode, tag=1)
         if x._needs_graph():
-            grad = np.zeros_like(x.data)
-            off = 0
-            for nbr in spec.neighbors:
-                rows = spec.send_indices[nbr]
-                np.add.at(grad, rows, returned[off : off + len(rows)])
-                off += len(rows)
+            # the returned rows are stacked neighbor-after-neighbor —
+            # exactly the order of spec.send_rows — so the per-neighbor
+            # np.add.at loop collapses to one planned segment scatter
+            # (bitwise identical; see repro.tensor.aggregation)
+            rows = spec.send_rows
+            if aggregation_plans_enabled() and returned.dtype == x.data.dtype:
+                grad = plan_for(rows, x.data.shape[0]).scatter_add(returned)
+            else:
+                grad = np.zeros_like(x.data)
+                np.add.at(grad, rows, returned)
             accumulate_parent_grad(x, grad)
 
     return Tensor(out_data, parents=parents, backward_fn=backward, name="halo_exchange")

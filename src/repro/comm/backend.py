@@ -89,6 +89,14 @@ class Communicator(abc.ABC):
         "nothing for j" — the lesser-known ``torch.empty(0)`` trick the
         paper exploits for Neighbor-A2A). Returns the received list,
         ``recv[i]`` originating from rank ``i``.
+
+        **Buffer-ownership contract**: implementations must consume
+        (copy) every ``send`` payload before this call returns on the
+        sending rank — callers are free to overwrite or recycle their
+        send buffers immediately afterwards (the inference workspace
+        pool in :mod:`repro.tensor.workspace` relies on this). A
+        zero-copy/deferred implementation (e.g. MPI ``ialltoall``)
+        must complete or buffer the sends before returning.
         """
 
     @abc.abstractmethod
@@ -96,7 +104,13 @@ class Communicator(abc.ABC):
         """Gather one array from every rank (returned in rank order)."""
 
     @abc.abstractmethod
-    def send(self, array: np.ndarray, dest: int, tag: int = 0) -> None: ...
+    def send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Point-to-point send to ``dest``.
+
+        Same buffer-ownership contract as :meth:`all_to_all`: ``array``
+        must be copied (or the transfer completed) before returning, so
+        the caller may immediately reuse the buffer.
+        """
 
     @abc.abstractmethod
     def recv(self, source: int, tag: int = 0) -> np.ndarray: ...

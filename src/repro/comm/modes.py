@@ -90,6 +90,27 @@ class ExchangeSpec:
     def n_send(self) -> int:
         return int(sum(len(self.send_indices[n]) for n in self.neighbors))
 
+    @property
+    def send_rows(self) -> np.ndarray:
+        """All sent local rows, concatenated in sorted-neighbor order.
+
+        Cached on the (frozen) instance: this is the persistent index
+        array the differentiable halo exchange compiles its gradient
+        segment-reduction plan against (see
+        :func:`repro.tensor.plan_for` and
+        :mod:`repro.comm.autograd_ops`), so it must keep one identity
+        across calls.
+        """
+        rows = self.__dict__.get("_send_rows")
+        if rows is None:
+            rows = (
+                np.concatenate([self.send_indices[n] for n in self.neighbors])
+                if self.neighbors
+                else np.empty(0, dtype=np.int64)
+            )
+            object.__setattr__(self, "_send_rows", rows)
+        return rows
+
     def transpose(self) -> "ExchangeSpec":
         """The adjoint pattern: send what was received, receive what was sent.
 

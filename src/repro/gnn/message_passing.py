@@ -86,25 +86,35 @@ class ConsistentNMPLayer(Module):
         """
         halo_mode = HaloMode.parse(halo_mode)
         src, dst = graph.edge_index[0], graph.edge_index[1]
+        # compiled segment-reduction schedules, cached on the graph
+        # (None while plans are globally disabled — ops then fall back
+        # to the naive np.add.at path, bit-for-bit identical)
+        plans = graph.plans
 
         # Eq. 4a — edge update with residual
-        x_src = gather_rows(x, src)
-        x_dst = gather_rows(x, dst)
+        x_src = gather_rows(x, src, plan=plans.gather_src if plans else None)
+        x_dst = gather_rows(x, dst, plan=plans.scatter_dst if plans else None)
         e = e + self.edge_mlp(concatenate([x_src, x_dst, e], axis=1))
 
         # Eq. 4b — local aggregation scaled by inverse edge degree
+        dst_plan = plans.scatter_dst if plans else None
         if self.degree_scaling:
-            inv_deg = (1.0 / graph.edge_degree).astype(e.dtype)[:, None]
-            a = scatter_add(e * inv_deg, dst, graph.n_local)
+            inv_deg = graph.inv_edge_degree.astype(e.dtype, copy=False)[:, None]
+            a = scatter_add(e * inv_deg, dst, graph.n_local, plan=dst_plan)
         else:  # ablation: double-counts replicated edges (breaks Eq. 2)
-            a = scatter_add(e, dst, graph.n_local)
+            a = scatter_add(e, dst, graph.n_local, plan=dst_plan)
 
         # Eqs. 4c + 4d — halo swap and synchronization
         if halo_mode is not HaloMode.NONE and graph.size > 1:
             if comm is None:
                 raise ValueError("halo exchange requested but no communicator given")
             halo_rows = halo_exchange_tensor(a, graph.halo.spec, comm, halo_mode)
-            a = a + scatter_add(halo_rows, graph.halo.halo_to_local, graph.n_local)
+            a = a + scatter_add(
+                halo_rows,
+                graph.halo.halo_to_local,
+                graph.n_local,
+                plan=plans.halo_scatter if plans else None,
+            )
 
         # Eq. 4e — node update with residual
         x = x + self.node_mlp(concatenate([a, x], axis=1))

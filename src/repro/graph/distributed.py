@@ -80,6 +80,37 @@ class LocalGraph:
     def n_halo(self) -> int:
         return self.halo.n_halo
 
+    @property
+    def plans(self):
+        """Compiled aggregation plans (:class:`repro.graph.plans.GraphPlans`).
+
+        Lazily compiled on first use and cached on the instance —
+        ``edge_index`` and the halo map must not be mutated afterwards.
+        While plans are globally disabled
+        (:func:`repro.tensor.naive_aggregation` / ``REPRO_NAIVE_AGG``)
+        no *new* compile happens: the property returns the cached plans
+        if a prior enabled call built them, else None. Ops gate on the
+        global switch themselves, so a non-None return never forces the
+        plan path — do not use ``plans is None`` as the disabled signal.
+        """
+        from repro.graph.plans import compile_graph_plans
+        from repro.tensor.aggregation import aggregation_plans_enabled
+
+        cached = self.__dict__.get("_plans")
+        if cached is None and aggregation_plans_enabled():
+            cached = compile_graph_plans(self)
+            self.__dict__["_plans"] = cached
+        return cached
+
+    @property
+    def inv_edge_degree(self) -> np.ndarray:
+        """``1 / d_ij`` (Eq. 4b scaling), cached per instance."""
+        cached = self.__dict__.get("_inv_edge_degree")
+        if cached is None:
+            cached = 1.0 / self.edge_degree
+            self.__dict__["_inv_edge_degree"] = cached
+        return cached
+
     def edge_attr(self, node_features: np.ndarray | None = None,
                   kind: str = EDGE_FEATURES_GEOMETRIC) -> np.ndarray:
         """Input edge features of this sub-graph (see

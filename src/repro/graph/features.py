@@ -13,8 +13,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.workspace import arena_out, arena_recycle, pooled_take
+
 EDGE_FEATURES_GEOMETRIC = "geometric"  # [dx, dy, dz, |d|]          -> 4 dims
 EDGE_FEATURES_FULL = "full"  # [du, dv, dw, dx, dy, dz, |d|]        -> 7 dims
+
+
+def _row_delta(values: np.ndarray, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """``values[dst] - values[src]`` through reused workspace buffers.
+
+    Identical arithmetic to the fancy-indexed expression; inside an
+    inference arena the two gathers and the subtraction land in pooled
+    buffers so the rollout loop stays allocation-free. Graph edge
+    indices are validated at construction (``pooled_take``'s contract).
+    """
+    out = pooled_take(values, dst)
+    tmp = pooled_take(values, src)
+    np.subtract(out, tmp, out=out)
+    arena_recycle(tmp)
+    return out
 
 
 def edge_features(
@@ -43,16 +60,27 @@ def edge_features(
     if edge_index.ndim != 2 or edge_index.shape[0] != 2:
         raise ValueError(f"edge_index must be (2, E), got {edge_index.shape}")
     src, dst = edge_index[0], edge_index[1]
-    dpos = pos[dst] - pos[src]
+    dpos = _row_delta(pos, src, dst)
     dist = np.linalg.norm(dpos, axis=1, keepdims=True)
+
+    def concat(parts):
+        width = int(np.sum([p.shape[1] for p in parts]))
+        buf = arena_out((parts[0].shape[0], width), np.float64)
+        if buf is None:
+            return np.concatenate(parts, axis=1)
+        np.concatenate(parts, axis=1, out=buf)
+        for part in parts:  # the components are dead once concatenated
+            arena_recycle(part)
+        return buf
+
     if kind == EDGE_FEATURES_GEOMETRIC:
-        return np.concatenate([dpos, dist], axis=1)
+        return concat([dpos, dist])
     if kind == EDGE_FEATURES_FULL:
         if node_features is None:
             raise ValueError('kind="full" requires node_features')
         nf = np.asarray(node_features, dtype=np.float64)
-        dfeat = nf[dst] - nf[src]
-        return np.concatenate([dfeat, dpos, dist], axis=1)
+        dfeat = _row_delta(nf, src, dst)
+        return concat([dfeat, dpos, dist])
     raise ValueError(f"unknown edge feature kind {kind!r}")
 
 

@@ -1,0 +1,93 @@
+"""Per-graph compiled aggregation plans.
+
+A :class:`~repro.graph.distributed.LocalGraph` drives three segment
+reductions per NMP layer:
+
+* ``scatter_dst`` — edge rows accumulated into receiver nodes (Eq. 4b
+  forward) and, transposed, the receiver-gather backward;
+* ``gather_src`` — the sender-gather backward;
+* ``halo_scatter`` — received halo rows accumulated into local nodes
+  (Eq. 4d).
+
+:func:`compile_graph_plans` builds all three once per graph; the result
+is cached on the graph (``graph.plans``) and, for served assets, in the
+:class:`~repro.serve.cache.GraphCache` (plan bytes count toward the
+cache budget, build seconds surface in the serve stats table). Tiled
+block-diagonal replicas compose their plans from the base graph's
+(:meth:`GraphPlans.tile`) instead of re-sorting the tiled index arrays.
+
+Because the mesh builder emits edges in receiver-major order
+(:func:`repro.graph.build.edges_global_for_elements`), ``scatter_dst``
+almost always compiles with an identity sort permutation — the hot
+aggregation then runs directly over contiguous memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.aggregation import AggregationPlan
+
+
+@dataclass(frozen=True)
+class GraphPlans:
+    """The compiled aggregation schedules of one rank's sub-graph.
+
+    Immutable and read-only at execution time: safe to share across
+    any number of concurrent rollouts/batches over the same graph.
+    """
+
+    #: plan over edge senders (``edge_index[0]``) — gather backward
+    gather_src: AggregationPlan
+    #: plan over edge receivers (``edge_index[1]``) — Eq. 4b scatter
+    scatter_dst: AggregationPlan
+    #: plan over ``halo.halo_to_local`` (Eq. 4d sync); None without halo
+    halo_scatter: AggregationPlan | None
+    #: wall seconds spent compiling (serve stats: ``plan_build_s``)
+    build_s: float
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of all schedules (cache accounting)."""
+        total = self.gather_src.nbytes + self.scatter_dst.nbytes
+        if self.halo_scatter is not None:
+            total += self.halo_scatter.nbytes
+        return total
+
+    def tile(self, batch: int, halo_to_local: np.ndarray) -> "GraphPlans":
+        """Plans of the ``batch``-fold block-diagonal replica.
+
+        The edge plans compose by per-copy shifting (no re-sort); the
+        halo plan is recompiled from the replica's ``halo_to_local``
+        because tiling lays halo rows out neighbor-major, not
+        copy-major (see :func:`repro.serve.tiling.tile_local_graph`).
+        """
+        start = time.perf_counter()
+        n_tiled = self.scatter_dst.dim_size * batch
+        halo = (
+            AggregationPlan(halo_to_local, n_tiled) if len(halo_to_local) else None
+        )
+        return GraphPlans(
+            gather_src=self.gather_src.tile(batch),
+            scatter_dst=self.scatter_dst.tile(batch),
+            halo_scatter=halo,
+            build_s=time.perf_counter() - start,
+        )
+
+
+def compile_graph_plans(graph) -> GraphPlans:
+    """Compile the three aggregation plans of a ``LocalGraph``."""
+    start = time.perf_counter()
+    src, dst = graph.edge_index[0], graph.edge_index[1]
+    halo_map = graph.halo.halo_to_local
+    return GraphPlans(
+        gather_src=AggregationPlan(src, graph.n_local),
+        scatter_dst=AggregationPlan(dst, graph.n_local),
+        halo_scatter=(
+            AggregationPlan(halo_map, graph.n_local) if len(halo_map) else None
+        ),
+        build_s=time.perf_counter() - start,
+    )

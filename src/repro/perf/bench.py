@@ -1,0 +1,309 @@
+"""Inference microbenchmarks: the perf trajectory of the NMP hot loop.
+
+``python -m repro bench`` times, on this host:
+
+* **per-op** — the edge-aggregation ``scatter_add`` and the gather
+  backward, naive ``np.add.at`` vs the compiled aggregation plan
+  (:mod:`repro.tensor.aggregation`), on a real element graph;
+* **end-to-end** — autoregressive :func:`repro.gnn.rollout.rollout`,
+  naive allocate-per-step loop vs the plan + workspace fast path,
+  single-rank and (full mode) 4-rank threaded;
+* **plan compile** — one-time plan build cost, for context against the
+  per-step savings.
+
+Both paths stay permanently benchable: the naive engine is selected
+with :func:`repro.tensor.naive_aggregation` + ``workspace=False``, the
+fast path is the library default. Results are printed as markdown
+tables and written to ``BENCH_inference.json`` so every PR leaves a
+perf data point (CI uploads the artifact from the ``bench-smoke`` job;
+no thresholds are enforced — trajectory only).
+
+Numbers are wall-clock on whatever machine runs the bench: compare
+within one file, not across hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.gnn import GNNConfig, MeshGNN
+from repro.gnn.rollout import rollout
+from repro.graph.distributed import build_distributed_graph, build_full_graph
+from repro.graph.plans import compile_graph_plans
+from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
+from repro.perf.report import markdown_table
+from repro.tensor import naive_aggregation
+from repro.tensor.aggregation import AggregationPlan
+
+
+def _best_of(fn: Callable[[], object], repeats: int, number: int = 1) -> float:
+    """Best mean seconds per call over ``repeats`` timed batches."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best
+
+
+def _best_of_pair(
+    a: Callable[[], object], b: Callable[[], object], repeats: int
+) -> tuple[float, float]:
+    """Best seconds for two competitors, interleaved a,b,a,b,...
+
+    Interleaving makes the comparison robust to slow drift in machine
+    load — each competitor samples the same load profile.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def bench_ops(mesh: BoxMesh, width: int, repeats: int) -> dict:
+    """Naive vs planned scatter/gather-backward on the full mesh graph."""
+    graph = build_full_graph(mesh)
+    dst = graph.edge_index[1]
+    n, e = graph.n_local, graph.n_edges
+    src_rows = np.random.default_rng(0).standard_normal((e, width))
+    plan = AggregationPlan(dst, n)
+
+    def naive_scatter():
+        out = np.zeros((n, width))
+        np.add.at(out, dst, src_rows)
+        return out
+
+    workspace = np.zeros((n, width))
+    planned_scatter = lambda: plan.scatter_add(src_rows, out=workspace)  # noqa: E731
+    assert (naive_scatter() == planned_scatter()).all(), "plan path diverged"
+
+    # gather backward = scatter over the (unsorted) sender index
+    src_index = graph.edge_index[0]
+    gplan = AggregationPlan(src_index, n)
+
+    def naive_gather_bwd():
+        out = np.zeros((n, width))
+        np.add.at(out, src_index, src_rows)
+        return out
+
+    gws = np.zeros((n, width))
+    planned_gather_bwd = lambda: gplan.scatter_add(src_rows, out=gws)  # noqa: E731
+    assert (naive_gather_bwd() == planned_gather_bwd()).all()
+
+    compile_s = _best_of(lambda: AggregationPlan(dst, n), max(2, repeats // 2))
+    scatter_naive_s, scatter_plan_s = _best_of_pair(
+        naive_scatter, planned_scatter, repeats
+    )
+    gather_naive_s, gather_plan_s = _best_of_pair(
+        naive_gather_bwd, planned_gather_bwd, repeats
+    )
+    results = {
+        "graph": {"n_nodes": n, "n_edges": e, "width": width},
+        "scatter_add": {"naive_s": scatter_naive_s, "plan_s": scatter_plan_s},
+        "gather_backward": {"naive_s": gather_naive_s, "plan_s": gather_plan_s},
+        "plan_compile_s": compile_s,
+    }
+    for op in ("scatter_add", "gather_backward"):
+        r = results[op]
+        r["speedup"] = r["naive_s"] / r["plan_s"] if r["plan_s"] else float("inf")
+    return results
+
+
+def _rollout_pair(
+    model: MeshGNN,
+    graph,
+    x0: np.ndarray,
+    n_steps: int,
+    repeats: int,
+    comm=None,
+) -> dict:
+    """Time naive vs fast rollout on one (already-built) graph."""
+
+    def naive():
+        with naive_aggregation():
+            return rollout(
+                model, graph, x0, n_steps, comm=comm,
+                halo_mode="n-a2a", workspace=False,
+            )
+
+    def fast():
+        return rollout(
+            model, graph, x0, n_steps, comm=comm, halo_mode="n-a2a",
+            workspace=True,
+        )
+
+    ref, new = naive(), fast()
+    for a, b in zip(ref, new):
+        assert (a == b).all(), "fast rollout diverged from naive rollout"
+    naive_s, fast_s = _best_of_pair(naive, fast, repeats)
+    return {
+        "n_steps": n_steps,
+        "naive_s": naive_s,
+        "fast_s": fast_s,
+        "speedup": naive_s / fast_s if fast_s else float("inf"),
+    }
+
+
+def bench_rollout(mesh: BoxMesh, config: GNNConfig, n_steps: int, repeats: int) -> dict:
+    model = MeshGNN(config)
+    graph = build_full_graph(mesh)
+    started = time.perf_counter()
+    plans = compile_graph_plans(graph)
+    plan_build_s = time.perf_counter() - started
+    graph.__dict__["_plans"] = plans
+    x0 = taylor_green_velocity(mesh.all_positions())
+    out = _rollout_pair(model, graph, x0, n_steps, repeats)
+    out["plan_build_s"] = plan_build_s
+    out["config"] = {
+        "hidden": config.hidden,
+        "n_message_passing": config.n_message_passing,
+        "n_mlp_hidden": config.n_mlp_hidden,
+        "edge_features": config.edge_features,
+    }
+    return out
+
+
+def bench_rollout_multirank(
+    mesh: BoxMesh, config: GNNConfig, n_steps: int, repeats: int, ranks: int = 4
+) -> dict:
+    """4-rank threaded rollout, naive vs fast (each rank owns an arena)."""
+    from repro.comm.threaded import ThreadWorld
+
+    model = MeshGNN(config)
+    dg = build_distributed_graph(mesh, auto_partition(mesh, ranks))
+    x0 = taylor_green_velocity(mesh.all_positions())
+
+    def run(workspace: bool) -> float:
+        def program(comm):
+            lg = dg.local(comm.rank)
+            if workspace:
+                return rollout(
+                    model, lg, x0[lg.global_ids], n_steps, comm, "n-a2a",
+                    workspace=True,
+                )
+            with naive_aggregation():
+                return rollout(
+                    model, lg, x0[lg.global_ids], n_steps, comm, "n-a2a",
+                    workspace=False,
+                )
+
+        start = time.perf_counter()
+        ThreadWorld(ranks).run(program)
+        return time.perf_counter() - start
+
+    naive_s, fast_s = _best_of_pair(
+        lambda: run(False), lambda: run(True), repeats
+    )
+    return {
+        "ranks": ranks,
+        "n_steps": n_steps,
+        "naive_s": naive_s,
+        "fast_s": fast_s,
+        "speedup": naive_s / fast_s if fast_s else float("inf"),
+    }
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Execute the suite; returns the JSON-able result document."""
+    # op-bench sizes mirror one rank's share of a partitioned mesh (the
+    # serving hot loop operates per-rank sub-graphs, not global meshes);
+    # width 32 is the hidden channel width of the rollout config below
+    if quick:
+        op_mesh, roll_mesh = BoxMesh(6, 6, 6, p=3), BoxMesh(6, 6, 4, p=2)
+        width, repeats, n_steps = 32, 3, 3
+    else:
+        op_mesh, roll_mesh = BoxMesh(8, 8, 8, p=3), BoxMesh(8, 8, 6, p=2)
+        width, repeats, n_steps = 32, 5, 5
+    config = GNNConfig(
+        hidden=32,
+        n_message_passing=2,
+        n_mlp_hidden=1,
+        seed=3,
+    )
+    doc = {
+        "bench": "inference",
+        "quick": quick,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "ops": bench_ops(op_mesh, width, repeats),
+        "rollout_single_rank": bench_rollout(roll_mesh, config, n_steps, repeats),
+    }
+    if not quick:
+        doc["rollout_4rank"] = bench_rollout_multirank(
+            roll_mesh, config, n_steps, max(2, repeats // 2)
+        )
+    return doc
+
+
+def render(doc: dict) -> str:
+    rows = []
+    ops = doc["ops"]
+    g = ops["graph"]
+    for op in ("scatter_add", "gather_backward"):
+        r = ops[op]
+        rows.append([
+            f"{op} (E={g['n_edges']}, F={g['width']})",
+            f"{r['naive_s'] * 1e3:.2f}",
+            f"{r['plan_s'] * 1e3:.2f}",
+            f"{r['speedup']:.2f}x",
+        ])
+    for key, label in (
+        ("rollout_single_rank", "rollout 1 rank"),
+        ("rollout_4rank", "rollout 4 ranks"),
+    ):
+        if key in doc:
+            r = doc[key]
+            rows.append([
+                f"{label} ({r['n_steps']} steps)",
+                f"{r['naive_s'] * 1e3:.2f}",
+                f"{r['fast_s'] * 1e3:.2f}",
+                f"{r['speedup']:.2f}x",
+            ])
+    table = markdown_table(["benchmark", "naive (ms)", "fast (ms)", "speedup"], rows)
+    extra = (
+        f"\nplan compile: {ops['plan_compile_s'] * 1e3:.2f} ms "
+        f"(amortized across every step of every request)"
+    )
+    return table + extra
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="NMP inference microbenchmarks (naive vs compiled-plan fast path)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for CI smoke runs (~seconds)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_inference.json",
+        help="where to write the JSON results (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    doc = run_bench(quick=args.quick)
+    print(render(doc))
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ stats API.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -29,10 +30,15 @@ class GraphAsset:
     workers, which only read the rank graphs. Determinism: the asset is
     exactly the graphs the loader produced — the cache layer never
     transforms them, so cache hits and misses serve identical bits.
+    ``plan_build_s`` records the wall seconds admission spent compiling
+    the rank graphs' aggregation plans (0.0 when they were already
+    compiled — plans are cached on the graph objects themselves, so
+    re-admitting the same graphs never re-sorts).
     """
 
     key: str
     graphs: tuple[LocalGraph, ...]
+    plan_build_s: float = 0.0
 
     @property
     def size(self) -> int:
@@ -46,7 +52,8 @@ class GraphAsset:
 
     @property
     def nbytes(self) -> int:
-        """Estimated resident bytes (arrays of every rank payload)."""
+        """Estimated resident bytes (arrays of every rank payload,
+        including compiled aggregation plans when present)."""
         total = 0
         for g in self.graphs:
             total += (
@@ -58,6 +65,9 @@ class GraphAsset:
                 + g.halo.halo_to_local.nbytes
             )
             total += sum(idx.nbytes for idx in g.halo.spec.send_indices.values())
+            plans = g.__dict__.get("_plans")
+            if plans is not None:
+                total += plans.nbytes
         return total
 
 
@@ -66,6 +76,8 @@ class CacheStats:
     """Hit/miss/eviction accounting (snapshot).
 
     Plain data taken under the cache lock; safe to share once returned.
+    ``plan_build_s`` totals the aggregation-plan compile seconds spent
+    by admissions over the cache lifetime.
     """
 
     entries: int = 0
@@ -73,6 +85,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    plan_build_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -109,6 +122,7 @@ class GraphCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._plan_build_s = 0.0
 
     # -- core ----------------------------------------------------------------
 
@@ -125,13 +139,24 @@ class GraphCache:
 
     def put(self, key: str, graphs: Sequence[LocalGraph]) -> GraphAsset:
         """Insert (or replace) an asset and apply the size bounds
-        (thread-safe; the returned asset is immutable)."""
+        (thread-safe; the returned asset is immutable).
+
+        Admission precompiles each rank graph's aggregation plans
+        (a no-op when already compiled, or while plans are globally
+        disabled), so every request served from the asset reuses one
+        compiled plan instead of re-sorting per request.
+        """
         if not graphs:
             raise ValueError("asset must contain at least one rank graph")
-        asset = GraphAsset(key=key, graphs=tuple(graphs))
+        started = time.perf_counter()
+        for g in graphs:
+            _ = g.plans  # lazy compile; cached on the graph instance
+        build_s = time.perf_counter() - started
+        asset = GraphAsset(key=key, graphs=tuple(graphs), plan_build_s=build_s)
         with self._lock:
             self._assets[key] = asset
             self._assets.move_to_end(key)
+            self._plan_build_s += build_s
             self._enforce_bounds(keep=key)
         return asset
 
@@ -224,4 +249,5 @@ class GraphCache:
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
+                plan_build_s=self._plan_build_s,
             )

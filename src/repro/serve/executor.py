@@ -33,8 +33,8 @@ from repro.gnn.architecture import MeshGNN
 from repro.serve.cache import GraphAsset
 from repro.serve.batching import InferenceRequest
 from repro.serve.registry import IncompatibleModel, ModelRegistry
+from repro.gnn.rollout import workspace_steps
 from repro.serve.tiling import stack_states, tile_local_graph
-from repro.tensor import Tensor, no_grad
 
 #: frame dispatcher: ``(request_index, step, global_state)``
 FrameDispatch = Callable[[int, int, np.ndarray], None]
@@ -173,14 +173,14 @@ def execute_batch(
         g = asset.graphs[comm.rank]
         tiled = tile_local_graph(g, batch)
         x = stack_states([req.x0[g.global_ids] for req in requests])
-        with no_grad():
-            for step in range(1, max_steps + 1):
-                edge_attr = tiled.edge_attr(
-                    node_features=x, kind=model.config.edge_features
-                )
-                y = model(Tensor(x), edge_attr, tiled, comm, halo_mode).data
-                x = x + y if residual else y
-                emit(comm.rank, step, np.array(x, copy=True))
+        # the shared fast stepping loop (repro.gnn.rollout): each rank
+        # thread owns a private workspace arena; buffers allocated on
+        # step 1 are reused by every later step of the batch, and the
+        # arithmetic is exactly that of a direct rollout
+        workspace_steps(
+            model, tiled, x, max_steps, comm, halo_mode, residual,
+            lambda step, state: emit(comm.rank, step, np.array(state, copy=True)),
+        )
         return comm.stats
 
     def dispatch_step(step: int, rank_states: list[np.ndarray]) -> None:

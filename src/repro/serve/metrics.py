@@ -181,6 +181,7 @@ def stats_markdown(stats: ServeStats) -> str:
         ["graph-cache entries / bytes",
          f"{stats.cache.entries} / {stats.cache.resident_bytes}"],
         ["graph-cache evictions", stats.cache.evictions],
+        ["plan_build_s (ms total)", f"{stats.cache.plan_build_s * 1e3:.2f}"],
         ["models registered / resident",
          f"{stats.registry.registered} / {stats.registry.resident}"],
         ["model loads / evictions",

@@ -87,7 +87,7 @@ def tile_local_graph(graph: LocalGraph, batch: int) -> LocalGraph:
     edge_index = np.concatenate(
         [graph.edge_index + k * n for k in range(batch)], axis=1
     )
-    return LocalGraph(
+    tiled = LocalGraph(
         rank=graph.rank,
         size=graph.size,
         global_ids=global_ids,
@@ -97,6 +97,14 @@ def tile_local_graph(graph: LocalGraph, batch: int) -> LocalGraph:
         node_degree=np.concatenate([graph.node_degree] * batch),
         halo=HaloPlan(spec=tiled_spec, halo_to_local=halo_to_local),
     )
+    # compose the replica's aggregation plans from the base graph's
+    # (per-copy index shifting — no re-sort of the tiled edge lists);
+    # only when the base already compiled them, so the naive-path
+    # benchmarks and plan-disabled runs stay plan-free
+    base_plans = graph.__dict__.get("_plans")
+    if base_plans is not None:
+        tiled.__dict__["_plans"] = base_plans.tile(batch, halo_to_local)
+    return tiled
 
 
 def stack_states(states: Sequence[np.ndarray]) -> np.ndarray:

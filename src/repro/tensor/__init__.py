@@ -21,11 +21,20 @@ array([[2., 4.]])
 from repro.tensor.tensor import (
     Tensor,
     no_grad,
+    inference_mode,
     is_grad_enabled,
     set_grad_enabled,
     asarray,
     astensor,
 )
+from repro.tensor.aggregation import (
+    AggregationPlan,
+    aggregation_plans_enabled,
+    naive_aggregation,
+    plan_for,
+    set_aggregation_plans_enabled,
+)
+from repro.tensor.workspace import InferenceArena, arena_scope, current_arena
 from repro.tensor.ops import (
     add,
     concatenate,
@@ -55,6 +64,15 @@ from repro.tensor.gradcheck import gradcheck
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
+    "AggregationPlan",
+    "aggregation_plans_enabled",
+    "naive_aggregation",
+    "plan_for",
+    "set_aggregation_plans_enabled",
+    "InferenceArena",
+    "arena_scope",
+    "current_arena",
     "is_grad_enabled",
     "set_grad_enabled",
     "asarray",

@@ -11,6 +11,18 @@ sender/receiver node rows, and the aggregation step scatter-adds edge
 rows into node rows. Their backwards are each other's adjoints, which
 is also the structural template for the distributed halo exchange in
 :mod:`repro.comm.autograd_ops`.
+
+Two orthogonal fast paths keep the hot loop off the allocator:
+
+* segment-reduction **plans** (:mod:`repro.tensor.aggregation`) replace
+  ``np.add.at`` in ``scatter_add`` and the gather backwards with a
+  presorted, bitwise-identical schedule — pass ``plan=`` explicitly
+  (graphs cache theirs) or let the weak memo compile one per persistent
+  index array;
+* an inference **workspace arena** (:mod:`repro.tensor.workspace`)
+  supplies preallocated output buffers to the no-grad forward of the
+  hot ops (gather, concat, linear, ELU, LayerNorm, scatter, add, mul),
+  so steady-state rollout reuses the same memory every step.
 """
 
 from __future__ import annotations
@@ -19,6 +31,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.tensor.aggregation import (
+    AggregationPlan,
+    aggregation_plans_enabled,
+    plan_for,
+)
 from repro.tensor.tensor import (
     Tensor,
     accumulate_parent_grad,
@@ -27,6 +44,13 @@ from repro.tensor.tensor import (
     collect_parents,
     is_grad_enabled,
     unbroadcast,
+)
+from repro.tensor.workspace import (
+    arena_adopt,
+    arena_out,
+    arena_recycle,
+    current_arena,
+    pooled_take,
 )
 
 
@@ -37,6 +61,53 @@ def _make(data, parents, backward_fn, name=None) -> Tensor:
     return Tensor(data, name=name)
 
 
+def _pooled(buf: np.ndarray, name: str | None = None) -> Tensor:
+    """Wrap an arena buffer; the buffer recycles when the tensor dies."""
+    t = Tensor(buf, name=name)
+    arena_adopt(t, buf)
+    return t
+
+
+def _plan_index(index) -> bool:
+    """Whether ``index`` is a plan-eligible row-index array."""
+    return (
+        isinstance(index, np.ndarray)
+        and index.ndim == 1
+        and index.dtype.kind in "iu"
+    )
+
+
+#: below this many scattered elements, plan compilation cannot pay for
+#: itself even once — the naive unbuffered scatter stays cheaper
+_PLAN_GRAD_MIN_ELEMENTS = 16384
+
+
+def _scatter_grad(
+    data: np.ndarray, index, g: np.ndarray, plan: AggregationPlan | None
+) -> np.ndarray:
+    """``np.add.at(zeros_like(data), index, g)`` through a plan when possible.
+
+    The plan path (explicitly supplied or memoized per persistent index
+    array) is bitwise identical to the naive unbuffered scatter; any
+    ineligibility (non-1D key, negative indices, dtype mismatch) falls
+    back to ``np.add.at``. Small scatters skip plan compilation — for
+    index arrays seen once (a transient key), the argsort would cost
+    more than it saves, while large one-shot scatters still win even
+    including the compile.
+    """
+    if aggregation_plans_enabled() and g.dtype == data.dtype and _plan_index(index):
+        if plan is None and g.size >= _PLAN_GRAD_MIN_ELEMENTS:
+            try:
+                plan = plan_for(index, data.shape[0])
+            except ValueError:  # e.g. negative (wrapping) indices
+                plan = None
+        if plan is not None:
+            return plan.scatter_add(g)
+    grad = np.zeros_like(data)
+    np.add.at(grad, index, g)
+    return grad
+
+
 # ---------------------------------------------------------------------------
 # elementwise arithmetic (with numpy broadcasting)
 # ---------------------------------------------------------------------------
@@ -44,6 +115,14 @@ def _make(data, parents, backward_fn, name=None) -> Tensor:
 
 def add(a, b) -> Tensor:
     a, b = astensor(a), astensor(b)
+    if not is_grad_enabled():
+        buf = arena_out(
+            np.broadcast_shapes(a.data.shape, b.data.shape),
+            np.result_type(a.data, b.data),
+        )
+        if buf is not None:
+            np.add(a.data, b.data, out=buf)
+            return _pooled(buf)
     out = a.data + b.data
     parents = collect_parents(a, b)
 
@@ -72,6 +151,14 @@ def sub(a, b) -> Tensor:
 
 def mul(a, b) -> Tensor:
     a, b = astensor(a), astensor(b)
+    if not is_grad_enabled():
+        buf = arena_out(
+            np.broadcast_shapes(a.data.shape, b.data.shape),
+            np.result_type(a.data, b.data),
+        )
+        if buf is not None:
+            np.multiply(a.data, b.data, out=buf)
+            return _pooled(buf)
     out = a.data * b.data
     parents = collect_parents(a, b)
 
@@ -221,6 +308,19 @@ def elu(a, alpha: float = 1.0) -> Tensor:
     ``elu(x) = x`` for ``x > 0``, ``alpha * (exp(x) - 1)`` otherwise.
     """
     a = astensor(a)
+    if not is_grad_enabled():
+        buf = arena_out(a.data.shape, a.data.dtype)
+        if buf is not None:
+            # same arithmetic as the recording path, into reused buffers
+            mask = arena_out(a.data.shape, np.bool_)
+            np.greater(a.data, 0, out=mask)
+            np.minimum(a.data, 0.0, out=buf)
+            np.exp(buf, out=buf)
+            np.multiply(buf, alpha, out=buf)  # neg_exp = alpha * exp(min(a, 0))
+            np.subtract(buf, alpha, out=buf)
+            np.copyto(buf, a.data, where=mask)
+            arena_recycle(mask)
+            return _pooled(buf)
     pos = a.data > 0
     neg_exp = alpha * np.exp(np.minimum(a.data, 0.0))  # clamp avoids overflow
     out = np.where(pos, a.data, neg_exp - alpha)
@@ -271,6 +371,17 @@ def linear(x, weight, bias=None) -> Tensor:
     layer instead of three).
     """
     x, weight = astensor(x), astensor(weight)
+    buf = None
+    if not is_grad_enabled() and x.data.ndim == 2:
+        buf = arena_out(
+            (x.data.shape[0], weight.data.shape[0]),
+            np.result_type(x.data, weight.data),
+        )
+    if buf is not None:
+        np.matmul(x.data, weight.data.T, out=buf)
+        if bias is not None:
+            buf += astensor(bias).data
+        return _pooled(buf)
     out = x.data @ weight.data.T
     if bias is not None:
         bias = astensor(bias)
@@ -379,7 +490,17 @@ def astype(a, dtype) -> Tensor:
 
 def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
     tensors = [astensor(t) for t in tensors]
-    out = np.concatenate([t.data for t in tensors], axis=axis)
+    arrays = [t.data for t in tensors]
+    buf = None
+    if not is_grad_enabled() and arrays:
+        shape = list(arrays[0].shape)
+        if all(a.ndim == len(shape) for a in arrays):
+            shape[axis] = int(np.sum([a.shape[axis] for a in arrays]))
+            buf = arena_out(tuple(shape), np.result_type(*arrays))
+    if buf is not None:
+        np.concatenate(arrays, axis=axis, out=buf)
+        return _pooled(buf)
+    out = np.concatenate(arrays, axis=axis)
     parents = collect_parents(*tensors)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -411,16 +532,21 @@ def stack(tensors: Sequence, axis: int = 0) -> Tensor:
 def getitem(a, key) -> Tensor:
     """Basic and integer-array indexing with gradient support.
 
-    Integer-array keys may contain repeats; the backward uses
-    ``np.add.at`` so repeated rows accumulate correctly.
+    Integer-array keys may contain repeats; the backward accumulates
+    repeated rows with ``np.add.at`` semantics (routed through a
+    compiled segment-reduction plan for 1D integer-array keys — the
+    embedding-gradient pattern — bitwise identical and much faster).
     """
     a = astensor(a)
     out = a.data[key]
     parents = collect_parents(a)
 
     def backward(g):
-        grad = np.zeros_like(a.data)
-        np.add.at(grad, key, g)
+        if _plan_index(key):
+            grad = _scatter_grad(a.data, key, g, None)
+        else:
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, key, g)
         accumulate_parent_grad(a, grad)
 
     return _make(out, parents, backward)
@@ -431,32 +557,48 @@ def getitem(a, key) -> Tensor:
 # ---------------------------------------------------------------------------
 
 
-def gather_rows(a, index) -> Tensor:
+def gather_rows(a, index, plan: AggregationPlan | None = None) -> Tensor:
     """Select rows ``a[index]`` for an integer index array.
 
     Adjoint of :func:`scatter_add` — the backward scatter-adds the
-    incoming gradient back to the selected rows.
+    incoming gradient back to the selected rows. ``plan`` is the
+    (optional) compiled :class:`~repro.tensor.aggregation.AggregationPlan`
+    of ``(index, len(a))`` — graphs cache these — used by the backward;
+    without one, a memoized plan is compiled for persistent 1D indices.
     """
     a = astensor(a)
     index = np.asarray(index)
     if index.dtype.kind not in "iu":
         raise TypeError("gather_rows index must be an integer array")
+    if not is_grad_enabled() and index.ndim == 1 and current_arena() is not None:
+        # bounds-check before drawing a pool buffer (preserves the
+        # fancy-indexing error semantics AND never strands a buffer)
+        if index.size == 0 or (
+            0 <= int(index.min()) and int(index.max()) < a.data.shape[0]
+        ):
+            return _pooled(pooled_take(a.data, index))
     out = a.data[index]
     parents = collect_parents(a)
 
     def backward(g):
-        grad = np.zeros_like(a.data)
-        np.add.at(grad, index, g)
-        accumulate_parent_grad(a, grad)
+        accumulate_parent_grad(a, _scatter_grad(a.data, index, g, plan))
 
     return _make(out, parents, backward)
 
 
-def scatter_add(src, index, dim_size: int) -> Tensor:
+def scatter_add(
+    src, index, dim_size: int, plan: AggregationPlan | None = None
+) -> Tensor:
     """Sum rows of ``src`` into a ``(dim_size, ...)`` output by ``index``.
 
     ``out[index[k]] += src[k]`` — the edge-aggregation primitive
     (Eq. 4b of the paper). Adjoint of :func:`gather_rows`.
+
+    ``plan`` is the compiled segment-reduction schedule of
+    ``(index, dim_size)`` (see :mod:`repro.tensor.aggregation`); with
+    one (and plans enabled), the forward runs as presorted contiguous
+    adds — bitwise identical to the unbuffered ``np.add.at`` — instead
+    of the ~10x slower naive scatter.
     """
     src = astensor(src)
     index = np.asarray(index)
@@ -466,8 +608,18 @@ def scatter_add(src, index, dim_size: int) -> Tensor:
         raise ValueError(
             f"index must be 1D with length {src.data.shape[0]}, got shape {index.shape}"
         )
-    out = np.zeros((dim_size,) + src.data.shape[1:], dtype=src.data.dtype)
-    np.add.at(out, index, src.data)
+    if plan is not None and aggregation_plans_enabled():
+        if plan.n_index != len(index) or plan.dim_size != dim_size:
+            raise ValueError(
+                f"plan was compiled for ({plan.n_index}, {plan.dim_size}), "
+                f"got index length {len(index)} and dim_size {dim_size}"
+            )
+        out = plan.scatter_add(src.data)
+        if not is_grad_enabled():
+            return _pooled(out)
+    else:
+        out = np.zeros((dim_size,) + src.data.shape[1:], dtype=src.data.dtype)
+        np.add.at(out, index, src.data)
     parents = collect_parents(src)
 
     def backward(g):
@@ -489,6 +641,22 @@ def layer_norm(x, gamma, beta, eps: float = 1e-5) -> Tensor:
     block.
     """
     x, gamma, beta = astensor(x), astensor(gamma), astensor(beta)
+    if not is_grad_enabled():
+        buf = arena_out(x.data.shape, x.data.dtype)
+        if buf is not None:
+            # identical arithmetic to the recording path, but the three
+            # (rows, features)-sized intermediates live in pooled buffers
+            # (the (rows, 1) row statistics are negligible)
+            mu = x.data.mean(axis=-1, keepdims=True)
+            xc = np.subtract(x.data, mu, out=arena_out(x.data.shape, x.data.dtype))
+            sq = np.multiply(xc, xc, out=buf)
+            var = np.mean(sq, axis=-1, keepdims=True)
+            inv_std = 1.0 / np.sqrt(var + eps)
+            xhat = np.multiply(xc, inv_std, out=xc)
+            out = np.multiply(xhat, gamma.data, out=buf)
+            out += beta.data
+            arena_recycle(xc)
+            return _pooled(out, name="layer_norm")
     mu = x.data.mean(axis=-1, keepdims=True)
     xc = x.data - mu
     var = np.mean(xc * xc, axis=-1, keepdims=True)

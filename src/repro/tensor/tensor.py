@@ -55,6 +55,27 @@ def no_grad():
         set_grad_enabled(prev)
 
 
+@contextlib.contextmanager
+def inference_mode(arena=None):
+    """``no_grad`` plus a per-thread inference workspace arena.
+
+    Inside the scope, ops write their results into preallocated buffers
+    from the arena (see :mod:`repro.tensor.workspace`); callers running
+    a steady-state loop call ``arena.reset()`` at each iteration so the
+    buffers are reused and the loop makes zero large allocations after
+    warmup. Yields the active :class:`~repro.tensor.workspace.InferenceArena`.
+
+    Results computed inside the scope are only valid until the same
+    sequence slot is reached again after a ``reset()`` — copy anything
+    that must outlive the iteration (the rollout loop already does).
+    """
+    from repro.tensor.workspace import arena_scope
+
+    with no_grad():
+        with arena_scope(arena) as active:
+            yield active
+
+
 def asarray(x, dtype=None) -> np.ndarray:
     """Coerce ``x`` (Tensor, ndarray, scalar, nested list) to ndarray."""
     if isinstance(x, Tensor):
@@ -102,7 +123,12 @@ class Tensor:
         Optional label used in ``repr`` and debugging.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    # __weakref__ lets the inference workspace pool hook buffer recycling
+    # onto tensor death (see repro.tensor.workspace)
+    __slots__ = (
+        "data", "grad", "requires_grad", "_parents", "_backward_fn", "name",
+        "__weakref__",
+    )
 
     def __init__(
         self,

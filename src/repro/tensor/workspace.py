@@ -1,0 +1,207 @@
+"""Inference workspaces: recycled buffers for the no-grad hot loop.
+
+Steady-state autoregressive rollout runs an identical op sequence every
+step, so after one warmup step every buffer the loop needs already
+exists. An :class:`InferenceArena` is a freelist pool keyed by
+``(shape, dtype)``: ops draw output buffers from it and the buffers
+flow back automatically when their wrapping :class:`Tensor` dies (a
+``weakref.finalize`` hook — under ``no_grad`` tensors die promptly by
+refcount, so a buffer is typically reusable two ops later, keeping the
+cache-resident working set as small as the allocator's hot-block reuse
+while eliminating the allocations themselves).
+
+Escape safety: the finalize hook returns a buffer to the pool only if
+the dying tensor held the *last* reference (checked against a
+calibrated refcount baseline). An array that outlives its tensor —
+``model(...).data`` kept by the rollout loop, a view, a copy retained
+by a client — is simply never recycled; it is freed by the normal
+allocator later. Wrong results are impossible; the cost of an escape
+is one allocation.
+
+Op-internal temporaries whose lifetime the op itself controls (the
+centered rows inside LayerNorm, halo send buffers after the collective
+returns) are returned eagerly with :meth:`InferenceArena.recycle`.
+
+The arena is opt-in and thread-local: :func:`arena_scope` activates one
+for the current thread (each rank thread of a
+:class:`~repro.comm.threaded.ThreadWorld` owns a private arena), and
+:func:`arena_out` hands out buffers only while autograd is not
+recording.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import threading
+import weakref
+
+import numpy as np
+
+_active = threading.local()
+
+
+def _probe_release(buf) -> None:  # pragma: no cover - calibration shim
+    _probe_counts.append(sys.getrefcount(buf))
+
+
+_probe_counts: list[int] = []
+
+
+def _calibrate_baseline() -> int:
+    """Refcount a finalize callback observes when only the dying owner
+    holds the buffer (CPython-version dependent; measured, not assumed).
+
+    The probe mirrors a dying :class:`Tensor` exactly: finalizers run
+    *before* the owner's slots are cleared, so the owner's ``data``
+    reference is still live inside the callback and must be part of
+    the baseline.
+    """
+
+    class _Probe:
+        __slots__ = ("data", "__weakref__")
+
+    probe_buf = np.empty(0)
+    probe_obj = _Probe()
+    probe_obj.data = probe_buf
+    weakref.finalize(probe_obj, _probe_release, probe_buf)
+    del probe_buf
+    del probe_obj  # finalize fires synchronously on refcount death
+    return _probe_counts.pop()
+
+
+_UNREFERENCED = _calibrate_baseline()
+
+
+class InferenceArena:
+    """Per-thread buffer pool for the no-grad hot loop."""
+
+    __slots__ = ("_free", "steps", "reallocations", "adopted")
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        #: step (reset) count — diagnostics only
+        self.steps = 0
+        #: buffers created because the pool had none of the right
+        #: (shape, dtype): constant after warmup means zero-alloc
+        self.reallocations = 0
+        #: finalize hooks registered (diagnostics)
+        self.adopted = 0
+
+    @staticmethod
+    def _key(shape, dtype) -> tuple:
+        return (tuple(int(s) for s in shape), np.dtype(dtype).str)
+
+    def out(self, shape, dtype) -> np.ndarray:
+        """A buffer of the requested shape/dtype (pooled or fresh).
+
+        Contents are unspecified; callers fully overwrite.
+        """
+        free = self._free.get(self._key(shape, dtype))
+        if free:
+            return free.pop()
+        self.reallocations += 1
+        return np.empty(shape, dtype=dtype)
+
+    def recycle(self, buf: np.ndarray) -> None:
+        """Eagerly return a buffer the caller guarantees is dead."""
+        self._free.setdefault(self._key(buf.shape, buf.dtype), []).append(buf)
+
+    def adopt(self, owner, buf: np.ndarray) -> None:
+        """Return ``buf`` to the pool when ``owner`` (a Tensor) dies —
+        unless something else still references the array by then."""
+        self.adopted += 1
+        weakref.finalize(owner, self._maybe_recycle, buf)
+
+    def _maybe_recycle(self, buf: np.ndarray) -> None:
+        if sys.getrefcount(buf) == _UNREFERENCED:
+            self.recycle(buf)
+
+    def reset(self) -> None:
+        """Mark a loop-iteration boundary (statistics only — buffers
+        recycle continuously through tensor death, not per step)."""
+        self.steps += 1
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently parked in the freelist."""
+        return sum(b.nbytes for free in self._free.values() for b in free)
+
+    def __repr__(self) -> str:
+        pooled = sum(len(v) for v in self._free.values())
+        return (
+            f"InferenceArena(pooled={pooled}, nbytes={self.nbytes}, "
+            f"steps={self.steps}, reallocations={self.reallocations}, "
+            f"adopted={self.adopted})"
+        )
+
+
+def current_arena() -> InferenceArena | None:
+    """The arena active on this thread, or None."""
+    stack = getattr(_active, "stack", None)
+    return stack[-1] if stack else None
+
+
+def arena_out(shape, dtype) -> np.ndarray | None:
+    """Buffer from the active arena, or None when no arena is active.
+
+    The single hook the ops layer uses: ``None`` means "allocate
+    normally". Never hands out a buffer while autograd is recording —
+    a backward pass inside an arena scope must not interact with the
+    pool.
+    """
+    arena = current_arena()
+    if arena is None:
+        return None
+    from repro.tensor.tensor import is_grad_enabled
+
+    if is_grad_enabled():
+        return None
+    return arena.out(shape, dtype)
+
+
+def arena_adopt(owner, buf: np.ndarray) -> None:
+    """Recycle ``buf`` on ``owner``'s death, if an arena is active."""
+    arena = current_arena()
+    if arena is not None:
+        arena.adopt(owner, buf)
+
+
+def arena_recycle(buf: np.ndarray | None) -> None:
+    """Eagerly return a dead buffer, if an arena is active."""
+    if buf is None:
+        return
+    arena = current_arena()
+    if arena is not None:
+        arena.recycle(buf)
+
+
+def pooled_take(src: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """``src[rows]`` for *pre-validated* row indices, pooled when possible.
+
+    ``mode="clip"`` selects numpy's fast ``take`` path (``mode="raise"``
+    with ``out=`` is ~3x slower); callers guarantee
+    ``0 <= rows < len(src)``, so clipping never engages. Without an
+    active arena this is exactly fancy row indexing (a fresh, contiguous
+    copy).
+    """
+    buf = arena_out((rows.shape[0],) + src.shape[1:], src.dtype)
+    if buf is None:
+        return src[rows]
+    np.take(src, rows, axis=0, out=buf, mode="clip")
+    return buf
+
+
+@contextlib.contextmanager
+def arena_scope(arena: InferenceArena | None = None):
+    """Activate ``arena`` (or a fresh one) on this thread; yields it."""
+    if arena is None:
+        arena = InferenceArena()
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    stack.append(arena)
+    try:
+        yield arena
+    finally:
+        stack.pop()

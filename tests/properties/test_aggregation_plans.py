@@ -1,0 +1,185 @@
+"""Bitwise-identity properties of compiled aggregation plans.
+
+The whole point of :mod:`repro.tensor.aggregation` is that the fast
+path is *not an approximation*: every plan-compiled reduction must be
+bit-for-bit equal to the naive unbuffered ``np.add.at`` it replaces,
+on any index distribution — empty indices, empty segments (nodes with
+no incoming edges), duplicate indices, presorted and shuffled orders,
+negative zeros. These tests pin that contract with hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, gather_rows, gradcheck, scatter_add
+from repro.tensor.aggregation import (
+    AggregationPlan,
+    naive_aggregation,
+    plan_for,
+)
+
+
+def naive_scatter(index, src, dim_size):
+    out = np.zeros((dim_size,) + src.shape[1:], dtype=src.dtype)
+    np.add.at(out, index, src)
+    return out
+
+
+def assert_bitwise(a, b):
+    np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(np.signbit(a), np.signbit(b))
+
+
+@st.composite
+def scatter_cases(draw):
+    n_index = draw(st.integers(0, 120))
+    dim_size = draw(st.integers(1, 40))
+    width = draw(st.integers(1, 6))
+    index = draw(
+        st.lists(
+            st.integers(0, dim_size - 1), min_size=n_index, max_size=n_index
+        )
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    presorted = draw(st.booleans())
+    index = np.array(index, dtype=np.int64)
+    if presorted:
+        index.sort()
+    rng = np.random.default_rng(seed)
+    src = rng.standard_normal((n_index, width))
+    src *= 10.0 ** float(rng.integers(-6, 7))
+    if n_index and draw(st.booleans()):
+        src[0] = -0.0  # first-add sign-of-zero edge case
+    return index, src, dim_size
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=scatter_cases())
+def test_plan_scatter_bitwise_equals_add_at(case):
+    index, src, dim_size = case
+    plan = AggregationPlan(index, dim_size)
+    assert_bitwise(plan.scatter_add(src), naive_scatter(index, src, dim_size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scatter_cases())
+def test_plan_scatter_into_preallocated_out(case):
+    index, src, dim_size = case
+    plan = AggregationPlan(index, dim_size)
+    out = np.full((dim_size,) + src.shape[1:], 7.0)  # stale contents
+    got = plan.scatter_add(src, out=out)
+    assert got is out
+    assert_bitwise(out, naive_scatter(index, src, dim_size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scatter_cases(), batch=st.integers(1, 4))
+def test_tiled_plan_matches_fresh_compile(case, batch):
+    """Composed block-diagonal plans == compiling the tiled index."""
+    index, src, dim_size = case
+    base = AggregationPlan(index, dim_size)
+    tiled_index = np.concatenate(
+        [index + k * dim_size for k in range(batch)]
+    ) if len(index) else np.empty(0, dtype=np.int64)
+    tiled_src = np.concatenate([src] * batch, axis=0)
+    composed = base.tile(batch)
+    fresh = AggregationPlan(tiled_index, dim_size * batch)
+    assert composed.dim_size == fresh.dim_size == dim_size * batch
+    assert composed.n_index == fresh.n_index == len(index) * batch
+    assert_bitwise(
+        composed.scatter_add(tiled_src), fresh.scatter_add(tiled_src)
+    )
+    assert_bitwise(
+        composed.scatter_add(tiled_src),
+        naive_scatter(tiled_index, tiled_src, dim_size * batch),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=scatter_cases())
+def test_scatter_add_op_plan_vs_naive_path(case):
+    index, src, dim_size = case
+    plan = AggregationPlan(index, dim_size)
+    fast = scatter_add(Tensor(src), index, dim_size, plan=plan)
+    with naive_aggregation():
+        slow = scatter_add(Tensor(src), index, dim_size, plan=plan)
+    assert_bitwise(fast.data, slow.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=scatter_cases())
+def test_gather_rows_backward_plan_vs_naive(case):
+    """The planned gather backward == np.add.at gradient, bitwise."""
+    index, g, dim_size = case
+    base = np.random.default_rng(0).standard_normal((dim_size, g.shape[1]))
+
+    def grad_of(plan_enabled):
+        t = Tensor(base.copy(), requires_grad=True)
+        if plan_enabled:
+            out = gather_rows(t, index, plan=AggregationPlan(index, dim_size))
+            out.backward(g)
+        else:
+            with naive_aggregation():
+                out = gather_rows(t, index)
+                out.backward(g)
+        return t.grad
+
+    assert_bitwise(grad_of(True), grad_of(False))
+
+
+def test_gradcheck_scatter_and_gather_with_plans():
+    rng = np.random.default_rng(5)
+    index = np.array([0, 2, 2, 1, 4, 0, 2], dtype=np.int64)
+    plan = AggregationPlan(index, 5)
+    src = Tensor(rng.standard_normal((7, 3)), requires_grad=True)
+    assert gradcheck(
+        lambda s: scatter_add(s, index, 5, plan=plan).sum(), [src]
+    )
+    nodes = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+    assert gradcheck(
+        lambda n: (gather_rows(n, index, plan=plan) ** 2.0).sum(), [nodes]
+    )
+
+
+def test_plan_validates_index():
+    with pytest.raises(ValueError):
+        AggregationPlan(np.array([0, 5], dtype=np.int64), 5)  # out of range
+    with pytest.raises(ValueError):
+        AggregationPlan(np.array([-1], dtype=np.int64), 5)
+    with pytest.raises(TypeError):
+        AggregationPlan(np.array([0.5]), 5)
+    with pytest.raises(ValueError):
+        AggregationPlan(np.zeros((2, 2), dtype=np.int64), 5)
+
+
+def test_plan_mismatch_rejected_by_scatter_op():
+    index = np.array([0, 1], dtype=np.int64)
+    plan = AggregationPlan(index, 3)
+    with pytest.raises(ValueError):
+        scatter_add(Tensor(np.ones((2, 2))), index, dim_size=4, plan=plan)
+
+
+def test_empty_graph_plan():
+    plan = AggregationPlan(np.empty(0, dtype=np.int64), 4)
+    out = plan.scatter_add(np.empty((0, 3)))
+    assert out.shape == (4, 3)
+    assert (out == 0.0).all()
+    assert plan.tile(3).scatter_add(np.empty((0, 3))).shape == (12, 3)
+
+
+def test_plan_for_memoizes_per_array_identity():
+    index = np.array([0, 1, 1, 2], dtype=np.int64)
+    assert plan_for(index, 3) is plan_for(index, 3)
+    assert plan_for(index, 3) is not plan_for(index, 4)
+    # equal contents, different identity -> separate plans
+    other = index.copy()
+    assert plan_for(other, 3) is not plan_for(index, 3)
+
+
+def test_presorted_index_skips_permutation():
+    index = np.array([0, 0, 1, 3, 3, 3], dtype=np.int64)
+    plan = AggregationPlan(index, 5)
+    assert plan.order is None
+    shuffled = index[::-1].copy()
+    assert AggregationPlan(shuffled, 5).order is not None

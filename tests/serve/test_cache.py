@@ -92,3 +92,39 @@ def test_explicit_evict_and_clear(full_graph):
 def test_empty_asset_rejected():
     with pytest.raises(ValueError):
         GraphCache().put("k", [])
+
+
+def test_admission_compiles_and_accounts_plans(rank_graphs):
+    for g in rank_graphs:
+        g.__dict__.pop("_plans", None)
+    bare = sum(
+        g.global_ids.nbytes + g.pos.nbytes + g.edge_index.nbytes
+        + g.edge_degree.nbytes + g.node_degree.nbytes
+        + g.halo.halo_to_local.nbytes
+        + sum(i.nbytes for i in g.halo.spec.send_indices.values())
+        for g in rank_graphs
+    )
+    cache = GraphCache()
+    asset = cache.put("g", rank_graphs)
+    # admission compiled the plans...
+    assert all(g.__dict__.get("_plans") is not None for g in rank_graphs)
+    assert asset.plan_build_s > 0.0
+    # ...and their bytes count toward the cache budget
+    assert asset.nbytes > bare
+    stats = cache.stats()
+    assert stats.plan_build_s == pytest.approx(asset.plan_build_s)
+
+
+def test_readmitting_compiled_graphs_skips_plan_build(rank_graphs):
+    for g in rank_graphs:  # force a real compile on the first admission
+        g.__dict__.pop("_plans", None)
+    cache = GraphCache()
+    first = cache.put("a", rank_graphs)
+    compiled = [g.__dict__["_plans"] for g in rank_graphs]
+    cache.put("b", rank_graphs)  # plans already on the graphs
+    # re-admission must reuse the SAME plan objects (identity, not a
+    # timing comparison — a recompile would swap the cached instances)
+    assert all(
+        g.__dict__["_plans"] is p for g, p in zip(rank_graphs, compiled)
+    )
+    assert cache.stats().plan_build_s >= first.plan_build_s

@@ -84,9 +84,12 @@ def test_metrics_populated_per_request(service, x0):
 
 def test_stats_markdown_renders(service, x0):
     service.rollout("m", "g", x0, 1)
-    table = stats_markdown(service.stats())
+    stats = service.stats()
+    table = stats_markdown(stats)
     assert "| requests served | 1 |" in table
     assert "graph-cache hit rate" in table
+    assert "plan_build_s" in table
+    assert stats.cache.plan_build_s > 0.0  # admission compiled the plans
 
 
 def test_stop_drains_pending_work(serve_model, full_graph, x0):

@@ -75,3 +75,33 @@ def test_tiled_edge_attr_tiles_rowwise(full_graph, x0):
     ne = full_graph.n_edges
     assert np.array_equal(both[:ne], base)
     assert np.array_equal(both[ne:], base)
+
+
+def test_tiled_plans_composed_from_base(dist_graph):
+    """Tiling reuses the base graph's compiled plans (no re-sort)."""
+    from repro.graph.plans import compile_graph_plans
+
+    for g in dist_graph.locals:
+        g.__dict__.pop("_plans", None)
+        tiled_cold = tile_local_graph(g, 2)
+        assert tiled_cold.__dict__.get("_plans") is None  # nothing to compose
+
+        base_plans = g.plans  # compile + cache on the base graph
+        assert base_plans is not None
+        tiled = tile_local_graph(g, 3)
+        composed = tiled.__dict__.get("_plans")
+        assert composed is not None
+        # composed plans must match a fresh compile of the tiled graph
+        fresh = compile_graph_plans(tiled)
+        rng = np.random.default_rng(0)
+        src = rng.standard_normal((tiled.n_edges, 4))
+        np.testing.assert_array_equal(
+            composed.scatter_dst.scatter_add(src),
+            fresh.scatter_dst.scatter_add(src),
+        )
+        if tiled.n_halo:
+            halo_rows = rng.standard_normal((tiled.n_halo, 4))
+            np.testing.assert_array_equal(
+                composed.halo_scatter.scatter_add(halo_rows),
+                fresh.halo_scatter.scatter_add(halo_rows),
+            )

@@ -1,0 +1,111 @@
+"""InferenceArena: pooling, recycling, escape safety, thread scoping."""
+
+import threading
+
+import numpy as np
+
+from repro.tensor import (
+    InferenceArena,
+    Tensor,
+    arena_scope,
+    current_arena,
+    inference_mode,
+    is_grad_enabled,
+)
+from repro.tensor import ops
+from repro.tensor.workspace import arena_out
+
+
+def test_no_arena_means_no_buffers():
+    assert current_arena() is None
+    assert arena_out((3, 3), np.float64) is None
+
+
+def test_out_pops_recycled_buffer():
+    arena = InferenceArena()
+    a = arena.out((4, 2), np.float64)
+    assert arena.reallocations == 1
+    arena.recycle(a)
+    b = arena.out((4, 2), np.float64)
+    assert b is a
+    assert arena.reallocations == 1
+    # different shape -> fresh buffer
+    c = arena.out((2, 4), np.float64)
+    assert c is not a
+    assert arena.reallocations == 2
+
+
+def test_buffer_recycles_when_tensor_dies():
+    arena = InferenceArena()
+    with inference_mode(arena):
+        t = ops.add(Tensor(np.ones((8, 3))), Tensor(np.ones((8, 3))))
+        buf_id = id(t.data)  # no reference kept — the tensor owns it
+        del t  # tensor death returns the buffer to the pool
+        again = arena.out((8, 3), np.float64)
+        assert id(again) == buf_id
+        assert arena.reallocations == 1
+
+
+def test_escaped_array_is_never_recycled():
+    arena = InferenceArena()
+    with inference_mode(arena):
+        t = ops.add(Tensor(np.ones((8, 3))), Tensor(np.ones((8, 3))))
+        escaped = t.data  # client keeps the array beyond the tensor
+        del t
+        fresh = arena.out((8, 3), np.float64)
+        assert fresh is not escaped
+        np.testing.assert_array_equal(escaped, np.full((8, 3), 2.0))
+
+
+def test_arena_inactive_while_recording():
+    arena = InferenceArena()
+    with arena_scope(arena):
+        assert is_grad_enabled()
+        assert arena_out((2, 2), np.float64) is None  # recording -> no pool
+        t = ops.add(
+            Tensor(np.ones((5, 2)), requires_grad=True), Tensor(np.ones((5, 2)))
+        )
+        t.sum().backward()  # backward untouched by the active arena
+    assert arena.reallocations == 0
+
+
+def test_inference_mode_disables_grad_and_scopes_arena():
+    with inference_mode() as arena:
+        assert not is_grad_enabled()
+        assert current_arena() is arena
+    assert is_grad_enabled()
+    assert current_arena() is None
+
+
+def test_arena_is_thread_local():
+    seen = {}
+
+    def worker():
+        seen["inner"] = current_arena()
+
+    with inference_mode() as arena:
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert current_arena() is arena
+    assert seen["inner"] is None
+
+
+def test_pooled_op_results_are_bitwise_correct():
+    rng = np.random.default_rng(0)
+    a, b = rng.standard_normal((12, 5)), rng.standard_normal((12, 5))
+    expected = {
+        "add": a + b,
+        "mul": a * b,
+        "elu": np.where(a > 0, a, np.exp(np.minimum(a, 0.0)) - 1.0),
+        "concat": np.concatenate([a, b], axis=1),
+    }
+    with inference_mode():
+        got = {
+            "add": ops.add(Tensor(a), Tensor(b)).data.copy(),
+            "mul": ops.mul(Tensor(a), Tensor(b)).data.copy(),
+            "elu": ops.elu(Tensor(a)).data.copy(),
+            "concat": ops.concatenate([Tensor(a), Tensor(b)], axis=1).data.copy(),
+        }
+    for name, want in expected.items():
+        np.testing.assert_array_equal(got[name], want, err_msg=name)
