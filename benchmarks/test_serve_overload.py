@@ -1,14 +1,22 @@
-"""Overload behavior — admission control vs an unbounded queue.
+"""Overload behavior — admission control vs an unbounded queue, and
+connection reuse under sustained networked load.
 
-The claim: under a burst far beyond service capacity, an unbounded
-queue converts overload into latency (every request is served, but the
-median waits behind half the backlog), while admission control sheds
-the excess at submission and keeps the latency of *accepted* requests
-bounded by the short queue it enforces. The benchmark fires the same
-oversized burst at two configurations of a deliberately serialized
-service (one worker, batch size 1) — no admission, and a small queue
-cap — and compares the p50/p95 latency of requests that completed,
-plus the shed/accepted split.
+Two claims share the harness:
+
+* Under a burst far beyond service capacity, an unbounded queue
+  converts overload into latency (every request is served, but the
+  median waits behind half the backlog), while admission control sheds
+  the excess at submission and keeps the latency of *accepted*
+  requests bounded by the short queue it enforces. The benchmark fires
+  the same oversized burst at two configurations of a deliberately
+  serialized ``pool://`` engine (one worker, batch size 1) — no
+  admission, and a small queue cap — and compares the p50/p95 latency
+  of requests that completed, plus the shed/accepted split.
+* The networked engine performs **no per-request connect**: a
+  ``tcp://`` engine serving a sustained run of requests dials once and
+  reuses its pooled connection for everything after
+  (``RemoteEngine.pool_stats()`` proves it), and even a concurrent
+  overload burst dials at most per-concurrency, never per-request.
 """
 
 import threading
@@ -16,16 +24,19 @@ import time
 
 import pytest
 
-from repro.gnn import GNNConfig, MeshGNN
+from repro.gnn import GNNConfig, MeshGNN, save_checkpoint
 from repro.graph import build_full_graph
+from repro.graph.io import save_local_graph
 from repro.mesh import BoxMesh, taylor_green_velocity
 from repro.perf.report import markdown_table
-from repro.serve import InferenceService, RequestRejected, ServeConfig
+from repro.runtime import RolloutRequest, connect
+from repro.serve import RequestRejected, ServeConfig, ServeServer
 
 CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)
 BURST = 24  # concurrent requests, far beyond the 1-worker capacity
 N_STEPS = 4
 QUEUE_CAP = 2
+SUSTAINED = 30  # sequential networked requests for the reuse claim
 
 
 @pytest.fixture(scope="module")
@@ -48,7 +59,7 @@ def percentile(values, q):
     return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
 
-def fire_overload_burst(service, x0):
+def fire_overload_burst(engine, x0):
     """Fire BURST concurrent requests; returns (latencies_s, n_rejected).
 
     Rejections (QueueFull at submit, DeadlineExpired from the queue)
@@ -61,8 +72,10 @@ def fire_overload_burst(service, x0):
     def fire(i):
         start = time.perf_counter()
         try:
-            states = service.rollout("m", "g", x0, N_STEPS)
-            assert len(states) == N_STEPS + 1
+            result = engine.rollout(RolloutRequest(
+                model="m", graph="g", x0=x0, n_steps=N_STEPS,
+            ))
+            assert len(result.states) == N_STEPS + 1
             with lock:
                 latencies.append(time.perf_counter() - start)
         except RequestRejected:
@@ -77,20 +90,26 @@ def fire_overload_burst(service, x0):
     return latencies, rejected[0]
 
 
-def run_config(assets, x0, max_queue_depth):
-    graphs, model = assets
-    config = ServeConfig(
+def _serialized_config(max_queue_depth=None, default_deadline_s=None):
+    return ServeConfig(
         max_batch_size=1,  # serialize execution so the queue must absorb load
         max_wait_s=0.0,
         n_workers=1,
         max_queue_depth=max_queue_depth,
+        default_deadline_s=default_deadline_s,
     )
-    with InferenceService(config) as service:
-        service.register_model("m", model)
-        service.register_graph("g", graphs)
-        service.rollout("m", "g", x0, 1)  # warm cache + code paths
-        latencies, shed = fire_overload_burst(service, x0)
-        stats = service.stats()
+
+
+def run_config(assets, x0, max_queue_depth):
+    graphs, model = assets
+    with connect("pool://", config=_serialized_config(max_queue_depth)) as engine:
+        engine.register_model("m", model)
+        engine.register_graph("g", graphs)
+        engine.rollout(RolloutRequest(  # warm cache + code paths
+            model="m", graph="g", x0=x0, n_steps=1,
+        ))
+        latencies, shed = fire_overload_burst(engine, x0)
+        stats = engine.stats()
     return latencies, shed, stats
 
 
@@ -147,20 +166,71 @@ def test_shedding_bounds_latency_of_accepted_requests(overload_results):
 
 def test_expired_requests_are_shed_not_executed(assets, x0):
     graphs, model = assets
-    config = ServeConfig(
-        max_batch_size=1, max_wait_s=0.0, n_workers=1,
-        default_deadline_s=0.010,
-    )
-    with InferenceService(config) as service:
-        service.register_model("m", model)
-        service.register_graph("g", graphs)
-        service.rollout("m", "g", x0, 1, deadline_s=60.0)  # warm up
-        latencies, _ = fire_overload_burst(service, x0)
+    config = _serialized_config(default_deadline_s=0.010)
+    with connect("pool://", config=config) as engine:
+        engine.register_model("m", model)
+        engine.register_graph("g", graphs)
+        engine.rollout(RolloutRequest(  # warm up with a generous deadline
+            model="m", graph="g", x0=x0, n_steps=1, deadline_s=60.0,
+        ))
+        latencies, _ = fire_overload_burst(engine, x0)
         deadline = time.perf_counter() + 30.0
-        while service.stats().queue_depth and time.perf_counter() < deadline:
+        while engine.stats().queue_depth and time.perf_counter() < deadline:
             time.sleep(0.01)
-        stats = service.stats()
+        stats = engine.stats()
     # under a 10ms queue budget most of the burst expires in the queue;
     # whatever was served dequeued within its deadline
     assert stats.admission.expired > 0
     assert stats.admission.expired + stats.requests >= BURST
+
+
+def test_networked_overload_reuses_connections(assets, x0, tmp_path):
+    """Transport hardening: sustained serving performs no per-request
+    connect — one dial carries SUSTAINED sequential requests — and a
+    concurrent overload burst dials at most per-concurrency while
+    shedding still crosses the wire as typed rejections."""
+    graphs, model = assets
+    ckpt = tmp_path / "m.npz"
+    save_checkpoint(model, ckpt)
+    gdir = tmp_path / "graphs"
+    gdir.mkdir()
+    save_local_graph(graphs[0], gdir / "graph_rank00000.npz")
+
+    with connect("pool://", config=_serialized_config(QUEUE_CAP)) as pool, \
+            ServeServer(pool.service) as server:
+        pool.register_checkpoint("m", ckpt, expect_config=CONFIG)
+        pool.register_graph_dir("g", gdir)
+        # pool sized for the burst: every connection the overload opens
+        # stays warm for the second burst
+        remote = connect(f"tcp://{server.endpoint}", pool_size=BURST)
+        try:
+            # sustained sequential phase: exactly one dial total
+            for _ in range(SUSTAINED):
+                remote.rollout(RolloutRequest(
+                    model="m", graph="g", x0=x0, n_steps=1,
+                ))
+            sustained = remote.pool_stats()
+            print(f"\nsustained: {SUSTAINED} sequential requests -> "
+                  f"{sustained.dials} dial(s), {sustained.reuses} reuses")
+            assert sustained.dials == 1, (
+                f"sequential serving dialed {sustained.dials} times — "
+                f"a per-request connect snuck back in"
+            )
+            assert sustained.reuses >= SUSTAINED
+
+            # concurrent overload: dials bounded by concurrency, never
+            # by request count, and shedding arrives as typed errors
+            latencies, shed = fire_overload_burst(remote, x0)
+            latencies2, shed2 = fire_overload_burst(remote, x0)
+            stats = remote.pool_stats()
+            total = SUSTAINED + 2 * BURST
+            print(f"overload x2: {2 * BURST} requests -> "
+                  f"{stats.dials} dials, {stats.reuses} reuses")
+            assert shed + shed2 > 0, "capped queue must shed over the wire"
+            assert len(latencies) + shed == BURST
+            assert stats.dials <= 1 + BURST, (
+                "dials must be bounded by peak concurrency, not request count"
+            )
+            assert stats.dials + stats.reuses >= total
+        finally:
+            remote.close()

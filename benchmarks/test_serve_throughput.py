@@ -5,9 +5,13 @@ forward pass per step amortizes the per-op overhead (and, distributed,
 the per-collective latency) that a sequential per-request loop pays
 ``B`` times, so a batched service clears strictly more requests per
 second than a sequential one. The benchmark fires the same concurrent
-burst at two service configurations — ``max_batch_size=1`` (sequential)
-and ``max_batch_size=BURST`` (dynamic batching) — and reports wall
-time, throughput, cache hit rate, and queue metrics for each.
+burst at two ``pool://`` engine configurations — ``max_batch_size=1``
+(sequential) and ``max_batch_size=BURST`` (dynamic batching) — and
+reports wall time, throughput, cache hit rate, and queue metrics for
+each. The per-``(asset, batch_size)`` tiled-graph cache is visible in
+the same stats: sequential serving never tiles (every lookup is a
+batch-1 hit), and batched serving re-tiles only when a batch size first
+appears.
 """
 
 import threading
@@ -19,7 +23,8 @@ from repro.gnn import GNNConfig, MeshGNN
 from repro.graph import build_distributed_graph, build_full_graph
 from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
 from repro.perf.report import markdown_table
-from repro.serve import InferenceService, ServeConfig
+from repro.runtime import RolloutRequest, connect
+from repro.serve import ServeConfig
 
 CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=3)
 BURST = 12  # concurrent requests per burst
@@ -42,14 +47,16 @@ def x0(mesh):
     return taylor_green_velocity(mesh.all_positions())
 
 
-def fire_burst(service, x0, n_requests, n_steps):
+def fire_burst(engine, x0, n_requests, n_steps):
     """Submit ``n_requests`` concurrently; return wall seconds to drain."""
     errors = []
 
     def fire(i):
         try:
-            states = service.rollout("m", "g", x0, n_steps)
-            assert len(states) == n_steps + 1
+            result = engine.rollout(RolloutRequest(
+                model="m", graph="g", x0=x0, n_steps=n_steps,
+            ))
+            assert len(result.states) == n_steps + 1
         except BaseException as exc:  # noqa: BLE001 - surfaced below
             errors.append(exc)
 
@@ -66,12 +73,12 @@ def fire_burst(service, x0, n_requests, n_steps):
 
 def run_config(graphs, model, x0, max_batch_size, max_wait_s):
     config = ServeConfig(max_batch_size=max_batch_size, max_wait_s=max_wait_s)
-    with InferenceService(config) as service:
-        service.register_model("m", model)
-        service.register_graph("g", graphs)
-        fire_burst(service, x0, 2, WARMUP_STEPS)  # warm cache + code paths
-        elapsed = fire_burst(service, x0, BURST, N_STEPS)
-        stats = service.stats()
+    with connect("pool://", config=config) as engine:
+        engine.register_model("m", model)
+        engine.register_graph("g", graphs)
+        fire_burst(engine, x0, 2, WARMUP_STEPS)  # warm cache + code paths
+        elapsed = fire_burst(engine, x0, BURST, N_STEPS)
+        stats = engine.stats()
     return elapsed, stats
 
 
@@ -79,7 +86,7 @@ def run_config(graphs, model, x0, max_batch_size, max_wait_s):
 def single_graphs(mesh):
     """One graph list, aggregation plans precompiled once.
 
-    Shared (with plans resident) by every service configuration in the
+    Shared (with plans resident) by every engine configuration in the
     module, so the timed bursts measure batching — not per-service
     plan rebuilds: GraphCache admission sees the compiled plans and
     reuses them (plan_build_s ~ 0 for every service after the first).
@@ -122,13 +129,15 @@ def _report(title, results):
             f"{stats.mean_batch_size:.2f}",
             stats.batches,
             f"{stats.cache.hit_rate:.2f}",
+            f"{stats.tile_hits} / {stats.tile_misses}",
             stats.queue_depth_high_water,
             f"{stats.mean_queue_wait_s * 1e3:.2f}",
         ])
     print(f"\n{title} — {BURST} concurrent requests x {N_STEPS} steps")
     print(markdown_table(
         ["config", "wall (ms)", "req/s", "mean batch", "batches",
-         "cache hit rate", "queue high water", "mean wait (ms)"],
+         "cache hit rate", "tile hit/miss", "queue high water",
+         "mean wait (ms)"],
         rows,
     ))
 
@@ -168,6 +177,18 @@ def test_queue_metrics_reported(single_rank_results):
     assert seq_stats.mean_queue_wait_s >= 0.0
 
 
+def test_tile_cache_accounted_per_batch(single_rank_results, multi_rank_results):
+    """Every executed batch looked the tiled replica up exactly once per
+    rank; sequential configs (batch size 1) never miss — the base graph
+    is served as-is, so sustained single-request load does zero tiling."""
+    for results, world in ((single_rank_results, 1), (multi_rank_results, 4)):
+        for name in ("sequential", "batched"):
+            _, stats = results[name]
+            assert stats.tile_hits + stats.tile_misses == stats.batches * world
+        _, seq_stats = results["sequential"]
+        assert seq_stats.tile_misses == 0
+
+
 def test_plans_compiled_once_not_per_request(single_rank_results):
     """The bursts rode on the precompiled plans: admission found them
     resident, so the cache spent (near) zero time building plans."""
@@ -182,8 +203,8 @@ def test_plans_compiled_once_not_per_request(single_rank_results):
 def test_benchmark_batched_burst(benchmark, single_graphs, model, x0):
     """pytest-benchmark timing of a batched burst end to end."""
     config = ServeConfig(max_batch_size=BURST, max_wait_s=0.05)
-    with InferenceService(config) as service:
-        service.register_model("m", model)
-        service.register_graph("g", single_graphs)
-        fire_burst(service, x0, 2, WARMUP_STEPS)
-        benchmark(fire_burst, service, x0, BURST, N_STEPS)
+    with connect("pool://", config=config) as engine:
+        engine.register_model("m", model)
+        engine.register_graph("g", single_graphs)
+        fire_burst(engine, x0, 2, WARMUP_STEPS)
+        benchmark(fire_burst, engine, x0, BURST, N_STEPS)

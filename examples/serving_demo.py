@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""Serve a trained surrogate behind the batched inference service.
+"""Serve a trained surrogate through the unified engine API.
 
 Where ``surrogate_rollout.py`` hand-wires one rollout per script, this
 demo runs the production shape: a trained checkpoint and a partitioned
-graph are registered once as named assets, then many concurrent clients
-request trajectories. The service coalesces simultaneous requests into
-single batched forward passes (block-diagonal graph tiling), streams
-frames back per step, and the result is checked to be *bitwise
-identical* to a direct ``rollout()`` call — batching and serving add
-zero numerical perturbation.
+graph are registered once as named assets behind
+``repro.runtime.connect("pool://")`` — the batched inference service —
+and many concurrent clients submit typed ``RolloutRequest``s. The
+service coalesces simultaneous requests into single batched forward
+passes (block-diagonal graph tiling), streams ``StepFrame``s back per
+step, and the result is checked to be *bitwise identical* to a direct
+``rollout()`` call — batching and serving add zero numerical
+perturbation. The same engine also runs a typed ``TrainRequest``: a
+fine-tuning job through the gradient-capable tiling, verified to match
+a hand-wired trainer run exactly.
 
 Run:  python examples/serving_demo.py
 """
@@ -19,11 +23,20 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.gnn import GNNConfig, MeshGNN, rollout, save_checkpoint, train_single
+from repro.comm.single import SingleProcessComm
+from repro.gnn import (
+    GNNConfig,
+    MeshGNN,
+    rollout,
+    save_checkpoint,
+    train_model,
+    train_single,
+)
 from repro.graph import build_distributed_graph, build_full_graph
 from repro.graph.io import save_distributed_graph
 from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
-from repro.serve import InferenceService, ServeClient, ServeConfig
+from repro.runtime import RolloutRequest, TrainRequest, connect
+from repro.serve import ServeConfig
 
 CONFIG = GNNConfig(hidden=8, n_message_passing=2, n_mlp_hidden=1, seed=5)
 NU, DT = 0.05, 1.0
@@ -43,7 +56,7 @@ def main() -> None:
     model = MeshGNN(CONFIG)
     model.load_state_dict(result.state_dict)
 
-    # the reference trajectory the service must reproduce exactly
+    # the reference trajectory the engine must reproduce exactly
     reference = rollout(model, g1, x0, n_steps=STEPS)
 
     dg = build_distributed_graph(mesh, auto_partition(mesh, 4))
@@ -55,40 +68,61 @@ def main() -> None:
         save_distributed_graph(dg, graph_dir)
 
         config = ServeConfig(max_batch_size=CLIENTS, max_wait_s=0.02)
-        with InferenceService(config) as service:
-            client = ServeClient(service)
-            client.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
-            client.register_graph("mesh-r1", [g1])
-            client.register_graph_dir("mesh-r4", graph_dir)
+        with connect("pool://", config=config) as engine:
+            engine.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
+            engine.register_graph("mesh-r1", [g1])
+            engine.register_graph_dir("mesh-r4", graph_dir)
 
             # burst of concurrent clients against the single-rank asset
             print(f"\nserving {CLIENTS} concurrent rollout requests (R=1) ...")
             outputs: list = [None] * CLIENTS
 
             def fire(i: int) -> None:
-                outputs[i] = client.rollout("tgv", "mesh-r1", x0, n_steps=STEPS)
+                outputs[i] = engine.rollout(RolloutRequest(
+                    model="tgv", graph="mesh-r1", x0=x0, n_steps=STEPS,
+                ))
 
             threads = [threading.Thread(target=fire, args=(i,)) for i in range(CLIENTS)]
             for t in threads:
                 t.start()
             for t in threads:
                 t.join()
-            for states in outputs:
-                assert len(states) == STEPS + 1
-                for served, direct in zip(states, reference):
+            for res in outputs:
+                assert len(res.states) == STEPS + 1
+                for served, direct in zip(res.states, reference):
                     assert np.array_equal(served, direct)
             print("  every served trajectory is bitwise equal to rollout() ✓")
 
             # distributed asset: frames stream in while later steps compute
             print("\nstreaming one request against the 4-rank asset ...")
-            for k, frame in enumerate(client.stream("tgv", "mesh-r4", x0, STEPS)):
-                dev = float(np.abs(frame - reference[k]).max())
-                print(f"  frame {k}: max |R=4 - R=1| = {dev:.3e}")
+            request = RolloutRequest(model="tgv", graph="mesh-r4", x0=x0, n_steps=STEPS)
+            for frame in engine.stream(request):
+                dev = float(np.abs(frame.state - reference[frame.step]).max())
+                print(f"  frame {frame.step}: max |R=4 - R=1| = {dev:.3e}")
                 assert dev < 1e-9
             print("  distributed serving matches to machine precision ✓")
 
+            # the training path: fine-tune the registered model through
+            # the same (gradient-capable) tiled execution machinery
+            print("\nsubmitting a typed TrainRequest (3 Adam steps) ...")
+            job = engine.train(TrainRequest(
+                model="tgv", graph="mesh-r1", x=x0, target=x1,
+                iterations=3, lr=1e-3,
+            ))
+            replica = MeshGNN(CONFIG)
+            replica.load_state_dict(model.state_dict())
+            direct = train_model(replica, g1, x0, x1, SingleProcessComm(),
+                                 iterations=3, lr=1e-3)
+            assert job.losses == direct.losses
+            assert all(
+                np.array_equal(job.state_dict[k], direct.state_dict[k])
+                for k in direct.state_dict
+            )
+            print(f"  loss {job.losses[0]:.5f} -> {job.final_loss:.5f}, "
+                  f"bitwise equal to a hand-wired trainer run ✓")
+
             print("\nserving stats:")
-            print(client.stats_markdown())
+            print(engine.stats_markdown())
 
 
 if __name__ == "__main__":

@@ -1,17 +1,24 @@
 #!/usr/bin/env python
-"""Serve surrogate rollouts over a real TCP socket.
+"""Serve surrogate rollouts over a real TCP socket through the engine API.
 
 Where ``serving_demo.py`` stays in-process, this demo runs the full
-deployment shape inside one script: an ``InferenceService`` is wrapped
-in a ``ServeServer`` listening on an ephemeral localhost port, and
-clients talk to it exclusively through ``NetworkClient`` — actual
-sockets, length-prefixed JSON + ``.npy`` framing, no shared memory.
-It checks the three serving-layer claims end to end:
+deployment shape inside one script: a ``pool://`` engine's service is
+wrapped in a ``ServeServer`` listening on an ephemeral localhost port,
+and clients talk to it exclusively through
+``repro.runtime.connect("tcp://HOST:PORT")`` — actual sockets,
+length-prefixed JSON + ``.npy`` framing, no shared memory. It checks
+the serving-layer claims end to end:
 
 * a trajectory fetched through the socket is **bitwise identical** to
-  the same request served in-process (single- and 4-rank assets);
+  the same request served in-process (the engine promise: the URL
+  scheme never changes the bits);
 * frames **stream**: the client receives step ``k`` while step ``k+1``
   is still being computed;
+* connections are **pooled**: a burst of sequential requests reuses
+  one TCP connection instead of dialing per call;
+* **capability negotiation**: the remote engine rejects a
+  ``TrainRequest`` (training does not cross the wire) with the typed
+  ``CapabilityError`` — client-side, before any bytes move;
 * **admission control** crosses the wire: with a queue cap, an
   overload burst is shed with a typed ``QueueFull`` rejection the
   client can catch, and the stats table reports the split.
@@ -34,14 +41,8 @@ from repro.gnn import GNNConfig, MeshGNN, save_checkpoint
 from repro.graph import build_distributed_graph
 from repro.graph.io import save_distributed_graph
 from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
-from repro.serve import (
-    InferenceService,
-    NetworkClient,
-    QueueFull,
-    ServeClient,
-    ServeConfig,
-    ServeServer,
-)
+from repro.runtime import CapabilityError, RolloutRequest, TrainRequest, connect
+from repro.serve import QueueFull, ServeConfig, ServeServer
 
 CONFIG = GNNConfig(hidden=8, n_message_passing=2, n_mlp_hidden=1, seed=5)
 STEPS = 4
@@ -68,37 +69,55 @@ def main() -> None:
         save_distributed_graph(dg, graph_dir)
 
         config = ServeConfig(max_batch_size=CLIENTS, max_wait_s=0.02)
-        with InferenceService(config) as service, ServeServer(service) as server:
+        with connect("pool://", config=config) as pool, \
+                ServeServer(pool.service) as server:
             print(f"serving on {server.endpoint}")
-            client = NetworkClient.connect(server.endpoint)
+            remote = connect(f"tcp://{server.endpoint}")
+            print(f"negotiated capabilities: {remote.capabilities()}")
 
             # assets register over the wire, by server-visible path
-            client.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
-            client.register_graph_dir("box-r4", graph_dir)
-            print(f"assets: models={client.model_names()} "
-                  f"graphs={client.graph_keys()}")
+            remote.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
+            remote.register_graph_dir("box-r4", graph_dir)
+            print(f"assets: models={remote.model_names()} "
+                  f"graphs={remote.graph_keys()}")
+
+            request = RolloutRequest(model="tgv", graph="box-r4",
+                                     x0=x0, n_steps=STEPS)
 
             # 1) bitwise consistency: socket == in-process
-            in_process = ServeClient(service).rollout("tgv", "box-r4", x0, STEPS)
-            networked = client.rollout("tgv", "box-r4", x0, STEPS)
+            in_process = pool.rollout(request).states
+            networked = remote.rollout(request).states
             assert bitwise_equal(in_process, networked), \
                 "socket transport must not perturb a single bit"
             print(f"socket trajectory bitwise-identical to in-process "
                   f"({STEPS + 1} frames x {networked[0].shape})")
 
             # 2) frames stream as steps complete
-            seen = []
-            for frame in client.stream("tgv", "box-r4", x0, STEPS):
-                seen.append(frame.shape)
-            assert len(seen) == STEPS + 1
+            seen = [frame.step for frame in remote.stream(request)]
+            assert seen == list(range(STEPS + 1))
             print(f"streamed {len(seen)} frames incrementally")
 
-            # 3) concurrent networked clients coalesce into batches
+            # 3) sequential requests reuse pooled connections
+            for _ in range(8):
+                remote.rollout(request)
+            stats = remote.pool_stats()
+            assert stats.dials < stats.reuses, stats
+            print(f"connection pool: {stats.dials} dials served "
+                  f"{stats.reuses} reuses (no per-request connect)")
+
+            # 4) capability negotiation: training stays off the wire
+            try:
+                remote.train(TrainRequest(model="tgv", graph="box-r4",
+                                          x=x0, target=x0))
+                raise AssertionError("remote training must be rejected")
+            except CapabilityError as exc:
+                print(f"remote TrainRequest rejected up front: {exc}")
+
+            # 5) concurrent networked clients coalesce into batches
             results = [None] * CLIENTS
 
             def fire(i):
-                c = NetworkClient(*server.address)
-                results[i] = c.rollout("tgv", "box-r4", x0, STEPS)
+                results[i] = remote.rollout(request).states
 
             threads = [threading.Thread(target=fire, args=(i,))
                        for i in range(CLIENTS)]
@@ -108,23 +127,28 @@ def main() -> None:
                 t.join()
             assert all(bitwise_equal(r, in_process) for r in results)
             print(f"{CLIENTS} concurrent networked clients served identically")
+            remote.close()
 
-        # 4) admission control over the wire: cap the queue, overload it
+        # 6) admission control over the wire: cap the queue, overload it
         shed_config = ServeConfig(
             max_batch_size=1, max_wait_s=0.0, n_workers=1, max_queue_depth=2
         )
-        with InferenceService(shed_config) as service, \
-                ServeServer(service) as server:
-            service.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
-            service.register_graph_dir("box-r4", graph_dir)
+        with connect("pool://", config=shed_config) as pool, \
+                ServeServer(pool.service) as server:
+            pool.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
+            pool.register_graph_dir("box-r4", graph_dir)
             served, shed = [], []
 
             def hammer(i):
-                c = NetworkClient(*server.address)
+                c = connect(f"tcp://{server.endpoint}")
                 try:
-                    served.append(c.rollout("tgv", "box-r4", x0, STEPS))
+                    served.append(c.rollout(RolloutRequest(
+                        model="tgv", graph="box-r4", x0=x0, n_steps=STEPS,
+                    )))
                 except QueueFull as exc:
                     shed.append(exc)
+                finally:
+                    c.close()
 
             threads = [threading.Thread(target=hammer, args=(i,))
                        for i in range(4 * CLIENTS)]
@@ -134,12 +158,12 @@ def main() -> None:
                 t.join()
             assert shed, "overload against a capped queue must shed"
             assert served, "admission must still serve within the cap"
-            stats = service.stats()
+            stats = pool.stats()
             assert stats.admission.shed == len(shed)
             print(f"overload: {len(served)} served, {len(shed)} shed "
                   f"with typed QueueFull rejections")
             print()
-            print(service.stats_markdown())
+            print(pool.stats_markdown())
 
 
 if __name__ == "__main__":

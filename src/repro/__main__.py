@@ -10,7 +10,9 @@ Usage::
 
 Artifact names: fig2, table1, fig6, table2, fig7, fig8, all.
 Commands: serve, bench (flags follow the command; ``<cmd> --help``
-lists them).
+lists them). The serve command fronts the unified engine API —
+``repro.runtime.connect("pool://")`` in demo mode, plus a socket
+listener remote engines reach via ``connect("tcp://HOST:PORT")``.
 """
 
 from __future__ import annotations

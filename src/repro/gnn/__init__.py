@@ -18,7 +18,12 @@ from repro.gnn.architecture import MeshGNN
 from repro.gnn.attention import ConsistentAttentionLayer
 from repro.gnn.loss import consistent_mse_loss, local_mse_loss
 from repro.gnn.ddp import DistributedDataParallel
-from repro.gnn.trainer import TrainResult, train_distributed, train_single
+from repro.gnn.trainer import (
+    TrainResult,
+    train_distributed,
+    train_model,
+    train_single,
+)
 from repro.gnn.rollout import rollout, rollout_error
 from repro.gnn.checkpoint import load_checkpoint, save_checkpoint
 from repro.gnn.multiscale import (
@@ -40,6 +45,7 @@ __all__ = [
     "DistributedDataParallel",
     "TrainResult",
     "train_distributed",
+    "train_model",
     "train_single",
     "rollout",
     "rollout_error",

@@ -36,18 +36,33 @@ class TrainResult:
         return self.losses[-1] if self.losses else float("nan")
 
 
-def _train(
+def train_model(
     model: MeshGNN,
     graph: LocalGraph,
     x: np.ndarray,
     target: np.ndarray,
     comm: Communicator,
-    halo_mode: HaloMode | str,
-    iterations: int,
-    lr: float,
-    grad_reduction: str,
-    record_grad_norms: bool,
+    halo_mode: HaloMode | str = HaloMode.NEIGHBOR_A2A,
+    iterations: int = 10,
+    lr: float = 1e-3,
+    grad_reduction: str = "all_reduce",
+    record_grad_norms: bool = False,
 ) -> TrainResult:
+    """Fine-tune an *existing* model on one (input, target) pair.
+
+    The shared core of :func:`train_single` / :func:`train_distributed`
+    and of the serving layer's training jobs
+    (:func:`repro.serve.executor.execute_train_job`): Adam over the
+    consistent MSE loss, gradients DDP-synced through ``comm``. The
+    caller owns model construction — ranks of a distributed run must
+    pass bit-identical replicas (and receive bit-identical results).
+
+    Thread safety: mutates ``model`` (parameters and gradients) — one
+    training run owns its model; the graph and inputs are only read.
+    Determinism: given identical model bits, inputs, and comm world,
+    the loss history and final parameters are exact — partition count
+    never changes them (the paper's Fig. 6 claim).
+    """
     halo_mode = HaloMode.parse(halo_mode)
     ddp = DistributedDataParallel(
         model, comm, reduction="average" if grad_reduction == "all_reduce" else "sum"
@@ -82,7 +97,7 @@ def train_single(
 ) -> TrainResult:
     """Train on the un-partitioned ``R = 1`` graph (the paper's target)."""
     model = MeshGNN(config)
-    return _train(
+    return train_model(
         model,
         graph,
         x,
@@ -115,7 +130,7 @@ def train_distributed(
     sub-graph with the requested halo mode.
     """
     model = MeshGNN(config)
-    return _train(
+    return train_model(
         model, graph, x, target, comm, halo_mode, iterations, lr,
         grad_reduction, record_grad_norms,
     )

@@ -1,0 +1,92 @@
+"""``connect()``: one URL, one engine — the runtime front door.
+
+.. code-block:: python
+
+    from repro.runtime import RolloutRequest, connect
+
+    with connect("local://") as engine:            # inline, zero overhead
+        ...
+    with connect("pool://", config=cfg) as engine:  # batched in-process
+        ...
+    with connect("tcp://127.0.0.1:7431") as engine:  # networked, pooled
+        ...
+    result = engine.rollout(RolloutRequest("tgv", "mesh-r4", x0, n_steps=10))
+
+The scheme picks the execution substrate; everything after ``connect``
+is engine-independent — same typed requests, same typed errors, same
+bits (the conformance suite asserts trajectories are bitwise identical
+across all three schemes).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.api import Engine
+
+
+def connect(
+    url: str,
+    config=None,
+    service=None,
+    pool_size: int = 4,
+    request_timeout_s: float = 120.0,
+) -> Engine:
+    """Build an engine from an execution URL.
+
+    Parameters
+    ----------
+    url:
+        ``local://`` (inline :class:`~repro.runtime.local.LocalEngine`),
+        ``pool://`` (batched
+        :class:`~repro.runtime.pooled.PooledEngine`), or
+        ``tcp://HOST:PORT`` (networked
+        :class:`~repro.runtime.remote.RemoteEngine`; dials and pings the
+        server before returning).
+    config:
+        ``pool://`` only: the :class:`~repro.serve.service.ServeConfig`
+        of the private service the engine creates.
+    service:
+        ``pool://`` only: mount the engine on an existing
+        :class:`~repro.serve.service.InferenceService` instead of
+        creating one (mutually exclusive with ``config``).
+    pool_size:
+        ``tcp://`` only: idle connections kept warm.
+    request_timeout_s:
+        Per-reply/frame wait bound (``local://`` uses it as the rank
+        world timeout).
+
+    Thread safety: pure construction; the returned engine documents its
+    own sharing rules. Raises :class:`ValueError` on unknown schemes or
+    options that do not apply to the scheme.
+    """
+    scheme, sep, rest = url.partition("://")
+    if not sep:
+        raise ValueError(
+            f"expected an engine URL like 'local://', 'pool://' or "
+            f"'tcp://HOST:PORT', got {url!r}"
+        )
+    if scheme in ("local", "pool") and rest.strip("/"):
+        raise ValueError(
+            f"{scheme}:// takes no host, got {url!r}"
+        )
+    if scheme != "pool" and (config is not None or service is not None):
+        raise ValueError("config/service only apply to pool:// engines")
+
+    if scheme == "local":
+        from repro.runtime.local import LocalEngine
+
+        return LocalEngine(request_timeout_s=request_timeout_s)
+    if scheme == "pool":
+        from repro.runtime.pooled import PooledEngine
+
+        return PooledEngine(config=config, service=service)
+    if scheme == "tcp":
+        from repro.runtime.remote import RemoteEngine
+
+        return RemoteEngine.connect(
+            rest,
+            pool_size=pool_size,
+            request_timeout_s=request_timeout_s,
+        )
+    raise ValueError(
+        f"unknown engine scheme {scheme!r}; known: local, pool, tcp"
+    )

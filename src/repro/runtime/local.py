@@ -1,0 +1,224 @@
+"""LocalEngine: inline execution with zero serving overhead.
+
+The thinnest :class:`~repro.runtime.api.Engine`: no queue, no worker
+threads, no sockets — a request executes inline on the calling thread
+through the same batch executor the serving layers use (which, for a
+single request, is exactly the direct
+:func:`repro.gnn.rollout.workspace_steps` loop on the un-tiled graph).
+Because all engines share that executor, a ``LocalEngine`` trajectory
+is bitwise identical to a pooled or remote one *by construction*.
+
+Use it for scripts, tests, and notebooks where batching across clients
+has nothing to batch; swap the URL to ``pool://`` or ``tcp://…`` when
+concurrency arrives — the calling code does not change.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.comm.modes import HaloMode
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.graph.distributed import LocalGraph
+from repro.graph.io import load_rank_graphs
+from repro.runtime.api import (
+    Engine,
+    EngineCapabilities,
+    RolloutFuture,
+    RolloutRequest,
+    StepFrame,
+    TrainFuture,
+    TrainRequest,
+    TrainResult,
+)
+from repro.serve.cache import CacheStats, GraphAsset
+from repro.serve.executor import execute_batch, execute_train_job
+from repro.serve.metrics import (
+    MetricsAggregator,
+    RequestMetrics,
+    ServeStats,
+    stats_markdown,
+)
+from repro.serve.registry import ModelRegistry
+
+_CAPABILITIES = EngineCapabilities(
+    transport="local",
+    training=True,
+    streaming=False,  # frames are computed before the first yield
+    in_memory_assets=True,
+)
+
+
+class _CompletedRolloutFuture(RolloutFuture):
+    """A rollout that already ran: frames replay from memory.
+
+    ``frames()`` yields the finished trajectory (the local engine
+    computes inline, so "streaming" is replay — capability
+    ``streaming`` is reported false). Single-consumer like every
+    future; ``result()`` may be called any number of times.
+    """
+
+    def __init__(self, request: RolloutRequest, states: list, metrics):
+        super().__init__(request)
+        self._collected = list(states)
+        self.metrics = metrics
+
+    def _frames(self, timeout: float | None) -> Iterator[StepFrame]:
+        for step, state in enumerate(self._collected):
+            yield StepFrame(step, state)
+
+    @property
+    def done(self) -> bool:
+        return True
+
+
+class _CompletedTrainFuture(TrainFuture):
+    """A training job that already ran inline."""
+
+    def __init__(self, request: TrainRequest, result: TrainResult):
+        super().__init__(request)
+        self._result = result
+
+    def result(self, timeout: float | None = None) -> TrainResult:
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return True
+
+
+class LocalEngine(Engine):
+    """Inline engine over in-process assets (see module docstring).
+
+    Thread safety: asset registration and submission may be called from
+    any thread (the registry and metrics are lock-guarded; the asset
+    table is replace-on-write); a submitted request executes on the
+    *calling* thread, so concurrent submissions simply run
+    concurrently — multi-rank assets each spin up their own short-lived
+    rank world. Determinism: execution is the shared batch executor
+    with a batch of one, so results are bitwise equal to every other
+    engine and to a hand-wired ``rollout()``.
+    """
+
+    def __init__(self, request_timeout_s: float = 120.0):
+        self.request_timeout_s = request_timeout_s
+        self._registry = ModelRegistry()
+        self._assets: dict[str, GraphAsset] = {}
+        self._metrics = MetricsAggregator()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def capabilities(self) -> EngineCapabilities:
+        return _CAPABILITIES
+
+    def close(self) -> None:
+        """Nothing to release (no threads, no sockets); idempotent."""
+
+    # -- assets --------------------------------------------------------------
+
+    def register_model(self, name: str, model: MeshGNN) -> None:
+        self._registry.register_model(name, model)
+
+    def register_checkpoint(
+        self,
+        name: str,
+        path: str | Path,
+        expect_config: GNNConfig | None = None,
+        eager: bool = False,
+    ) -> None:
+        self._registry.register_checkpoint(name, path, expect_config, eager)
+
+    def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
+        """Pin an in-memory partitioned graph (plans precompiled once)."""
+        if not graphs:
+            raise ValueError("graphs must be non-empty")
+        for g in graphs:
+            _ = g.plans  # lazy compile; cached on the graph instance
+        self._assets[key] = GraphAsset(key=key, graphs=tuple(graphs))
+
+    def register_graph_dir(self, key: str, directory: str | Path) -> None:
+        """Load a rank-payload directory eagerly and pin it."""
+        self.register_graph(key, load_rank_graphs(directory))
+
+    def model_names(self) -> list:
+        return self._registry.names()
+
+    def graph_keys(self) -> list:
+        return sorted(self._assets)
+
+    def _asset(self, key: str) -> GraphAsset:
+        try:
+            return self._assets[key]
+        except KeyError:
+            raise KeyError(
+                f"no graph registered under {key!r}; known: {self.graph_keys()}"
+            ) from None
+
+    # -- submission ----------------------------------------------------------
+
+    def _submit_rollout(self, request: RolloutRequest) -> RolloutFuture:
+        model = self._registry.get(request.model)
+        asset = self._asset(request.graph)
+        request = request.resolved(HaloMode.NEIGHBOR_A2A)
+        submitted = time.perf_counter()
+        states: list = []
+        execution = execute_batch(
+            model,
+            asset,
+            [request],
+            lambda i, step, state: states.append(state),
+            timeout=self.request_timeout_s,
+        )
+        finished = time.perf_counter()
+        metrics = RequestMetrics(
+            request_id=request.request_id,
+            model=request.model,
+            graph=request.graph,
+            world_size=execution.world_size,
+            batch_size=execution.batch_size,
+            n_steps=request.n_steps,
+            queue_wait_s=0.0,  # no queue to wait in
+            exec_s=execution.exec_s,
+            latency_s=finished - submitted,
+            batch_comm_bytes=execution.comm.bytes_sent,
+            batch_comm_messages=execution.comm.messages,
+        )
+        self._metrics.record_batch(
+            [metrics],
+            execution.n_steps,
+            comm_bytes=execution.comm.bytes_sent,
+            comm_messages=execution.comm.messages,
+            tile_hits=execution.tile_hits,
+            tile_misses=execution.tile_misses,
+        )
+        return _CompletedRolloutFuture(request, states, metrics)
+
+    def _submit_train(self, request: TrainRequest) -> TrainFuture:
+        model = self._registry.get(request.model)
+        asset = self._asset(request.graph)
+        request = request.resolved(HaloMode.NEIGHBOR_A2A)
+        result = execute_train_job(
+            model, asset, request, timeout=self.request_timeout_s
+        )
+        self._metrics.record_train(result.train_s)
+        return _CompletedTrainFuture(request, result)
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> ServeStats:
+        """Snapshot in the same shape the serving engines report."""
+        resident = sum(a.nbytes for a in self._assets.values())
+        return self._metrics.snapshot(
+            cache=CacheStats(
+                entries=len(self._assets), resident_bytes=resident
+            ),
+            registry=self._registry.stats(),
+            queue_depth=0,
+            queue_depth_high_water=0,
+        )
+
+    def stats_markdown(self) -> str:
+        return stats_markdown(self.stats())

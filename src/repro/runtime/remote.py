@@ -1,0 +1,506 @@
+"""RemoteEngine: the socket transport behind the Engine API, with
+persistent pooled connections.
+
+Where the deprecated :class:`~repro.serve.transport.NetworkClient`
+dialed a fresh TCP connection per call, ``RemoteEngine`` keeps a small
+pool of live connections to the
+:class:`~repro.serve.transport.ServeServer` (the server's
+one-thread-per-connection handler loops over messages, so a connection
+serves any number of requests). Unary calls and streaming rollouts
+check a connection out, use it, and return it; a connection that died
+while idle in the pool (server restart, idle timeout on a middlebox) is
+**reconnected once** — the request is re-sent on a fresh dial before
+any failure is reported, so a bounced server costs one retry, not an
+error. ``pool_stats()`` exposes dials vs. reuses;
+``benchmarks/test_serve_overload.py`` asserts that sustained serving
+performs no per-request connects.
+
+Capability negotiation is explicit: at :meth:`capabilities` the engine
+asks the server what the wire supports (the ``capabilities`` op) —
+training jobs and in-memory assets do not cross the socket, so
+:class:`~repro.runtime.api.TrainRequest` submission and
+``register_model`` / ``register_graph`` raise the typed
+:class:`~repro.runtime.api.CapabilityError` client-side instead of
+dying in a transport layer.
+
+**Trust model** unchanged from the transport: unauthenticated and
+unencrypted — localhost and trusted networks only (see
+:mod:`repro.serve.transport`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.graph.distributed import LocalGraph
+from repro.runtime.api import (
+    CapabilityError,
+    Engine,
+    EngineCapabilities,
+    RolloutFuture,
+    RolloutRequest,
+    StepFrame,
+    TrainRequest,
+)
+from repro.serve import protocol
+from repro.serve.metrics import ServeStats
+from repro.serve.protocol import ProtocolError, read_message, write_message
+from repro.serve.transport import TransportError, parse_endpoint
+
+#: What a remote peer is assumed to support when it predates the
+#: ``capabilities`` op (matches ``transport.WIRE_CAPABILITIES``).
+_FALLBACK_CAPABILITIES = EngineCapabilities(
+    transport="tcp",
+    training=False,
+    streaming=True,
+    in_memory_assets=False,
+)
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Connection-pool accounting snapshot (plain data, safe to share).
+
+    ``dials`` counts TCP connects over the engine's lifetime,
+    ``reuses`` counts checkouts served by an already-open connection,
+    ``idle`` is how many connections sit warm in the pool right now.
+    Sustained serving should show ``dials`` frozen while ``reuses``
+    grows — that is the no-per-request-connect claim.
+    """
+
+    dials: int
+    reuses: int
+    idle: int
+
+
+class _Conn:
+    """One pooled connection: socket + buffered stream + reuse flag."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.stream = sock.makefile("rwb")
+        #: False until the connection survived one checkout/return cycle;
+        #: a failure on a *fresh* dial is never retried (the server is
+        #: actually unreachable), a failure on a reused one is (the idle
+        #: socket may simply have been closed under us).
+        self.reused = False
+
+    def close(self) -> None:
+        try:
+            self.stream.close()
+        except OSError:
+            pass
+        finally:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+
+class _ConnectionPool:
+    """Keep up to ``size`` idle connections to one endpoint alive.
+
+    Thread safety: ``acquire``/``release``/``discard``/``close`` may be
+    called from any thread; one lock guards the idle list and counters.
+    A checkout beyond ``size`` concurrent users simply dials an extra
+    connection (callers are never blocked waiting for a socket); the
+    pool bound applies to *idle* connections kept warm.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int,
+        connect_timeout_s: float,
+        request_timeout_s: float,
+    ):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self._idle: list[_Conn] = []
+        self._lock = threading.Lock()
+        self._dials = 0
+        self._reuses = 0
+        self._closed = False
+
+    def acquire(self) -> _Conn:
+        """Check a connection out (reuse an idle one, else dial)."""
+        with self._lock:
+            if self._closed:
+                raise TransportError("engine is closed")
+            if self._idle:
+                conn = self._idle.pop()
+                conn.reused = True
+                self._reuses += 1
+                # a stream may have narrowed the socket timeout for its
+                # own per-frame bound; hand out the default, always
+                conn.sock.settimeout(self.request_timeout_s)
+                return conn
+            self._dials += 1
+        return self._dial()
+
+    def _dial(self) -> _Conn:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach serve endpoint {self.host}:{self.port}: {exc}"
+            ) from None
+        sock.settimeout(self.request_timeout_s)
+        return _Conn(sock)
+
+    def redial(self) -> _Conn:
+        """A fresh connection for the one-shot reconnect path (counted)."""
+        with self._lock:
+            if self._closed:
+                raise TransportError("engine is closed")
+            self._dials += 1
+        return self._dial()
+
+    def release(self, conn: _Conn) -> None:
+        """Return a healthy connection (closed if the pool is full)."""
+        with self._lock:
+            if not self._closed and len(self._idle) < self.size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def discard(self, conn: _Conn) -> None:
+        """Drop a connection in an unknown state (never re-pooled)."""
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                dials=self._dials, reuses=self._reuses, idle=len(self._idle)
+            )
+
+
+class _RemoteRolloutFuture(RolloutFuture):
+    """Streaming rollout over a pooled connection.
+
+    The request message is written at submission; frames are read off
+    the socket lazily as the consumer iterates, so a slow consumer
+    backpressures only its own stream. The connection returns to the
+    pool after a clean ``done``/``error``; it is discarded if the
+    stream breaks. If the connection dies before the *first* reply on a
+    reused socket, the request is re-sent once on a fresh dial (safe:
+    rollouts are pure reads — re-execution cannot corrupt state).
+    Single-consumer; ``frames()``/``result()`` share one iterator (see
+    :class:`~repro.runtime.api.RolloutFuture`), so ``result()`` after
+    partial or full streaming completes from the collected frames.
+    """
+
+    def __init__(self, pool: _ConnectionPool, request: RolloutRequest, conn: _Conn):
+        super().__init__(request)
+        self._pool = pool
+        self._conn = conn
+        self._finished = False
+
+    def _frames(self, timeout: float | None) -> Iterator[StepFrame]:
+        conn = self._conn
+        conn.sock.settimeout(
+            self._pool.request_timeout_s if timeout is None else timeout
+        )
+        step = 0
+        may_retry = conn.reused
+        try:
+            while True:
+                try:
+                    message = read_message(conn.stream)
+                except ProtocolError as exc:
+                    if step == 0 and may_retry:
+                        conn = self._retry(conn)
+                        may_retry = False
+                        continue
+                    self._pool.discard(conn)
+                    raise TransportError(
+                        f"stream broke mid-rollout: {exc}"
+                    ) from None
+                if message is None:
+                    if step == 0 and may_retry:
+                        conn = self._retry(conn)
+                        may_retry = False
+                        continue
+                    self._pool.discard(conn)
+                    raise TransportError("server closed the stream before done")
+                header, arrays = message
+                kind = header.get("type")
+                if kind == "frame":
+                    if not arrays:
+                        self._pool.discard(conn)
+                        raise TransportError("frame message carried no array")
+                    self._collected.append(arrays[0])
+                    yield StepFrame(step, arrays[0])
+                    step += 1
+                elif kind == "done":
+                    self.metrics = header.get("metrics")
+                    self._pool.release(conn)
+                    return
+                elif kind == "error":
+                    # typed server rejection: the connection itself is
+                    # healthy and at a message boundary — keep it
+                    self._pool.release(conn)
+                    protocol.raise_for_code(header["code"], header["message"])
+                else:
+                    self._pool.discard(conn)
+                    raise TransportError(
+                        f"unexpected message {kind!r} in stream"
+                    )
+        finally:
+            self._finished = True
+
+    def _retry(self, dead: _Conn) -> _Conn:
+        """Reconnect-on-EOF once: re-send the request on a fresh dial."""
+        timeout = dead.sock.gettimeout()
+        self._pool.discard(dead)
+        conn = self._pool.redial()
+        conn.sock.settimeout(timeout)
+        try:
+            write_message(conn.stream, *protocol.rollout_message(self.request))
+        except (OSError, ProtocolError) as exc:
+            self._pool.discard(conn)
+            raise TransportError(
+                f"reconnect failed re-sending request: {exc}"
+            ) from None
+        self._conn = conn
+        return conn
+
+    @property
+    def done(self) -> bool:
+        return self._finished
+
+
+class RemoteEngine(Engine):
+    """Engine speaking the serve wire protocol over pooled connections.
+
+    Thread safety: fully shareable — each operation checks its own
+    connection out of the pool, so concurrent rollouts stream over
+    distinct sockets while unary calls interleave on whatever is idle.
+    Determinism: the transport adds no arithmetic (frames cross as
+    ``.npy`` bytes), so remote trajectories are bitwise identical to
+    local and pooled ones — asserted by the conformance suite.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        request_timeout_s: float = 120.0,
+        connect_timeout_s: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self._pool = _ConnectionPool(
+            host, port, pool_size, connect_timeout_s, request_timeout_s
+        )
+        self._caps: EngineCapabilities | None = None
+
+    @classmethod
+    def connect(
+        cls,
+        endpoint: str,
+        pool_size: int = 4,
+        request_timeout_s: float = 120.0,
+    ) -> "RemoteEngine":
+        """Build an engine from ``HOST:PORT`` and verify liveness."""
+        host, port = parse_endpoint(endpoint)
+        engine = cls(
+            host, port, pool_size=pool_size, request_timeout_s=request_timeout_s
+        )
+        engine.ping()
+        return engine
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def capabilities(self) -> EngineCapabilities:
+        """The *negotiated* wire capabilities (asked once, then cached)."""
+        if self._caps is None:
+            try:
+                reply, _ = self._call({"op": "capabilities"})
+                self._caps = EngineCapabilities.from_dict(reply["capabilities"])
+            except (ValueError, KeyError):
+                # peer predates the op (it answers bad_request and hangs
+                # up); assume the historical wire feature set
+                self._caps = _FALLBACK_CAPABILITIES
+        return self._caps
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent); in-flight streams
+        own their sockets and are unaffected."""
+        self._pool.close()
+
+    def pool_stats(self) -> PoolStats:
+        """Connection reuse accounting (see :class:`PoolStats`)."""
+        return self._pool.stats()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _call(
+        self,
+        header: dict,
+        arrays: Sequence[np.ndarray] = (),
+        idempotent: bool = True,
+    ) -> tuple[dict, list[np.ndarray]]:
+        """One unary round trip on a pooled connection.
+
+        A reused connection that fails before delivering a reply is
+        replaced by one fresh dial and the call re-sent — except when
+        ``idempotent`` is false AND the request had already been
+        written: the server may have executed it, and re-sending a
+        non-idempotent op (e.g. ``register_checkpoint``, which rejects
+        duplicate names) would turn a lost reply into a spurious
+        error. A failed *write* never reached the service, so it is
+        always safe to retry; a fresh connection failing means the
+        server is genuinely unreachable.
+        """
+        conn = self._pool.acquire()
+        retried = False
+        while True:
+            wrote = False
+            try:
+                write_message(conn.stream, header, arrays)
+                wrote = True
+                message = read_message(conn.stream)
+            except (OSError, ProtocolError) as exc:
+                self._pool.discard(conn)
+                if conn.reused and not retried and (idempotent or not wrote):
+                    conn = self._pool.redial()
+                    retried = True
+                    continue
+                raise TransportError(f"bad reply: {exc}") from None
+            if message is None:
+                self._pool.discard(conn)
+                if conn.reused and not retried and idempotent:
+                    conn = self._pool.redial()
+                    retried = True
+                    continue
+                raise TransportError("server closed connection without reply")
+            reply, reply_arrays = message
+            if reply.get("type") == "error":
+                self._pool.release(conn)
+                protocol.raise_for_code(reply["code"], reply["message"])
+            self._pool.release(conn)
+            return reply, reply_arrays
+
+    def ping(self) -> None:
+        """Round-trip a no-op message (raises on unreachable/bad peer)."""
+        self._call({"op": "ping"})
+
+    # -- assets --------------------------------------------------------------
+
+    def register_model(self, name: str, model: MeshGNN) -> None:
+        """Unsupported over the wire — models register by checkpoint path."""
+        raise CapabilityError(
+            "in-memory models cannot cross the process boundary; "
+            "save a checkpoint and use register_checkpoint(name, path)"
+        )
+
+    def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
+        """Unsupported over the wire — graphs register by directory path."""
+        raise CapabilityError(
+            "in-memory graphs cannot cross the process boundary; "
+            "save_distributed_graph(...) and use register_graph_dir(key, path)"
+        )
+
+    def register_checkpoint(
+        self,
+        name: str,
+        path: str | Path,
+        expect_config: GNNConfig | None = None,
+        eager: bool = False,
+    ) -> None:
+        """Register a checkpoint by *server-visible* path.
+
+        Not auto-retried after an ambiguous connection failure — the
+        registry rejects duplicate names, so a blind re-send could
+        report failure for a registration that succeeded.
+        """
+        self._call(
+            {
+                "op": "register_checkpoint",
+                "name": name,
+                "path": str(path),
+                "expect_config": (
+                    dataclasses.asdict(expect_config) if expect_config else None
+                ),
+                "eager": eager,
+            },
+            idempotent=False,
+        )
+
+    def register_graph_dir(self, key: str, directory: str | Path) -> None:
+        """Register a graph directory by *server-visible* path."""
+        self._call(
+            {"op": "register_graph_dir", "key": key, "path": str(directory)}
+        )
+
+    def model_names(self) -> list:
+        return list(self._call({"op": "models"})[0]["names"])
+
+    def graph_keys(self) -> list:
+        return list(self._call({"op": "graph_keys"})[0]["keys"])
+
+    # -- submission ----------------------------------------------------------
+
+    def _submit_rollout(self, request: RolloutRequest) -> RolloutFuture:
+        conn = self._pool.acquire()
+        try:
+            write_message(conn.stream, *protocol.rollout_message(request))
+        except (OSError, ProtocolError) as exc:
+            self._pool.discard(conn)
+            if conn.reused:
+                # the idle socket died under us; one fresh dial
+                conn = self._pool.redial()
+                try:
+                    write_message(
+                        conn.stream, *protocol.rollout_message(request)
+                    )
+                except (OSError, ProtocolError) as exc2:
+                    self._pool.discard(conn)
+                    raise TransportError(
+                        f"cannot submit rollout: {exc2}"
+                    ) from None
+            else:
+                raise TransportError(f"cannot submit rollout: {exc}") from None
+        return _RemoteRolloutFuture(self._pool, request, conn)
+
+    def _submit_train(self, request: TrainRequest):
+        raise CapabilityError(
+            "training jobs do not cross the socket transport; submit "
+            "TrainRequest to a local:// or pool:// engine"
+        )
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> ServeStats:
+        """The server's aggregate stats snapshot (reconstructed)."""
+        return ServeStats.from_dict(self._call({"op": "stats"})[0]["stats"])
+
+    def stats_markdown(self) -> str:
+        """The server-rendered markdown stats table."""
+        return self._call({"op": "stats"})[0]["markdown"]

@@ -18,15 +18,22 @@ trained model into a *service*:
   threaded comm backends, streaming frames per step;
 * :mod:`repro.serve.metrics` — per-request latency/queue/traffic
   metrics, admission counters, and the stats table;
-* :mod:`repro.serve.service` / :mod:`repro.serve.client` — the engine
-  and its in-process client facade;
+* :mod:`repro.serve.service` — the in-process serving engine
+  (fronted by :class:`repro.runtime.pooled.PooledEngine`);
 * :mod:`repro.serve.protocol` / :mod:`repro.serve.transport` — the
-  length-prefixed socket wire format, the :class:`ServeServer` front
-  end, and the :class:`NetworkClient` mirror of ``ServeClient``;
+  length-prefixed socket wire format (speaking the runtime layer's
+  typed dataclasses) and the :class:`ServeServer` front end (fronted
+  by :class:`repro.runtime.remote.RemoteEngine`);
+* :mod:`repro.serve.client` / ``NetworkClient`` — the deprecated
+  pre-engine client shims (one :class:`DeprecationWarning` each; use
+  :func:`repro.runtime.connect`);
 * :mod:`repro.serve.cli` — ``python -m repro serve`` (demo burst or
   ``--listen HOST:PORT`` network mode).
 
-See ``docs/architecture.md`` for the request lifecycle end to end.
+The request type batched here IS the runtime layer's
+:class:`~repro.runtime.api.RolloutRequest` — no per-layer dict
+plumbing. See ``docs/architecture.md`` for the request lifecycle end
+to end.
 """
 
 from repro.serve.admission import (
@@ -46,7 +53,7 @@ from repro.serve.batching import (
 )
 from repro.serve.cache import CacheStats, GraphAsset, GraphCache
 from repro.serve.client import ServeClient
-from repro.serve.executor import BatchExecution, execute_batch
+from repro.serve.executor import BatchExecution, execute_batch, execute_train_job
 from repro.serve.metrics import RequestMetrics, ServeStats, stats_markdown
 from repro.serve.protocol import ProtocolError
 from repro.serve.registry import (
@@ -98,6 +105,7 @@ __all__ = [
     "TransportError",
     "WaitHistogram",
     "execute_batch",
+    "execute_train_job",
     "parse_endpoint",
     "split_states",
     "stack_states",

@@ -8,6 +8,12 @@ opens a batch, the collector then waits up to ``max_wait_s`` for more
 same-key requests (leaving other keys queued in arrival order) and
 closes the batch early once ``max_batch_size`` is reached.
 
+The request type itself is the runtime layer's shared
+:class:`~repro.runtime.api.RolloutRequest` — the same dataclass a
+client hands to any :class:`~repro.runtime.api.Engine` is what the
+queue batches and the executor runs, with no per-layer re-plumbing
+(``InferenceRequest`` remains as a backwards-compatible alias).
+
 Admission control (:mod:`repro.serve.admission`) layers on top: a
 queue constructed with an :class:`~repro.serve.admission.AdmissionController`
 sheds submissions beyond the configured depth cap
@@ -23,96 +29,17 @@ incrementally while later steps are still being computed.
 
 from __future__ import annotations
 
-import itertools
 import queue as queue_mod
 import threading
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.comm.modes import HaloMode
+from repro.runtime.api import BatchKey, RolloutRequest
 from repro.serve.admission import AdmissionController, DeadlineExpired
 
-_request_ids = itertools.count()
-
-
-@dataclass(frozen=True)
-class BatchKey:
-    """Requests coalesce iff every field matches.
-
-    Thread safety: immutable value object, safe to share.
-    Determinism: equality/hash derive purely from the four fields, so
-    batch formation depends only on request content and arrival order.
-    """
-
-    model: str
-    graph: str
-    halo_mode: str
-    residual: bool
-
-
-@dataclass
-class InferenceRequest:
-    """One rollout (``n_steps >= 1``) or single-step (``n_steps == 1``)
-    surrogate query.
-
-    ``x0`` is the *global* initial state ``(n_global_nodes, node_in)``;
-    the executor scatters it to ranks by global ID and assembles global
-    frames back. ``deadline_s`` is an optional queue-wait budget: a
-    request still pending ``deadline_s`` seconds after submission is
-    shed at dequeue with :class:`~repro.serve.admission.DeadlineExpired`
-    instead of being executed.
-
-    Thread safety: treated as immutable after construction — the queue
-    and workers only read it; do not mutate a submitted request.
-    Determinism: ``x0`` is canonicalized to ``float64`` once here, so
-    every downstream consumer (tiling, executor, transport) sees the
-    same bits regardless of the input's original dtype.
-    """
-
-    model: str
-    graph: str
-    x0: np.ndarray
-    n_steps: int
-    halo_mode: str = HaloMode.NEIGHBOR_A2A.value
-    residual: bool = False
-    deadline_s: float | None = None
-    request_id: int = field(default_factory=lambda: next(_request_ids))
-    submitted_at: float = field(default_factory=time.perf_counter)
-
-    def __post_init__(self) -> None:
-        if self.n_steps < 1:
-            raise ValueError("n_steps must be >= 1")
-        if self.deadline_s is not None and self.deadline_s <= 0:
-            raise ValueError("deadline_s must be > 0 (or None)")
-        self.halo_mode = HaloMode.parse(self.halo_mode).value
-        self.x0 = np.asarray(self.x0, dtype=np.float64)
-        if self.x0.ndim != 2:
-            raise ValueError(f"x0 must be 2-D (nodes, features), got {self.x0.shape}")
-
-    @property
-    def key(self) -> BatchKey:
-        """The coalescing key (deadline deliberately excluded — requests
-        with different deadlines still share a batch)."""
-        return BatchKey(self.model, self.graph, self.halo_mode, self.residual)
-
-    @property
-    def deadline(self) -> float | None:
-        """Absolute expiry on the ``perf_counter`` clock, or ``None``."""
-        if self.deadline_s is None:
-            return None
-        return self.submitted_at + self.deadline_s
-
-    def expired(self, now: float | None = None) -> bool:
-        """Whether the queue-wait deadline has passed (``False`` if none)."""
-        if self.deadline_s is None:
-            return False
-        return (time.perf_counter() if now is None else now) > self.deadline
-
-    def waited_s(self, now: float | None = None) -> float:
-        """Seconds spent since submission (queue wait until dequeued)."""
-        return (time.perf_counter() if now is None else now) - self.submitted_at
+#: Backwards-compatible name for the shared request dataclass.
+InferenceRequest = RolloutRequest
 
 
 class RolloutHandle:

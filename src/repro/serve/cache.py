@@ -14,12 +14,34 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.graph.distributed import LocalGraph
 from repro.graph.io import load_rank_graphs
+
+#: Distinct tiled batch sizes kept per asset (beyond it, stale batch
+#: sizes are dropped oldest-first). Sustained load settles on a few
+#: sizes; the bound keeps a pathological size churn from hoarding memory.
+MAX_TILE_VARIANTS = 8
+
+
+def _graph_nbytes(g: LocalGraph) -> int:
+    """Estimated resident bytes of one rank payload (incl. plans)."""
+    total = (
+        g.global_ids.nbytes
+        + g.pos.nbytes
+        + g.edge_index.nbytes
+        + g.edge_degree.nbytes
+        + g.node_degree.nbytes
+        + g.halo.halo_to_local.nbytes
+    )
+    total += sum(idx.nbytes for idx in g.halo.spec.send_indices.values())
+    plans = g.__dict__.get("_plans")
+    if plans is not None:
+        total += plans.nbytes
+    return total
 
 
 @dataclass(frozen=True)
@@ -34,11 +56,22 @@ class GraphAsset:
     the rank graphs' aggregation plans (0.0 when they were already
     compiled — plans are cached on the graph objects themselves, so
     re-admitting the same graphs never re-sorts).
+
+    The asset also owns the per-``(batch_size, rank)`` cache of
+    block-diagonal replicas (:meth:`tiled`): sustained-load serving
+    re-uses one tiled graph (with its composed aggregation plans)
+    per batch size instead of re-tiling and re-composing every batch.
+    The tile store is the only mutable state; it is lock-guarded and
+    pure-cache — a hit and a miss return bitwise-identical replicas.
     """
 
     key: str
     graphs: tuple[LocalGraph, ...]
     plan_build_s: float = 0.0
+    _tiles: dict = field(default_factory=dict, repr=False, compare=False)
+    _tiles_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def size(self) -> int:
@@ -50,24 +83,55 @@ class GraphAsset:
         """Global node count (1 + the largest global ID present)."""
         return 1 + max(int(g.global_ids[-1]) for g in self.graphs)
 
+    def tiled(self, batch: int, rank: int) -> tuple[LocalGraph, bool]:
+        """Rank ``rank``'s ``batch``-fold replica, cached per asset.
+
+        Returns ``(tiled_graph, was_hit)``. ``batch == 1`` returns the
+        base graph itself (no replication happens, counted as a hit).
+        Thread safety: any number of workers may call concurrently; a
+        race on the same key builds twice and keeps the first (the
+        replicas are bitwise identical, so which one wins is
+        unobservable). Determinism: caching changes *when* tiling work
+        happens, never the replica's bits —
+        :func:`repro.serve.tiling.tile_local_graph` is a pure function
+        of ``(graph, batch)``.
+        """
+        if batch == 1:
+            return self.graphs[rank], True
+        key = (batch, rank)
+        with self._tiles_lock:
+            cached = self._tiles.get(key)
+            if cached is not None:
+                return cached, True
+        from repro.serve.tiling import tile_local_graph  # cycle-free lazy import
+
+        built = tile_local_graph(self.graphs[rank], batch)
+        with self._tiles_lock:
+            kept = self._tiles.setdefault(key, built)
+            self._evict_stale_tiles(batch)
+        return kept, False
+
+    def _evict_stale_tiles(self, current_batch: int) -> None:
+        # caller holds the tiles lock; drop oldest non-current batch
+        # sizes until at most MAX_TILE_VARIANTS distinct sizes remain
+        sizes: list[int] = []
+        for b, _ in self._tiles:
+            if b not in sizes:
+                sizes.append(b)
+        while len(sizes) > MAX_TILE_VARIANTS:
+            victim = next(b for b in sizes if b != current_batch)
+            sizes.remove(victim)
+            for k in [k for k in self._tiles if k[0] == victim]:
+                del self._tiles[k]
+
     @property
     def nbytes(self) -> int:
         """Estimated resident bytes (arrays of every rank payload,
-        including compiled aggregation plans when present)."""
-        total = 0
-        for g in self.graphs:
-            total += (
-                g.global_ids.nbytes
-                + g.pos.nbytes
-                + g.edge_index.nbytes
-                + g.edge_degree.nbytes
-                + g.node_degree.nbytes
-                + g.halo.halo_to_local.nbytes
-            )
-            total += sum(idx.nbytes for idx in g.halo.spec.send_indices.values())
-            plans = g.__dict__.get("_plans")
-            if plans is not None:
-                total += plans.nbytes
+        compiled aggregation plans, and cached tiled replicas)."""
+        total = sum(_graph_nbytes(g) for g in self.graphs)
+        with self._tiles_lock:
+            tiles = list(self._tiles.values())
+        total += sum(_graph_nbytes(g) for g in tiles)
         return total
 
 
@@ -187,6 +251,22 @@ class GraphCache:
         directory = Path(directory)
         key = str(directory.resolve())
         return self.get_or_load(key, lambda: load_rank_graphs(directory))
+
+    def enforce_bounds(self) -> None:
+        """Re-apply the size bounds outside of :meth:`put`.
+
+        Resident assets grow after admission — their per-batch tiled
+        replicas (:meth:`GraphAsset.tiled`) count toward ``nbytes`` —
+        so a byte-bounded cache re-checks after work that may have
+        tiled. LRU entries are evicted until the budget holds again
+        (the MRU asset survives even if oversized alone, mirroring
+        admission). Thread-safe; cheap when unbounded or within budget.
+        """
+        with self._lock:
+            if self._max_bytes is None or not self._assets:
+                return
+            mru = next(reversed(self._assets))
+            self._enforce_bounds(keep=mru)
 
     def evict(self, key: str) -> bool:
         """Drop one asset; returns whether it was resident (thread-safe)."""

@@ -1,16 +1,19 @@
 """``python -m repro serve`` — serving demo and network listener.
 
 Two modes share one asset setup (a checkpointed demo model and a
-partitioned graph directory, registered the way a deployment would):
+partitioned graph directory, registered the way a deployment would),
+both fronted by the unified engine API
+(:func:`repro.runtime.connect`):
 
-* **demo** (default): stand up the in-process
-  :class:`~repro.serve.service.InferenceService`, fire a burst of
-  concurrent rollout requests at it, and print the serving stats table.
+* **demo** (default): connect a ``pool://`` engine (the batched
+  :class:`~repro.serve.service.InferenceService` underneath), fire a
+  burst of concurrent typed rollout requests at it, and print the
+  serving stats table.
 * **listen** (``--listen HOST:PORT``): additionally bind the
   :class:`~repro.serve.transport.ServeServer` socket front end and
-  serve external clients until interrupted — the two-terminal
-  quickstart in the README talks to this mode through
-  :class:`~repro.serve.transport.NetworkClient`.
+  serve external clients until interrupted — remote processes connect
+  with ``repro.runtime.connect("tcp://HOST:PORT")`` (the two-terminal
+  quickstart in the README).
 
 Admission control is exposed through ``--max-queue`` (pending-depth cap,
 shedding beyond it) and ``--deadline-ms`` (default queue-wait budget).
@@ -27,8 +30,8 @@ from repro.gnn import MeshGNN, GNNConfig, save_checkpoint
 from repro.graph import build_distributed_graph
 from repro.graph.io import save_distributed_graph
 from repro.mesh import BoxMesh, auto_partition, taylor_green_velocity
-from repro.serve.client import ServeClient
-from repro.serve.service import InferenceService, ServeConfig
+from repro.runtime import RolloutRequest, connect
+from repro.serve.service import ServeConfig
 from repro.serve.transport import ServeServer, parse_endpoint
 
 DEMO_CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=7)
@@ -106,18 +109,18 @@ def run_demo(args: argparse.Namespace) -> int:
         print(f"mesh {nx}x{ny}x{nz} (p=1), {args.ranks} ranks, "
               f"{args.requests} requests x {args.steps} steps, "
               f"max_batch={args.max_batch}, window={args.max_wait_ms}ms\n")
-        with InferenceService(_serve_config(args)) as service:
-            client = ServeClient(service)
-            client.register_checkpoint("tgv-surrogate", ckpt,
+        with connect("pool://", config=_serve_config(args)) as engine:
+            engine.register_checkpoint("tgv-surrogate", ckpt,
                                        expect_config=DEMO_CONFIG)
-            client.register_graph_dir("tgv-box", graph_dir)
+            engine.register_graph_dir("tgv-box", graph_dir)
 
             results: list = [None] * args.requests
 
             def fire(i: int) -> None:
-                results[i] = client.rollout(
-                    "tgv-surrogate", "tgv-box", x0, n_steps=args.steps
-                )
+                results[i] = engine.rollout(RolloutRequest(
+                    model="tgv-surrogate", graph="tgv-box",
+                    x0=x0, n_steps=args.steps,
+                ))
 
             threads = [
                 threading.Thread(target=fire, args=(i,), name=f"client{i}")
@@ -128,11 +131,11 @@ def run_demo(args: argparse.Namespace) -> int:
             for t in threads:
                 t.join()
 
-            for i, states in enumerate(results):
-                assert states is not None and len(states) == args.steps + 1
+            for i, result in enumerate(results):
+                assert result is not None and len(result.states) == args.steps + 1
             print(f"all {args.requests} trajectories served "
                   f"({args.steps + 1} frames each)\n")
-            print(client.stats_markdown())
+            print(engine.stats_markdown())
     return 0
 
 
@@ -152,17 +155,17 @@ def run_listen(
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
         x0, ckpt, graph_dir = _demo_assets(args, Path(tmp))
         del x0  # clients bring their own initial states
-        with InferenceService(_serve_config(args)) as service:
-            service.register_checkpoint("tgv-surrogate", ckpt,
-                                        expect_config=DEMO_CONFIG)
-            service.register_graph_dir("tgv-box", graph_dir)
-            with ServeServer(service, host, port) as server:
+        with connect("pool://", config=_serve_config(args)) as engine:
+            engine.register_checkpoint("tgv-surrogate", ckpt,
+                                       expect_config=DEMO_CONFIG)
+            engine.register_graph_dir("tgv-box", graph_dir)
+            with ServeServer(engine.service, host, port) as server:
                 print(f"serving on {server.endpoint} "
                       f"(model 'tgv-surrogate', graph 'tgv-box'; "
                       f"max_queue={args.max_queue}, "
                       f"deadline_ms={args.deadline_ms})")
-                print("connect with: NetworkClient.connect"
-                      f"({server.endpoint!r})  — Ctrl-C to stop")
+                print("connect with: repro.runtime.connect"
+                      f"('tcp://{server.endpoint}')  — Ctrl-C to stop")
                 if ready is not None:
                     ready(server)
                 try:

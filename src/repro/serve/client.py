@@ -1,16 +1,24 @@
-"""In-process client for the inference service.
+"""Deprecated in-process client facade for the inference service.
 
-``ServeClient`` is the API surface application code should hold: it
-hides the service object behind the small set of operations a surrogate
-consumer needs (single step, full rollout, streaming rollout), mirrors
-the asset-registration calls, and exposes the stats snapshot. The
-out-of-process :class:`repro.serve.transport.NetworkClient` mirrors
-this interface over a socket, so application code written against
-either client is portable between in-process and networked serving.
+.. deprecated::
+    ``ServeClient`` survives as a thin compatibility shim over
+    :class:`~repro.serve.service.InferenceService`; new code should use
+    ``repro.runtime.connect("pool://")``, which returns a
+    :class:`~repro.runtime.pooled.PooledEngine` speaking the typed
+    request/response API (and adds the training-job path). Constructing
+    a ``ServeClient`` emits one :class:`DeprecationWarning`.
+
+The shim keeps the old keyword-argument surface (single step, full
+rollout, streaming rollout, asset registration, stats) exactly as it
+was, so existing call sites stay green. Teardown is idempotent and
+leak-free: a client built by :meth:`ServeClient.local` *owns* its
+private service, and ``close()`` (or context exit) stops that
+service's worker threads — calling it twice is a no-op.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -26,7 +34,7 @@ from repro.serve.service import InferenceService, ServeConfig
 
 
 class ServeClient:
-    """Thin, typed facade over an :class:`InferenceService`.
+    """Thin, typed facade over an :class:`InferenceService` (deprecated).
 
     >>> # client = ServeClient.local(ServeConfig(max_batch_size=4))
     >>> # client.register_model("m", model)
@@ -34,23 +42,48 @@ class ServeClient:
     >>> # x1 = client.step("m", "g", x0)
     """
 
-    def __init__(self, service: InferenceService):
+    def __init__(self, service: InferenceService, _owns_service: bool = False):
+        warnings.warn(
+            "ServeClient is deprecated; use repro.runtime.connect('pool://') "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._service = service
+        self._owns_service = _owns_service
+        self._closed = False
 
     @classmethod
     def local(cls, config: ServeConfig | None = None) -> "ServeClient":
-        """Create and start a private in-process service."""
-        return cls(InferenceService(config).start())
+        """Create and start a private in-process service (owned: the
+        client's ``close()`` stops its worker threads)."""
+        return cls(InferenceService(config).start(), _owns_service=True)
 
     @property
     def service(self) -> InferenceService:
         return self._service
 
+    @property
+    def owns_service(self) -> bool:
+        """Whether this client created (and must tear down) its service."""
+        return self._owns_service
+
     def close(self) -> None:
+        """Stop the underlying service (idempotent, joins the workers).
+
+        An owned (:meth:`local`) service has no other owner, so the
+        shim is responsible for its worker threads; for a shared
+        service this mirrors the shim's historical stop-on-close
+        behavior.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._service.stop()
 
     def __enter__(self) -> "ServeClient":
         self._service.start()
+        self._closed = False
         return self
 
     def __exit__(self, *exc) -> None:

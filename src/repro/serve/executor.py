@@ -1,19 +1,28 @@
-"""Batch execution engine: tiled rollouts over the comm backends.
+"""Batch execution engine: tiled rollouts and training jobs over the
+comm backends.
 
 One batch = requests sharing a ``(model, graph, halo_mode, residual)``
 key. The engine scatters each request's global initial state to ranks
-by global ID, tiles every rank's :class:`LocalGraph` ``B``-fold
-(:mod:`repro.serve.tiling`), and steps all ``B`` trajectories with a
-single model forward per step. Single-rank assets run inline on
-:class:`~repro.comm.single.SingleProcessComm`; multi-rank assets run
-SPMD over :class:`~repro.comm.threaded.ThreadWorld`, with each rank
-depositing its per-step states into a collector so frames stream to
-clients while later steps are still computing.
+by global ID, fetches every rank's ``B``-fold block-diagonal replica
+from the asset's tile cache (:meth:`repro.serve.cache.GraphAsset.tiled`
+— tiled once per ``(asset, batch_size)``, re-used with its composed
+aggregation plans every subsequent batch), and steps all ``B``
+trajectories with a single model forward per step. Single-rank assets
+run inline on :class:`~repro.comm.single.SingleProcessComm`; multi-rank
+assets run SPMD over :class:`~repro.comm.threaded.ThreadWorld`, with
+each rank depositing its per-step states into a collector so frames
+stream to clients while later steps are still computing.
 
 The arithmetic is exactly that of :func:`repro.gnn.rollout.rollout` —
 edge features recomputed from the current state each step, residual or
 direct update — so a served trajectory is bitwise identical to a
 hand-wired rollout.
+
+:func:`execute_train_job` is the gradient-side sibling: a
+:class:`~repro.runtime.api.TrainRequest` fine-tunes a *copy* of a
+registered model on the same tiled machinery (the tiling layer is
+gradient-capable — the autograd ops treat a replica like any graph),
+with per-rank replicas kept bit-identical by DDP gradient sync.
 """
 
 from __future__ import annotations
@@ -30,11 +39,12 @@ from repro.comm.modes import HaloMode
 from repro.comm.single import SingleProcessComm
 from repro.comm.threaded import ThreadWorld
 from repro.gnn.architecture import MeshGNN
-from repro.serve.cache import GraphAsset
-from repro.serve.batching import InferenceRequest
-from repro.serve.registry import IncompatibleModel, ModelRegistry
 from repro.gnn.rollout import workspace_steps
-from repro.serve.tiling import stack_states, tile_local_graph
+from repro.gnn.trainer import train_model
+from repro.runtime.api import RolloutRequest, TrainRequest, TrainResult
+from repro.serve.cache import GraphAsset
+from repro.serve.registry import IncompatibleModel, ModelRegistry
+from repro.serve.tiling import stack_states
 
 #: frame dispatcher: ``(request_index, step, global_state)``
 FrameDispatch = Callable[[int, int, np.ndarray], None]
@@ -47,7 +57,9 @@ class BatchExecution:
     Immutable record produced once per :func:`execute_batch`; safe to
     share across threads. ``exec_s`` is wall time (nondeterministic);
     the traffic counters are exact and deterministic for a given
-    ``(graph, batch, halo_mode, n_steps)``.
+    ``(graph, batch, halo_mode, n_steps)``. ``tile_hits`` /
+    ``tile_misses`` count per-rank lookups in the asset's tiled-graph
+    cache for this batch (a miss means the replica was built now).
     """
 
     batch_size: int
@@ -55,6 +67,8 @@ class BatchExecution:
     n_steps: int
     exec_s: float
     comm: TrafficStats
+    tile_hits: int = 0
+    tile_misses: int = 0
 
 
 class _StepCollector:
@@ -103,7 +117,7 @@ class _StepCollector:
 
 
 def _validate_batch(
-    model: MeshGNN, asset: GraphAsset, requests: Sequence[InferenceRequest]
+    model: MeshGNN, asset: GraphAsset, requests: Sequence[RolloutRequest]
 ) -> None:
     ModelRegistry.validate_rollout(model)
     n_global = asset.n_global
@@ -129,7 +143,7 @@ def _assemble(asset: GraphAsset, rank_states: list[np.ndarray], copy: int,
 def execute_batch(
     model: MeshGNN,
     asset: GraphAsset,
-    requests: Sequence[InferenceRequest],
+    requests: Sequence[RolloutRequest],
     dispatch: FrameDispatch,
     timeout: float = 120.0,
 ) -> BatchExecution:
@@ -159,10 +173,15 @@ def execute_batch(
         raise ValueError("empty batch")
     _validate_batch(model, asset, requests)
     batch = len(requests)
-    halo_mode = HaloMode.parse(requests[0].halo_mode)
+    halo_mode = HaloMode.parse(
+        requests[0].halo_mode
+        if requests[0].halo_mode is not None
+        else HaloMode.NEIGHBOR_A2A
+    )
     residual = requests[0].residual
     max_steps = max(r.n_steps for r in requests)
     width = model.config.node_out
+    tile_hits = [0] * asset.size
 
     for i, req in enumerate(requests):
         dispatch(i, 0, req.x0)
@@ -170,8 +189,11 @@ def execute_batch(
     started = time.perf_counter()
 
     def rank_program(comm, emit):
+        # cached block-diagonal replica: tiled (with composed plans)
+        # once per (asset, batch_size, rank), reused every later batch
+        tiled, hit = asset.tiled(batch, comm.rank)
+        tile_hits[comm.rank] = int(hit)
         g = asset.graphs[comm.rank]
-        tiled = tile_local_graph(g, batch)
         x = stack_states([req.x0[g.global_ids] for req in requests])
         # the shared fast stepping loop (repro.gnn.rollout): each rank
         # thread owns a private workspace arena; buffers allocated on
@@ -226,10 +248,100 @@ def execute_batch(
         for st in results:
             total = total.merge(st)
 
+    hits = sum(tile_hits)
     return BatchExecution(
         batch_size=batch,
         world_size=asset.size,
         n_steps=max_steps,
         exec_s=time.perf_counter() - started,
         comm=total,
+        tile_hits=hits,
+        tile_misses=asset.size - hits,
+    )
+
+
+# -- training jobs ------------------------------------------------------------
+
+
+def execute_train_job(
+    model: MeshGNN,
+    asset: GraphAsset,
+    request: TrainRequest,
+    timeout: float = 120.0,
+) -> TrainResult:
+    """Run one fine-tuning job against a registered (model, graph) pair.
+
+    The request's ``B`` samples execute as ONE tiled forward/backward
+    per iteration: each rank fetches its ``B``-fold replica from the
+    asset's tile cache, stacks the samples' local states block-wise,
+    and trains a fresh *copy* of ``model`` (same config, same starting
+    weights) with :func:`repro.gnn.trainer.train_model` — Adam over the
+    consistent MSE loss, gradients DDP-synced so every rank's replica
+    stays bit-identical. The registered ``model`` itself is never
+    touched; the updated parameters come back in the result's
+    ``state_dict``.
+
+    Thread safety: one call owns its job; the model and asset are only
+    read, so concurrent jobs (and concurrent inference batches) may
+    share them. Determinism: a ``B == 1`` job reproduces a direct
+    ``train_model`` run on the un-tiled graph bit for bit, at any world
+    size — the consistency contract extends through training
+    (``tests/runtime/test_engine_conformance.py``).
+    """
+    halo_mode = HaloMode.parse(
+        request.halo_mode
+        if request.halo_mode is not None
+        else HaloMode.NEIGHBOR_A2A
+    )
+    n_global = asset.n_global
+    cfg = model.config
+    if request.x.shape[1] != n_global or request.x.shape[2] != cfg.node_in:
+        raise IncompatibleModel(
+            f"train request {request.request_id}: x has shape "
+            f"{request.x.shape[1:]}, graph/model expect {(n_global, cfg.node_in)}"
+        )
+    if request.target.shape[2] != cfg.node_out:
+        raise IncompatibleModel(
+            f"train request {request.request_id}: target has "
+            f"{request.target.shape[2]} features, model emits {cfg.node_out}"
+        )
+    batch = request.n_samples
+    initial_state = model.state_dict()  # copies; shared read-only by ranks
+    started = time.perf_counter()
+
+    def rank_program(comm):
+        tiled, _ = asset.tiled(batch, comm.rank)
+        g = asset.graphs[comm.rank]
+        x = stack_states([request.x[k][g.global_ids] for k in range(batch)])
+        target = stack_states(
+            [request.target[k][g.global_ids] for k in range(batch)]
+        )
+        replica = MeshGNN(cfg)
+        replica.load_state_dict(initial_state)
+        return train_model(
+            replica,
+            tiled,
+            x,
+            target,
+            comm,
+            halo_mode,
+            iterations=request.iterations,
+            lr=request.lr,
+            grad_reduction=request.grad_reduction,
+        )
+
+    if asset.size == 1:
+        results = [rank_program(SingleProcessComm())]
+    else:
+        results = ThreadWorld(asset.size, timeout=timeout).run(rank_program)
+    # replicas are bit-identical after DDP-synced training; rank 0
+    # stands for them all
+    outcome = results[0]
+    return TrainResult(
+        request_id=request.request_id,
+        losses=list(outcome.losses),
+        state_dict=outcome.state_dict,
+        world_size=asset.size,
+        batch_size=batch,
+        train_s=time.perf_counter() - started,
     )

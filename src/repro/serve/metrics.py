@@ -57,6 +57,10 @@ class ServeStats:
     comm_messages: int = 0
     queue_depth: int = 0
     queue_depth_high_water: int = 0
+    tile_hits: int = 0
+    tile_misses: int = 0
+    train_jobs: int = 0
+    train_s: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
     registry: RegistryStats = field(default_factory=RegistryStats)
     admission: AdmissionStats = field(default_factory=AdmissionStats)
@@ -90,6 +94,10 @@ class MetricsAggregator:
         self._steps = 0
         self._comm_bytes = 0
         self._comm_messages = 0
+        self._tile_hits = 0
+        self._tile_misses = 0
+        self._train_jobs = 0
+        self._train_s = 0.0
 
     def record_batch(
         self,
@@ -97,6 +105,8 @@ class MetricsAggregator:
         n_steps: int,
         comm_bytes: int = 0,
         comm_messages: int = 0,
+        tile_hits: int = 0,
+        tile_misses: int = 0,
     ) -> None:
         with self._lock:
             self._completed.extend(per_request)
@@ -104,6 +114,14 @@ class MetricsAggregator:
             self._steps += n_steps
             self._comm_bytes += comm_bytes
             self._comm_messages += comm_messages
+            self._tile_hits += tile_hits
+            self._tile_misses += tile_misses
+
+    def record_train(self, train_s: float) -> None:
+        """Account one completed training job (wall seconds)."""
+        with self._lock:
+            self._train_jobs += 1
+            self._train_s += train_s
 
     def completed(self) -> list[RequestMetrics]:
         with self._lock:
@@ -123,6 +141,10 @@ class MetricsAggregator:
             steps = self._steps
             comm_bytes = self._comm_bytes
             comm_messages = self._comm_messages
+            tile_hits = self._tile_hits
+            tile_misses = self._tile_misses
+            train_jobs = self._train_jobs
+            train_s = self._train_s
         n = len(reqs)
         mean = lambda vals: sum(vals) / n if n else 0.0  # noqa: E731
         return ServeStats(
@@ -138,6 +160,10 @@ class MetricsAggregator:
             comm_messages=comm_messages,
             queue_depth=queue_depth,
             queue_depth_high_water=queue_depth_high_water,
+            tile_hits=tile_hits,
+            tile_misses=tile_misses,
+            train_jobs=train_jobs,
+            train_s=train_s,
             cache=cache,
             registry=registry,
             admission=admission or AdmissionStats(),
@@ -177,6 +203,10 @@ def stats_markdown(stats: ServeStats) -> str:
          f"{stats.admission.accepted} / {stats.admission.shed} / "
          f"{stats.admission.expired}"],
         ["queue wait p50 / p90 / p99 (ms)", _wait_quantiles(stats.admission)],
+        ["tiled-graph cache hits / misses",
+         f"{stats.tile_hits} / {stats.tile_misses}"],
+        ["train jobs / wall (ms)",
+         f"{stats.train_jobs} / {stats.train_s * 1e3:.2f}"],
         ["graph-cache hit rate", f"{stats.cache.hit_rate:.2f}"],
         ["graph-cache entries / bytes",
          f"{stats.cache.entries} / {stats.cache.resident_bytes}"],

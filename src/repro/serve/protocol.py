@@ -19,7 +19,13 @@ tests assert end-to-end.
 
 The module is transport-agnostic: readers/writers operate on binary
 file-like objects (``socket.makefile("rwb")``, ``BytesIO``, pipes), so
-the framing is unit-testable without sockets.
+the framing is unit-testable without sockets. Above the framing, the
+protocol speaks the runtime layer's typed dataclasses directly:
+:func:`rollout_message` / :func:`parse_rollout_message` round-trip a
+:class:`~repro.runtime.api.RolloutRequest`, and :func:`error_code` /
+:func:`raise_for_code` map typed exceptions to wire codes and back, so
+a failure raised by the remote engine is the *same type* the
+in-process engine raises.
 
 Thread safety: the functions here are pure stream transformations and
 hold no state; concurrent use on *distinct* streams is safe, and one
@@ -36,6 +42,8 @@ import struct
 from typing import BinaryIO, Sequence
 
 import numpy as np
+
+from repro.runtime.api import RolloutRequest
 
 #: Sanity bound on the JSON header frame — a peer speaking a different
 #: protocol (or random garbage) fails fast instead of allocating.
@@ -119,6 +127,117 @@ def write_message(
         stream.write(_BLOB_LEN.pack(len(blob)))
         stream.write(blob)
     stream.flush()
+
+
+def require_field(header: dict, key: str):
+    """Fetch a required header field; missing fields are bad requests
+    (a bare ``KeyError`` would masquerade as graph-not-found)."""
+    try:
+        return header[key]
+    except KeyError:
+        raise ValueError(f"message is missing required field {key!r}") from None
+
+
+def rollout_message(
+    request: RolloutRequest,
+) -> tuple[dict, list[np.ndarray]]:
+    """Frame a :class:`~repro.runtime.api.RolloutRequest` for the wire.
+
+    Pure function: the header carries the request's scalar fields,
+    ``x0`` travels as the single ``.npy`` blob. ``request_id`` and
+    ``submitted_at`` deliberately do NOT cross the wire — the server
+    stamps its own (queue wait is a server-side quantity, and the two
+    processes do not share a clock).
+    """
+    header = {
+        "op": "rollout",
+        "model": request.model,
+        "graph": request.graph,
+        "n_steps": int(request.n_steps),
+        "halo_mode": request.halo_mode,
+        "residual": bool(request.residual),
+        "deadline_s": request.deadline_s,
+    }
+    return header, [request.x0]
+
+
+def parse_rollout_message(
+    header: dict, arrays: Sequence[np.ndarray]
+) -> RolloutRequest:
+    """Invert :func:`rollout_message` into a fresh server-side request.
+
+    Raises :class:`ValueError` on missing required fields or a wrong
+    array count (mapped to ``bad_request`` by the transport). The
+    reconstructed request gets a new ``request_id`` / ``submitted_at``
+    — see :func:`rollout_message`.
+    """
+    if len(arrays) != 1:
+        raise ValueError(
+            f"rollout carries exactly one array (x0), got {len(arrays)}"
+        )
+    try:
+        return RolloutRequest(
+            model=require_field(header, "model"),
+            graph=require_field(header, "graph"),
+            x0=arrays[0],
+            n_steps=int(require_field(header, "n_steps")),
+            halo_mode=header.get("halo_mode"),
+            residual=bool(header.get("residual", False)),
+            deadline_s=header.get("deadline_s"),
+        )
+    except TypeError as exc:
+        # wrong-typed header fields (n_steps: null, deadline_s: "soon",
+        # ...) are the peer's fault, not an internal failure
+        raise ValueError(f"malformed rollout request: {exc}") from None
+
+
+def error_code(exc: BaseException) -> str:
+    """Map a server-side exception to its wire error code.
+
+    Pure function; the import of the exception types is deferred so the
+    framing half of this module stays dependency-free for unit tests.
+    """
+    from repro.serve.admission import RequestRejected
+    from repro.serve.registry import IncompatibleModel, ModelNotFound
+
+    if isinstance(exc, RequestRejected):
+        return exc.code  # queue_full / deadline_expired
+    if isinstance(exc, ModelNotFound):
+        return ERR_MODEL_NOT_FOUND
+    if isinstance(exc, KeyError):
+        return ERR_GRAPH_NOT_FOUND
+    if isinstance(exc, IncompatibleModel):
+        return ERR_INCOMPATIBLE
+    if isinstance(exc, (ValueError, FileNotFoundError)):
+        return ERR_BAD_REQUEST
+    return ERR_INTERNAL
+
+
+def raise_for_code(code: str, message: str) -> None:
+    """Client-side inverse of :func:`error_code` (always raises).
+
+    Reconstructs the *same* exception type the in-process engine would
+    have raised, so typed failures are engine-independent; unknown
+    codes raise :class:`repro.serve.transport.RemoteServeError`.
+    """
+    from repro.serve.admission import DeadlineExpired, QueueFull
+    from repro.serve.registry import IncompatibleModel, ModelNotFound
+
+    if code == ERR_QUEUE_FULL:
+        raise QueueFull(message)
+    if code == ERR_DEADLINE_EXPIRED:
+        raise DeadlineExpired(message)
+    if code == ERR_MODEL_NOT_FOUND:
+        raise ModelNotFound(message)
+    if code == ERR_GRAPH_NOT_FOUND:
+        raise KeyError(message)
+    if code == ERR_INCOMPATIBLE:
+        raise IncompatibleModel(message)
+    if code == ERR_BAD_REQUEST:
+        raise ValueError(message)
+    from repro.serve.transport import RemoteServeError
+
+    raise RemoteServeError(f"[{code}] {message}")
 
 
 def read_message(stream: BinaryIO) -> tuple[dict, list[np.ndarray]] | None:

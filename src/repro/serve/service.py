@@ -28,10 +28,11 @@ from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
 from repro.graph.io import load_rank_graphs
+from repro.runtime.api import RolloutRequest, TrainRequest, TrainResult
 from repro.serve.admission import AdmissionConfig, AdmissionController
-from repro.serve.batching import InferenceRequest, RequestQueue, RolloutHandle
+from repro.serve.batching import RequestQueue, RolloutHandle
 from repro.serve.cache import GraphAsset, GraphCache
-from repro.serve.executor import execute_batch
+from repro.serve.executor import execute_batch, execute_train_job
 from repro.serve.metrics import (
     MetricsAggregator,
     RequestMetrics,
@@ -194,7 +195,12 @@ class InferenceService:
     def graph_keys(self) -> list[str]:
         return sorted(set(self._pinned_graphs) | set(self._graph_dirs))
 
-    def _asset(self, key: str) -> GraphAsset:
+    def asset(self, key: str) -> GraphAsset:
+        """Resolve a registered graph key to its (cached) asset.
+
+        Thread-safe; loads directory-backed assets through the cache on
+        a miss. Raises :class:`KeyError` for unknown keys.
+        """
         pinned = self._pinned_graphs.get(key)
         if pinned is not None:
             return self.cache.get_or_load(key, lambda: pinned)
@@ -205,7 +211,38 @@ class InferenceService:
             f"no graph registered under {key!r}; known: {self.graph_keys()}"
         )
 
+    # kept for older call sites; asset() is the public name
+    _asset = asset
+
     # -- request API ---------------------------------------------------------
+
+    def submit_request(self, request: RolloutRequest) -> RolloutHandle:
+        """Enqueue one typed rollout request; returns a streaming handle.
+
+        The shared-dataclass path every front end funnels into (the
+        engine API, the transport handler, and the kwargs convenience
+        :meth:`submit`). Engine defaults are resolved here: a request
+        with ``halo_mode=None`` gets ``config.default_halo_mode``, one
+        with ``deadline_s=None`` gets ``config.default_deadline_s``.
+        Raises :class:`~repro.serve.admission.QueueFull` when the queue
+        is at its configured cap.
+        """
+        if not self._started:
+            raise RuntimeError("service is not started (use start() or `with`)")
+        self.registry.get(request.model)  # fail fast on unknown names
+        if (
+            request.graph not in self._pinned_graphs
+            and request.graph not in self._graph_dirs
+        ):
+            raise KeyError(
+                f"no graph registered under {request.graph!r}; "
+                f"known: {self.graph_keys()}"
+            )
+        request = request.resolved(
+            self.config.default_halo_mode,
+            self._admission.effective_deadline_s(request.deadline_s),
+        )
+        return self._queue.submit(request)
 
     def submit(
         self,
@@ -217,33 +254,26 @@ class InferenceService:
         residual: bool = False,
         deadline_s: float | None = None,
     ) -> RolloutHandle:
-        """Enqueue a rollout request; returns a streaming handle.
+        """Kwargs convenience over :meth:`submit_request`.
 
         ``deadline_s`` is the queue-wait budget (falling back to
         ``config.default_deadline_s``); raises
         :class:`~repro.serve.admission.QueueFull` when the queue is at
         its configured cap.
         """
-        if not self._started:
-            raise RuntimeError("service is not started (use start() or `with`)")
-        self.registry.get(model)  # fail fast on unknown/incompatible names
-        if graph not in self._pinned_graphs and graph not in self._graph_dirs:
-            raise KeyError(
-                f"no graph registered under {graph!r}; known: {self.graph_keys()}"
+        return self.submit_request(
+            RolloutRequest(
+                model=model,
+                graph=graph,
+                x0=x0,
+                n_steps=n_steps,
+                halo_mode=(
+                    None if halo_mode is None else HaloMode.parse(halo_mode).value
+                ),
+                residual=residual,
+                deadline_s=deadline_s,
             )
-        mode = HaloMode.parse(
-            self.config.default_halo_mode if halo_mode is None else halo_mode
         )
-        request = InferenceRequest(
-            model=model,
-            graph=graph,
-            x0=x0,
-            n_steps=n_steps,
-            halo_mode=mode.value,
-            residual=residual,
-            deadline_s=self._admission.effective_deadline_s(deadline_s),
-        )
-        return self._queue.submit(request)
 
     def rollout(
         self,
@@ -320,7 +350,35 @@ class InferenceService:
             execution.n_steps,
             comm_bytes=execution.comm.bytes_sent,
             comm_messages=execution.comm.messages,
+            tile_hits=execution.tile_hits,
+            tile_misses=execution.tile_misses,
         )
+        # a tile miss grew the asset's resident bytes after admission;
+        # keep the configured cache byte budget honest
+        if execution.tile_misses:
+            self.cache.enforce_bounds()
+
+    # -- training jobs -------------------------------------------------------
+
+    def execute_train(self, request: TrainRequest) -> TrainResult:
+        """Run one :class:`~repro.runtime.api.TrainRequest` to completion.
+
+        Synchronous (the caller — typically
+        :class:`~repro.runtime.pooled.PooledEngine` — owns scheduling);
+        the registered model is read, never mutated, so training jobs
+        are safe alongside concurrent inference batches. Returns the
+        runtime-layer :class:`~repro.runtime.api.TrainResult`; the
+        job's wall time lands in the stats table (``train jobs``).
+        """
+        model = self.registry.get(request.model)
+        asset = self.asset(request.graph)
+        request = request.resolved(self.config.default_halo_mode)
+        result = execute_train_job(
+            model, asset, request, timeout=self.config.request_timeout_s
+        )
+        self._metrics.record_train(result.train_s)
+        self.cache.enforce_bounds()  # the job may have tiled the asset
+        return result
 
     # -- stats ---------------------------------------------------------------
 

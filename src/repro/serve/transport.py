@@ -39,6 +39,7 @@ import dataclasses
 import socket
 import socketserver
 import threading
+import warnings
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -47,12 +48,22 @@ from repro.comm.modes import HaloMode
 from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
+from repro.runtime.api import EngineCapabilities, RolloutRequest
 from repro.serve import protocol
-from repro.serve.admission import DeadlineExpired, QueueFull, RequestRejected
 from repro.serve.metrics import ServeStats
 from repro.serve.protocol import ProtocolError, read_message, write_message
-from repro.serve.registry import IncompatibleModel, ModelNotFound
 from repro.serve.service import InferenceService
+
+#: What the wire supports, announced through the ``capabilities`` op.
+#: Training jobs and in-memory assets deliberately do not cross the
+#: socket — a remote engine negotiates this up front and rejects them
+#: with a typed :class:`~repro.runtime.api.CapabilityError` client-side.
+WIRE_CAPABILITIES = EngineCapabilities(
+    transport="tcp",
+    training=False,
+    streaming=True,
+    in_memory_assets=False,
+)
 
 
 class TransportError(RuntimeError):
@@ -82,45 +93,11 @@ def parse_endpoint(value: str) -> tuple[str, int]:
     return host, port
 
 
-def _require(header: dict, key: str):
-    """Fetch a required header field; missing fields are bad requests
-    (a bare ``KeyError`` would masquerade as graph-not-found)."""
-    try:
-        return header[key]
-    except KeyError:
-        raise ValueError(f"message is missing required field {key!r}") from None
-
-
-def _error_code(exc: BaseException) -> str:
-    """Map a server-side exception to its wire error code."""
-    if isinstance(exc, RequestRejected):
-        return exc.code  # queue_full / deadline_expired
-    if isinstance(exc, ModelNotFound):
-        return protocol.ERR_MODEL_NOT_FOUND
-    if isinstance(exc, KeyError):
-        return protocol.ERR_GRAPH_NOT_FOUND
-    if isinstance(exc, IncompatibleModel):
-        return protocol.ERR_INCOMPATIBLE
-    if isinstance(exc, (ValueError, FileNotFoundError)):
-        return protocol.ERR_BAD_REQUEST
-    return protocol.ERR_INTERNAL
-
-
-def _raise_for_code(code: str, message: str) -> None:
-    """Client-side inverse of :func:`_error_code` (always raises)."""
-    if code == protocol.ERR_QUEUE_FULL:
-        raise QueueFull(message)
-    if code == protocol.ERR_DEADLINE_EXPIRED:
-        raise DeadlineExpired(message)
-    if code == protocol.ERR_MODEL_NOT_FOUND:
-        raise ModelNotFound(message)
-    if code == protocol.ERR_GRAPH_NOT_FOUND:
-        raise KeyError(message)
-    if code == protocol.ERR_INCOMPATIBLE:
-        raise IncompatibleModel(message)
-    if code == protocol.ERR_BAD_REQUEST:
-        raise ValueError(message)
-    raise RemoteServeError(f"[{code}] {message}")
+# exception <-> wire-code mapping lives with the protocol now; these
+# aliases keep the transport readable (and old import sites working)
+_require = protocol.require_field
+_error_code = protocol.error_code
+_raise_for_code = protocol.raise_for_code
 
 
 # -- server ------------------------------------------------------------------
@@ -157,6 +134,13 @@ class _Handler(socketserver.StreamRequestHandler):
         try:
             if op == "ping":
                 self._reply({"type": "pong"})
+            elif op == "capabilities":
+                self._reply(
+                    {
+                        "type": "capabilities",
+                        "capabilities": WIRE_CAPABILITIES.to_dict(),
+                    }
+                )
             elif op == "rollout":
                 self._rollout(service, header, arrays)
             elif op == "stats":
@@ -200,21 +184,12 @@ class _Handler(socketserver.StreamRequestHandler):
     def _rollout(
         self, service: InferenceService, header: dict, arrays: list[np.ndarray]
     ) -> None:
-        if len(arrays) != 1:
-            self._reply_error(
-                protocol.ERR_BAD_REQUEST,
-                f"rollout carries exactly one array (x0), got {len(arrays)}",
-            )
+        try:
+            request = protocol.parse_rollout_message(header, arrays)
+        except ValueError as exc:
+            self._reply_error(protocol.ERR_BAD_REQUEST, str(exc))
             return
-        handle = service.submit(
-            model=_require(header, "model"),
-            graph=_require(header, "graph"),
-            x0=arrays[0],
-            n_steps=int(_require(header, "n_steps")),
-            halo_mode=header.get("halo_mode"),
-            residual=bool(header.get("residual", False)),
-            deadline_s=header.get("deadline_s"),
-        )
+        handle = service.submit_request(request)
         step = 0
         try:
             for frame in handle.frames(timeout=service.config.request_timeout_s):
@@ -391,7 +366,15 @@ class NetworkRolloutHandle:
 
 
 class NetworkClient:
-    """Socket client mirroring the in-process ``ServeClient`` API.
+    """Deprecated socket client mirroring the old ``ServeClient`` API.
+
+    .. deprecated::
+        ``NetworkClient`` survives as a thin compatibility shim; new
+        code should use ``repro.runtime.connect("tcp://HOST:PORT")``,
+        which returns a :class:`~repro.runtime.remote.RemoteEngine`
+        with persistent pooled connections and the typed
+        request/response API. Constructing a ``NetworkClient`` emits
+        one :class:`DeprecationWarning`.
 
     Each operation opens its own connection (``connect_timeout_s``
     bounds the dial, ``request_timeout_s`` bounds each reply/frame), so
@@ -412,6 +395,12 @@ class NetworkClient:
         request_timeout_s: float = 120.0,
         connect_timeout_s: float = 10.0,
     ):
+        warnings.warn(
+            "NetworkClient is deprecated; use "
+            "repro.runtime.connect('tcp://HOST:PORT') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.host = host
         self.port = port
         self.request_timeout_s = request_timeout_s
@@ -541,23 +530,21 @@ class NetworkClient:
         raised from the *handle* (on first frame read), not here — the
         request is not parsed server-side until the stream is consumed.
         """
+        request = RolloutRequest(
+            model=model,
+            graph=graph,
+            x0=x0,
+            n_steps=n_steps,
+            halo_mode=(
+                None if halo_mode is None else HaloMode.parse(halo_mode).value
+            ),
+            residual=residual,
+            deadline_s=deadline_s,
+        )
         sock = self._dial()
         try:
-            mode = None if halo_mode is None else HaloMode.parse(halo_mode).value
             with sock.makefile("wb") as out:
-                write_message(
-                    out,
-                    {
-                        "op": "rollout",
-                        "model": model,
-                        "graph": graph,
-                        "n_steps": int(n_steps),
-                        "halo_mode": mode,
-                        "residual": bool(residual),
-                        "deadline_s": deadline_s,
-                    },
-                    [np.asarray(x0, dtype=np.float64)],
-                )
+                write_message(out, *protocol.rollout_message(request))
         except BaseException:
             sock.close()
             raise

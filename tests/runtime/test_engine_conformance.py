@@ -1,0 +1,400 @@
+"""Engine conformance: one API, three substrates, identical behavior.
+
+The redesign's contract, asserted over ``LocalEngine`` /
+``PooledEngine`` / ``RemoteEngine`` with path-identical assets:
+
+* the same :class:`RolloutRequest` produces **bitwise identical**
+  trajectories on every engine, 1-rank and 4-rank;
+* failures cross every engine as the **same typed exceptions**
+  (``QueueFull``, ``DeadlineExpired``, ``ModelNotFound``, ``KeyError``,
+  capability rejections as ``CapabilityError``);
+* a :class:`TrainRequest` through the pooled engine matches a direct
+  :func:`~repro.gnn.trainer.train_model` run on the same batch, bit
+  for bit;
+* the deprecated ``ServeClient`` / ``NetworkClient`` shims emit exactly
+  one :class:`DeprecationWarning` each and still serve identical bits.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.comm.single import SingleProcessComm
+from repro.gnn import load_checkpoint, rollout, train_model
+from repro.runtime import (
+    CapabilityError,
+    RolloutRequest,
+    RolloutResult,
+    StepFrame,
+    TrainRequest,
+)
+from repro.serve import (
+    DeadlineExpired,
+    NetworkClient,
+    QueueFull,
+    ServeClient,
+    ServeConfig,
+    ServeServer,
+)
+from repro.serve.registry import ModelNotFound
+from tests.runtime.conftest import ENGINE_KINDS, make_engine
+
+
+def assert_bitwise_equal(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.dtype == y.dtype == np.float64
+        assert np.array_equal(x.view(np.uint64), y.view(np.uint64))
+
+
+class TestBitwiseTrajectories:
+    @pytest.mark.parametrize("graph_key", ["g1", "g4"])
+    def test_all_engines_agree_bitwise(self, asset_paths, x0, graph_key):
+        """1- and 4-rank trajectories are identical across every engine."""
+        request = RolloutRequest(model="m", graph=graph_key, x0=x0, n_steps=3)
+        trajectories = {}
+        for kind in ENGINE_KINDS:
+            with make_engine(kind, asset_paths) as engine:
+                result = engine.rollout(request)
+                assert isinstance(result, RolloutResult)
+                assert result.n_steps == 3
+                trajectories[kind] = result.states
+        assert_bitwise_equal(trajectories["local"], trajectories["pool"])
+        assert_bitwise_equal(trajectories["local"], trajectories["tcp"])
+
+    def test_single_rank_matches_direct_rollout(self, asset_paths, x0,
+                                                full_graph):
+        """The engine result is a hand-wired rollout(), bit for bit."""
+        model = load_checkpoint(asset_paths[0])
+        reference = rollout(model, full_graph, x0, n_steps=3)
+        request = RolloutRequest(model="m", graph="g1", x0=x0, n_steps=3)
+        for kind in ENGINE_KINDS:
+            with make_engine(kind, asset_paths) as engine:
+                assert_bitwise_equal(engine.rollout(request).states, reference)
+
+    def test_stream_yields_typed_frames_matching_result(self, any_engine, x0):
+        request = RolloutRequest(model="m", graph="g1", x0=x0, n_steps=2)
+        frames = list(any_engine.stream(request))
+        assert [f.step for f in frames] == [0, 1, 2]
+        assert all(isinstance(f, StepFrame) for f in frames)
+        result = any_engine.rollout(request)
+        assert_bitwise_equal([f.state for f in frames], result.states)
+
+    def test_submit_future_result(self, any_engine, x0):
+        future = any_engine.submit(
+            RolloutRequest(model="m", graph="g4", x0=x0, n_steps=2)
+        )
+        result = future.result(timeout=60.0)
+        assert future.done
+        assert len(result.states) == 3
+        assert result.request_id == future.request.request_id
+
+    def test_result_after_full_stream_never_blocks(self, any_engine, x0):
+        """frames() and result() share one iterator: draining the stream
+        and then asking for the result returns the collected trajectory
+        instead of re-reading an exhausted stream."""
+        future = any_engine.submit(
+            RolloutRequest(model="m", graph="g1", x0=x0, n_steps=2)
+        )
+        steps = [f.step for f in future.frames(timeout=30.0)]
+        assert steps == [0, 1, 2]
+        result = future.result(timeout=5.0)  # must complete immediately
+        assert len(result.states) == 3
+        # idempotent from here on
+        assert len(future.result(timeout=5.0).states) == 3
+
+    def test_result_after_partial_stream_drains_the_rest(self, any_engine,
+                                                         x0):
+        future = any_engine.submit(
+            RolloutRequest(model="m", graph="g1", x0=x0, n_steps=3)
+        )
+        stream = future.frames(timeout=30.0)
+        first = next(stream)
+        assert first.step == 0
+        result = future.result(timeout=30.0)
+        assert len(result.states) == 4
+        assert np.array_equal(result.states[0], first.state)
+
+    @pytest.mark.parametrize("kind", ["pool", "tcp"])
+    def test_failed_stream_never_resolves_to_truncated_success(
+        self, kind, asset_paths, x0
+    ):
+        """A rollout that failed stays failed: result() re-raises the
+        stream's terminal error instead of returning a short
+        trajectory as if it had succeeded."""
+        from repro.serve.registry import IncompatibleModel
+
+        with make_engine(kind, asset_paths) as engine:
+            # bad shape passes submission and fails in the worker/stream
+            future = engine.submit(RolloutRequest(
+                model="m", graph="g1", x0=x0[:-1], n_steps=3,
+            ))
+            with pytest.raises(IncompatibleModel):
+                future.result(timeout=30.0)
+            with pytest.raises(IncompatibleModel):
+                future.result(timeout=5.0)  # same error, not a short success
+
+
+class TestTypedErrors:
+    def test_unknown_model_is_model_not_found(self, any_engine, x0):
+        with pytest.raises(ModelNotFound):
+            any_engine.rollout(
+                RolloutRequest(model="nope", graph="g1", x0=x0, n_steps=1)
+            )
+
+    def test_unknown_graph_is_key_error(self, any_engine, x0):
+        with pytest.raises(KeyError):
+            any_engine.rollout(
+                RolloutRequest(model="m", graph="nope", x0=x0, n_steps=1)
+            )
+
+    def test_invalid_request_rejected_at_construction(self, x0):
+        with pytest.raises(ValueError, match="n_steps"):
+            RolloutRequest(model="m", graph="g1", x0=x0, n_steps=0)
+        with pytest.raises(ValueError, match="2-D"):
+            RolloutRequest(model="m", graph="g1", x0=x0[:, 0], n_steps=1)
+        with pytest.raises(ValueError, match="halo mode"):
+            RolloutRequest(model="m", graph="g1", x0=x0, n_steps=1,
+                           halo_mode="bogus")
+
+    @pytest.mark.parametrize("kind", ["pool", "tcp"])
+    def test_queue_full_is_identical_across_engines(self, kind, asset_paths,
+                                                    x0):
+        """Overloading a capped queue sheds with QueueFull on every
+        engine that has a queue (local engines execute inline)."""
+        config = ServeConfig(max_batch_size=1, max_wait_s=0.0, n_workers=1,
+                             max_queue_depth=1)
+        with make_engine(kind, asset_paths, serve_config=config) as engine:
+            outcomes = _concurrent_rollouts(engine, x0, n=8, n_steps=4)
+            shed = [o for o in outcomes if isinstance(o, QueueFull)]
+            served = [o for o in outcomes if isinstance(o, RolloutResult)]
+            unexpected = [o for o in outcomes
+                          if not isinstance(o, (QueueFull, RolloutResult))]
+            assert not unexpected, unexpected
+            assert shed, "capped queue never shed under an 8-deep burst"
+            assert served, "admission must still serve within the cap"
+
+    @pytest.mark.parametrize("kind", ["pool", "tcp"])
+    def test_deadline_expired_is_identical_across_engines(self, kind,
+                                                          asset_paths, x0):
+        config = ServeConfig(max_batch_size=1, max_wait_s=0.0, n_workers=1,
+                             default_deadline_s=0.001)
+        with make_engine(kind, asset_paths, serve_config=config) as engine:
+            outcomes = _concurrent_rollouts(engine, x0, n=8, n_steps=4)
+            expired = [o for o in outcomes if isinstance(o, DeadlineExpired)]
+            unexpected = [o for o in outcomes
+                          if not isinstance(o,
+                                            (DeadlineExpired, RolloutResult))]
+            assert not unexpected, unexpected
+            assert expired, "a 1ms deadline never expired under a burst"
+
+    def test_remote_rejects_training_with_capability_error(self, asset_paths,
+                                                           x0):
+        with make_engine("tcp", asset_paths) as engine:
+            assert engine.capabilities().training is False
+            with pytest.raises(CapabilityError, match="training"):
+                engine.train(TrainRequest(model="m", graph="g1",
+                                          x=x0, target=x0))
+
+    def test_remote_rejects_in_memory_assets_with_capability_error(
+        self, asset_paths, engine_model, full_graph
+    ):
+        with make_engine("tcp", asset_paths) as engine:
+            assert engine.capabilities().in_memory_assets is False
+            with pytest.raises(CapabilityError, match="checkpoint"):
+                engine.register_model("m2", engine_model)
+            with pytest.raises(CapabilityError, match="graph_dir"):
+                engine.register_graph("g2", [full_graph])
+
+    def test_submit_rejects_non_requests(self, any_engine):
+        with pytest.raises(TypeError, match="RolloutRequest or TrainRequest"):
+            any_engine.submit("not a request")
+
+
+class TestTraining:
+    @pytest.mark.parametrize("kind", ["local", "pool"])
+    def test_train_matches_direct_trainer_bitwise(self, kind, asset_paths,
+                                                  x0, full_graph):
+        """A B=1 TrainRequest reproduces a hand-wired train_model run."""
+        target = x0 * 0.9
+        with make_engine(kind, asset_paths) as engine:
+            job = engine.train(TrainRequest(model="m", graph="g1",
+                                            x=x0, target=target,
+                                            iterations=3, lr=1e-3))
+        reference_model = load_checkpoint(asset_paths[0])
+        direct = train_model(reference_model, full_graph, x0, target,
+                             SingleProcessComm(), iterations=3, lr=1e-3)
+        assert job.losses == direct.losses
+        assert job.world_size == 1 and job.batch_size == 1
+        for name, value in direct.state_dict.items():
+            assert np.array_equal(job.state_dict[name], value), name
+
+    def test_distributed_train_is_consistent(self, asset_paths, x0):
+        """The 4-rank job reproduces the 1-rank optimization trajectory
+        (the paper's training-consistency claim, via the engine API)."""
+        target = x0 * 0.9
+        request = dict(model="m", x=x0, target=target, iterations=3, lr=1e-3)
+        with make_engine("pool", asset_paths) as engine:
+            r1 = engine.train(TrainRequest(graph="g1", **request))
+            r4 = engine.train(TrainRequest(graph="g4", **request))
+        assert r4.world_size == 4
+        np.testing.assert_allclose(r4.losses, r1.losses, rtol=1e-7)
+
+    def test_batched_samples_tile_through_one_job(self, asset_paths, x0):
+        """B=2 samples ride one tiled forward/backward; engines agree."""
+        x = np.stack([x0, x0 * 1.1])
+        target = np.stack([x0 * 0.9, x0 * 0.8])
+        request = TrainRequest(model="m", graph="g4", x=x, target=target,
+                               iterations=2, lr=1e-3)
+        results = {}
+        for kind in ("local", "pool"):
+            with make_engine(kind, asset_paths) as engine:
+                results[kind] = engine.train(request)
+        assert results["pool"].batch_size == 2
+        assert results["pool"].losses == results["local"].losses
+        for name, value in results["local"].state_dict.items():
+            assert np.array_equal(results["pool"].state_dict[name], value)
+
+    def test_training_never_mutates_the_registered_model(self, asset_paths,
+                                                         x0):
+        with make_engine("pool", asset_paths) as engine:
+            before = engine.rollout(
+                RolloutRequest(model="m", graph="g1", x0=x0, n_steps=1)
+            ).states
+            engine.train(TrainRequest(model="m", graph="g1",
+                                      x=x0, target=x0 * 0.9, iterations=2))
+            after = engine.rollout(
+                RolloutRequest(model="m", graph="g1", x0=x0, n_steps=1)
+            ).states
+        assert_bitwise_equal(before, after)
+
+    def test_train_jobs_surface_in_stats(self, asset_paths, x0):
+        with make_engine("pool", asset_paths) as engine:
+            engine.train(TrainRequest(model="m", graph="g1",
+                                      x=x0, target=x0 * 0.9))
+            stats = engine.stats()
+            assert stats.train_jobs == 1
+            assert stats.train_s > 0.0
+            assert "train jobs" in engine.stats_markdown()
+
+
+class TestConnectionPooling:
+    def test_sequential_requests_share_one_connection(self, asset_paths, x0):
+        with make_engine("tcp", asset_paths) as engine:
+            for _ in range(5):
+                engine.rollout(
+                    RolloutRequest(model="m", graph="g1", x0=x0, n_steps=1)
+                )
+            stats = engine.pool_stats()
+            assert stats.dials == 1
+            assert stats.reuses >= 5
+            assert stats.idle == 1
+
+    def test_stream_timeout_does_not_leak_onto_pooled_connection(
+        self, asset_paths, x0
+    ):
+        """A narrow per-frame timeout used by one stream must not
+        survive on the socket when it returns to the pool."""
+        with make_engine("tcp", asset_paths) as engine:
+            request = RolloutRequest(model="m", graph="g1", x0=x0, n_steps=1)
+            result = engine.rollout(request, timeout=0.5)
+            assert len(result.states) == 2
+            conn = engine._pool.acquire()
+            try:
+                assert conn.sock.gettimeout() == engine._pool.request_timeout_s
+            finally:
+                engine._pool.release(conn)
+
+    def test_reconnect_on_eof_once(self, asset_paths, x0):
+        """A connection that died while pooled costs one redial, not an
+        error. The server hangs up after answering an unknown op — the
+        engine releases that connection to the pool unaware, exactly
+        the state a bounced server or an idle-timeout middlebox leaves
+        behind — and the next request recovers transparently."""
+        with make_engine("tcp", asset_paths) as engine:
+            request = RolloutRequest(model="m", graph="g1", x0=x0, n_steps=1)
+            engine.rollout(request)
+            assert engine.pool_stats().dials == 1
+            with pytest.raises(ValueError, match="unknown op"):
+                engine._call({"op": "not-an-op"})  # server closes afterwards
+            result = engine.rollout(request)  # reconnects transparently
+            assert len(result.states) == 2
+            stats = engine.pool_stats()
+            assert stats.dials == 2, stats
+
+
+class TestDeprecatedShims:
+    def test_serve_client_emits_exactly_one_deprecation_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            client = ServeClient.local(ServeConfig(max_batch_size=2))
+            client.stats()
+            client.close()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "connect('pool://')" in str(deprecations[0].message)
+
+    def test_network_client_emits_exactly_one_deprecation_warning(
+        self, asset_paths, x0
+    ):
+        with make_engine("pool", asset_paths) as backend, \
+                ServeServer(backend.service) as server:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                client = NetworkClient.connect(server.endpoint)
+                states = client.rollout("m", "g1", x0, n_steps=2)
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1
+            assert "tcp://" in str(deprecations[0].message)
+            # and the shim still serves engine-identical bits
+            reference = backend.rollout(
+                RolloutRequest(model="m", graph="g1", x0=x0, n_steps=2)
+            )
+            assert_bitwise_equal(states, reference.states)
+
+    def test_local_shim_teardown_is_idempotent_and_leak_free(self, x0,
+                                                             engine_model,
+                                                             full_graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with ServeClient.local(ServeConfig(max_batch_size=2)) as client:
+                assert client.owns_service
+                client.register_model("m", engine_model)
+                client.register_graph("g", [full_graph])
+                assert len(client.rollout("m", "g", x0, 1)) == 2
+                assert _serve_worker_threads(), "workers should be alive"
+            assert not _serve_worker_threads(), (
+                "context exit left serve workers running"
+            )
+            client.close()  # idempotent: second close is a no-op
+            client.close()
+            assert not _serve_worker_threads()
+
+
+def _serve_worker_threads():
+    return [t for t in threading.enumerate()
+            if t.name.startswith("serve-worker") and t.is_alive()]
+
+
+def _concurrent_rollouts(engine, x0, n, n_steps):
+    """Fire ``n`` concurrent rollouts; collect results and exceptions."""
+    outcomes: list = [None] * n
+
+    def fire(i):
+        try:
+            outcomes[i] = engine.rollout(RolloutRequest(
+                model="m", graph="g1", x0=x0, n_steps=n_steps,
+            ))
+        except BaseException as exc:  # noqa: BLE001 - the outcome under test
+            outcomes[i] = exc
+
+    threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return outcomes

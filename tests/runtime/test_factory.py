@@ -1,0 +1,89 @@
+"""``connect()`` URL parsing, capabilities, and request dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    LocalEngine,
+    PooledEngine,
+    RolloutRequest,
+    TrainRequest,
+    connect,
+)
+from repro.runtime.api import EngineCapabilities
+
+X0 = np.zeros((5, 3))
+
+
+class TestConnect:
+    def test_local_scheme(self):
+        with connect("local://") as engine:
+            assert isinstance(engine, LocalEngine)
+            caps = engine.capabilities()
+            assert caps.transport == "local"
+            assert caps.training and caps.in_memory_assets
+            assert not caps.streaming
+
+    def test_pool_scheme(self):
+        with connect("pool://") as engine:
+            assert isinstance(engine, PooledEngine)
+            caps = engine.capabilities()
+            assert caps.transport == "pool"
+            assert caps.training and caps.streaming and caps.in_memory_assets
+
+    def test_pool_mounts_existing_service(self):
+        with connect("pool://") as owner:
+            shared = connect("pool://", service=owner.service)
+            assert shared.service is owner.service
+            shared.close()  # must NOT stop the service it does not own
+            assert owner.rollout  # still usable
+        # double close of the owner is a no-op
+        owner.close()
+
+    @pytest.mark.parametrize("url", [
+        "local", "ftp://x", "pool://somehost", "local://h", "", "tcp://",
+    ])
+    def test_bad_urls_raise_value_error(self, url):
+        with pytest.raises(ValueError):
+            connect(url)
+
+    def test_pool_options_rejected_elsewhere(self):
+        with pytest.raises(ValueError, match="pool://"):
+            connect("local://", config=object())
+
+
+class TestCapabilitiesRoundTrip:
+    def test_to_from_dict(self):
+        caps = EngineCapabilities(transport="tcp", training=False,
+                                  streaming=True, in_memory_assets=False)
+        assert EngineCapabilities.from_dict(caps.to_dict()) == caps
+
+
+class TestRequestDataclasses:
+    def test_rollout_request_canonicalizes_float64(self):
+        req = RolloutRequest(model="m", graph="g",
+                             x0=X0.astype(np.float32), n_steps=1)
+        assert req.x0.dtype == np.float64
+
+    def test_resolved_fills_defaults_preserving_identity(self):
+        req = RolloutRequest(model="m", graph="g", x0=X0, n_steps=1)
+        resolved = req.resolved("n-a2a", 0.5)
+        assert resolved.halo_mode == "n-a2a"
+        assert resolved.deadline_s == 0.5
+        assert resolved.request_id == req.request_id
+        # explicit fields are never overridden
+        assert resolved.resolved("a2a", 9.9) is resolved
+
+    def test_train_request_batches_and_validates(self):
+        one = TrainRequest(model="m", graph="g", x=X0, target=X0)
+        assert one.n_samples == 1 and one.x.shape == (1, 5, 3)
+        two = TrainRequest(model="m", graph="g",
+                           x=np.stack([X0, X0]), target=np.stack([X0, X0]))
+        assert two.n_samples == 2
+        with pytest.raises(ValueError, match="iterations"):
+            TrainRequest(model="m", graph="g", x=X0, target=X0, iterations=0)
+        with pytest.raises(ValueError, match="disagree"):
+            TrainRequest(model="m", graph="g", x=X0, target=X0[:-1])
+        with pytest.raises(ValueError, match="grad_reduction"):
+            TrainRequest(model="m", graph="g", x=X0, target=X0,
+                         grad_reduction="median")

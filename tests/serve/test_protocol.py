@@ -127,3 +127,49 @@ class TestMalformedStreams:
         framed = struct.pack(">I", len(payload)) + payload
         with pytest.raises(ProtocolError, match="array count"):
             read_message(io.BytesIO(framed))
+
+
+class TestTypedRequestMessages:
+    """The protocol speaks the runtime layer's shared dataclasses."""
+
+    def test_rollout_request_round_trips(self):
+        from repro.runtime.api import RolloutRequest
+        from repro.serve.protocol import parse_rollout_message, rollout_message
+
+        request = RolloutRequest(model="m", graph="g",
+                                 x0=np.zeros((4, 3)), n_steps=2,
+                                 halo_mode="a2a", residual=True,
+                                 deadline_s=0.5)
+        header, arrays = rollout_message(request)
+        parsed = parse_rollout_message(header, arrays)
+        assert (parsed.model, parsed.graph, parsed.n_steps) == ("m", "g", 2)
+        assert parsed.halo_mode == "a2a" and parsed.residual
+        assert parsed.deadline_s == 0.5
+        np.testing.assert_array_equal(parsed.x0, request.x0)
+        # server-side identity is re-stamped, not trusted from the wire
+        assert parsed.request_id != request.request_id
+
+    def test_missing_field_is_value_error(self):
+        from repro.serve.protocol import parse_rollout_message
+
+        with pytest.raises(ValueError, match="model"):
+            parse_rollout_message({"op": "rollout", "graph": "g",
+                                   "n_steps": 1}, [np.zeros((4, 3))])
+
+    def test_wrong_typed_field_is_value_error_not_internal(self):
+        """n_steps: null must classify as bad_request, not internal."""
+        from repro.serve.protocol import error_code, parse_rollout_message
+
+        with pytest.raises(ValueError, match="malformed") as exc_info:
+            parse_rollout_message(
+                {"op": "rollout", "model": "m", "graph": "g",
+                 "n_steps": None}, [np.zeros((4, 3))],
+            )
+        assert error_code(exc_info.value) == "bad_request"
+
+    def test_wrong_array_count_is_value_error(self):
+        from repro.serve.protocol import parse_rollout_message
+
+        with pytest.raises(ValueError, match="exactly one array"):
+            parse_rollout_message({"op": "rollout", "model": "m",
+                                   "graph": "g", "n_steps": 1}, [])

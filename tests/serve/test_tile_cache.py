@@ -1,0 +1,100 @@
+"""Per-(asset, batch_size) tiled-graph cache: identity, bits, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.api import RolloutRequest
+from repro.serve.cache import MAX_TILE_VARIANTS, GraphAsset
+from repro.serve.executor import execute_batch
+from repro.serve.tiling import tile_local_graph
+
+
+@pytest.fixture()
+def asset(dist_graph):
+    for g in dist_graph.locals:
+        g.plans  # compile once so tiles compose instead of re-sorting
+    return GraphAsset(key="g4", graphs=tuple(dist_graph.locals))
+
+
+def test_tiled_is_cached_per_batch_and_rank(asset):
+    first, hit_first = asset.tiled(3, 0)
+    again, hit_again = asset.tiled(3, 0)
+    assert not hit_first and hit_again
+    assert again is first  # the same object, not an equal rebuild
+    other_rank, hit = asset.tiled(3, 1)
+    assert not hit and other_rank is not first
+
+
+def test_batch_one_returns_base_graph_as_hit(asset):
+    g, hit = asset.tiled(1, 2)
+    assert hit and g is asset.graphs[2]
+
+
+def test_cached_tile_is_bitwise_the_fresh_tile(asset):
+    cached, _ = asset.tiled(4, 0)
+    fresh = tile_local_graph(asset.graphs[0], 4)
+    np.testing.assert_array_equal(cached.edge_index, fresh.edge_index)
+    np.testing.assert_array_equal(cached.global_ids, fresh.global_ids)
+    np.testing.assert_array_equal(cached.halo.halo_to_local,
+                                  fresh.halo.halo_to_local)
+
+
+def test_tile_variants_are_bounded(asset):
+    for batch in range(2, MAX_TILE_VARIANTS + 4):
+        asset.tiled(batch, 0)
+    sizes = {b for b, _ in asset._tiles}
+    assert len(sizes) <= MAX_TILE_VARIANTS
+    assert MAX_TILE_VARIANTS + 3 in sizes  # the newest size survives
+
+
+def test_tiles_count_toward_asset_bytes(asset):
+    base = asset.nbytes
+    asset.tiled(6, 0)
+    assert asset.nbytes > base
+
+
+def test_enforce_bounds_evicts_after_tile_growth(dist_graph, full_graph):
+    """Tile growth happens outside put(); enforce_bounds() re-applies
+    the byte budget so a configured cap stays honest under serving."""
+    from repro.serve.cache import GraphCache
+
+    budget = GraphAsset(key="a", graphs=tuple(dist_graph.locals)).nbytes * 2
+    cache = GraphCache(max_entries=8, max_bytes=budget)
+    cache.put("old", list(dist_graph.locals))
+    cache.put("hot", [full_graph])
+    assert set(cache.keys()) == {"old", "hot"}
+    cache.enforce_bounds()  # nothing grew yet: both fit
+    assert len(cache) == 2
+    grown = cache.get("old")  # serving tiles this asset well past budget
+    for batch in range(2, 8):
+        for rank in range(len(dist_graph.locals)):
+            grown.tiled(batch, rank)
+    cache.get("hot")  # MRU survivor
+    cache.enforce_bounds()
+    assert cache.keys() == ["hot"], (
+        "tile growth beyond max_bytes must evict at the next re-check"
+    )
+
+
+def test_execute_batch_reports_hits_after_first_batch(
+    serve_model, asset, x0
+):
+    def requests(n):
+        return [
+            RolloutRequest(model="m", graph="g4", x0=x0, n_steps=1,
+                           halo_mode="n-a2a")
+            for _ in range(n)
+        ]
+
+    sink = lambda i, step, state: None  # noqa: E731
+    first = execute_batch(serve_model, asset, requests(3), sink)
+    assert first.tile_misses == asset.size and first.tile_hits == 0
+    second = execute_batch(serve_model, asset, requests(3), sink)
+    assert second.tile_hits == asset.size and second.tile_misses == 0
+    frames: list = []
+    third = execute_batch(
+        serve_model, asset, requests(3),
+        lambda i, step, state: frames.append((i, step, state)),
+    )
+    assert third.tile_hits == asset.size
+    assert len(frames) == 6  # 3 requests x (x0 + 1 step)
