@@ -21,7 +21,12 @@ the serving-layer claims end to end:
   ``CapabilityError`` — client-side, before any bytes move;
 * **admission control** crosses the wire: with a queue cap, an
   overload burst is shed with a typed ``QueueFull`` rejection the
-  client can catch, and the stats table reports the split.
+  client can catch, and the stats table reports the split;
+* **cluster routing**: two servers behind
+  ``connect("cluster://...")`` — consistent-hash placement pins each
+  ``(model, graph)`` key to one shard, draining a shard diverts its
+  traffic to the survivor, and ``stats()`` merges both shards'
+  metrics into one table.
 
 In a real deployment the server side is just
 ``python -m repro serve --listen HOST:PORT`` (see the README's
@@ -164,6 +169,41 @@ def main() -> None:
                   f"with typed QueueFull rejections")
             print()
             print(pool.stats_markdown())
+
+        # 7) cluster routing: two servers, one engine, merged stats
+        config = ServeConfig(max_batch_size=CLIENTS, max_wait_s=0.02)
+        with connect("pool://", config=config) as pool_a, \
+                ServeServer(pool_a.service) as server_a, \
+                connect("pool://", config=config) as pool_b, \
+                ServeServer(pool_b.service) as server_b, \
+                connect(f"cluster://{server_a.endpoint},"
+                        f"{server_b.endpoint}") as cluster:
+            cluster.register_checkpoint("tgv", ckpt, expect_config=CONFIG)
+            cluster.register_graph_dir("box-r4", graph_dir)
+            request = RolloutRequest(model="tgv", graph="box-r4",
+                                     x0=x0, n_steps=STEPS)
+            primary = cluster.place("tgv", "box-r4")
+            for _ in range(3):
+                routed = cluster.rollout(request)
+                assert bitwise_equal(routed.states, in_process)
+            print(f"cluster: 3 requests routed to primary {primary}, "
+                  f"bitwise identical to in-process")
+
+            survivor = next(s for s in cluster.shard_ids if s != primary)
+            cluster.drain(primary)
+            cluster.rollout(request)
+            statuses = {s.shard_id: s for s in cluster.cluster_stats().shards}
+            assert statuses[survivor].routed == 1
+            print(f"drained {primary}: traffic diverted to {survivor}")
+            cluster.undrain(primary)
+
+            ledger = cluster.cluster_stats()
+            assert ledger.accepted == ledger.completed == 4
+            print("exactly-once ledger balanced "
+                  f"(accepted={ledger.accepted}, "
+                  f"completed={ledger.completed})")
+            print()
+            print(cluster.stats_markdown())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,801 @@
+"""ClusterEngine: shard-routed execution over N backend engines.
+
+The paper scales one consistent surrogate across ranks *inside* a
+server; this layer scales the serving system across *servers*. A
+:class:`ClusterEngine` implements the same
+:class:`~repro.runtime.api.Engine` protocol as every other engine —
+``connect("cluster://h1:p1,h2:p2,...")`` returns one — and routes each
+typed request to a backend shard:
+
+* **Placement** is consistent-hash by ``(model, graph)``
+  (:mod:`repro.cluster.placement`), so each asset's registry entry,
+  resident graph, compiled plans, and tiled replicas stay hot on one
+  shard. When the placed shard is saturated (``spill_threshold``
+  requests in flight), the request spills to the least-loaded UP shard
+  — latency beats affinity once a shard is at capacity.
+* **Health** is typed (:class:`~repro.cluster.health.ShardState`): a
+  background monitor pings each shard; transport failures during a
+  request mark the shard DOWN immediately. ``drain()`` removes a shard
+  from routing without declaring it dead.
+* **Failover** redrives in-flight rollouts of a dead shard onto a
+  survivor. A rollout is a pure read, so redriving is safe; frames the
+  consumer already received are *skipped* from the replayed stream
+  (bitwise-identical by the engine conformance contract), so the
+  client sees one uninterrupted, exactly-once trajectory. Accounting
+  is asserted: every accepted submission resolves exactly once
+  (:meth:`cluster_stats`). Typed server-side rejections (``QueueFull``,
+  ``DeadlineExpired``, unknown assets, ...) are **not** failover events
+  — the shard answered; the answer was no.
+* **Capabilities** are negotiated as the intersection of the backends'
+  (:meth:`~repro.runtime.api.EngineCapabilities.intersection`): the
+  cluster only claims what every shard it may route to can serve.
+* **Stats** merge: :meth:`stats` folds per-shard
+  :class:`~repro.serve.metrics.ServeStats` into one snapshot
+  (:func:`repro.serve.metrics.merge_stats`); :meth:`stats_markdown`
+  renders it plus the per-shard routing/health table.
+
+Thread safety: fully shareable — routing state is lock-guarded and the
+backends are themselves thread-safe engines. Determinism: routing
+never changes computed bits (conformance-suite-asserted); it only
+changes where they are computed.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.gnn.architecture import MeshGNN
+from repro.gnn.config import GNNConfig
+from repro.graph.distributed import LocalGraph
+from repro.perf.report import markdown_table
+from repro.runtime.api import (
+    CapabilityError,
+    Engine,
+    EngineCapabilities,
+    NoShardAvailable,
+    RolloutFuture,
+    RolloutRequest,
+    ShardError,
+    StepFrame,
+    TrainFuture,
+    TrainRequest,
+)
+from repro.cluster.health import HealthMonitor, ShardState
+from repro.cluster.placement import HashRing, placement_key
+from repro.serve.metrics import ServeStats, merge_stats, stats_markdown
+from repro.serve.transport import RemoteServeError, TransportError
+
+
+class _Shard:
+    """One backend engine plus its routing state (internally locked)."""
+
+    def __init__(self, shard_id: str, engine: Engine):
+        self.shard_id = shard_id
+        self.engine = engine
+        self._lock = threading.Lock()
+        self._state = ShardState.UP
+        self._consecutive_failures = 0
+        self.in_flight = 0
+        self.routed = 0
+        self.spilled = 0
+        self.redriven = 0
+        self.completed = 0
+        self.failed = 0
+
+    # -- state machine (HealthMonitor protocol) ------------------------------
+
+    @property
+    def state(self) -> ShardState:
+        with self._lock:
+            return self._state
+
+    def probe(self) -> None:
+        """Liveness probe (delegates to the backend; raises when dead)."""
+        ping = getattr(self.engine, "ping", None)
+        if ping is not None:
+            ping()
+        else:
+            self.engine.capabilities()
+
+    def note_probe_ok(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state is ShardState.DOWN:
+                self._state = ShardState.UP
+
+    def note_probe_failed(self, threshold: int) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state is ShardState.UP
+                and self._consecutive_failures >= threshold
+            ):
+                self._state = ShardState.DOWN
+
+    def mark_down(self) -> None:
+        """Demand-driven: a live request saw the shard die."""
+        with self._lock:
+            if self._state is ShardState.UP:
+                self._state = ShardState.DOWN
+
+    def set_state(self, state: ShardState) -> None:
+        with self._lock:
+            self._state = state
+            self._consecutive_failures = 0
+
+    # -- load accounting -----------------------------------------------------
+
+    def begin(self, spilled: bool, redriven: bool) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self.routed += 1
+            if spilled:
+                self.spilled += 1
+            if redriven:
+                self.redriven += 1
+
+    def end(self) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    def note_completed(self) -> None:
+        with self._lock:
+            self.completed += 1
+
+    def note_failed(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def status(self) -> "ShardStatus":
+        with self._lock:
+            return ShardStatus(
+                shard_id=self.shard_id,
+                state=self._state.value,
+                in_flight=self.in_flight,
+                routed=self.routed,
+                spilled=self.spilled,
+                redriven=self.redriven,
+                completed=self.completed,
+                failed=self.failed,
+            )
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """Routing/health snapshot of one shard (plain data, shareable).
+
+    ``routed`` counts submissions placed here (including spills and
+    redrives *onto* this shard); ``spilled`` the subset diverted here
+    from a saturated primary; ``redriven`` the subset salvaged from a
+    failed shard; ``completed``/``failed`` terminal outcomes of
+    rollouts that finished here.
+    """
+
+    shard_id: str
+    state: str
+    in_flight: int
+    routed: int
+    spilled: int
+    redriven: int
+    completed: int
+    failed: int
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Cluster-wide routing ledger + per-shard status (snapshot).
+
+    The exactly-once invariant reads directly off the ledger: once the
+    cluster is quiescent, ``accepted == completed + failed`` — every
+    accepted submission resolved exactly once, redrives included
+    (a redrive moves a submission, it never forks it).
+    """
+
+    shards: tuple
+    accepted: int
+    completed: int
+    failed: int
+    redrives: int
+    spills: int
+
+    def markdown(self) -> str:
+        """Per-shard routing/health table (markdown)."""
+        rows = [
+            [s.shard_id, s.state, s.in_flight, s.routed, s.spilled,
+             s.redriven, s.completed, s.failed]
+            for s in self.shards
+        ]
+        rows.append([
+            "(cluster)",
+            f"accepted={self.accepted}",
+            "",
+            f"{self.accepted}",
+            f"{self.spills}",
+            f"{self.redrives}",
+            f"{self.completed}",
+            f"{self.failed}",
+        ])
+        return markdown_table(
+            ["shard", "state", "in flight", "routed", "spilled",
+             "redriven", "completed", "failed"],
+            rows,
+        )
+
+
+def _abandon_cleanup(cluster: "ClusterEngine", cell: dict) -> None:
+    """``weakref.finalize`` hook: settle the books of a future that was
+    garbage-collected without ever being consumed.
+
+    A submitted future holds shard ``in_flight`` (that IS pending load)
+    and one accepted-ledger slot; a consumer that drops the future
+    without calling ``result()``/``frames()`` would otherwise leak both
+    — saturating spill routing and breaking the exactly-once invariant
+    at quiescence. The cell is disarmed on every consumed path, so this
+    only fires for true abandonment (counted as failed: the work's
+    outcome was thrown away).
+    """
+    if cell["armed"]:
+        cell["armed"] = False
+        cell["shard"].end()
+        cell["shard"].note_failed()
+        if cell["ledger"]:
+            cluster._note_resolved(completed=False)
+
+
+class _ClusterTrainFuture(TrainFuture):
+    """A routed training job: the shard stays accounted busy until the
+    job resolves, and its outcome lands in the shard's ledger.
+
+    No failover — a redriven optimizer run is not idempotent — so this
+    is a thin accounting wrapper over the backend's future. Train jobs
+    live outside the rollout exactly-once ledger (``ledger: False`` in
+    the abandonment cell), but abandonment still releases the shard.
+    """
+
+    def __init__(self, cluster: "ClusterEngine", shard: _Shard,
+                 inner: TrainFuture):
+        super().__init__(inner.request)
+        self._shard = shard
+        self._inner = inner
+        self._cell = {"shard": shard, "armed": True, "ledger": False}
+        weakref.finalize(self, _abandon_cleanup, cluster, self._cell)
+
+    def _resolve(self, completed: bool) -> None:
+        if self._cell["armed"]:
+            self._cell["armed"] = False
+            self._shard.end()
+            if completed:
+                self._shard.note_completed()
+            else:
+                self._shard.note_failed()
+
+    def result(self, timeout: float | None = None):
+        try:
+            outcome = self._inner.result(timeout=timeout)
+        except (TimeoutError, _FuturesTimeout):
+            raise  # still running; the shard stays busy
+        except BaseException:
+            self._resolve(completed=False)
+            raise
+        self._resolve(completed=True)
+        return outcome
+
+    @property
+    def done(self) -> bool:
+        return self._inner.done
+
+
+class _ClusterRolloutFuture(RolloutFuture):
+    """A routed rollout with transparent redrive-on-shard-death.
+
+    Submission is eager (placement + write happen in ``__init__``), so
+    routing errors surface at the call site. The frame stream wraps the
+    backend future's; when the connection to the serving shard breaks,
+    the request is redriven on the next preferred UP shard and the
+    frames already delivered are skipped from the replay — rollouts are
+    deterministic, so the skipped prefix is bitwise-identical to what
+    the consumer already holds. Single-consumer, like every future.
+    """
+
+    def __init__(self, cluster: "ClusterEngine", request: RolloutRequest):
+        super().__init__(request)
+        self._cluster = cluster
+        self._excluded: list = []
+        self._attempts: list = []
+        self._shard: _Shard | None = None
+        self._inner: RolloutFuture | None = None
+        self._terminal = False
+        self._redriving = False
+        self._submit_attempt()
+        # abandonment safety net: a future dropped without ever being
+        # consumed must still release the shard and settle the ledger
+        # (the cell is disarmed once the frame generator takes over)
+        self._cell = {"shard": self._shard, "armed": True, "ledger": True}
+        weakref.finalize(self, _abandon_cleanup, cluster, self._cell)
+        cluster._note_accepted()
+
+    def _submit_attempt(self) -> None:
+        """Route and submit once; on a dead shard, exclude it and retry."""
+        while True:
+            shard, spilled = self._cluster._route(
+                self.request.model,
+                self.request.graph,
+                exclude=self._excluded,
+                attempts=self._attempts,
+            )
+            shard.begin(spilled=spilled, redriven=self._redriving)
+            try:
+                self._inner = shard.engine.submit(self.request)
+            except TransportError as exc:
+                shard.end()
+                self._note_shard_failure(shard, exc)
+                continue
+            except BaseException:
+                # a typed submission rejection from a healthy shard:
+                # the future is never returned, so it never enters the
+                # accepted/resolved ledger
+                shard.end()
+                shard.note_failed()
+                raise
+            self._shard = shard
+            return
+
+    def _note_shard_failure(self, shard: _Shard, exc: TransportError) -> None:
+        self._attempts.append((shard.shard_id, str(exc)))
+        self._excluded.append(shard.shard_id)
+        shard.mark_down()
+
+    def _record_terminal(self, completed: bool) -> None:
+        # exactly-once accounting: a future must resolve exactly once
+        if self._terminal:
+            raise AssertionError(
+                f"request {self.request.request_id} resolved twice "
+                f"(exactly-once accounting violated)"
+            )
+        self._terminal = True
+        self._cluster._note_resolved(completed)
+
+    def _frames(self, timeout: float | None) -> Iterator[StepFrame]:
+        # from here the generator's exception/finally paths own the
+        # shard and ledger accounting; the abandonment hook stands down
+        self._cell["armed"] = False
+        yielded = 0
+        while True:
+            shard, inner = self._shard, self._inner
+            try:
+                try:
+                    skip = yielded
+                    for frame in inner.frames(timeout=timeout):
+                        if skip:
+                            skip -= 1  # redrive replay: already delivered
+                            continue
+                        self._collected.append(frame.state)
+                        yield StepFrame(yielded, frame.state)
+                        yielded += 1
+                    self.metrics = inner.metrics
+                    shard.note_completed()
+                    self._record_terminal(completed=True)
+                    return
+                except TransportError as exc:
+                    if isinstance(exc, RemoteServeError):
+                        # the shard is reachable and *reported* an
+                        # internal failure: not a failover event
+                        shard.note_failed()
+                        self._record_terminal(completed=False)
+                        raise
+                    self._note_shard_failure(shard, exc)
+                    self._redriving = True
+                    self._cluster._note_redrive()
+                    try:
+                        self._submit_attempt()
+                    except BaseException:
+                        # no survivor took the redrive (or the survivor
+                        # rejected it): the accepted submission resolves
+                        # here, exactly once, as failed
+                        self._record_terminal(completed=False)
+                        raise
+                    continue
+                except BaseException:
+                    # typed server rejection or consumer abandonment:
+                    # the shard is healthy, the request is over
+                    shard.note_failed()
+                    self._record_terminal(completed=False)
+                    raise
+            finally:
+                shard.end()
+
+    @property
+    def done(self) -> bool:
+        return self._terminal
+
+
+class ClusterEngine(Engine):
+    """Shard-routed engine over N backends (see module docstring).
+
+    Construct through :func:`repro.runtime.connect` with a
+    ``cluster://host1:p1,host2:p2`` URL (networked shards), or directly
+    from any mapping of shard id to engine — the routing layer only
+    relies on the :class:`~repro.runtime.api.Engine` protocol, which is
+    what the unit tests exploit with scripted in-process backends.
+    """
+
+    def __init__(
+        self,
+        backends: "Mapping[str, Engine] | Sequence[tuple[str, Engine]]",
+        spill_threshold: int = 8,
+        health_interval_s: float | None = 2.0,
+        failure_threshold: int = 2,
+        ring_replicas: int = 64,
+    ):
+        items = (
+            list(backends.items())
+            if isinstance(backends, Mapping)
+            else list(backends)
+        )
+        if not items:
+            raise ValueError("a cluster needs at least one backend")
+        if spill_threshold < 1:
+            raise ValueError("spill_threshold must be >= 1")
+        self._shards: dict[str, _Shard] = {
+            sid: _Shard(sid, engine) for sid, engine in items
+        }
+        self._ring = HashRing(
+            [sid for sid, _ in items], replicas=ring_replicas
+        )
+        self._spill_threshold = spill_threshold
+        self._member_caps = {
+            sid: shard.engine.capabilities()
+            for sid, shard in self._shards.items()
+        }
+        self._caps = EngineCapabilities.intersection(
+            "cluster", list(self._member_caps.values())
+        )
+        self._lock = threading.Lock()
+        self._accepted = 0
+        self._completed = 0
+        self._failed = 0
+        self._redrives = 0
+        self._spills = 0
+        self._closed = False
+        self._monitor: HealthMonitor | None = None
+        if health_interval_s is not None:
+            self._monitor = HealthMonitor(
+                list(self._shards.values()),
+                interval_s=health_interval_s,
+                failure_threshold=failure_threshold,
+            ).start()
+
+    @classmethod
+    def connect(
+        cls,
+        endpoints: str | Sequence[str],
+        pool_size: int = 4,
+        request_timeout_s: float = 120.0,
+        **cluster_options,
+    ) -> "ClusterEngine":
+        """Dial every ``HOST:PORT`` endpoint and build the cluster.
+
+        ``endpoints`` is a comma-separated string (the ``cluster://``
+        URL body) or a sequence. Construction verifies liveness of
+        every shard (a cluster that starts degraded is a deployment
+        error, not a runtime condition); engines already dialed are
+        closed again if a later endpoint fails.
+        """
+        from repro.runtime.remote import RemoteEngine
+
+        if isinstance(endpoints, str):
+            endpoints = [e.strip() for e in endpoints.split(",") if e.strip()]
+        endpoints = list(endpoints)
+        if len(set(endpoints)) != len(endpoints):
+            raise ValueError(f"duplicate cluster endpoints: {endpoints}")
+        backends: list = []
+        try:
+            for endpoint in endpoints:
+                backends.append(
+                    (
+                        endpoint,
+                        RemoteEngine.connect(
+                            endpoint,
+                            pool_size=pool_size,
+                            request_timeout_s=request_timeout_s,
+                        ),
+                    )
+                )
+        except BaseException:
+            for _, engine in backends:
+                engine.close()
+            raise
+        return cls(backends, **cluster_options)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def capabilities(self) -> EngineCapabilities:
+        """The negotiated intersection of every shard's capabilities."""
+        return self._caps
+
+    def close(self) -> None:
+        """Stop the health monitor and close every backend (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._monitor is not None:
+            self._monitor.stop()
+        for shard in self._shards.values():
+            shard.engine.close()
+
+    # -- placement / health admin --------------------------------------------
+
+    @property
+    def shard_ids(self) -> list:
+        """Shard ids in construction order."""
+        return list(self._ring.shard_ids)
+
+    def place(self, model: str, graph: str) -> str:
+        """The primary (cache-affinity) shard of an asset pair.
+
+        Static placement only — live routing may divert to a survivor
+        (primary DOWN) or to the least-loaded shard (primary
+        saturated).
+        """
+        return self._ring.place(placement_key(model, graph))
+
+    def drain(self, shard_id: str) -> None:
+        """Remove a shard from routing; in-flight work completes."""
+        self._shard(shard_id).set_state(ShardState.DRAINING)
+
+    def undrain(self, shard_id: str) -> None:
+        """Return a drained shard to service."""
+        self._shard(shard_id).set_state(ShardState.UP)
+
+    def shard_states(self) -> dict:
+        """``{shard_id: ShardState}`` snapshot."""
+        return {sid: s.state for sid, s in self._shards.items()}
+
+    def probe_now(self) -> None:
+        """Run one synchronous health pass (recovers reachable shards)."""
+        if self._monitor is not None:
+            self._monitor.probe_now()
+
+    def _shard(self, shard_id: str) -> _Shard:
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ShardError(
+                f"unknown shard {shard_id!r}; known: {self.shard_ids}",
+                shard_id=shard_id,
+            ) from None
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(
+        self,
+        model: str,
+        graph: str,
+        exclude: Sequence[str] = (),
+        attempts: Sequence = (),
+    ) -> tuple[_Shard, bool]:
+        """Pick the serving shard for an asset pair.
+
+        Preference order comes from the ring; DOWN/DRAINING/excluded
+        shards are skipped; a saturated preferred candidate spills to
+        the least-loaded UP candidate (ties keep ring order) — the
+        returned flag says whether that diversion happened. Raises
+        :class:`~repro.runtime.api.NoShardAvailable` when no candidate
+        remains.
+        """
+        order = self._ring.preference(placement_key(model, graph))
+        candidates = [
+            self._shards[sid]
+            for sid in order
+            if sid not in exclude
+            and self._shards[sid].state is ShardState.UP
+        ]
+        if not candidates:
+            states = {sid: s.state.value for sid, s in self._shards.items()}
+            raise NoShardAvailable(
+                f"no shard available for ({model!r}, {graph!r}): "
+                f"states={states}, excluded={list(exclude)}, "
+                f"attempts={list(attempts)}",
+                attempts=attempts,
+            )
+        chosen = candidates[0]
+        if chosen.in_flight >= self._spill_threshold:
+            least = min(candidates, key=lambda s: s.in_flight)
+            if least.in_flight < chosen.in_flight:
+                with self._lock:
+                    self._spills += 1
+                return least, True
+        return chosen, False
+
+    # -- ledger --------------------------------------------------------------
+
+    def _note_accepted(self) -> None:
+        with self._lock:
+            self._accepted += 1
+
+    def _note_resolved(self, completed: bool) -> None:
+        with self._lock:
+            if completed:
+                self._completed += 1
+            else:
+                self._failed += 1
+
+    def _note_redrive(self) -> None:
+        with self._lock:
+            self._redrives += 1
+
+    # -- assets (broadcast) --------------------------------------------------
+
+    def _broadcast(self, op_name: str, call) -> None:
+        """Apply a registration to every shard; shard-aware on failure.
+
+        Typed service errors (duplicate names, bad paths, capability
+        rejections) propagate as themselves; transport failures are
+        wrapped in :class:`~repro.runtime.api.ShardError` naming the
+        shard, because a half-applied broadcast is an operational
+        problem on a *specific* host.
+        """
+        for sid, shard in self._shards.items():
+            try:
+                call(shard.engine)
+            except TransportError as exc:
+                raise ShardError(
+                    f"{op_name} failed on shard {sid!r}: {exc}", shard_id=sid
+                ) from exc
+
+    def register_model(self, name: str, model: MeshGNN) -> None:
+        """Broadcast an in-memory model (needs every shard in-process)."""
+        if not self._caps.in_memory_assets:
+            raise CapabilityError(
+                "in-memory models cannot cross to the cluster's remote "
+                "shards; save a checkpoint and use "
+                "register_checkpoint(name, path)"
+            )
+        self._broadcast(
+            "register_model", lambda e: e.register_model(name, model)
+        )
+
+    def register_checkpoint(
+        self,
+        name: str,
+        path: str | Path,
+        expect_config: GNNConfig | None = None,
+        eager: bool = False,
+    ) -> None:
+        """Broadcast a checkpoint registration (shard-visible path)."""
+        self._broadcast(
+            "register_checkpoint",
+            lambda e: e.register_checkpoint(name, path, expect_config, eager),
+        )
+
+    def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
+        """Broadcast an in-memory partitioned graph to every shard.
+
+        Remote shards receive it over the wire as ``.npy`` frames (the
+        ``graph_upload`` capability) — this is how assets reach shards
+        with disjoint filesystems. Rejected up front when some shard
+        supports neither in-memory registration nor upload — judged
+        per shard, so a heterogeneous cluster where every member has
+        *one* of the two paths still registers.
+        """
+        unable = [
+            sid for sid, caps in self._member_caps.items()
+            if not (caps.in_memory_assets or caps.graph_upload)
+        ]
+        if unable:
+            raise CapabilityError(
+                f"shard(s) {unable} support neither in-memory graphs nor "
+                f"graph upload; use register_graph_dir(key, path) with a "
+                f"path every shard can see"
+            )
+        self._broadcast(
+            "register_graph", lambda e: e.register_graph(key, graphs)
+        )
+
+    def register_graph_dir(self, key: str, directory: str | Path) -> None:
+        """Broadcast a graph-directory registration (shard-visible path)."""
+        self._broadcast(
+            "register_graph_dir",
+            lambda e: e.register_graph_dir(key, directory),
+        )
+
+    def _intersection_query(self, getter) -> list:
+        """Sorted intersection of a names query across UP shards."""
+        result: set | None = None
+        reachable = 0
+        for shard in self._shards.values():
+            if shard.state is not ShardState.UP:
+                continue
+            try:
+                names = set(getter(shard.engine))
+            except TransportError:
+                shard.mark_down()
+                continue
+            reachable += 1
+            result = names if result is None else (result & names)
+        if result is None:
+            states = {sid: s.state.value for sid, s in self._shards.items()}
+            raise NoShardAvailable(
+                f"no UP shard answered the asset query: states={states}"
+            )
+        return sorted(result)
+
+    def model_names(self) -> list:
+        """Models registered on *every* UP shard (cluster-servable)."""
+        return self._intersection_query(lambda e: e.model_names())
+
+    def graph_keys(self) -> list:
+        """Graphs registered on *every* UP shard (cluster-servable)."""
+        return self._intersection_query(lambda e: e.graph_keys())
+
+    # -- submission ----------------------------------------------------------
+
+    def _submit_rollout(self, request: RolloutRequest) -> RolloutFuture:
+        return _ClusterRolloutFuture(self, request)
+
+    def _submit_train(self, request: TrainRequest) -> TrainFuture:
+        """Route a training job to its placed shard (no failover:
+        training mutates the job's model copy — redriving could run
+        the optimizer twice; let the caller decide). The shard counts
+        as busy — visible to spill routing — until the job resolves.
+        """
+        shard, spilled = self._route(request.model, request.graph)
+        shard.begin(spilled=spilled, redriven=False)
+        try:
+            inner = shard.engine.submit(request)
+        except BaseException:
+            shard.end()
+            shard.note_failed()
+            raise
+        return _ClusterTrainFuture(self, shard, inner)
+
+    # -- stats ---------------------------------------------------------------
+
+    def cluster_stats(self) -> ClusterStats:
+        """The routing ledger + per-shard status table."""
+        with self._lock:
+            accepted = self._accepted
+            completed = self._completed
+            failed = self._failed
+            redrives = self._redrives
+            spills = self._spills
+        return ClusterStats(
+            shards=tuple(
+                self._shards[sid].status() for sid in self._ring.shard_ids
+            ),
+            accepted=accepted,
+            completed=completed,
+            failed=failed,
+            redrives=redrives,
+            spills=spills,
+        )
+
+    def stats(self) -> ServeStats:
+        """Per-shard serve metrics merged into one snapshot.
+
+        DOWN shards are skipped (they cannot answer); a shard that dies
+        during the query is marked DOWN and skipped likewise, so the
+        merged snapshot always reflects the reachable cluster.
+        """
+        snapshots = []
+        for shard in self._shards.values():
+            if shard.state is ShardState.DOWN:
+                continue
+            try:
+                snapshots.append(shard.engine.stats())
+            except TransportError:
+                shard.mark_down()
+        return merge_stats(snapshots)
+
+    def stats_markdown(self) -> str:
+        """The merged serve-stats table plus the per-shard table."""
+        return (
+            stats_markdown(self.stats())
+            + "\n\n"
+            + self.cluster_stats().markdown()
+        )

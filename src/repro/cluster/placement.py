@@ -1,0 +1,110 @@
+"""Consistent-hash placement of ``(model, graph)`` keys onto shards.
+
+Why consistent hashing and why this key: every shard keeps expensive
+per-asset state hot — the loaded checkpoint, the resident partitioned
+graph, its compiled aggregation plans, and the per-batch-size tiled
+replicas. Routing a given ``(model, graph)`` pair to *one* stable shard
+means that state is built once and reused by every subsequent request
+on the key; spraying requests round-robin would duplicate the caches on
+every shard and multiply cold misses. Consistent hashing additionally
+bounds the blast radius of membership change: when a shard dies (or one
+is added), only the keys that mapped to the affected arc of the ring
+move — every other key keeps its warm shard.
+
+The ring is the classic construction: each shard contributes
+``replicas`` virtual points (``blake2b`` of ``"{shard_id}#{i}"``), a
+key hashes to a point, and placement walks clockwise to the next
+virtual point. :meth:`HashRing.preference` extends the walk to a full
+deterministic failover order — the sequence of *distinct* shards met
+walking the ring — which is what the cluster engine uses to pick
+survivors when the primary is down and to order spill candidates.
+
+Thread safety: a :class:`HashRing` is immutable after construction and
+safe to share. Determinism: placement depends only on the shard-id
+strings and the key — two processes building a ring over the same
+endpoints agree on every placement, so clients never need to gossip.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Sequence
+
+
+def placement_key(model: str, graph: str) -> str:
+    """The routing key of a request: its ``(model, graph)`` asset pair.
+
+    Everything the serving layer caches per asset is keyed by this pair
+    (registry entry, graph asset, tiled replicas), so it is the unit of
+    cache affinity. The NUL separator keeps distinct pairs distinct
+    even when names contain each other.
+    """
+    return f"{model}\x00{graph}"
+
+
+def _hash64(token: str) -> int:
+    """Stable 64-bit hash (``blake2b``; never Python's salted ``hash``)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a fixed set of shard ids.
+
+    ``replicas`` virtual points per shard smooth the arc lengths so
+    keys spread roughly evenly (the default of 64 keeps the largest
+    shard's share within a few tens of percent of fair for small
+    clusters, which is what matters here — perfect balance is the spill
+    mechanism's job, not the ring's).
+    """
+
+    def __init__(self, shard_ids: Sequence[str], replicas: int = 64):
+        ids = list(shard_ids)
+        if not ids:
+            raise ValueError("a hash ring needs at least one shard id")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids: {ids}")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self._shard_ids = tuple(ids)
+        points = []
+        for sid in ids:
+            for i in range(replicas):
+                points.append((_hash64(f"{sid}#{i}"), sid))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [sid for _, sid in points]
+
+    @property
+    def shard_ids(self) -> tuple:
+        """The shard ids the ring was built over (construction order)."""
+        return self._shard_ids
+
+    def place(self, key: str) -> str:
+        """The primary shard of ``key`` (first point clockwise)."""
+        i = bisect.bisect_right(self._hashes, _hash64(key)) % len(self._hashes)
+        return self._owners[i]
+
+    def preference(self, key: str) -> list:
+        """All shards in deterministic failover order for ``key``.
+
+        The first element is :meth:`place`; subsequent elements are the
+        next *distinct* shards met walking the ring clockwise. Removing
+        a shard from consideration (because it is down or draining)
+        leaves the relative order of the others unchanged — exactly the
+        consistency property that keeps failover from reshuffling every
+        key.
+        """
+        n = len(self._hashes)
+        start = bisect.bisect_right(self._hashes, _hash64(key)) % n
+        order: list = []
+        seen = set()
+        for step in range(n):
+            sid = self._owners[(start + step) % n]
+            if sid not in seen:
+                seen.add(sid)
+                order.append(sid)
+                if len(order) == len(self._shard_ids):
+                    break
+        return order

@@ -81,6 +81,7 @@ def workspace_steps(
     halo_mode: HaloMode | str,
     residual: bool,
     on_state,
+    arena=None,
 ) -> None:
     """The shared fast stepping loop (direct rollout AND serve executor).
 
@@ -90,25 +91,33 @@ def workspace_steps(
     ``state`` may reference reused pool memory — consumers must copy,
     which both callers do).
 
+    ``arena`` optionally passes a persistent
+    :class:`~repro.tensor.workspace.InferenceArena` (the serve workers
+    keep one warmed arena per rank across batches); ``None`` runs in a
+    fresh single-use arena. A caller-owned arena must not be used by
+    two concurrent loops.
+
     The loop owns three subtle invariants, kept in ONE place on
     purpose — a served batch must stay bitwise identical to a direct
     rollout:
 
-    * state-independent (geometric) edge features are computed once,
-      outside the step loop; state-dependent ones are recycled as soon
-      as the encoder consumed them;
+    * state-independent (geometric) edge features are computed once per
+      *graph* (cached on the instance), so repeated batches over a
+      cached tiled replica never recompute them; state-dependent ones
+      are recycled as soon as the encoder consumed them;
     * the previous state's pool buffer is recycled only after the model
-      call that consumed it returns;
+      call that consumed it returns — including the final state, whose
+      buffer is recycled after the last ``on_state`` (consumers copy);
     * residual updates add into one persistent buffer (``np.add`` into
       self is elementwise-safe), never into the caller's ``x``.
     """
     kind = model.config.edge_features
     static_attr = (
-        graph.edge_attr(kind=kind) if kind == EDGE_FEATURES_GEOMETRIC else None
+        graph.geometric_edge_attr() if kind == EDGE_FEATURES_GEOMETRIC else None
     )
     xbuf: np.ndarray | None = None
     borrowed: np.ndarray | None = None  # pool buffer x references
-    with inference_mode() as arena:
+    with inference_mode(arena) as arena:
         for step in range(1, n_steps + 1):
             arena.reset()
             edge_attr = (
@@ -124,13 +133,19 @@ def workspace_steps(
                 borrowed = None
             if residual:
                 if xbuf is None:
-                    xbuf = np.empty_like(x)
+                    xbuf = arena.out(x.shape, x.dtype)
                 np.add(x, y, out=xbuf)
                 arena.recycle(y)  # increment consumed
                 x = xbuf
             else:
                 x = borrowed = y
             on_state(step, x)
+        # the final state was copied by on_state; its pool buffer would
+        # otherwise be stranded until the allocator frees it
+        if borrowed is not None:
+            arena.recycle(borrowed)
+        if xbuf is not None:
+            arena.recycle(xbuf)
 
 
 def rollout_error(

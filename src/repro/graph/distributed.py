@@ -117,6 +117,40 @@ class LocalGraph:
         :func:`repro.graph.features.edge_features`)."""
         return edge_features(self.pos, self.edge_index, node_features, kind)
 
+    def cached_nbytes(self) -> int:
+        """Bytes of lazily built per-instance state (compiled plans,
+        ``1/d_ij``, geometric edge features).
+
+        The graph module owns this inventory so byte-accurate cache
+        accounting elsewhere (``repro.serve.cache``) stays correct when
+        a new per-instance cache is added here — extend this method in
+        the same change that adds the cache.
+        """
+        total = 0
+        plans = self.__dict__.get("_plans")
+        if plans is not None:
+            total += plans.nbytes
+        for name in ("_inv_edge_degree", "_geometric_edge_attr"):
+            arr = self.__dict__.get(name)
+            if arr is not None:
+                total += arr.nbytes
+        return total
+
+    def geometric_edge_attr(self) -> np.ndarray:
+        """State-independent edge features, computed once and cached.
+
+        The geometric variant depends only on ``pos``/``edge_index``,
+        so the hot stepping loop can reuse one array across every step
+        of every batch instead of recomputing per call. The cached
+        array is shared read-only — callers must not mutate it. Its
+        bytes count toward serve-cache accounting.
+        """
+        cached = self.__dict__.get("_geometric_edge_attr")
+        if cached is None:
+            cached = self.edge_attr(kind=EDGE_FEATURES_GEOMETRIC)
+            self.__dict__["_geometric_edge_attr"] = cached
+        return cached
+
     def validate(self) -> None:
         """Internal consistency checks (used by tests and on demand)."""
         if not np.all(np.diff(self.global_ids) > 0):

@@ -34,9 +34,11 @@ from repro.runtime.api import (
     CapabilityError,
     Engine,
     EngineCapabilities,
+    NoShardAvailable,
     RolloutFuture,
     RolloutRequest,
     RolloutResult,
+    ShardError,
     StepFrame,
     TrainFuture,
     TrainRequest,
@@ -46,15 +48,18 @@ from repro.runtime.api import (
 __all__ = [
     "BatchKey",
     "CapabilityError",
+    "ClusterEngine",
     "Engine",
     "EngineCapabilities",
     "LocalEngine",
+    "NoShardAvailable",
     "PooledEngine",
     "PoolStats",
     "RemoteEngine",
     "RolloutFuture",
     "RolloutRequest",
     "RolloutResult",
+    "ShardError",
     "StepFrame",
     "TrainFuture",
     "TrainRequest",
@@ -64,6 +69,7 @@ __all__ = [
 
 #: name -> (submodule, attribute) for the lazily-loaded engine layer
 _LAZY = {
+    "ClusterEngine": ("repro.cluster.engine", "ClusterEngine"),
     "LocalEngine": ("repro.runtime.local", "LocalEngine"),
     "PooledEngine": ("repro.runtime.pooled", "PooledEngine"),
     "PoolStats": ("repro.runtime.remote", "PoolStats"),

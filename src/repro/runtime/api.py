@@ -68,23 +68,63 @@ class CapabilityError(RuntimeError):
     """
 
 
+class ShardError(RuntimeError):
+    """A failure attributable to one shard of a cluster engine.
+
+    Raised by :class:`repro.cluster.ClusterEngine` when an operation
+    against a specific backend fails in a way the cluster cannot (or
+    must not) transparently recover — e.g. a broadcast registration
+    dying on one shard. ``shard_id`` names the backend so operators can
+    act on the right host; the underlying cause is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, shard_id: str | None = None):
+        super().__init__(message)
+        #: the cluster shard the failure is attributed to (or None)
+        self.shard_id = shard_id
+
+
+class NoShardAvailable(ShardError):
+    """No shard could serve the request: every candidate is DOWN,
+    draining, or failed during redrive.
+
+    ``attempts`` carries the per-shard failure log as ``(shard_id,
+    reason)`` pairs — the full story of what was tried, in order — so
+    a cluster-level failure is diagnosable without server logs.
+    """
+
+    def __init__(self, message: str, attempts: Sequence = ()):
+        super().__init__(message)
+        #: ordered (shard_id, reason) pairs of the failed attempts
+        self.attempts = tuple(attempts)
+
+
 @dataclass(frozen=True)
 class EngineCapabilities:
     """What one engine can do (immutable; negotiated, not assumed).
 
     ``transport`` is the URL scheme of the engine (``local`` / ``pool``
-    / ``tcp``). ``training`` gates :class:`TrainRequest` submission;
-    ``streaming`` is whether frames arrive while later steps still
-    compute (a local engine computes the trajectory inline, so its
-    stream is replay, not overlap); ``in_memory_assets`` is whether
-    ``register_model`` / ``register_graph`` accept live objects (a
-    remote engine only accepts *server-visible* paths).
+    / ``tcp`` / ``cluster``). ``training`` gates :class:`TrainRequest`
+    submission; ``streaming`` is whether frames arrive while later
+    steps still compute (a local engine computes the trajectory inline,
+    so its stream is replay, not overlap); ``in_memory_assets`` is
+    whether ``register_model`` / ``register_graph`` accept live objects
+    with no serialization (same process); ``graph_upload`` is whether
+    ``register_graph`` can alternatively *ship* a live partitioned
+    graph to the engine as ``.npy`` frames (a remote engine with the
+    upload-capable wire — required for clusters whose shards do not
+    share a filesystem).
+
+    :meth:`intersection` computes what a *group* of engines can all do
+    — the cluster engine's negotiated capability set.
     """
 
     transport: str
     training: bool
     streaming: bool = True
     in_memory_assets: bool = True
+    graph_upload: bool = True
 
     def to_dict(self) -> dict:
         """JSON-able form (the ``capabilities`` wire message payload)."""
@@ -97,6 +137,29 @@ class EngineCapabilities:
             training=bool(d["training"]),
             streaming=bool(d.get("streaming", True)),
             in_memory_assets=bool(d.get("in_memory_assets", True)),
+            # absent on peers that predate graph upload: assume not
+            graph_upload=bool(d.get("graph_upload", False)),
+        )
+
+    @classmethod
+    def intersection(
+        cls, transport: str, members: "Sequence[EngineCapabilities]"
+    ) -> "EngineCapabilities":
+        """The capability set every member supports (cluster negotiation).
+
+        Pure function: a request is cluster-servable only if *any*
+        shard it may be routed (or failed over) to can serve it, so
+        each boolean capability is the AND over members.
+        """
+        members = list(members)
+        if not members:
+            raise ValueError("capability intersection needs at least one member")
+        return cls(
+            transport=transport,
+            training=all(c.training for c in members),
+            streaming=all(c.streaming for c in members),
+            in_memory_assets=all(c.in_memory_assets for c in members),
+            graph_upload=all(c.graph_upload for c in members),
         )
 
 

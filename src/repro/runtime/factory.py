@@ -10,12 +10,14 @@
         ...
     with connect("tcp://127.0.0.1:7431") as engine:  # networked, pooled
         ...
+    with connect("cluster://h1:7431,h2:7431") as engine:  # sharded, failover
+        ...
     result = engine.rollout(RolloutRequest("tgv", "mesh-r4", x0, n_steps=10))
 
 The scheme picks the execution substrate; everything after ``connect``
 is engine-independent — same typed requests, same typed errors, same
 bits (the conformance suite asserts trajectories are bitwise identical
-across all three schemes).
+across all four schemes).
 """
 
 from __future__ import annotations
@@ -37,10 +39,14 @@ def connect(
     url:
         ``local://`` (inline :class:`~repro.runtime.local.LocalEngine`),
         ``pool://`` (batched
-        :class:`~repro.runtime.pooled.PooledEngine`), or
+        :class:`~repro.runtime.pooled.PooledEngine`),
         ``tcp://HOST:PORT`` (networked
         :class:`~repro.runtime.remote.RemoteEngine`; dials and pings the
-        server before returning).
+        server before returning), or
+        ``cluster://H1:P1,H2:P2,...`` (sharded
+        :class:`~repro.cluster.ClusterEngine` over one remote engine
+        per endpoint; every shard is dialed and pinged before
+        returning).
     config:
         ``pool://`` only: the :class:`~repro.serve.service.ServeConfig`
         of the private service the engine creates.
@@ -49,7 +55,8 @@ def connect(
         :class:`~repro.serve.service.InferenceService` instead of
         creating one (mutually exclusive with ``config``).
     pool_size:
-        ``tcp://`` only: idle connections kept warm.
+        ``tcp://`` / ``cluster://``: idle connections kept warm (per
+        shard for clusters).
     request_timeout_s:
         Per-reply/frame wait bound (``local://`` uses it as the rank
         world timeout).
@@ -87,6 +94,19 @@ def connect(
             pool_size=pool_size,
             request_timeout_s=request_timeout_s,
         )
+    if scheme == "cluster":
+        from repro.cluster.engine import ClusterEngine
+
+        if not rest.strip(","):
+            raise ValueError(
+                f"cluster:// needs at least one HOST:PORT endpoint, "
+                f"got {url!r}"
+            )
+        return ClusterEngine.connect(
+            rest,
+            pool_size=pool_size,
+            request_timeout_s=request_timeout_s,
+        )
     raise ValueError(
-        f"unknown engine scheme {scheme!r}; known: local, pool, tcp"
+        f"unknown engine scheme {scheme!r}; known: local, pool, tcp, cluster"
     )

@@ -63,6 +63,7 @@ _FALLBACK_CAPABILITIES = EngineCapabilities(
     training=False,
     streaming=True,
     in_memory_assets=False,
+    graph_upload=False,
 )
 
 
@@ -231,7 +232,10 @@ class _RemoteRolloutFuture(RolloutFuture):
             while True:
                 try:
                     message = read_message(conn.stream)
-                except ProtocolError as exc:
+                except (ProtocolError, OSError) as exc:
+                    # OSError covers socket timeouts and resets: to the
+                    # consumer (and the cluster's failover) a hung shard
+                    # and a dead shard are the same typed failure
                     if step == 0 and may_retry:
                         conn = self._retry(conn)
                         may_retry = False
@@ -421,11 +425,28 @@ class RemoteEngine(Engine):
         )
 
     def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
-        """Unsupported over the wire — graphs register by directory path."""
-        raise CapabilityError(
-            "in-memory graphs cannot cross the process boundary; "
-            "save_distributed_graph(...) and use register_graph_dir(key, path)"
-        )
+        """Upload an in-memory partitioned graph as ``.npy`` frames.
+
+        The registration path for servers with a disjoint filesystem
+        (cluster shards on other hosts): the rank payloads cross the
+        socket bit-exactly and the server pins them like any in-memory
+        registration. Requires the peer's ``graph_upload`` capability —
+        against an older server this raises the typed
+        :class:`~repro.runtime.api.CapabilityError` client-side.
+        ``register_graph_dir`` (a server-visible path) remains the fast
+        path when client and server share a filesystem. Safe to retry
+        on a dead pooled connection: re-registering a key replaces the
+        asset idempotently.
+        """
+        if not self.capabilities().graph_upload:
+            raise CapabilityError(
+                "this server predates graph upload; "
+                "save_distributed_graph(...) and use "
+                "register_graph_dir(key, path) with a server-visible path"
+            )
+        if not graphs:
+            raise ValueError("graphs must be non-empty")
+        self._call(*protocol.graph_upload_message(key, graphs))
 
     def register_checkpoint(
         self,

@@ -54,7 +54,12 @@ from repro.serve.batching import (
 from repro.serve.cache import CacheStats, GraphAsset, GraphCache
 from repro.serve.client import ServeClient
 from repro.serve.executor import BatchExecution, execute_batch, execute_train_job
-from repro.serve.metrics import RequestMetrics, ServeStats, stats_markdown
+from repro.serve.metrics import (
+    RequestMetrics,
+    ServeStats,
+    merge_stats,
+    stats_markdown,
+)
 from repro.serve.protocol import ProtocolError
 from repro.serve.registry import (
     IncompatibleModel,
@@ -106,6 +111,7 @@ __all__ = [
     "WaitHistogram",
     "execute_batch",
     "execute_train_job",
+    "merge_stats",
     "parse_endpoint",
     "split_states",
     "stack_states",

@@ -111,6 +111,25 @@ class WaitHistogram:
                 return bound
         return math.inf
 
+    def merge(self, other: "WaitHistogram") -> "WaitHistogram":
+        """Combine two snapshots bucket-wise (cluster-wide aggregation).
+
+        Pure function over plain data; both histograms must share the
+        same bucket bounds (they always do inside one code version —
+        a mismatch raises :class:`ValueError` rather than mis-binning).
+        """
+        if self.bounds_s != other.bounds_s:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds_s} != {other.bounds_s}"
+            )
+        return WaitHistogram(
+            bounds_s=self.bounds_s,
+            counts=[a + b for a, b in zip(self.counts, other.counts)],
+            total=self.total + other.total,
+            sum_s=self.sum_s + other.sum_s,
+        )
+
     def to_dict(self) -> dict:
         """JSON-able form (used by the stats wire message)."""
         return {
@@ -148,6 +167,16 @@ class AdmissionStats:
     shed: int = 0
     expired: int = 0
     queue_wait: WaitHistogram = field(default_factory=WaitHistogram)
+
+    def merge(self, other: "AdmissionStats") -> "AdmissionStats":
+        """Combine two snapshots (cluster-wide aggregation): counters
+        sum, histograms merge bucket-wise."""
+        return AdmissionStats(
+            accepted=self.accepted + other.accepted,
+            shed=self.shed + other.shed,
+            expired=self.expired + other.expired,
+            queue_wait=self.queue_wait.merge(other.queue_wait),
+        )
 
     def to_dict(self) -> dict:
         return {

@@ -4,13 +4,17 @@ Partitioning a mesh and constructing halo plans is far more expensive
 than a single surrogate step, so the serving layer loads each
 partitioned graph once — through :mod:`repro.graph.io` when the asset
 lives on disk — and keeps it resident. The cache is bounded both by
-entry count and by (estimated) resident bytes; eviction is
-least-recently-used, and hit/miss/eviction counts feed the service
-stats API.
+entry count and by resident bytes (byte-accurate ``nbytes`` sums over
+every array an asset holds, including compiled aggregation plans and
+cached tiled replicas); eviction is least-recently-used. Every eviction
+logs — and the stats snapshot accumulates — the evicted asset's
+*reload cost* (loader wall time plus aggregation-plan build time), so a
+churning cache explains what re-admission will pay.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -21,6 +25,8 @@ from typing import Callable, Sequence
 from repro.graph.distributed import LocalGraph
 from repro.graph.io import load_rank_graphs
 
+_log = logging.getLogger("repro.serve.cache")
+
 #: Distinct tiled batch sizes kept per asset (beyond it, stale batch
 #: sizes are dropped oldest-first). Sustained load settles on a few
 #: sizes; the bound keeps a pathological size churn from hoarding memory.
@@ -28,7 +34,11 @@ MAX_TILE_VARIANTS = 8
 
 
 def _graph_nbytes(g: LocalGraph) -> int:
-    """Estimated resident bytes of one rank payload (incl. plans)."""
+    """Resident bytes of one rank payload: exact ``nbytes`` sums over
+    every array the graph holds — its dataclass fields, the halo plan's
+    index arrays, and whatever has been lazily cached on the instance
+    (:meth:`~repro.graph.distributed.LocalGraph.cached_nbytes`, owned
+    by the graph module so new caches there stay counted here)."""
     total = (
         g.global_ids.nbytes
         + g.pos.nbytes
@@ -38,10 +48,7 @@ def _graph_nbytes(g: LocalGraph) -> int:
         + g.halo.halo_to_local.nbytes
     )
     total += sum(idx.nbytes for idx in g.halo.spec.send_indices.values())
-    plans = g.__dict__.get("_plans")
-    if plans is not None:
-        total += plans.nbytes
-    return total
+    return total + g.cached_nbytes()
 
 
 @dataclass(frozen=True)
@@ -55,7 +62,12 @@ class GraphAsset:
     ``plan_build_s`` records the wall seconds admission spent compiling
     the rank graphs' aggregation plans (0.0 when they were already
     compiled — plans are cached on the graph objects themselves, so
-    re-admitting the same graphs never re-sorts).
+    re-admitting the same graphs never re-sorts). ``load_s`` records
+    what the loader itself cost (reading rank payloads, or the original
+    partition + halo-plan construction for in-memory admissions timed
+    through :meth:`GraphCache.get_or_load`); together they are the
+    asset's :attr:`reload_cost_s` — what an eviction will make the next
+    request on this key pay again.
 
     The asset also owns the per-``(batch_size, rank)`` cache of
     block-diagonal replicas (:meth:`tiled`): sustained-load serving
@@ -68,6 +80,7 @@ class GraphAsset:
     key: str
     graphs: tuple[LocalGraph, ...]
     plan_build_s: float = 0.0
+    load_s: float = 0.0
     _tiles: dict = field(default_factory=dict, repr=False, compare=False)
     _tiles_lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -125,9 +138,17 @@ class GraphAsset:
                 del self._tiles[k]
 
     @property
+    def reload_cost_s(self) -> float:
+        """Wall seconds eviction throws away: loader time plus
+        aggregation-plan compile time (tiled replicas re-tile lazily
+        and are not counted — their plans compose, they never re-sort)."""
+        return self.load_s + self.plan_build_s
+
+    @property
     def nbytes(self) -> int:
-        """Estimated resident bytes (arrays of every rank payload,
-        compiled aggregation plans, and cached tiled replicas)."""
+        """Resident bytes, byte-accurate: ``nbytes`` sums over the
+        arrays of every rank payload, compiled aggregation plans,
+        per-graph cached features, and cached tiled replicas."""
         total = sum(_graph_nbytes(g) for g in self.graphs)
         with self._tiles_lock:
             tiles = list(self._tiles.values())
@@ -141,7 +162,10 @@ class CacheStats:
 
     Plain data taken under the cache lock; safe to share once returned.
     ``plan_build_s`` totals the aggregation-plan compile seconds spent
-    by admissions over the cache lifetime.
+    by admissions over the cache lifetime; ``evicted_reload_s`` totals
+    the reload cost (loader + plan build wall seconds) of every asset
+    evicted so far — the price a churning cache has put back on future
+    requests, surfaced in the stats table to explain churn.
     """
 
     entries: int = 0
@@ -150,12 +174,26 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     plan_build_s: float = 0.0
+    evicted_reload_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         """Hits over lookups (0.0 when the cache was never consulted)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine two snapshots (cluster-wide aggregation): counters
+        and byte totals sum; ``hit_rate`` re-derives from the sums."""
+        return CacheStats(
+            entries=self.entries + other.entries,
+            resident_bytes=self.resident_bytes + other.resident_bytes,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            plan_build_s=self.plan_build_s + other.plan_build_s,
+            evicted_reload_s=self.evicted_reload_s + other.evicted_reload_s,
+        )
 
 
 class GraphCache:
@@ -187,6 +225,7 @@ class GraphCache:
         self._misses = 0
         self._evictions = 0
         self._plan_build_s = 0.0
+        self._evicted_reload_s = 0.0
 
     # -- core ----------------------------------------------------------------
 
@@ -201,14 +240,18 @@ class GraphCache:
             self._hits += 1
             return asset
 
-    def put(self, key: str, graphs: Sequence[LocalGraph]) -> GraphAsset:
+    def put(
+        self, key: str, graphs: Sequence[LocalGraph], load_s: float = 0.0
+    ) -> GraphAsset:
         """Insert (or replace) an asset and apply the size bounds
         (thread-safe; the returned asset is immutable).
 
         Admission precompiles each rank graph's aggregation plans
         (a no-op when already compiled, or while plans are globally
         disabled), so every request served from the asset reuses one
-        compiled plan instead of re-sorting per request.
+        compiled plan instead of re-sorting per request. ``load_s`` is
+        what producing ``graphs`` cost the caller (recorded on the
+        asset so eviction can report the reload price).
         """
         if not graphs:
             raise ValueError("asset must contain at least one rank graph")
@@ -216,7 +259,9 @@ class GraphCache:
         for g in graphs:
             _ = g.plans  # lazy compile; cached on the graph instance
         build_s = time.perf_counter() - started
-        asset = GraphAsset(key=key, graphs=tuple(graphs), plan_build_s=build_s)
+        asset = GraphAsset(
+            key=key, graphs=tuple(graphs), plan_build_s=build_s, load_s=load_s
+        )
         with self._lock:
             self._assets[key] = asset
             self._assets.move_to_end(key)
@@ -231,7 +276,8 @@ class GraphCache:
 
         Loads are serialized so concurrent misses on the same key run
         the (expensive) loader once; the losers of the race hit the
-        freshly admitted asset instead.
+        freshly admitted asset instead. The loader's wall time is
+        recorded as the asset's ``load_s`` (reload-cost accounting).
         """
         asset = self.get(key)
         if asset is not None:
@@ -243,7 +289,9 @@ class GraphCache:
                     self._assets.move_to_end(key)
                     self._hits += 1
                     return raced
-            return self.put(key, loader())
+            started = time.perf_counter()
+            graphs = loader()
+            return self.put(key, graphs, load_s=time.perf_counter() - started)
 
     def load_directory(self, directory: str | Path) -> GraphAsset:
         """Load (or hit) the rank payloads of a graph directory, keyed by
@@ -272,16 +320,32 @@ class GraphCache:
         """Drop one asset; returns whether it was resident (thread-safe)."""
         with self._lock:
             if key in self._assets:
-                del self._assets[key]
-                self._evictions += 1
+                self._drop(key)
                 return True
             return False
 
     def clear(self) -> None:
         """Evict everything (thread-safe; counted as evictions)."""
         with self._lock:
-            self._evictions += len(self._assets)
-            self._assets.clear()
+            for key in list(self._assets):
+                self._drop(key)
+
+    def _drop(self, key: str) -> None:
+        # caller holds the lock; the single eviction path — counts the
+        # eviction, accumulates the asset's reload cost, and logs it so
+        # cache churn is explainable from the logs and the stats table
+        asset = self._assets.pop(key)
+        self._evictions += 1
+        self._evicted_reload_s += asset.reload_cost_s
+        _log.info(
+            "evicted graph asset %r: %d resident bytes freed, reload cost "
+            "%.2f ms (load %.2f ms + plan build %.2f ms)",
+            key,
+            asset.nbytes,
+            asset.reload_cost_s * 1e3,
+            asset.load_s * 1e3,
+            asset.plan_build_s * 1e3,
+        )
 
     def _enforce_bounds(self, keep: str) -> None:
         # caller holds the lock
@@ -297,8 +361,7 @@ class GraphCache:
     def _evict_lru(self, keep: str) -> None:
         for key in self._assets:
             if key != keep:
-                del self._assets[key]
-                self._evictions += 1
+                self._drop(key)
                 return
         # only `keep` remains; nothing else to evict
         raise AssertionError("LRU eviction found no evictable entry")
@@ -330,4 +393,5 @@ class GraphCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 plan_build_s=self._plan_build_s,
+                evicted_reload_s=self._evicted_reload_s,
             )

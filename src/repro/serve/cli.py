@@ -14,6 +14,12 @@ both fronted by the unified engine API
   serve external clients until interrupted — remote processes connect
   with ``repro.runtime.connect("tcp://HOST:PORT")`` (the two-terminal
   quickstart in the README).
+* **cluster client** (``--cluster H1:P1,H2:P2,...``): connect a
+  :class:`~repro.cluster.ClusterEngine` over listeners started
+  elsewhere (e.g. ``tools/launch_cluster.py --serve``), fire the demo
+  burst routed across the shards, and print the merged stats table
+  plus the per-shard routing table. Every listener builds the same
+  deterministic demo assets, so the client can rollout immediately.
 
 Admission control is exposed through ``--max-queue`` (pending-depth cap,
 shedding beyond it) and ``--deadline-ms`` (default queue-wait budget).
@@ -35,6 +41,10 @@ from repro.serve.service import ServeConfig
 from repro.serve.transport import ServeServer, parse_endpoint
 
 DEMO_CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=7)
+#: asset names every demo/listen server registers (deterministic, so a
+#: cluster of listeners agrees on them without coordination)
+DEMO_MODEL = "tgv-surrogate"
+DEMO_GRAPH = "tgv-box"
 
 
 def listen_endpoint(value: str) -> tuple[str, int]:
@@ -69,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve external clients on this socket endpoint "
                    "(port 0 picks an ephemeral port) instead of running "
                    "the demo burst")
+    p.add_argument("--cluster", default=None, metavar="H1:P1,H2:P2,...",
+                   help="client mode: route the demo burst across these "
+                   "serve listeners through a cluster:// engine instead "
+                   "of starting a service")
     p.add_argument("--max-queue", type=int, default=None, metavar="N",
                    help="admission control: shed requests beyond N pending "
                    "(default: unbounded)")
@@ -102,6 +116,37 @@ def _demo_assets(args: argparse.Namespace, tmp_path: Path):
     return x0, ckpt, graph_dir
 
 
+def _fire_burst(engine, args: argparse.Namespace, x0, label: str = "") -> None:
+    """Fire the demo burst of concurrent typed rollouts and report.
+
+    Shared by the in-process demo and the cluster client mode: the
+    burst logic (threads, per-result assertion, stats table) must not
+    drift between the two.
+    """
+    results: list = [None] * args.requests
+
+    def fire(i: int) -> None:
+        results[i] = engine.rollout(RolloutRequest(
+            model=DEMO_MODEL, graph=DEMO_GRAPH,
+            x0=x0, n_steps=args.steps,
+        ))
+
+    threads = [
+        threading.Thread(target=fire, args=(i,), name=f"client{i}")
+        for i in range(args.requests)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for result in results:
+        assert result is not None and len(result.states) == args.steps + 1
+    print(f"all {args.requests} {label}trajectories served "
+          f"({args.steps + 1} frames each)\n")
+    print(engine.stats_markdown())
+
+
 def run_demo(args: argparse.Namespace) -> int:
     nx, ny, nz = args.mesh
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
@@ -110,32 +155,31 @@ def run_demo(args: argparse.Namespace) -> int:
               f"{args.requests} requests x {args.steps} steps, "
               f"max_batch={args.max_batch}, window={args.max_wait_ms}ms\n")
         with connect("pool://", config=_serve_config(args)) as engine:
-            engine.register_checkpoint("tgv-surrogate", ckpt,
+            engine.register_checkpoint(DEMO_MODEL, ckpt,
                                        expect_config=DEMO_CONFIG)
-            engine.register_graph_dir("tgv-box", graph_dir)
+            engine.register_graph_dir(DEMO_GRAPH, graph_dir)
+            _fire_burst(engine, args, x0)
+    return 0
 
-            results: list = [None] * args.requests
 
-            def fire(i: int) -> None:
-                results[i] = engine.rollout(RolloutRequest(
-                    model="tgv-surrogate", graph="tgv-box",
-                    x0=x0, n_steps=args.steps,
-                ))
+def run_cluster(args: argparse.Namespace) -> int:
+    """Client mode: fire the demo burst through a cluster:// engine.
 
-            threads = [
-                threading.Thread(target=fire, args=(i,), name=f"client{i}")
-                for i in range(args.requests)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-
-            for i, result in enumerate(results):
-                assert result is not None and len(result.states) == args.steps + 1
-            print(f"all {args.requests} trajectories served "
-                  f"({args.steps + 1} frames each)\n")
-            print(engine.stats_markdown())
+    The listeners (started with ``--listen`` or
+    ``tools/launch_cluster.py``) each registered the deterministic demo
+    assets, so the client only needs the matching initial state — built
+    here from the same ``--mesh`` arguments.
+    """
+    nx, ny, nz = args.mesh
+    mesh = BoxMesh(nx, ny, nz, p=1)
+    x0 = taylor_green_velocity(mesh.all_positions())
+    with connect(f"cluster://{args.cluster}") as engine:
+        print(f"cluster of {len(engine.shard_ids)} shard(s): "
+              f"{', '.join(engine.shard_ids)}")
+        print(f"negotiated capabilities: {engine.capabilities()}")
+        print(f"placement of ({DEMO_MODEL!r}, {DEMO_GRAPH!r}): "
+              f"{engine.place(DEMO_MODEL, DEMO_GRAPH)}\n")
+        _fire_burst(engine, args, x0, label="routed ")
     return 0
 
 
@@ -156,12 +200,12 @@ def run_listen(
         x0, ckpt, graph_dir = _demo_assets(args, Path(tmp))
         del x0  # clients bring their own initial states
         with connect("pool://", config=_serve_config(args)) as engine:
-            engine.register_checkpoint("tgv-surrogate", ckpt,
+            engine.register_checkpoint(DEMO_MODEL, ckpt,
                                        expect_config=DEMO_CONFIG)
-            engine.register_graph_dir("tgv-box", graph_dir)
+            engine.register_graph_dir(DEMO_GRAPH, graph_dir)
             with ServeServer(engine.service, host, port) as server:
                 print(f"serving on {server.endpoint} "
-                      f"(model 'tgv-surrogate', graph 'tgv-box'; "
+                      f"(model {DEMO_MODEL!r}, graph {DEMO_GRAPH!r}; "
                       f"max_queue={args.max_queue}, "
                       f"deadline_ms={args.deadline_ms})")
                 print("connect with: repro.runtime.connect"
@@ -179,7 +223,13 @@ def run_listen(
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cluster is not None and args.listen is not None:
+        parser.error("--cluster (client mode) and --listen (server mode) "
+                     "are mutually exclusive")
+    if args.cluster is not None:
+        return run_cluster(args)
     if args.listen is not None:
         return run_listen(args)
     return run_demo(args)

@@ -45,9 +45,52 @@ from repro.runtime.api import RolloutRequest, TrainRequest, TrainResult
 from repro.serve.cache import GraphAsset
 from repro.serve.registry import IncompatibleModel, ModelRegistry
 from repro.serve.tiling import stack_states
+from repro.tensor.workspace import InferenceArena
 
 #: frame dispatcher: ``(request_index, step, global_state)``
 FrameDispatch = Callable[[int, int, np.ndarray], None]
+
+
+class WorkerArenas:
+    """Persistent per-rank inference arenas owned by one serve worker.
+
+    Re-warming a fresh :class:`~repro.tensor.workspace.InferenceArena`
+    per batch made every batch re-allocate its whole working set; a
+    worker that keeps one warmed arena per rank index serves sustained
+    load allocation-free — after the first couple of batches on a key,
+    every buffer the stepping loop needs already sits in the pool
+    (``tests/gnn/test_fast_rollout.py`` asserts this).
+
+    Thread safety: one worker executes one batch at a time, and a
+    multi-rank batch hands rank ``r``'s arena to exactly one rank
+    thread — arenas are never used by two loops at once. Do not share
+    one ``WorkerArenas`` across concurrent workers. Determinism: arenas
+    only recycle buffers; they never change the computed bits.
+    """
+
+    def __init__(self) -> None:
+        self._arenas: dict[int, InferenceArena] = {}
+
+    def for_rank(self, rank: int) -> InferenceArena:
+        """Rank ``rank``'s arena (created on first use, then persistent)."""
+        arena = self._arenas.get(rank)
+        if arena is None:
+            arena = self._arenas.setdefault(rank, InferenceArena())
+        return arena
+
+    @property
+    def reallocations(self) -> int:
+        """Total pool-miss allocations across ranks (constant after
+        warmup means sustained serving allocates nothing large)."""
+        return sum(a.reallocations for a in self._arenas.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently parked across every rank's freelist."""
+        return sum(a.nbytes for a in self._arenas.values())
+
+    def __len__(self) -> int:
+        return len(self._arenas)
 
 
 @dataclass(frozen=True)
@@ -69,6 +112,12 @@ class BatchExecution:
     comm: TrafficStats
     tile_hits: int = 0
     tile_misses: int = 0
+    #: pool-miss allocations this batch charged to the worker's
+    #: persistent arenas (0 when the batch ran without ``arenas``)
+    arena_reallocations: int = 0
+    #: bytes parked in the worker's arenas after this batch (0 without
+    #: ``arenas``) — the resident cost of allocation-free serving
+    arena_nbytes: int = 0
 
 
 class _StepCollector:
@@ -146,6 +195,7 @@ def execute_batch(
     requests: Sequence[RolloutRequest],
     dispatch: FrameDispatch,
     timeout: float = 120.0,
+    arenas: WorkerArenas | None = None,
 ) -> BatchExecution:
     """Run one coalesced batch, streaming frames through ``dispatch``.
 
@@ -154,6 +204,12 @@ def execute_batch(
     fewer steps than the batch maximum simply stop receiving frames
     early (their rows still ride along in the tiled state — the cost of
     a straggler-free batch shape).
+
+    ``arenas`` optionally supplies the calling worker's persistent
+    :class:`WorkerArenas`; each rank then steps inside its warmed arena
+    instead of re-warming a fresh one, making sustained same-shape
+    serving allocation-free across batches (the batch's pool misses are
+    reported as ``arena_reallocations``).
 
     Thread safety: one call owns its batch — the function may run on
     many worker threads concurrently (distinct batches), but a single
@@ -182,6 +238,7 @@ def execute_batch(
     max_steps = max(r.n_steps for r in requests)
     width = model.config.node_out
     tile_hits = [0] * asset.size
+    reallocs_before = arenas.reallocations if arenas is not None else 0
 
     for i, req in enumerate(requests):
         dispatch(i, 0, req.x0)
@@ -196,12 +253,15 @@ def execute_batch(
         g = asset.graphs[comm.rank]
         x = stack_states([req.x0[g.global_ids] for req in requests])
         # the shared fast stepping loop (repro.gnn.rollout): each rank
-        # thread owns a private workspace arena; buffers allocated on
-        # step 1 are reused by every later step of the batch, and the
-        # arithmetic is exactly that of a direct rollout
+        # steps in the worker's persistent warmed arena (or a private
+        # single-batch one); buffers allocated on step 1 are reused by
+        # every later step — and, with a persistent arena, by every
+        # later batch — and the arithmetic is exactly that of a direct
+        # rollout
         workspace_steps(
             model, tiled, x, max_steps, comm, halo_mode, residual,
             lambda step, state: emit(comm.rank, step, np.array(state, copy=True)),
+            arena=arenas.for_rank(comm.rank) if arenas is not None else None,
         )
         return comm.stats
 
@@ -257,6 +317,10 @@ def execute_batch(
         comm=total,
         tile_hits=hits,
         tile_misses=asset.size - hits,
+        arena_reallocations=(
+            arenas.reallocations - reallocs_before if arenas is not None else 0
+        ),
+        arena_nbytes=arenas.nbytes if arenas is not None else 0,
     )
 
 

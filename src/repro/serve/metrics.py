@@ -5,12 +5,18 @@ aggregates them into :class:`ServeStats` together with cache, registry
 and queue counters. Rendering reuses the markdown-table idiom of
 :mod:`repro.perf.report` so serving reports read like the paper's
 performance tables.
+
+Snapshots are **mergeable**: :func:`merge_stats` combines any number of
+:class:`ServeStats` into one (counters sum, means re-weight by request
+count, histograms merge bucket-wise), which is how the cluster layer
+(:mod:`repro.cluster`) renders per-shard metrics as one table.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import asdict, dataclass, field
+from typing import Sequence
 
 from repro.perf.report import markdown_table
 from repro.serve.admission import AdmissionStats
@@ -61,6 +67,8 @@ class ServeStats:
     tile_misses: int = 0
     train_jobs: int = 0
     train_s: float = 0.0
+    arena_reallocations: int = 0
+    arena_bytes_high_water: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     registry: RegistryStats = field(default_factory=RegistryStats)
     admission: AdmissionStats = field(default_factory=AdmissionStats)
@@ -84,6 +92,66 @@ class ServeStats:
         return cls(**d)
 
 
+def merge_stats(snapshots: "Sequence[ServeStats]") -> ServeStats:
+    """Merge per-engine snapshots into one cluster-wide :class:`ServeStats`.
+
+    Pure function over plain data. Counters, byte totals, and wall-time
+    totals sum; per-request means re-weight by each snapshot's request
+    count; maxima take the max. ``queue_depth`` sums (total pending work
+    across shards) while ``queue_depth_high_water`` takes the max — the
+    per-shard peaks never coincided, so summing them would overstate the
+    cluster's worst moment. An empty sequence merges to a zero snapshot.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        return ServeStats()
+    total_requests = sum(s.requests for s in snapshots)
+
+    def weighted_mean(attr: str) -> float:
+        if total_requests == 0:
+            return 0.0
+        return (
+            sum(getattr(s, attr) * s.requests for s in snapshots) / total_requests
+        )
+
+    cache = snapshots[0].cache
+    registry = snapshots[0].registry
+    admission = snapshots[0].admission
+    for s in snapshots[1:]:
+        cache = cache.merge(s.cache)
+        registry = registry.merge(s.registry)
+        admission = admission.merge(s.admission)
+    return ServeStats(
+        requests=total_requests,
+        batches=sum(s.batches for s in snapshots),
+        steps=sum(s.steps for s in snapshots),
+        mean_batch_size=weighted_mean("mean_batch_size"),
+        max_batch_size=max(s.max_batch_size for s in snapshots),
+        mean_queue_wait_s=weighted_mean("mean_queue_wait_s"),
+        mean_latency_s=weighted_mean("mean_latency_s"),
+        max_latency_s=max(s.max_latency_s for s in snapshots),
+        comm_bytes=sum(s.comm_bytes for s in snapshots),
+        comm_messages=sum(s.comm_messages for s in snapshots),
+        queue_depth=sum(s.queue_depth for s in snapshots),
+        queue_depth_high_water=max(s.queue_depth_high_water for s in snapshots),
+        tile_hits=sum(s.tile_hits for s in snapshots),
+        tile_misses=sum(s.tile_misses for s in snapshots),
+        train_jobs=sum(s.train_jobs for s in snapshots),
+        train_s=sum(s.train_s for s in snapshots),
+        arena_reallocations=sum(s.arena_reallocations for s in snapshots),
+        # summed, unlike queue_depth_high_water: arenas are persistent
+        # pools that only grow (to a bound) and then stay resident, so
+        # every shard sits at its high water simultaneously — the sum
+        # IS the cluster's steady resident arena cost
+        arena_bytes_high_water=sum(
+            s.arena_bytes_high_water for s in snapshots
+        ),
+        cache=cache,
+        registry=registry,
+        admission=admission,
+    )
+
+
 class MetricsAggregator:
     """Thread-safe accumulator the worker pool reports into."""
 
@@ -98,6 +166,8 @@ class MetricsAggregator:
         self._tile_misses = 0
         self._train_jobs = 0
         self._train_s = 0.0
+        self._arena_reallocations = 0
+        self._arena_bytes_high_water = 0
 
     def record_batch(
         self,
@@ -107,6 +177,8 @@ class MetricsAggregator:
         comm_messages: int = 0,
         tile_hits: int = 0,
         tile_misses: int = 0,
+        arena_reallocations: int = 0,
+        arena_nbytes: int = 0,
     ) -> None:
         with self._lock:
             self._completed.extend(per_request)
@@ -116,6 +188,10 @@ class MetricsAggregator:
             self._comm_messages += comm_messages
             self._tile_hits += tile_hits
             self._tile_misses += tile_misses
+            self._arena_reallocations += arena_reallocations
+            self._arena_bytes_high_water = max(
+                self._arena_bytes_high_water, arena_nbytes
+            )
 
     def record_train(self, train_s: float) -> None:
         """Account one completed training job (wall seconds)."""
@@ -145,6 +221,8 @@ class MetricsAggregator:
             tile_misses = self._tile_misses
             train_jobs = self._train_jobs
             train_s = self._train_s
+            arena_reallocations = self._arena_reallocations
+            arena_bytes_high_water = self._arena_bytes_high_water
         n = len(reqs)
         mean = lambda vals: sum(vals) / n if n else 0.0  # noqa: E731
         return ServeStats(
@@ -164,6 +242,8 @@ class MetricsAggregator:
             tile_misses=tile_misses,
             train_jobs=train_jobs,
             train_s=train_s,
+            arena_reallocations=arena_reallocations,
+            arena_bytes_high_water=arena_bytes_high_water,
             cache=cache,
             registry=registry,
             admission=admission or AdmissionStats(),
@@ -207,10 +287,15 @@ def stats_markdown(stats: ServeStats) -> str:
          f"{stats.tile_hits} / {stats.tile_misses}"],
         ["train jobs / wall (ms)",
          f"{stats.train_jobs} / {stats.train_s * 1e3:.2f}"],
+        ["worker-arena reallocations", stats.arena_reallocations],
+        ["worker-arena bytes pooled (high water)",
+         stats.arena_bytes_high_water],
         ["graph-cache hit rate", f"{stats.cache.hit_rate:.2f}"],
         ["graph-cache entries / bytes",
          f"{stats.cache.entries} / {stats.cache.resident_bytes}"],
         ["graph-cache evictions", stats.cache.evictions],
+        ["evicted reload cost (ms)",
+         f"{stats.cache.evicted_reload_s * 1e3:.2f}"],
         ["plan_build_s (ms total)", f"{stats.cache.plan_build_s * 1e3:.2f}"],
         ["models registered / resident",
          f"{stats.registry.registered} / {stats.registry.resident}"],

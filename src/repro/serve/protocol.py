@@ -191,6 +191,137 @@ def parse_rollout_message(
         raise ValueError(f"malformed rollout request: {exc}") from None
 
 
+#: per-rank array fields of a graph-upload message, in wire order;
+#: per-neighbor halo send-index arrays follow them for each rank
+_GRAPH_ARRAY_FIELDS = (
+    "global_ids",
+    "pos",
+    "edge_index",
+    "edge_degree",
+    "node_degree",
+    "halo_to_local",
+)
+
+
+def graph_upload_message(key, graphs) -> tuple[dict, list[np.ndarray]]:
+    """Frame an in-memory partitioned graph for the wire (``register``).
+
+    This is the registration path for servers that cannot see the
+    client's filesystem (disjoint-filesystem cluster shards): the
+    header carries each rank's scalar metadata (rank, size, pad count,
+    neighbor ids, receive counts) and the arrays travel as ``.npy``
+    blobs — ``len(_GRAPH_ARRAY_FIELDS)`` payload arrays plus one halo
+    send-index array per neighbor, per rank, in rank order. Exact by
+    construction: the ``.npy`` round trip preserves dtype and bits, so
+    an uploaded graph serves identically to a path-registered one.
+    Server-visible-path registration (``register_graph_dir``) remains
+    the fast path — it ships a string, not arrays.
+    """
+    ranks_meta = []
+    arrays: list[np.ndarray] = []
+    for g in graphs:
+        spec = g.halo.spec
+        ranks_meta.append(
+            {
+                "rank": int(g.rank),
+                "size": int(g.size),
+                "pad_count": int(spec.pad_count),
+                "neighbors": [int(n) for n in spec.neighbors],
+                "recv_counts": [int(spec.recv_counts[n]) for n in spec.neighbors],
+            }
+        )
+        for field in _GRAPH_ARRAY_FIELDS:
+            arrays.append(
+                getattr(g, field) if field != "halo_to_local" else g.halo.halo_to_local
+            )
+        for n in spec.neighbors:
+            arrays.append(spec.send_indices[n])
+    return {"op": "register_graph", "key": str(key), "ranks": ranks_meta}, arrays
+
+
+def parse_graph_upload(header: dict, arrays: Sequence[np.ndarray]):
+    """Invert :func:`graph_upload_message`; returns ``(key, graphs)``.
+
+    Raises :class:`ValueError` (mapped to ``bad_request``) on malformed
+    metadata, wrong array counts, or graphs that fail the same internal
+    consistency validation the disk loader applies — a peer cannot
+    register a graph the server could not have loaded itself.
+    """
+    from repro.comm.modes import ExchangeSpec
+    from repro.graph.distributed import LocalGraph
+    from repro.graph.halo import HaloPlan
+
+    key = require_field(header, "key")
+    ranks_meta = require_field(header, "ranks")
+    if not isinstance(ranks_meta, list) or not ranks_meta:
+        raise ValueError("graph upload carries no rank payloads")
+    graphs = []
+    cursor = 0
+    try:
+        expected = sum(
+            len(_GRAPH_ARRAY_FIELDS) + len(meta.get("neighbors", []))
+            for meta in ranks_meta
+        )
+        if len(arrays) != expected:
+            raise ValueError(
+                f"graph upload announced {expected} arrays, "
+                f"carried {len(arrays)}"
+            )
+        for meta in ranks_meta:
+            fields = {
+                name: arrays[cursor + i]
+                for i, name in enumerate(_GRAPH_ARRAY_FIELDS)
+            }
+            cursor += len(_GRAPH_ARRAY_FIELDS)
+            neighbors = tuple(int(n) for n in meta["neighbors"])
+            recv_counts_list = list(meta["recv_counts"])
+            if len(recv_counts_list) != len(neighbors):
+                raise ValueError(
+                    f"rank {meta.get('rank')}: {len(neighbors)} neighbors "
+                    f"but {len(recv_counts_list)} recv counts"
+                )
+            send_indices = {}
+            for n in neighbors:
+                send_indices[n] = arrays[cursor]
+                cursor += 1
+            spec = ExchangeSpec(
+                size=int(meta["size"]),
+                neighbors=neighbors,
+                send_indices=send_indices,
+                recv_counts={
+                    n: int(c) for n, c in zip(neighbors, recv_counts_list)
+                },
+                pad_count=int(meta["pad_count"]),
+            )
+            graph = LocalGraph(
+                rank=int(meta["rank"]),
+                size=int(meta["size"]),
+                global_ids=fields["global_ids"],
+                pos=fields["pos"],
+                edge_index=fields["edge_index"],
+                edge_degree=fields["edge_degree"],
+                node_degree=fields["node_degree"],
+                halo=HaloPlan(spec=spec, halo_to_local=fields["halo_to_local"]),
+            )
+            graph.validate()
+            graphs.append(graph)
+    except (KeyError, TypeError, IndexError, AttributeError,
+            AssertionError) as exc:
+        # everything a type-confused peer can trigger — a rank entry
+        # that is not a dict, wrong-typed fields, short arrays, or a
+        # payload failing graph validation — is the peer's bad request
+        raise ValueError(f"malformed graph upload: {exc}") from None
+    ranks = [g.rank for g in graphs]
+    if ranks != list(range(len(graphs))):
+        raise ValueError(f"uploaded ranks are not a contiguous range: {ranks}")
+    if {g.size for g in graphs} != {len(graphs)}:
+        raise ValueError(
+            f"world-size mismatch across uploaded ranks: "
+            f"{sorted({g.size for g in graphs})} != {{{len(graphs)}}}"
+        )
+    return str(key), graphs
+
+
 def error_code(exc: BaseException) -> str:
     """Map a server-side exception to its wire error code.
 

@@ -62,6 +62,21 @@ class RegistryStats:
     evictions: int = 0
     per_model_loads: dict = field(default_factory=dict)
 
+    def merge(self, other: "RegistryStats") -> "RegistryStats":
+        """Combine two snapshots (cluster-wide aggregation): counters
+        sum — each shard owns a distinct server-side registry, so a
+        model registered on every shard counts once per shard."""
+        per_model = dict(self.per_model_loads)
+        for name, loads in other.per_model_loads.items():
+            per_model[name] = per_model.get(name, 0) + loads
+        return RegistryStats(
+            registered=self.registered + other.registered,
+            resident=self.resident + other.resident,
+            loads=self.loads + other.loads,
+            evictions=self.evictions + other.evictions,
+            per_model_loads=per_model,
+        )
+
 
 class ModelRegistry:
     """Thread-safe name → :class:`MeshGNN` registry with lazy loading.

@@ -32,7 +32,7 @@ from repro.runtime.api import RolloutRequest, TrainRequest, TrainResult
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.batching import RequestQueue, RolloutHandle
 from repro.serve.cache import GraphAsset, GraphCache
-from repro.serve.executor import execute_batch, execute_train_job
+from repro.serve.executor import WorkerArenas, execute_batch, execute_train_job
 from repro.serve.metrics import (
     MetricsAggregator,
     RequestMetrics,
@@ -294,16 +294,21 @@ class InferenceService:
     # -- worker pool ---------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        # one persistent warmed arena set per worker: batches re-use
+        # the pooled buffers instead of re-warming a fresh arena each
+        arenas = WorkerArenas()
         while True:
             batch = self._queue.next_batch(
                 self.config.max_batch_size, self.config.max_wait_s
             )
             if batch is None:
                 return
-            self._execute(batch)
+            self._execute(batch, arenas)
 
     def _execute(
-        self, batch: list[tuple[InferenceRequest, RolloutHandle]]
+        self,
+        batch: list[tuple[InferenceRequest, RolloutHandle]],
+        arenas: WorkerArenas | None = None,
     ) -> None:
         requests = [req for req, _ in batch]
         handles = [h for _, h in batch]
@@ -321,6 +326,7 @@ class InferenceService:
                 requests,
                 dispatch,
                 timeout=self.config.request_timeout_s,
+                arenas=arenas,
             )
         except BaseException as exc:  # noqa: BLE001 - failures go to clients
             for h in handles:
@@ -352,6 +358,8 @@ class InferenceService:
             comm_messages=execution.comm.messages,
             tile_hits=execution.tile_hits,
             tile_misses=execution.tile_misses,
+            arena_reallocations=execution.arena_reallocations,
+            arena_nbytes=execution.arena_nbytes,
         )
         # a tile miss grew the asset's resident bytes after admission;
         # keep the configured cache byte budget honest

@@ -55,14 +55,18 @@ from repro.serve.protocol import ProtocolError, read_message, write_message
 from repro.serve.service import InferenceService
 
 #: What the wire supports, announced through the ``capabilities`` op.
-#: Training jobs and in-memory assets deliberately do not cross the
-#: socket — a remote engine negotiates this up front and rejects them
-#: with a typed :class:`~repro.runtime.api.CapabilityError` client-side.
+#: Training jobs and in-memory *model* objects deliberately do not
+#: cross the socket — a remote engine negotiates this up front and
+#: rejects them with a typed :class:`~repro.runtime.api.CapabilityError`
+#: client-side. Partitioned graphs, however, can be *uploaded* as
+#: ``.npy`` frames (``graph_upload``) so clients can register assets on
+#: servers that cannot see their filesystem.
 WIRE_CAPABILITIES = EngineCapabilities(
     transport="tcp",
     training=False,
     streaming=True,
     in_memory_assets=False,
+    graph_upload=True,
 )
 
 
@@ -169,6 +173,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 service.register_graph_dir(
                     _require(header, "key"), _require(header, "path")
                 )
+                self._reply({"type": "ok"})
+            elif op == "register_graph":
+                # graph upload: the arrays ARE the asset (see
+                # protocol.graph_upload_message); parse errors map to
+                # bad_request through the generic handler below
+                key, graphs = protocol.parse_graph_upload(header, arrays)
+                service.register_graph(key, graphs)
                 self._reply({"type": "ok"})
             else:
                 self._reply_error(

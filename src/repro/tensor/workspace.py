@@ -40,6 +40,13 @@ import numpy as np
 
 _active = threading.local()
 
+#: Distinct (shape, dtype) freelists one arena keeps. A steady-state
+#: loop uses a stable set far below this; the bound only engages under
+#: shape churn (a persistent serve-worker arena fed many distinct
+#: graphs / batch sizes), where the oldest variants' buffers are
+#: released to the allocator instead of being hoarded forever.
+MAX_SHAPE_VARIANTS = 256
+
 
 def _probe_release(buf) -> None:  # pragma: no cover - calibration shim
     _probe_counts.append(sys.getrefcount(buf))
@@ -104,8 +111,31 @@ class InferenceArena:
         return np.empty(shape, dtype=dtype)
 
     def recycle(self, buf: np.ndarray) -> None:
-        """Eagerly return a buffer the caller guarantees is dead."""
-        self._free.setdefault(self._key(buf.shape, buf.dtype), []).append(buf)
+        """Eagerly return a buffer the caller guarantees is dead.
+
+        Bounded: at most :data:`MAX_SHAPE_VARIANTS` distinct
+        ``(shape, dtype)`` freelists are kept (a persistent arena fed
+        ever-changing shapes must not hoard every size it ever saw);
+        when the bound is hit, the stalest variants are dropped — their
+        buffers return to the normal allocator, never to a caller.
+        """
+        key = self._key(buf.shape, buf.dtype)
+        free = self._free.get(key)
+        if free is None:
+            if len(self._free) >= MAX_SHAPE_VARIANTS:
+                self._evict_stale_variants()
+            free = self._free[key] = []
+        free.append(buf)
+
+    def _evict_stale_variants(self) -> None:
+        # drop exhausted freelists first (zero cost), then the oldest
+        # created ones; dropping a still-hot variant costs one
+        # reallocation and re-creates its freelist at the back, so
+        # repeated eviction converges on genuinely stale shapes
+        for key in [k for k, v in self._free.items() if not v]:
+            del self._free[key]
+        while len(self._free) >= MAX_SHAPE_VARIANTS:
+            del self._free[next(iter(self._free))]
 
     def adopt(self, owner, buf: np.ndarray) -> None:
         """Return ``buf`` to the pool when ``owner`` (a Tensor) dies —

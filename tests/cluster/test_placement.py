@@ -1,0 +1,89 @@
+"""Consistent-hash ring: determinism, spread, and remap minimality."""
+
+import pytest
+
+from repro.cluster.placement import HashRing, placement_key
+
+
+SHARDS = ["10.0.0.1:7431", "10.0.0.2:7431", "10.0.0.3:7431"]
+KEYS = [placement_key(f"model-{i}", f"graph-{i % 7}") for i in range(300)]
+
+
+class TestHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        """Two processes building the same ring agree on every key —
+        clients never need to gossip placement."""
+        a, b = HashRing(SHARDS), HashRing(SHARDS)
+        for key in KEYS:
+            assert a.place(key) == b.place(key)
+            assert a.preference(key) == b.preference(key)
+
+    def test_placement_independent_of_shard_order(self):
+        shuffled = [SHARDS[2], SHARDS[0], SHARDS[1]]
+        a, b = HashRing(SHARDS), HashRing(shuffled)
+        for key in KEYS:
+            assert a.place(key) == b.place(key)
+
+    def test_keys_spread_across_all_shards(self):
+        ring = HashRing(SHARDS)
+        counts = {sid: 0 for sid in SHARDS}
+        for key in KEYS:
+            counts[ring.place(key)] += 1
+        # the ring need not be perfectly fair, but every shard must
+        # carry a real share (spill handles residual imbalance)
+        for sid, n in counts.items():
+            assert n >= len(KEYS) * 0.1, counts
+
+    def test_preference_is_a_permutation_starting_at_place(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS[:50]:
+            order = ring.preference(key)
+            assert sorted(order) == sorted(SHARDS)
+            assert order[0] == ring.place(key)
+
+    def test_removing_a_shard_only_remaps_its_keys(self):
+        """The consistent-hashing property: keys placed on surviving
+        shards keep their placement when one shard leaves."""
+        full = HashRing(SHARDS)
+        reduced = HashRing(SHARDS[:2])
+        moved = kept = 0
+        for key in KEYS:
+            before = full.place(key)
+            after = reduced.place(key)
+            if before == SHARDS[2]:
+                moved += 1
+                assert after in SHARDS[:2]
+            else:
+                kept += 1
+                assert after == before, key
+        assert moved > 0 and kept > 0
+
+    def test_failover_order_matches_reduced_ring(self):
+        """preference() with the dead shard skipped IS the reduced
+        ring's placement — failover and membership change agree."""
+        full = HashRing(SHARDS)
+        reduced = HashRing(SHARDS[:2])
+        for key in KEYS[:100]:
+            survivors = [s for s in full.preference(key) if s != SHARDS[2]]
+            assert survivors[0] == reduced.place(key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["a"], replicas=0)
+
+    def test_single_shard_ring(self):
+        ring = HashRing(["only"])
+        assert ring.place("anything") == "only"
+        assert ring.preference("anything") == ["only"]
+
+
+class TestPlacementKey:
+    def test_distinct_pairs_stay_distinct(self):
+        assert placement_key("ab", "c") != placement_key("a", "bc")
+
+    def test_key_is_stable(self):
+        assert placement_key("m", "g") == placement_key("m", "g")

@@ -1,0 +1,134 @@
+"""Mergeable serve snapshots: the arithmetic behind cluster stats()."""
+
+import pytest
+
+from repro.serve.admission import AdmissionStats, WaitHistogram
+from repro.serve.cache import CacheStats
+from repro.serve.metrics import ServeStats, merge_stats, stats_markdown
+from repro.serve.registry import RegistryStats
+
+
+def snapshot(requests, mean_latency_s, **overrides):
+    defaults = dict(
+        requests=requests,
+        batches=requests,
+        steps=requests * 2,
+        mean_batch_size=1.0,
+        max_batch_size=1,
+        mean_queue_wait_s=0.001,
+        mean_latency_s=mean_latency_s,
+        max_latency_s=mean_latency_s * 2,
+        comm_bytes=100 * requests,
+        comm_messages=requests,
+        queue_depth=1,
+        queue_depth_high_water=requests,
+        tile_hits=requests,
+        tile_misses=1,
+        train_jobs=1,
+        train_s=0.5,
+        arena_reallocations=3,
+    )
+    defaults.update(overrides)
+    return ServeStats(**defaults)
+
+
+class TestMergeStats:
+    def test_empty_merges_to_zero_snapshot(self):
+        assert merge_stats([]) == ServeStats()
+
+    def test_single_snapshot_is_identity_on_counters(self):
+        s = snapshot(4, 0.010)
+        merged = merge_stats([s])
+        assert merged.requests == 4
+        assert merged.mean_latency_s == pytest.approx(0.010)
+        assert merged.comm_bytes == 400
+
+    def test_counters_sum_and_means_reweight(self):
+        a = snapshot(1, 0.010)
+        b = snapshot(3, 0.002)
+        merged = merge_stats([a, b])
+        assert merged.requests == 4
+        assert merged.batches == 4
+        assert merged.steps == 8
+        assert merged.comm_bytes == 400
+        assert merged.queue_depth == 2            # pending work sums
+        assert merged.queue_depth_high_water == 3  # peaks take the max
+        assert merged.max_latency_s == pytest.approx(0.020)
+        # weighted mean: (1*10ms + 3*2ms) / 4 = 4ms
+        assert merged.mean_latency_s == pytest.approx(0.004)
+        assert merged.train_jobs == 2
+        assert merged.arena_reallocations == 6
+
+    def test_zero_request_shards_do_not_skew_means(self):
+        busy = snapshot(10, 0.005)
+        idle = snapshot(0, 0.0)
+        merged = merge_stats([busy, idle])
+        assert merged.mean_latency_s == pytest.approx(0.005)
+
+    def test_nested_stats_merge(self):
+        a = ServeStats(
+            requests=1,
+            cache=CacheStats(entries=1, resident_bytes=100, hits=2, misses=1,
+                             evictions=1, plan_build_s=0.1,
+                             evicted_reload_s=0.2),
+            registry=RegistryStats(registered=1, resident=1, loads=1,
+                                   per_model_loads={"m": 1}),
+            admission=AdmissionStats(accepted=2, shed=1),
+        )
+        b = ServeStats(
+            requests=1,
+            cache=CacheStats(entries=2, resident_bytes=50, hits=1, misses=3,
+                             evictions=0, plan_build_s=0.05,
+                             evicted_reload_s=0.0),
+            registry=RegistryStats(registered=1, resident=0, loads=2,
+                                   per_model_loads={"m": 1, "n": 1}),
+            admission=AdmissionStats(accepted=3, expired=2),
+        )
+        merged = merge_stats([a, b])
+        assert merged.cache.entries == 3
+        assert merged.cache.resident_bytes == 150
+        assert merged.cache.hit_rate == pytest.approx(3 / 7)
+        assert merged.cache.evicted_reload_s == pytest.approx(0.2)
+        assert merged.registry.registered == 2
+        assert merged.registry.per_model_loads == {"m": 2, "n": 1}
+        assert merged.admission.accepted == 5
+        assert merged.admission.shed == 1
+        assert merged.admission.expired == 2
+
+    def test_merged_snapshot_renders(self):
+        table = stats_markdown(merge_stats([snapshot(2, 0.01),
+                                            snapshot(3, 0.02)]))
+        assert "| requests served | 5 |" in table
+        assert "evicted reload cost (ms)" in table
+        assert "worker-arena reallocations" in table
+
+
+class TestWaitHistogramMerge:
+    def test_bucketwise_sum(self):
+        a = AdmissionStats(accepted=1)
+        a.queue_wait.counts[0] = 2
+        a.queue_wait.total = 2
+        a.queue_wait.sum_s = 0.001
+        b = AdmissionStats(accepted=1)
+        b.queue_wait.counts[0] = 1
+        b.queue_wait.counts[3] = 1
+        b.queue_wait.total = 2
+        b.queue_wait.sum_s = 0.05
+        merged = a.merge(b)
+        assert merged.queue_wait.counts[0] == 3
+        assert merged.queue_wait.counts[3] == 1
+        assert merged.queue_wait.total == 4
+        assert merged.queue_wait.sum_s == pytest.approx(0.051)
+
+    def test_bound_mismatch_rejected(self):
+        a = WaitHistogram()
+        b = WaitHistogram(bounds_s=(1.0, 2.0), counts=[0, 0, 0])
+        with pytest.raises(ValueError, match="bounds"):
+            a.merge(b)
+
+    def test_roundtrip_through_wire_dict_then_merge(self):
+        """The cluster merges snapshots reconstructed from the wire."""
+        a = snapshot(2, 0.01)
+        b = snapshot(1, 0.02)
+        rehydrated = [ServeStats.from_dict(s.to_dict()) for s in (a, b)]
+        assert merge_stats(rehydrated) == merge_stats([a, b])

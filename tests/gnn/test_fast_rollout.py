@@ -104,6 +104,90 @@ def test_steady_state_rollout_is_allocation_free(mesh, x0):
     assert growth == [0] * len(growth), marks
 
 
+class TestPersistentWorkerArenas:
+    """Sustained multi-batch serving must stop allocating: one warmed
+    arena per serve worker replaces the re-warmed-per-batch arena."""
+
+    def test_repeated_batches_reuse_one_warmed_arena(self, mesh, x0):
+        from repro.runtime.api import RolloutRequest
+        from repro.serve.cache import GraphAsset
+        from repro.serve.executor import WorkerArenas, execute_batch
+
+        model = model_for("geometric")
+        graph = build_full_graph(mesh)
+        asset = GraphAsset(key="g", graphs=(graph,))
+        arenas = WorkerArenas()
+        marks, last_frames = [], None
+        for _ in range(6):
+            frames = []
+            requests = [
+                RolloutRequest(model="m", graph="g", x0=x0, n_steps=3)
+                for _ in range(2)
+            ]
+            execution = execute_batch(
+                model, asset, requests,
+                lambda i, step, state: (
+                    frames.append(np.array(state, copy=True)) if i == 0 else None
+                ),
+                arenas=arenas,
+            )
+            marks.append(arenas.reallocations)
+            last_frames = frames
+        # the first two batches may allocate (pool warmup + recycle
+        # lag); every later batch must draw everything from the pool
+        growth = [b - a for a, b in zip(marks[2:], marks[3:])]
+        assert growth == [0] * len(growth), marks
+        assert execution.arena_reallocations == 0
+        # ...and arena reuse never changes the bits
+        reference = rollout(model, graph, x0, 3, workspace=True)
+        assert_trajectories_bitwise(reference, last_frames)
+
+    @pytest.mark.parametrize("residual", [False, True])
+    def test_residual_and_direct_modes_both_go_quiet(self, mesh, x0,
+                                                     residual):
+        from repro.runtime.api import RolloutRequest
+        from repro.serve.cache import GraphAsset
+        from repro.serve.executor import WorkerArenas, execute_batch
+
+        model = model_for("geometric")
+        asset = GraphAsset(key="g", graphs=(build_full_graph(mesh),))
+        arenas = WorkerArenas()
+        marks = []
+        for _ in range(5):
+            execute_batch(
+                model, asset,
+                [RolloutRequest(model="m", graph="g", x0=x0, n_steps=2,
+                                residual=residual)],
+                lambda i, step, state: None,
+                arenas=arenas,
+            )
+            marks.append(arenas.reallocations)
+        growth = [b - a for a, b in zip(marks[2:], marks[3:])]
+        assert growth == [0] * len(growth), marks
+
+    def test_sustained_service_reports_zero_arena_growth(self, mesh, x0):
+        """End to end through the worker pool: after warmup, the stats
+        table's worker-arena reallocation counter freezes."""
+        from repro.runtime import RolloutRequest, connect
+        from repro.serve import ServeConfig
+
+        model = model_for("geometric")
+        graph = build_full_graph(mesh)
+        config = ServeConfig(max_batch_size=1, max_wait_s=0.0, n_workers=1)
+        with connect("pool://", config=config) as engine:
+            engine.register_model("m", model)
+            engine.register_graph("g", [graph])
+            request = RolloutRequest(model="m", graph="g", x0=x0, n_steps=3)
+            for _ in range(3):
+                engine.rollout(request)
+            warmed = engine.stats().arena_reallocations
+            for _ in range(4):
+                engine.rollout(request)
+            settled = engine.stats().arena_reallocations
+            assert settled == warmed, (warmed, settled)
+            assert "worker-arena reallocations" in engine.stats_markdown()
+
+
 def test_fast_rollout_output_buffers_are_independent(mesh, x0):
     """Returned states must not alias pooled (reused) memory."""
     model = model_for("geometric")

@@ -18,7 +18,7 @@ from repro.runtime import connect
 from repro.serve import ServeConfig, ServeServer
 
 ENGINE_CONFIG = GNNConfig(hidden=6, n_message_passing=2, n_mlp_hidden=1, seed=11)
-ENGINE_KINDS = ("local", "pool", "tcp")
+ENGINE_KINDS = ("local", "pool", "tcp", "cluster")
 
 
 @pytest.fixture(scope="session")
@@ -65,8 +65,9 @@ def make_engine(kind, asset_paths, serve_config=None):
     """Stand one engine up with the shared assets registered.
 
     ``tcp`` engines get a private in-process service + socket server
-    (the engine itself only ever sees the wire). All registrations are
-    path-backed so the three engines are exact peers.
+    (the engine itself only ever sees the wire); ``cluster`` engines
+    get TWO of those and route across them. All registrations are
+    path-backed so the engines are exact peers.
     """
     ckpt, g1_dir, g4_dir = asset_paths
     config = serve_config or ServeConfig(max_batch_size=4, max_wait_s=0.0)
@@ -84,6 +85,20 @@ def make_engine(kind, asset_paths, serve_config=None):
             with connect(f"tcp://{server.endpoint}") as engine:
                 _register(engine, ckpt, g1_dir, g4_dir)
                 yield engine
+    elif kind == "cluster":
+        with contextlib.ExitStack() as stack:
+            endpoints = []
+            for _ in range(2):
+                backend = stack.enter_context(
+                    connect("pool://", config=config)
+                )
+                server = stack.enter_context(ServeServer(backend.service))
+                endpoints.append(server.endpoint)
+            engine = stack.enter_context(
+                connect("cluster://" + ",".join(endpoints))
+            )
+            _register(engine, ckpt, g1_dir, g4_dir)
+            yield engine
     else:  # pragma: no cover - fixture misuse
         raise ValueError(f"unknown engine kind {kind!r}")
 

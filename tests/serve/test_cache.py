@@ -128,3 +128,81 @@ def test_readmitting_compiled_graphs_skips_plan_build(rank_graphs):
         g.__dict__["_plans"] is p for g, p in zip(rank_graphs, compiled)
     )
     assert cache.stats().plan_build_s >= first.plan_build_s
+
+
+class TestByteAccurateSizingAndReloadCost:
+    """Byte-accurate nbytes sums + eviction reload-cost accounting."""
+
+    def test_nbytes_counts_lazily_cached_arrays(self, full_graph):
+        full_graph.__dict__.pop("_inv_edge_degree", None)
+        full_graph.__dict__.pop("_geometric_edge_attr", None)
+        asset = GraphCache().put("k", [full_graph])
+        before = asset.nbytes
+        # materialize the per-instance caches the hot loop uses
+        _ = full_graph.inv_edge_degree
+        _ = full_graph.geometric_edge_attr()
+        after = asset.nbytes
+        expected = (
+            full_graph.__dict__["_inv_edge_degree"].nbytes
+            + full_graph.__dict__["_geometric_edge_attr"].nbytes
+        )
+        assert after - before == expected
+
+    def test_nbytes_counts_tiled_replicas_exactly(self, full_graph):
+        asset = GraphCache().put("k", [full_graph])
+        base = asset.nbytes
+        tiled, _ = asset.tiled(3, 0)
+        grown = asset.nbytes
+        from repro.serve.cache import _graph_nbytes
+
+        assert grown - base == _graph_nbytes(tiled)
+
+    def test_loader_time_recorded_and_charged_on_eviction(self, full_graph):
+        import time as time_mod
+
+        cache = GraphCache(max_entries=1)
+
+        def slow_loader():
+            time_mod.sleep(0.01)
+            return [full_graph]
+
+        asset = cache.get_or_load("a", slow_loader)
+        assert asset.load_s >= 0.01
+        assert asset.reload_cost_s >= asset.load_s
+        cache.put("b", [full_graph])  # evicts "a" (entry bound)
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.evicted_reload_s >= asset.load_s
+
+    def test_explicit_evict_and_clear_charge_reload_cost(self, full_graph):
+        cache = GraphCache()
+        cache.get_or_load("a", lambda: [full_graph])
+        cache.get_or_load("b", lambda: [full_graph])
+        cache.evict("a")
+        after_evict = cache.stats().evicted_reload_s
+        assert after_evict >= 0.0
+        cache.clear()
+        assert cache.stats().evicted_reload_s >= after_evict
+        assert cache.stats().evictions == 2
+
+    def test_eviction_is_logged_with_reload_cost(self, full_graph, caplog):
+        import logging
+
+        cache = GraphCache()
+        cache.get_or_load("k", lambda: [full_graph])
+        with caplog.at_level(logging.INFO, logger="repro.serve.cache"):
+            cache.evict("k")
+        assert any("reload cost" in r.message for r in caplog.records)
+
+    def test_reload_cost_reaches_the_stats_table(self, full_graph):
+        from repro.serve.metrics import MetricsAggregator, stats_markdown
+        from repro.serve.registry import RegistryStats
+
+        cache = GraphCache()
+        cache.get_or_load("k", lambda: [full_graph])
+        cache.evict("k")
+        stats = MetricsAggregator().snapshot(
+            cache=cache.stats(), registry=RegistryStats(),
+            queue_depth=0, queue_depth_high_water=0,
+        )
+        assert "evicted reload cost (ms)" in stats_markdown(stats)

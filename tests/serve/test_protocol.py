@@ -1,4 +1,5 @@
-"""Wire-format tests: framing, array round-trips, malformed streams."""
+"""Wire-format tests: framing, array round-trips, malformed streams,
+graph upload."""
 
 import io
 import struct
@@ -7,10 +8,13 @@ import numpy as np
 import pytest
 
 from repro.serve.protocol import (
+    MAX_ARRAY_BYTES,
     MAX_HEADER_BYTES,
     ProtocolError,
     decode_array,
     encode_array,
+    graph_upload_message,
+    parse_graph_upload,
     read_message,
     write_message,
 )
@@ -122,6 +126,29 @@ class TestMalformedStreams:
         with pytest.raises(ProtocolError, match="exceeds bound"):
             read_message(io.BytesIO(framed + b"x" * 16))
 
+    def test_oversized_array_frame_rejected_before_allocation(self):
+        """A peer claiming a blob beyond MAX_ARRAY_BYTES must fail fast
+        — never attempt the allocation (the cluster relies on servers
+        surviving garbage frames as bad_request, not OOM)."""
+        payload = b'{"arrays":1}'
+        framed = (
+            struct.pack(">I", len(payload))
+            + payload
+            + struct.pack(">Q", MAX_ARRAY_BYTES + 1)
+        )
+        with pytest.raises(ProtocolError, match="exceeds bound"):
+            read_message(io.BytesIO(framed + b"x" * 64))
+
+    def test_half_close_mid_frame_is_truncation_not_eof(self):
+        """EOF is clean only at a message boundary; a peer hanging up
+        halfway through an array blob is a ProtocolError."""
+        buf = io.BytesIO()
+        write_message(buf, {"type": "frame", "step": 1}, [np.ones((8, 3))])
+        data = buf.getvalue()
+        for cut in (len(data) - 1, len(data) // 2, 5):
+            with pytest.raises(ProtocolError, match="truncated"):
+                read_message(io.BytesIO(data[:cut]))
+
     def test_negative_array_count_rejected(self):
         payload = b'{"arrays":-1}'
         framed = struct.pack(">I", len(payload)) + payload
@@ -173,3 +200,82 @@ class TestTypedRequestMessages:
         with pytest.raises(ValueError, match="exactly one array"):
             parse_rollout_message({"op": "rollout", "model": "m",
                                    "graph": "g", "n_steps": 1}, [])
+
+
+class TestGraphUploadMessages:
+    """The register op: graph arrays ship as .npy frames."""
+
+    def test_single_rank_round_trip_is_exact(self, full_graph):
+        header, arrays = graph_upload_message("g", [full_graph])
+        assert header["op"] == "register_graph"
+        # ...and survives the actual framing layer
+        buf = io.BytesIO()
+        write_message(buf, header, arrays)
+        buf.seek(0)
+        wire_header, wire_arrays = read_message(buf)
+        wire_header.pop("arrays", None)
+        key, graphs = parse_graph_upload(wire_header, wire_arrays)
+        assert key == "g" and len(graphs) == 1
+        g = graphs[0]
+        np.testing.assert_array_equal(g.global_ids, full_graph.global_ids)
+        np.testing.assert_array_equal(g.pos, full_graph.pos)
+        np.testing.assert_array_equal(g.edge_index, full_graph.edge_index)
+        assert g.pos.dtype == full_graph.pos.dtype
+
+    def test_multirank_round_trip_preserves_halo_plans(self, dist_graph):
+        header, arrays = graph_upload_message("g4", dist_graph.locals)
+        _, graphs = parse_graph_upload(header, arrays)
+        assert len(graphs) == 4
+        for original, parsed in zip(dist_graph.locals, graphs):
+            spec_a, spec_b = original.halo.spec, parsed.halo.spec
+            assert spec_a.neighbors == spec_b.neighbors
+            assert spec_a.recv_counts == spec_b.recv_counts
+            assert spec_a.pad_count == spec_b.pad_count
+            for n in spec_a.neighbors:
+                np.testing.assert_array_equal(
+                    spec_a.send_indices[n], spec_b.send_indices[n]
+                )
+            np.testing.assert_array_equal(
+                original.halo.halo_to_local, parsed.halo.halo_to_local
+            )
+            parsed.validate()
+
+    def test_array_count_mismatch_is_value_error(self, full_graph):
+        header, arrays = graph_upload_message("g", [full_graph])
+        with pytest.raises(ValueError, match="arrays"):
+            parse_graph_upload(header, arrays[:-1] if arrays else [])
+
+    def test_noncontiguous_ranks_rejected(self, dist_graph):
+        header, arrays = graph_upload_message(
+            "g", [dist_graph.locals[0], dist_graph.locals[2]]
+        )
+        with pytest.raises(ValueError):
+            parse_graph_upload(header, arrays)
+
+    def test_invalid_graph_payload_rejected(self, full_graph):
+        """A payload that fails the loader's consistency validation
+        (edge pointing at a nonexistent node) maps to bad_request."""
+        header, arrays = graph_upload_message("g", [full_graph])
+        bad = [a.copy() for a in arrays]
+        bad[2] = bad[2].copy()
+        bad[2][0, 0] = full_graph.n_local + 5  # edge_index out of range
+        with pytest.raises(ValueError, match="malformed graph upload"):
+            parse_graph_upload(header, bad)
+
+    def test_empty_upload_rejected(self):
+        with pytest.raises(ValueError, match="no rank payloads"):
+            parse_graph_upload({"key": "g", "ranks": []}, [])
+
+    @pytest.mark.parametrize("ranks", [
+        [42],                       # rank entry is not a dict
+        [{"neighbors": 3}],         # neighbors is not a list
+        [{"neighbors": [], "size": "two"}],  # missing/mistyped fields
+    ])
+    def test_type_confused_metadata_maps_to_bad_request(self, ranks):
+        """Garbage rank metadata must classify as the peer's bad
+        request, never as an internal server failure."""
+        from repro.serve.protocol import error_code
+
+        with pytest.raises(ValueError) as exc_info:
+            parse_graph_upload({"key": "g", "ranks": ranks}, [])
+        assert error_code(exc_info.value) == "bad_request"

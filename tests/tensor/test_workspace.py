@@ -109,3 +109,38 @@ def test_pooled_op_results_are_bitwise_correct():
         }
     for name, want in expected.items():
         np.testing.assert_array_equal(got[name], want, err_msg=name)
+
+
+def test_arena_freelist_variants_are_bounded():
+    """A persistent arena fed ever-changing shapes must not hoard every
+    size it ever saw (serve workers keep arenas for the process
+    lifetime); beyond MAX_SHAPE_VARIANTS the stalest variants drop."""
+    from repro.tensor.workspace import MAX_SHAPE_VARIANTS, InferenceArena
+
+    arena = InferenceArena()
+    for n in range(MAX_SHAPE_VARIANTS * 2):
+        arena.recycle(np.empty((n + 1,)))
+    assert len(arena._free) <= MAX_SHAPE_VARIANTS
+    # the pool still works: a hot shape round-trips through it
+    buf = arena.out((3, 3), np.float64)
+    arena.recycle(buf)
+    assert arena.out((3, 3), np.float64) is buf
+    # ...and nbytes stays bounded by what the retained variants hold
+    assert arena.nbytes <= sum(
+        b.nbytes for free in arena._free.values() for b in free
+    )
+
+
+def test_arena_eviction_prefers_exhausted_freelists():
+    from repro.tensor.workspace import MAX_SHAPE_VARIANTS, InferenceArena
+
+    arena = InferenceArena()
+    for n in range(MAX_SHAPE_VARIANTS):
+        arena.recycle(np.empty((n + 1,)))
+    # drain one variant so its freelist is empty but the key remains
+    drained = arena.out((1,), np.float64)
+    assert drained.shape == (1,)
+    live_keys = {k for k, v in arena._free.items() if v}
+    # a brand-new shape evicts the exhausted key, not a live one
+    arena.recycle(np.empty((MAX_SHAPE_VARIANTS + 7,)))
+    assert live_keys <= set(arena._free)

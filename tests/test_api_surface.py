@@ -33,7 +33,7 @@ def test_snapshot_matches_code():
 
 def test_surface_covers_the_engine_api():
     """The snapshot names the redesign's load-bearing exports."""
-    assert PUBLIC_MODULES == ("repro.runtime", "repro.serve")
+    assert PUBLIC_MODULES == ("repro.runtime", "repro.cluster", "repro.serve")
     text = SNAPSHOT_PATH.read_text(encoding="utf-8")
     for export in (
         "def connect",
@@ -41,9 +41,14 @@ def test_surface_covers_the_engine_api():
         "class LocalEngine(Engine)",
         "class PooledEngine(Engine)",
         "class RemoteEngine(Engine)",
+        "class ClusterEngine(Engine)",
+        "class HashRing",
+        "class ShardState(Enum)",
+        "class NoShardAvailable(ShardError)",
         "class RolloutRequest",
         "class TrainRequest",
         "class CapabilityError",
+        "def merge_stats",
         "class ServeClient",
         "class NetworkClient",
     ):

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Boot N serve processes and wire a cluster over them.
+
+The test/CI harness behind ``benchmarks/test_cluster_scaling.py`` and
+the CI ``cluster-smoke`` job: each server is a real
+``python -m repro serve --listen 127.0.0.1:0`` subprocess (its own
+interpreter, its own GIL — so a 2-server cluster genuinely runs two
+batches at once on two cores), announced endpoints are parsed off the
+children's stdout, and :class:`ClusterHarness` exposes the resulting
+``cluster://`` URL plus per-server ``kill()`` for failover drills.
+
+Every server builds the same deterministic demo assets the serve CLI
+demo uses (model ``tgv-surrogate``, graph ``tgv-box``), so a smoke
+client can rollout immediately; additional assets register through the
+cluster engine by server-visible path or graph upload.
+
+Run:  python tools/launch_cluster.py --servers 2 --smoke   (CI: boot,
+      one routed rollout, stats, exit 0)
+      python tools/launch_cluster.py --servers 2 --serve   (stay up,
+      print the cluster URL, Ctrl-C to stop)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+_READY_PREFIX = "serving on "
+
+
+class ClusterHarness:
+    """N ``repro serve --listen`` subprocesses + their endpoints.
+
+    Context manager; ``kill(i)`` SIGKILLs one server (the hard-death
+    shape the cluster's failover is built for), ``stop()`` terminates
+    the rest. Endpoints are in launch order; ``cluster_url`` is ready
+    to hand to ``repro.runtime.connect``.
+    """
+
+    def __init__(
+        self,
+        n_servers: int = 2,
+        ranks: int = 2,
+        mesh: tuple = (4, 4, 2),
+        max_batch: int = 8,
+        max_wait_ms: float = 5.0,
+        startup_timeout_s: float = 120.0,
+        extra_args: tuple = (),
+        blas_threads: int | None = 1,
+    ):
+        if n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        self.procs: list[subprocess.Popen] = []
+        self.endpoints: list[str] = []
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        if blas_threads is not None:
+            # pin each server's BLAS pool: the scaling benchmark
+            # measures horizontal scale-out across processes, which an
+            # all-cores-per-server BLAS would mask completely
+            for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                        "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS",
+                        "VECLIB_MAXIMUM_THREADS"):
+                env[var] = str(blas_threads)
+        nx, ny, nz = mesh
+        cmd = [
+            sys.executable, "-u", "-m", "repro", "serve",
+            "--listen", "127.0.0.1:0",
+            "--ranks", str(ranks),
+            "--mesh", str(nx), str(ny), str(nz),
+            "--max-batch", str(max_batch),
+            "--max-wait-ms", str(max_wait_ms),
+            *extra_args,
+        ]
+        try:
+            for _ in range(n_servers):
+                proc = subprocess.Popen(
+                    cmd,
+                    cwd=REPO_ROOT,
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                )
+                self.procs.append(proc)
+            deadline = time.monotonic() + startup_timeout_s
+            for proc in self.procs:
+                self.endpoints.append(self._await_ready(proc, deadline))
+        except BaseException:
+            self.stop()
+            raise
+
+    @staticmethod
+    def _await_ready(proc: subprocess.Popen, deadline: float) -> str:
+        """Parse the child's 'serving on HOST:PORT' announcement."""
+        watchdog = threading.Timer(
+            max(0.0, deadline - time.monotonic()), proc.kill
+        )
+        watchdog.start()
+        captured = []
+        try:
+            for line in proc.stdout:
+                captured.append(line)
+                if line.startswith(_READY_PREFIX):
+                    return line[len(_READY_PREFIX):].split()[0]
+            raise RuntimeError(
+                "server exited before announcing its endpoint:\n"
+                + "".join(captured[-20:])
+            )
+        finally:
+            watchdog.cancel()
+
+    @property
+    def cluster_url(self) -> str:
+        return "cluster://" + ",".join(self.endpoints)
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one server — sockets die mid-frame, no goodbye."""
+        proc = self.procs[index]
+        proc.kill()
+        proc.wait(timeout=30.0)
+
+    def stop(self) -> None:
+        """Terminate every still-running server (idempotent)."""
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10.0)
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+    def __enter__(self) -> "ClusterHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def run_smoke(args: argparse.Namespace) -> int:
+    """Boot the cluster, run one routed rollout, print the stats."""
+    from repro.mesh import BoxMesh, taylor_green_velocity
+    from repro.runtime import RolloutRequest, connect
+    from repro.serve.cli import DEMO_GRAPH, DEMO_MODEL
+
+    nx, ny, nz = args.mesh
+    x0 = taylor_green_velocity(BoxMesh(nx, ny, nz, p=1).all_positions())
+    with ClusterHarness(
+        n_servers=args.servers, ranks=args.ranks, mesh=tuple(args.mesh)
+    ) as harness:
+        print(f"cluster up: {harness.cluster_url}")
+        with connect(harness.cluster_url) as engine:
+            print(f"capabilities: {engine.capabilities()}")
+            print(f"placement of ({DEMO_MODEL!r}, {DEMO_GRAPH!r}): "
+                  f"{engine.place(DEMO_MODEL, DEMO_GRAPH)}")
+            result = engine.rollout(RolloutRequest(
+                model=DEMO_MODEL, graph=DEMO_GRAPH, x0=x0, n_steps=3,
+            ))
+            assert len(result.states) == 4, len(result.states)
+            print(f"routed rollout served ({len(result.states)} frames)\n")
+            print(engine.stats_markdown())
+    print("\ncluster smoke OK")
+    return 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Keep the cluster up until interrupted (manual two-terminal use)."""
+    with ClusterHarness(
+        n_servers=args.servers, ranks=args.ranks, mesh=tuple(args.mesh)
+    ) as harness:
+        print(f"cluster up: {harness.cluster_url}")
+        print("connect with: repro.runtime.connect"
+              f"({harness.cluster_url!r})  — Ctrl-C to stop")
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="launch_cluster",
+        description="boot N serve subprocesses and wire a cluster:// URL",
+    )
+    p.add_argument("--servers", type=int, default=2,
+                   help="number of serve processes (default 2)")
+    p.add_argument("--ranks", type=int, default=2,
+                   help="world size of each server's demo graph (default 2)")
+    p.add_argument("--mesh", type=int, nargs=3, default=(4, 4, 2),
+                   metavar=("NX", "NY", "NZ"),
+                   help="demo box-mesh element counts (default 4 4 2)")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--smoke", action="store_true",
+                      help="boot, run one routed rollout, print stats, exit")
+    mode.add_argument("--serve", action="store_true",
+                      help="stay up until interrupted")
+    args = p.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args)
+    return run_serve(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
