@@ -6,10 +6,11 @@ Usage::
     python -m repro fig2 table1         # run a subset of artifacts
     python -m repro serve --requests 8  # batched-inference service demo
     python -m repro bench --quick       # inference perf microbenchmarks
+    python -m repro obs --url tcp://H:P # metrics / traces of a live engine
     python -m repro --list
 
 Artifact names: fig2, table1, fig6, table2, fig7, fig8, all.
-Commands: serve, bench (flags follow the command; ``<cmd> --help``
+Commands: serve, bench, obs (flags follow the command; ``<cmd> --help``
 lists them). The serve command fronts the unified engine API —
 ``repro.runtime.connect("pool://")`` in demo mode, plus a socket
 listener remote engines reach via ``connect("tcp://HOST:PORT")``.
@@ -44,6 +45,12 @@ def _bench(argv: list[str]) -> int:
     return bench_main(argv)
 
 
+def _obs(argv: list[str]) -> int:
+    from repro.obs.cli import main as obs_main
+
+    return obs_main(argv)
+
+
 DRIVERS = {
     "fig2": lambda: _import_main("repro.experiments.element_counts"),
     "table1": lambda: _import_main("repro.experiments.model_table"),
@@ -57,6 +64,7 @@ DRIVERS = {
 COMMANDS = {
     "serve": _serve,
     "bench": _bench,
+    "obs": _obs,
 }
 
 

@@ -33,6 +33,19 @@ typed request to a backend shard:
   :class:`~repro.serve.metrics.ServeStats` into one snapshot
   (:func:`repro.serve.metrics.merge_stats`); :meth:`stats_markdown`
   renders it plus the per-shard routing/health table.
+* **Observability**: every routing decision and every per-shard stream
+  attempt records a span (components ``router``; names ``route`` /
+  ``attempt``) in the cluster's trace ring under the request's
+  ``trace_id``, so :meth:`get_trace` — which fans the query out to the
+  shards — reconstructs the whole story: client network span, router
+  decisions (spills and redrives included), and the serving shard's
+  admission/queue/tile/execute/serialize spans, all correlated by the
+  one trace id minted at the front door. Health transitions, spills,
+  and redrives land in :class:`~repro.obs.registry.MetricsRegistry`
+  counters (``repro_cluster_*``) and a structured
+  :class:`~repro.obs.events.EventLog` (:meth:`events`);
+  :meth:`metrics_registry` merges each shard's registry with a
+  ``shard=<id>`` label stamped on.
 
 Thread safety: fully shareable — routing state is lock-guarded and the
 backends are themselves thread-safe engines. Determinism: routing
@@ -43,6 +56,7 @@ changes where they are computed.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
@@ -52,6 +66,9 @@ from typing import Iterator, Mapping, Sequence
 from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
+from repro.obs.events import Event, EventLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Span, TraceBuffer, wall_from_perf
 from repro.perf.report import markdown_table
 from repro.runtime.api import (
     CapabilityError,
@@ -72,14 +89,21 @@ from repro.serve.transport import RemoteServeError, TransportError
 
 
 class _Shard:
-    """One backend engine plus its routing state (internally locked)."""
+    """One backend engine plus its routing state (internally locked).
 
-    def __init__(self, shard_id: str, engine: Engine):
+    ``on_transition(shard_id, new_state)`` — when provided — is invoked
+    on every health-state change, strictly *outside* the shard lock so
+    an observer may take its own locks (the cluster's counter/event
+    bookkeeping does) without ordering hazards.
+    """
+
+    def __init__(self, shard_id: str, engine: Engine, on_transition=None):
         self.shard_id = shard_id
         self.engine = engine
         self._lock = threading.Lock()
         self._state = ShardState.UP
         self._consecutive_failures = 0
+        self._on_transition = on_transition
         self.in_flight = 0
         self.routed = 0
         self.spilled = 0
@@ -102,31 +126,48 @@ class _Shard:
         else:
             self.engine.capabilities()
 
+    def _notify(self, state: ShardState) -> None:
+        # caller must NOT hold the lock
+        if self._on_transition is not None:
+            self._on_transition(self.shard_id, state)
+
     def note_probe_ok(self) -> None:
         with self._lock:
             self._consecutive_failures = 0
-            if self._state is ShardState.DOWN:
+            changed = self._state is ShardState.DOWN
+            if changed:
                 self._state = ShardState.UP
+        if changed:
+            self._notify(ShardState.UP)
 
     def note_probe_failed(self, threshold: int) -> None:
         with self._lock:
             self._consecutive_failures += 1
-            if (
+            changed = (
                 self._state is ShardState.UP
                 and self._consecutive_failures >= threshold
-            ):
+            )
+            if changed:
                 self._state = ShardState.DOWN
+        if changed:
+            self._notify(ShardState.DOWN)
 
     def mark_down(self) -> None:
         """Demand-driven: a live request saw the shard die."""
         with self._lock:
-            if self._state is ShardState.UP:
+            changed = self._state is ShardState.UP
+            if changed:
                 self._state = ShardState.DOWN
+        if changed:
+            self._notify(ShardState.DOWN)
 
     def set_state(self, state: ShardState) -> None:
         with self._lock:
+            changed = self._state is not state
             self._state = state
             self._consecutive_failures = 0
+        if changed:
+            self._notify(state)
 
     # -- load accounting -----------------------------------------------------
 
@@ -322,6 +363,7 @@ class _ClusterRolloutFuture(RolloutFuture):
     def _submit_attempt(self) -> None:
         """Route and submit once; on a dead shard, exclude it and retry."""
         while True:
+            started = time.perf_counter()
             shard, spilled = self._cluster._route(
                 self.request.model,
                 self.request.graph,
@@ -334,6 +376,8 @@ class _ClusterRolloutFuture(RolloutFuture):
             except TransportError as exc:
                 shard.end()
                 self._note_shard_failure(shard, exc)
+                self._span("route", started, "failed", shard, spilled=spilled,
+                           error=str(exc))
                 continue
             except BaseException:
                 # a typed submission rejection from a healthy shard:
@@ -342,8 +386,29 @@ class _ClusterRolloutFuture(RolloutFuture):
                 shard.end()
                 shard.note_failed()
                 raise
+            self._span("route", started, "ok", shard, spilled=spilled)
             self._shard = shard
             return
+
+    def _span(
+        self, name: str, started: float, status: str, shard: _Shard, **attrs
+    ) -> None:
+        """Record one router-side span (``route`` decision / stream
+        ``attempt``) under the request's trace id."""
+        trace = self._cluster.trace
+        if not trace.enabled:
+            return
+        trace.record_span(
+            self.request.trace_id,
+            name,
+            "router",
+            wall_from_perf(started),
+            time.perf_counter() - started,
+            status=status,
+            shard=shard.shard_id,
+            redriven=self._redriving,
+            **attrs,
+        )
 
     def _note_shard_failure(self, shard: _Shard, exc: TransportError) -> None:
         self._attempts.append((shard.shard_id, str(exc)))
@@ -367,6 +432,7 @@ class _ClusterRolloutFuture(RolloutFuture):
         yielded = 0
         while True:
             shard, inner = self._shard, self._inner
+            attempt_started = time.perf_counter()
             try:
                 try:
                     skip = yielded
@@ -378,10 +444,14 @@ class _ClusterRolloutFuture(RolloutFuture):
                         yield StepFrame(yielded, frame.state)
                         yielded += 1
                     self.metrics = inner.metrics
+                    self._span("attempt", attempt_started, "ok", shard,
+                               frames=yielded)
                     shard.note_completed()
                     self._record_terminal(completed=True)
                     return
                 except TransportError as exc:
+                    self._span("attempt", attempt_started, "failed", shard,
+                               frames=yielded, error=str(exc))
                     if isinstance(exc, RemoteServeError):
                         # the shard is reachable and *reported* an
                         # internal failure: not a failover event
@@ -400,9 +470,11 @@ class _ClusterRolloutFuture(RolloutFuture):
                         self._record_terminal(completed=False)
                         raise
                     continue
-                except BaseException:
+                except BaseException as exc:
                     # typed server rejection or consumer abandonment:
                     # the shard is healthy, the request is over
+                    self._span("attempt", attempt_started, "failed", shard,
+                               frames=yielded, error=repr(exc))
                     shard.note_failed()
                     self._record_terminal(completed=False)
                     raise
@@ -431,6 +503,8 @@ class ClusterEngine(Engine):
         health_interval_s: float | None = 2.0,
         failure_threshold: int = 2,
         ring_replicas: int = 64,
+        trace_capacity: int = 2048,
+        event_capacity: int = 1024,
     ):
         items = (
             list(backends.items())
@@ -441,8 +515,32 @@ class ClusterEngine(Engine):
             raise ValueError("a cluster needs at least one backend")
         if spill_threshold < 1:
             raise ValueError("spill_threshold must be >= 1")
+        #: router-side span ring (``route``/``attempt`` spans); shard
+        #: spans are fetched on demand by :meth:`get_trace`
+        self.trace = TraceBuffer(trace_capacity)
+        #: structured operational record: health transitions, spills,
+        #: redrives — queryable via :meth:`events`
+        self.event_log = EventLog(event_capacity)
+        self._metrics = MetricsRegistry()
+        self._health_transitions = self._metrics.counter(
+            "repro_cluster_health_transitions_total",
+            "shard health-state transitions, labeled shard and new state",
+        )
+        self._redrive_counter = self._metrics.counter(
+            "repro_cluster_redrives_total",
+            "in-flight rollouts salvaged off a dead shard",
+        )
+        self._spill_counter = self._metrics.counter(
+            "repro_cluster_spills_total",
+            "requests diverted off a saturated primary shard",
+        )
+        self._resolved_counter = self._metrics.counter(
+            "repro_cluster_requests_resolved_total",
+            "accepted submissions by terminal outcome",
+        )
         self._shards: dict[str, _Shard] = {
-            sid: _Shard(sid, engine) for sid, engine in items
+            sid: _Shard(sid, engine, on_transition=self._on_shard_transition)
+            for sid, engine in items
         }
         self._ring = HashRing(
             [sid for sid, _ in items], replicas=ring_replicas
@@ -609,6 +707,15 @@ class ClusterEngine(Engine):
             if least.in_flight < chosen.in_flight:
                 with self._lock:
                     self._spills += 1
+                self._spill_counter.inc(
+                    source=chosen.shard_id, target=least.shard_id
+                )
+                self.event_log.emit(
+                    "spill",
+                    source=chosen.shard_id,
+                    target=least.shard_id,
+                    in_flight=chosen.in_flight,
+                )
                 return least, True
         return chosen, False
 
@@ -624,10 +731,21 @@ class ClusterEngine(Engine):
                 self._completed += 1
             else:
                 self._failed += 1
+        self._resolved_counter.inc(
+            outcome="completed" if completed else "failed"
+        )
 
     def _note_redrive(self) -> None:
         with self._lock:
             self._redrives += 1
+        self._redrive_counter.inc()
+        self.event_log.emit("redrive")
+
+    def _on_shard_transition(self, shard_id: str, state: ShardState) -> None:
+        """Shard health observer (runs outside the shard lock)."""
+        self._health_transitions.inc(shard=shard_id, to=state.value)
+        self.event_log.emit("health_transition", shard=shard_id,
+                            to=state.value)
 
     # -- assets (broadcast) --------------------------------------------------
 
@@ -799,3 +917,50 @@ class ClusterEngine(Engine):
             + "\n\n"
             + self.cluster_stats().markdown()
         )
+
+    # -- observability -------------------------------------------------------
+
+    def get_trace(self, trace_id: str) -> list[Span]:
+        """One request's full story: router spans + every shard's spans.
+
+        Fans the query out to each non-DOWN shard (a shard that dies
+        mid-query is marked DOWN and skipped), merges with the
+        cluster's own ``route``/``attempt`` spans, and returns the lot
+        sorted by start time — failover traces show the failed attempt
+        on the dead shard *and* the completed one on the survivor,
+        correlated by the one trace id.
+        """
+        spans = list(self.trace.trace(trace_id))
+        for shard in self._shards.values():
+            if shard.state is ShardState.DOWN:
+                continue
+            try:
+                spans.extend(shard.engine.get_trace(trace_id))
+            except TransportError:
+                shard.mark_down()
+        return sorted(spans, key=lambda s: (s.start_s, s.name))
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        """Structured cluster events (health transitions, spills,
+        redrives), oldest first, optionally filtered by kind."""
+        return self.event_log.events(kind)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Cluster counters merged with every shard's registry.
+
+        Each reachable shard's registry is relabeled ``shard=<id>``
+        before merging, so per-shard series stay distinguishable in the
+        combined Prometheus export; the cluster's own
+        ``repro_cluster_*`` counters carry no shard label (they are
+        router-side). DOWN and newly unreachable shards are skipped,
+        mirroring :meth:`stats`.
+        """
+        merged = MetricsRegistry.from_snapshot(self._metrics.snapshot())
+        for sid, shard in self._shards.items():
+            if shard.state is ShardState.DOWN:
+                continue
+            try:
+                merged.merge(shard.engine.metrics_registry().relabel(shard=sid))
+            except TransportError:
+                shard.mark_down()
+        return merged

@@ -10,6 +10,8 @@ distributed rollout tracks the single-rank rollout step for step.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.comm import HaloMode
@@ -17,6 +19,7 @@ from repro.comm.backend import Communicator
 from repro.gnn.architecture import MeshGNN
 from repro.graph.distributed import LocalGraph
 from repro.graph.features import EDGE_FEATURES_GEOMETRIC
+from repro.obs import profile as _profile
 from repro.tensor import Tensor, inference_mode, no_grad
 
 
@@ -115,17 +118,34 @@ def workspace_steps(
     static_attr = (
         graph.geometric_edge_attr() if kind == EDGE_FEATURES_GEOMETRIC else None
     )
+    # opt-in hot-loop profiling: one global read per call; with no
+    # profiler installed each step pays exactly one `is None` branch
+    prof = _profile.current_profiler()
     xbuf: np.ndarray | None = None
     borrowed: np.ndarray | None = None  # pool buffer x references
     with inference_mode(arena) as arena:
         for step in range(1, n_steps + 1):
             arena.reset()
-            edge_attr = (
-                static_attr
-                if static_attr is not None
-                else graph.edge_attr(node_features=x, kind=kind)
-            )
-            y = model(Tensor(x), edge_attr, graph, comm, halo_mode).data
+            if prof is None:
+                edge_attr = (
+                    static_attr
+                    if static_attr is not None
+                    else graph.edge_attr(node_features=x, kind=kind)
+                )
+                y = model(Tensor(x), edge_attr, graph, comm, halo_mode).data
+            else:
+                t0 = time.perf_counter()
+                edge_attr = (
+                    static_attr
+                    if static_attr is not None
+                    else graph.edge_attr(node_features=x, kind=kind)
+                )
+                t1 = time.perf_counter()
+                prof.add("rollout.edge_features", t1 - t0)
+                y = model(Tensor(x), edge_attr, graph, comm, halo_mode).data
+                t2 = time.perf_counter()
+                prof.add("rollout.model_forward", t2 - t1)
+                prof.add("rollout.step", t2 - t0)
             if static_attr is None:
                 arena.recycle(edge_attr)  # dead once encoded
             if borrowed is not None:

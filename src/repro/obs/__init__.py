@@ -1,0 +1,52 @@
+"""repro.obs: tracing, metrics, events, and hot-loop profiling.
+
+The observability layer the serving stack threads through every
+request (PR 6). Four small, dependency-free pieces:
+
+* :mod:`repro.obs.trace` — per-request trace IDs, typed spans, a
+  bounded in-process ring buffer, and Chrome ``trace_event`` export;
+* :mod:`repro.obs.registry` — a counter/gauge/histogram registry with
+  labels, mergeable snapshots, and Prometheus text exposition;
+* :mod:`repro.obs.events` — a bounded structured event log (cluster
+  health transitions, redrives, evictions);
+* :mod:`repro.obs.profile` — opt-in per-op timing for the NMP hot
+  loop, engineered so the tracing-off path costs one ``is None`` check.
+
+Everything here is stdlib-only and imports nothing else from
+``repro`` — the runtime, serve, and cluster layers import *it*, never
+the reverse.  ``python -m repro obs`` (see :mod:`repro.obs.cli`)
+queries a running server's ``metrics`` and ``get_trace`` ops.
+"""
+
+from repro.obs.events import Event, EventLog
+from repro.obs.http import MetricsHTTPServer
+from repro.obs.profile import (
+    HotLoopProfiler,
+    current_profiler,
+    install_profiler,
+    uninstall_profiler,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    TraceBuffer,
+    mint_trace_id,
+    to_chrome,
+    trace_markdown,
+)
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "HotLoopProfiler",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
+    "Span",
+    "TraceBuffer",
+    "current_profiler",
+    "install_profiler",
+    "mint_trace_id",
+    "to_chrome",
+    "trace_markdown",
+    "uninstall_profiler",
+]

@@ -1,0 +1,78 @@
+"""``python -m repro obs`` — query a running engine's observability.
+
+Connects to any engine URL (``tcp://host:port``,
+``cluster://h1:p1,h2:p2``) and either:
+
+* prints the merged metrics registry (Prometheus text by default,
+  ``--json`` for the snapshot document), or
+* fetches one trace by ID (``--trace ID``) and prints it as a
+  markdown table, optionally dumping Chrome ``trace_event`` JSON for
+  chrome://tracing with ``--chrome PATH``.
+
+Examples::
+
+    python -m repro obs --url tcp://127.0.0.1:7341
+    python -m repro obs --url tcp://127.0.0.1:7341 --json
+    python -m repro obs --url cluster://h1:7341,h2:7341 \
+        --trace 1f2e3d4c5b6a7988 --chrome trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="query a running engine's metrics and traces",
+    )
+    parser.add_argument(
+        "--url", required=True,
+        help="engine URL (tcp://HOST:PORT or cluster://H1:P1,H2:P2)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the metrics JSON snapshot instead of Prometheus text",
+    )
+    parser.add_argument(
+        "--trace", metavar="TRACE_ID",
+        help="fetch one trace by ID instead of metrics",
+    )
+    parser.add_argument(
+        "--chrome", metavar="PATH",
+        help="with --trace: also write Chrome trace_event JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.chrome and not args.trace:
+        parser.error("--chrome requires --trace")
+
+    from repro.obs.trace import to_chrome, trace_markdown
+    from repro.runtime import connect
+
+    with connect(args.url) as engine:
+        if args.trace:
+            spans = engine.get_trace(args.trace)
+            if not spans:
+                print(f"no spans recorded for trace {args.trace}",
+                      file=sys.stderr)
+                return 1
+            print(trace_markdown(spans))
+            if args.chrome:
+                with open(args.chrome, "w") as fh:
+                    json.dump(to_chrome(spans), fh, indent=2)
+                    fh.write("\n")
+                print(f"\nwrote {args.chrome} (open in chrome://tracing)")
+            return 0
+        registry = engine.metrics_registry()
+        if args.json:
+            print(json.dumps(registry.snapshot(), indent=2))
+        else:
+            sys.stdout.write(registry.prometheus_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

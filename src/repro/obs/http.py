@@ -1,0 +1,101 @@
+"""Optional HTTP endpoint serving Prometheus text + JSON metrics.
+
+``repro serve --listen ... --metrics-port N`` starts one of these next
+to the wire server so a Prometheus scraper (or ``curl``) can pull the
+registry without speaking the repro wire protocol:
+
+* ``GET /metrics``       — Prometheus text exposition
+* ``GET /metrics.json``  — the registry's JSON snapshot
+* ``GET /healthz``       — ``ok`` (liveness)
+
+Stdlib ``ThreadingHTTPServer`` on a daemon thread; the ``source``
+callable is invoked per request so every scrape sees fresh stats.
+Exceptions from ``source`` become a 500 with the error text — a
+scrape must never take the serving process down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+
+class MetricsHTTPServer:
+    """Serve a :class:`~repro.obs.registry.MetricsRegistry` over HTTP.
+
+    ``source`` returns the registry to expose (called per request).
+    Port 0 binds an ephemeral port — read :attr:`port` after
+    construction. Context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], object],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._source = source
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+            def do_GET(self) -> None:
+                try:
+                    if self.path == "/metrics":
+                        body = outer._source().prometheus_text().encode()
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    elif self.path == "/metrics.json":
+                        body = json.dumps(
+                            outer._source().snapshot(), indent=2,
+                        ).encode()
+                        ctype = "application/json"
+                    elif self.path == "/healthz":
+                        body, ctype = b"ok\n", "text/plain; charset=utf-8"
+                    else:
+                        self.send_error(404, "unknown path")
+                        return
+                except Exception as exc:  # scrape must not kill the server
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and join the thread (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,108 @@
+"""Opt-in per-op timing for the NMP hot loop.
+
+The hot loop (:func:`repro.gnn.rollout.workspace_steps` per step,
+:meth:`repro.tensor.aggregation.AggregationPlan.scatter_add` per op)
+runs thousands of times per rollout, so the instrumentation contract
+is strict: with no profiler installed, the only cost the hot path pays
+is loading one module global and an ``is None`` branch — no attribute
+lookups on live objects, no closures, no context managers. The CI
+``obs-overhead`` job (``tools/check_obs_overhead.py``) asserts this
+off-path costs <1% against the committed ``BENCH_inference.json``.
+
+With a profiler installed (:func:`install_profiler`), each
+instrumented site calls ``prof.add(name, dt)`` with a perf-counter
+delta; the profiler accumulates ``(count, total seconds)`` per op
+name under a lock (the threaded multi-rank backends feed one profiler
+from every rank).
+
+Usage::
+
+    prof = install_profiler()
+    try:
+        engine.rollout(request)
+    finally:
+        uninstall_profiler()
+    print(prof.markdown())
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: the single installed profiler, or None (module global: the hot path
+#: reads this once per call and branches on ``is None``)
+_PROFILER = None
+
+
+class HotLoopProfiler:
+    """Accumulates ``(calls, total seconds)`` per instrumented op."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ops: dict = {}
+
+    def add(self, name: str, dt: float) -> None:
+        """Record one timed call of ``name`` (``dt`` seconds)."""
+        with self._lock:
+            entry = self._ops.get(name)
+            if entry is None:
+                self._ops[name] = [1, dt]
+            else:
+                entry[0] += 1
+                entry[1] += dt
+
+    def snapshot(self) -> dict:
+        """``{op: {"calls": n, "total_s": s, "mean_s": s/n}}`` (copied)."""
+        with self._lock:
+            return {
+                name: {
+                    "calls": calls,
+                    "total_s": total,
+                    "mean_s": total / calls if calls else 0.0,
+                }
+                for name, (calls, total) in self._ops.items()
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ops.clear()
+
+    def markdown(self) -> str:
+        snap = self.snapshot()
+        if not snap:
+            return "(no profiled ops)"
+        header = "| op | calls | total (ms) | mean (us) |"
+        rule = "|---|---|---|---|"
+        rows = []
+        for name in sorted(snap, key=lambda n: -snap[n]["total_s"]):
+            s = snap[name]
+            rows.append(
+                f"| {name} | {s['calls']} | {s['total_s'] * 1e3:.2f} "
+                f"| {s['mean_s'] * 1e6:.1f} |"
+            )
+        return "\n".join([header, rule, *rows])
+
+
+def install_profiler(profiler: HotLoopProfiler | None = None) -> HotLoopProfiler:
+    """Install (and return) the process-wide hot-loop profiler.
+
+    Process-global, like the aggregation-plan switch: threaded rank
+    worlds must all feed the same profiler. Installing replaces any
+    previous profiler.
+    """
+    global _PROFILER
+    if profiler is None:
+        profiler = HotLoopProfiler()
+    _PROFILER = profiler
+    return profiler
+
+
+def uninstall_profiler() -> None:
+    """Remove the installed profiler (hot paths return to the off-path)."""
+    global _PROFILER
+    _PROFILER = None
+
+
+def current_profiler() -> HotLoopProfiler | None:
+    """The installed profiler, or None (the hot-path read)."""
+    return _PROFILER

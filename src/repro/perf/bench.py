@@ -215,8 +215,16 @@ def bench_rollout_multirank(
     }
 
 
-def run_bench(quick: bool = False) -> dict:
-    """Execute the suite; returns the JSON-able result document."""
+def run_bench(quick: bool = False, trace: bool = False) -> dict:
+    """Execute the suite; returns the JSON-able result document.
+
+    ``trace=True`` installs the hot-loop profiler
+    (:mod:`repro.obs.profile`) for the duration, so the document gains
+    per-op call counts and a ``"tracing": true`` flag — the numbers
+    then measure the *instrumented* path and must not be compared
+    against an uninstrumented run (``tools/check_obs_overhead.py``
+    relies on the flag to refuse exactly that comparison).
+    """
     # op-bench sizes mirror one rank's share of a partitioned mesh (the
     # serving hot loop operates per-rank sub-graphs, not global meshes);
     # width 32 is the hidden channel width of the rollout config below
@@ -232,21 +240,37 @@ def run_bench(quick: bool = False) -> dict:
         n_mlp_hidden=1,
         seed=3,
     )
-    doc = {
-        "bench": "inference",
-        "quick": quick,
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "ops": bench_ops(op_mesh, width, repeats),
-        "rollout_single_rank": bench_rollout(roll_mesh, config, n_steps, repeats),
-    }
-    if not quick:
-        doc["rollout_4rank"] = bench_rollout_multirank(
-            roll_mesh, config, n_steps, max(2, repeats // 2)
-        )
+    profiler = None
+    if trace:
+        from repro.obs.profile import install_profiler
+
+        profiler = install_profiler()
+    try:
+        doc = {
+            "bench": "inference",
+            "quick": quick,
+            "tracing": trace,
+            "machine": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+            "ops": bench_ops(op_mesh, width, repeats),
+            "rollout_single_rank": bench_rollout(
+                roll_mesh, config, n_steps, repeats
+            ),
+        }
+        if not quick:
+            doc["rollout_4rank"] = bench_rollout_multirank(
+                roll_mesh, config, n_steps, max(2, repeats // 2)
+            )
+    finally:
+        if trace:
+            from repro.obs.profile import uninstall_profiler
+
+            uninstall_profiler()
+    if profiler is not None:
+        doc["profile"] = profiler.snapshot()
     return doc
 
 
@@ -279,6 +303,18 @@ def render(doc: dict) -> str:
         f"\nplan compile: {ops['plan_compile_s'] * 1e3:.2f} ms "
         f"(amortized across every step of every request)"
     )
+    if doc.get("profile"):
+        prof_rows = [
+            [op, s["calls"], f"{s['total_s'] * 1e3:.2f}",
+             f"{s['mean_s'] * 1e6:.1f}"]
+            for op, s in sorted(
+                doc["profile"].items(),
+                key=lambda kv: -kv[1]["total_s"],
+            )
+        ]
+        extra += "\n\nhot-loop profile (tracing on):\n" + markdown_table(
+            ["op", "calls", "total (ms)", "mean (us)"], prof_rows
+        )
     return table + extra
 
 
@@ -295,8 +331,13 @@ def main(argv: list[str] | None = None) -> int:
         "--output", default="BENCH_inference.json",
         help="where to write the JSON results (default: %(default)s)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="install the hot-loop profiler for the run (per-op counts "
+        "in the output; numbers measure the instrumented path)",
+    )
     args = parser.parse_args(argv)
-    doc = run_bench(quick=args.quick)
+    doc = run_bench(quick=args.quick, trace=args.trace)
     print(render(doc))
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2)

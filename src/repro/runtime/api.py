@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 import numpy as np
 
 from repro.comm.modes import HaloMode
+from repro.obs.trace import mint_trace_id
 
 if TYPE_CHECKING:  # imports for annotations only — api must stay a leaf module
     from pathlib import Path
@@ -52,6 +53,8 @@ if TYPE_CHECKING:  # imports for annotations only — api must stay a leaf modul
     from repro.gnn.architecture import MeshGNN
     from repro.gnn.config import GNNConfig
     from repro.graph.distributed import LocalGraph
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import Span
     from repro.serve.metrics import ServeStats
 
 _request_ids = itertools.count()
@@ -192,6 +195,12 @@ class RolloutRequest:
     :class:`~repro.serve.admission.DeadlineExpired` instead of being
     executed (engines without a queue never shed).
 
+    ``trace_id`` is minted here — at the Engine front door — and rides
+    the request through every layer (wire header, pooled queue, cluster
+    routing and failover redrives), correlating the typed spans each
+    layer records (:mod:`repro.obs.trace`). Pass an explicit ID to join
+    an existing trace; :meth:`resolved` and redrives preserve it.
+
     Thread safety: treated as immutable after construction — queues and
     workers only read it; do not mutate a submitted request.
     Determinism: ``x0`` is canonicalized to ``float64`` once here, so
@@ -208,10 +217,13 @@ class RolloutRequest:
     deadline_s: float | None = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     submitted_at: float = field(default_factory=time.perf_counter)
+    trace_id: str = field(default_factory=mint_trace_id)
 
     def __post_init__(self) -> None:
         if self.n_steps < 1:
             raise ValueError("n_steps must be >= 1")
+        if not self.trace_id:
+            raise ValueError("trace_id must be a non-empty string")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be > 0 (or None)")
         if self.halo_mode is not None:
@@ -228,8 +240,8 @@ class RolloutRequest:
         """Fill engine defaults into unset fields (``self`` if complete).
 
         Pure function: returns a new request (same ``request_id`` /
-        ``submitted_at``) when a default applies, so the original is
-        never mutated after submission.
+        ``submitted_at`` / ``trace_id``) when a default applies, so the
+        original is never mutated after submission.
         """
         changes: dict = {}
         if self.halo_mode is None:
@@ -661,3 +673,30 @@ class Engine(ABC):
     @abstractmethod
     def stats_markdown(self) -> str:
         """The stats snapshot rendered as a markdown table."""
+
+    # -- observability -------------------------------------------------------
+
+    def get_trace(self, trace_id: str) -> "list[Span]":
+        """All spans this engine recorded for one trace, by start time.
+
+        The base implementation returns ``[]`` (an engine with no
+        tracing still satisfies the protocol); tracing engines return
+        their buffered spans, and composite engines (cluster) merge
+        their own spans with every reachable member's.
+        """
+        return []
+
+    def metrics_registry(self) -> "MetricsRegistry":
+        """The engine's stats as a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        The base implementation bridges :meth:`stats` through
+        :func:`repro.serve.metrics.stats_to_registry`; engines with
+        richer sources (remote exposition, per-shard merges) override.
+        """
+        from repro.serve.metrics import stats_to_registry
+
+        return stats_to_registry(self.stats())
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of :meth:`metrics_registry`."""
+        return self.metrics_registry().prometheus_text()

@@ -24,6 +24,7 @@ from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
 from repro.graph.io import load_rank_graphs
+from repro.obs.trace import Span, TraceBuffer, wall_from_perf
 from repro.runtime.api import (
     Engine,
     EngineCapabilities,
@@ -103,11 +104,16 @@ class LocalEngine(Engine):
     engine and to a hand-wired ``rollout()``.
     """
 
-    def __init__(self, request_timeout_s: float = 120.0):
+    def __init__(
+        self, request_timeout_s: float = 120.0, trace_capacity: int = 2048
+    ):
         self.request_timeout_s = request_timeout_s
         self._registry = ModelRegistry()
         self._assets: dict[str, GraphAsset] = {}
         self._metrics = MetricsAggregator()
+        #: span ring: inline execution records one ``execute`` span per
+        #: request (there is no queue, so that is the whole lifecycle)
+        self.trace = TraceBuffer(trace_capacity)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -173,6 +179,19 @@ class LocalEngine(Engine):
             timeout=self.request_timeout_s,
         )
         finished = time.perf_counter()
+        if self.trace.enabled:
+            self.trace.record_span(
+                request.trace_id,
+                "execute",
+                "server",
+                wall_from_perf(submitted),
+                finished - submitted,
+                model=request.model,
+                graph=request.graph,
+                batch_size=execution.batch_size,
+                world_size=execution.world_size,
+                n_steps=request.n_steps,
+            )
         metrics = RequestMetrics(
             request_id=request.request_id,
             model=request.model,
@@ -222,3 +241,6 @@ class LocalEngine(Engine):
 
     def stats_markdown(self) -> str:
         return stats_markdown(self.stats())
+
+    def get_trace(self, trace_id: str) -> list[Span]:
+        return self.trace.trace(trace_id)

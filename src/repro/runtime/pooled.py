@@ -199,10 +199,18 @@ class PooledEngine(Engine):
             inner = self._train_pool.submit(self._service.execute_train, request)
         return _ExecutorTrainFuture(request, inner)
 
-    # -- stats ---------------------------------------------------------------
+    # -- stats / observability ------------------------------------------------
 
     def stats(self) -> ServeStats:
         return self._service.stats()
 
     def stats_markdown(self) -> str:
         return self._service.stats_markdown()
+
+    def get_trace(self, trace_id: str) -> list:
+        """Spans from the service's trace ring (admission/queue/tile/execute)."""
+        return self._service.get_trace(trace_id)
+
+    def metrics_registry(self):
+        """The service's unified registry (includes per-model labels)."""
+        return self._service.metrics_registry()

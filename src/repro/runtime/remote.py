@@ -1,9 +1,8 @@
 """RemoteEngine: the socket transport behind the Engine API, with
 persistent pooled connections.
 
-Where the deprecated :class:`~repro.serve.transport.NetworkClient`
-dialed a fresh TCP connection per call, ``RemoteEngine`` keeps a small
-pool of live connections to the
+Rather than dialing a fresh TCP connection per call, ``RemoteEngine``
+keeps a small pool of live connections to the
 :class:`~repro.serve.transport.ServeServer` (the server's
 one-thread-per-connection handler loops over messages, so a connection
 serves any number of requests). Unary calls and streaming rollouts
@@ -23,6 +22,14 @@ training jobs and in-memory assets do not cross the socket, so
 :class:`~repro.runtime.api.CapabilityError` client-side instead of
 dying in a transport layer.
 
+Observability: the request's client-minted ``trace_id`` crosses the
+wire in the rollout header, so the server's spans for it correlate
+with the ``network`` span this engine records around each stream.
+:meth:`get_trace` stitches both sides together (local client spans
+plus the peer's ``get_trace`` op), and :meth:`metrics_registry`
+fetches the server's mergeable metrics snapshot; both degrade
+gracefully against peers that predate the ops.
+
 **Trust model** unchanged from the transport: unauthenticated and
 unencrypted — localhost and trusted networks only (see
 :mod:`repro.serve.transport`).
@@ -33,6 +40,7 @@ from __future__ import annotations
 import dataclasses
 import socket
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -42,6 +50,8 @@ import numpy as np
 from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Span, TraceBuffer, spans_from_dicts, wall_from_perf
 from repro.runtime.api import (
     CapabilityError,
     Engine,
@@ -215,13 +225,46 @@ class _RemoteRolloutFuture(RolloutFuture):
     partial or full streaming completes from the collected frames.
     """
 
-    def __init__(self, pool: _ConnectionPool, request: RolloutRequest, conn: _Conn):
+    def __init__(
+        self,
+        pool: _ConnectionPool,
+        request: RolloutRequest,
+        conn: _Conn,
+        trace: TraceBuffer | None = None,
+    ):
         super().__init__(request)
         self._pool = pool
         self._conn = conn
+        self._trace = trace
         self._finished = False
 
     def _frames(self, timeout: float | None) -> Iterator[StepFrame]:
+        if self._trace is None or not self._trace.enabled:
+            yield from self._stream(timeout)
+            return
+        started = time.perf_counter()
+        frames = 0
+        status = "failed"
+        try:
+            for frame in self._stream(timeout):
+                frames += 1
+                yield frame
+            status = "ok"
+        finally:
+            # one client-side span per stream: dial-to-done wall time,
+            # failed when the stream raised (or was abandoned mid-way)
+            self._trace.record_span(
+                self.request.trace_id,
+                "network",
+                "client",
+                wall_from_perf(started),
+                time.perf_counter() - started,
+                status=status,
+                endpoint=f"{self._pool.host}:{self._pool.port}",
+                frames=frames,
+            )
+
+    def _stream(self, timeout: float | None) -> Iterator[StepFrame]:
         conn = self._conn
         conn.sock.settimeout(
             self._pool.request_timeout_s if timeout is None else timeout
@@ -316,6 +359,7 @@ class RemoteEngine(Engine):
         pool_size: int = 4,
         request_timeout_s: float = 120.0,
         connect_timeout_s: float = 10.0,
+        trace_capacity: int = 2048,
     ):
         self.host = host
         self.port = port
@@ -323,6 +367,9 @@ class RemoteEngine(Engine):
             host, port, pool_size, connect_timeout_s, request_timeout_s
         )
         self._caps: EngineCapabilities | None = None
+        #: client-side span ring: one ``network`` span per streamed
+        #: rollout, merged with the server's spans by :meth:`get_trace`
+        self.trace = TraceBuffer(trace_capacity)
 
     @classmethod
     def connect(
@@ -508,7 +555,7 @@ class RemoteEngine(Engine):
                     ) from None
             else:
                 raise TransportError(f"cannot submit rollout: {exc}") from None
-        return _RemoteRolloutFuture(self._pool, request, conn)
+        return _RemoteRolloutFuture(self._pool, request, conn, trace=self.trace)
 
     def _submit_train(self, request: TrainRequest):
         raise CapabilityError(
@@ -516,7 +563,7 @@ class RemoteEngine(Engine):
             "TrainRequest to a local:// or pool:// engine"
         )
 
-    # -- stats ---------------------------------------------------------------
+    # -- stats / observability ------------------------------------------------
 
     def stats(self) -> ServeStats:
         """The server's aggregate stats snapshot (reconstructed)."""
@@ -525,3 +572,39 @@ class RemoteEngine(Engine):
     def stats_markdown(self) -> str:
         """The server-rendered markdown stats table."""
         return self._call({"op": "stats"})[0]["markdown"]
+
+    def get_trace(self, trace_id: str) -> list[Span]:
+        """Client ``network`` spans merged with the server's spans.
+
+        A peer that predates the ``get_trace`` op answers
+        ``bad_request`` (surfacing as :class:`ValueError`) or drops the
+        connection; either way the local spans are still returned, so
+        tracing degrades instead of failing against old servers.
+        """
+        spans = list(self.trace.trace(trace_id))
+        try:
+            reply, _ = self._call({"op": "get_trace", "trace_id": trace_id})
+            spans.extend(spans_from_dicts(reply.get("spans", [])))
+        except (TransportError, ValueError):
+            pass
+        spans.sort(key=lambda s: (s.start_s, s.name))
+        return spans
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The server's unified metrics registry (mergeable snapshot).
+
+        Falls back to bridging :meth:`stats` locally when the peer
+        predates the ``metrics`` op.
+        """
+        try:
+            reply, _ = self._call({"op": "metrics"})
+            return MetricsRegistry.from_snapshot(reply["snapshot"])
+        except (TransportError, ValueError, KeyError):
+            return super().metrics_registry()
+
+    def metrics_text(self) -> str:
+        """Prometheus text, preferring the server's own rendering."""
+        try:
+            return str(self._call({"op": "metrics"})[0]["text"])
+        except (TransportError, ValueError, KeyError):
+            return super().metrics_text()

@@ -24,11 +24,13 @@ trained model into a *service*:
   length-prefixed socket wire format (speaking the runtime layer's
   typed dataclasses) and the :class:`ServeServer` front end (fronted
   by :class:`repro.runtime.remote.RemoteEngine`);
-* :mod:`repro.serve.client` / ``NetworkClient`` — the deprecated
-  pre-engine client shims (one :class:`DeprecationWarning` each; use
-  :func:`repro.runtime.connect`);
 * :mod:`repro.serve.cli` — ``python -m repro serve`` (demo burst or
-  ``--listen HOST:PORT`` network mode).
+  ``--listen HOST:PORT`` network mode, ``--metrics-port`` scrape
+  endpoint).
+
+The pre-engine ``ServeClient`` / ``NetworkClient`` shims are gone;
+:func:`repro.runtime.connect` is the one front door for local://,
+pool:// and tcp:// serving alike.
 
 The request type batched here IS the runtime layer's
 :class:`~repro.runtime.api.RolloutRequest` — no per-layer dict
@@ -52,7 +54,6 @@ from repro.serve.batching import (
     RolloutHandle,
 )
 from repro.serve.cache import CacheStats, GraphAsset, GraphCache
-from repro.serve.client import ServeClient
 from repro.serve.executor import BatchExecution, execute_batch, execute_train_job
 from repro.serve.metrics import (
     RequestMetrics,
@@ -70,8 +71,6 @@ from repro.serve.registry import (
 from repro.serve.service import InferenceService, ServeConfig
 from repro.serve.tiling import split_states, stack_states, tile_local_graph
 from repro.serve.transport import (
-    NetworkClient,
-    NetworkRolloutHandle,
     RemoteServeError,
     ServeServer,
     TransportError,
@@ -93,8 +92,6 @@ __all__ = [
     "InferenceService",
     "ModelNotFound",
     "ModelRegistry",
-    "NetworkClient",
-    "NetworkRolloutHandle",
     "ProtocolError",
     "QueueFull",
     "RegistryStats",
@@ -103,7 +100,6 @@ __all__ = [
     "RequestQueue",
     "RequestRejected",
     "RolloutHandle",
-    "ServeClient",
     "ServeConfig",
     "ServeServer",
     "ServeStats",

@@ -35,6 +35,7 @@ import time
 
 import numpy as np
 
+from repro.obs.trace import TraceBuffer, wall_from_perf
 from repro.runtime.api import BatchKey, RolloutRequest
 from repro.serve.admission import AdmissionController, DeadlineExpired
 
@@ -131,12 +132,19 @@ class RequestQueue:
     never depends on request payloads.
     """
 
-    def __init__(self, admission: AdmissionController | None = None) -> None:
+    def __init__(
+        self,
+        admission: AdmissionController | None = None,
+        trace: TraceBuffer | None = None,
+    ) -> None:
         self._pending: list[tuple[InferenceRequest, RolloutHandle]] = []
         self._cond = threading.Condition()
         self._closed = False
         self._depth_high_water = 0
         self._admission = admission
+        #: optional span sink: expired-shed requests never reach the
+        #: worker, so their terminal queue span is recorded here
+        self._trace = trace
 
     def submit(self, request: InferenceRequest) -> RolloutHandle:
         """Enqueue one request (applying admission control) → handle.
@@ -226,6 +234,13 @@ class RequestQueue:
         # caller holds the lock
         if self._admission is not None:
             self._admission.note_expired(req.waited_s(now))
+        if self._trace is not None:
+            self._trace.record_span(
+                req.trace_id, "queue", "server",
+                wall_from_perf(req.submitted_at), req.waited_s(now),
+                status="failed", model=req.model, graph=req.graph,
+                reason="deadline_expired",
+            )
         handle._finish(
             DeadlineExpired(
                 f"request {req.request_id} waited {req.waited_s(now) * 1e3:.1f}ms, "

@@ -23,6 +23,10 @@ both fronted by the unified engine API
 
 Admission control is exposed through ``--max-queue`` (pending-depth cap,
 shedding beyond it) and ``--deadline-ms`` (default queue-wait budget).
+``--metrics-port`` (listen mode) additionally serves the unified
+metrics registry over plain HTTP (``GET /metrics`` Prometheus text,
+``/metrics.json``, ``/healthz``) for scrapers that do not speak the
+repro wire protocol.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from __future__ import annotations
 import argparse
 import tempfile
 import threading
+from contextlib import ExitStack
 from pathlib import Path
 
 from repro.gnn import MeshGNN, GNNConfig, save_checkpoint
@@ -89,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
                    help="admission control: default per-request queue-wait "
                    "deadline (default: none)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="with --listen: also serve GET /metrics (Prometheus "
+                   "text), /metrics.json, and /healthz over HTTP on this "
+                   "port (0 picks an ephemeral port)")
     return p
 
 
@@ -196,29 +205,42 @@ def run_listen(
     its ephemeral port; interactive use just hits Ctrl-C.
     """
     host, port = args.listen
-    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+    with ExitStack() as stack:
+        tmp = stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-serve-")
+        )
         x0, ckpt, graph_dir = _demo_assets(args, Path(tmp))
         del x0  # clients bring their own initial states
-        with connect("pool://", config=_serve_config(args)) as engine:
-            engine.register_checkpoint(DEMO_MODEL, ckpt,
-                                       expect_config=DEMO_CONFIG)
-            engine.register_graph_dir(DEMO_GRAPH, graph_dir)
-            with ServeServer(engine.service, host, port) as server:
-                print(f"serving on {server.endpoint} "
-                      f"(model {DEMO_MODEL!r}, graph {DEMO_GRAPH!r}; "
-                      f"max_queue={args.max_queue}, "
-                      f"deadline_ms={args.deadline_ms})")
-                print("connect with: repro.runtime.connect"
-                      f"('tcp://{server.endpoint}')  — Ctrl-C to stop")
-                if ready is not None:
-                    ready(server)
-                try:
-                    if stop is not None:
-                        stop.wait()
-                    else:
-                        threading.Event().wait()  # serve until interrupted
-                except KeyboardInterrupt:
-                    print("\nshutting down")
+        engine = stack.enter_context(
+            connect("pool://", config=_serve_config(args))
+        )
+        engine.register_checkpoint(DEMO_MODEL, ckpt,
+                                   expect_config=DEMO_CONFIG)
+        engine.register_graph_dir(DEMO_GRAPH, graph_dir)
+        server = stack.enter_context(ServeServer(engine.service, host, port))
+        print(f"serving on {server.endpoint} "
+              f"(model {DEMO_MODEL!r}, graph {DEMO_GRAPH!r}; "
+              f"max_queue={args.max_queue}, "
+              f"deadline_ms={args.deadline_ms})")
+        if args.metrics_port is not None:
+            from repro.obs.http import MetricsHTTPServer
+
+            metrics = stack.enter_context(MetricsHTTPServer(
+                engine.metrics_registry, host=host, port=args.metrics_port,
+            ))
+            print(f"metrics on http://{metrics.endpoint}/metrics "
+                  f"(also /metrics.json, /healthz)")
+        print("connect with: repro.runtime.connect"
+              f"('tcp://{server.endpoint}')  — Ctrl-C to stop")
+        if ready is not None:
+            ready(server)
+        try:
+            if stop is not None:
+                stop.wait()
+            else:
+                threading.Event().wait()  # serve until interrupted
+        except KeyboardInterrupt:
+            print("\nshutting down")
     return 0
 
 

@@ -112,6 +112,10 @@ class BatchExecution:
     comm: TrafficStats
     tile_hits: int = 0
     tile_misses: int = 0
+    #: slowest rank's wall seconds inside ``asset.tiled`` — the
+    #: tile-compile cost on a miss, a cache-lookup tick on a hit
+    #: (recorded as the per-batch ``tile`` span by the service)
+    tile_s: float = 0.0
     #: pool-miss allocations this batch charged to the worker's
     #: persistent arenas (0 when the batch ran without ``arenas``)
     arena_reallocations: int = 0
@@ -238,6 +242,7 @@ def execute_batch(
     max_steps = max(r.n_steps for r in requests)
     width = model.config.node_out
     tile_hits = [0] * asset.size
+    tile_times = [0.0] * asset.size
     reallocs_before = arenas.reallocations if arenas is not None else 0
 
     for i, req in enumerate(requests):
@@ -248,7 +253,9 @@ def execute_batch(
     def rank_program(comm, emit):
         # cached block-diagonal replica: tiled (with composed plans)
         # once per (asset, batch_size, rank), reused every later batch
+        tile_started = time.perf_counter()
         tiled, hit = asset.tiled(batch, comm.rank)
+        tile_times[comm.rank] = time.perf_counter() - tile_started
         tile_hits[comm.rank] = int(hit)
         g = asset.graphs[comm.rank]
         x = stack_states([req.x0[g.global_ids] for req in requests])
@@ -317,6 +324,7 @@ def execute_batch(
         comm=total,
         tile_hits=hits,
         tile_misses=asset.size - hits,
+        tile_s=max(tile_times),
         arena_reallocations=(
             arenas.reallocations - reallocs_before if arenas is not None else 0
         ),

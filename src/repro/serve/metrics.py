@@ -10,18 +10,33 @@ Snapshots are **mergeable**: :func:`merge_stats` combines any number of
 :class:`ServeStats` into one (counters sum, means re-weight by request
 count, histograms merge bucket-wise), which is how the cluster layer
 (:mod:`repro.cluster`) renders per-shard metrics as one table.
+
+:func:`stats_to_registry` rebases a snapshot onto the unified
+:class:`repro.obs.registry.MetricsRegistry` — every ``ServeStats``
+field becomes a named counter/gauge/histogram chosen so that *merging
+registries commutes with merging stats*: counters carry the raw sums
+(mean latency is exported as ``repro_latency_seconds_total``, i.e.
+``mean * requests``, exactly the quantity ``merge_stats`` re-weights
+by), gauges declare the same sum-vs-max policy ``merge_stats`` applies
+field-by-field, and the queue-wait histogram maps bucket-for-bucket.
+The Prometheus view and the merged-stats view therefore never disagree
+(asserted by ``tests/obs/test_registry_bridge.py``).
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import asdict, dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.perf.report import markdown_table
 from repro.serve.admission import AdmissionStats
 from repro.serve.cache import CacheStats
 from repro.serve.registry import RegistryStats
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -250,6 +265,109 @@ class MetricsAggregator:
         )
 
 
+def stats_to_registry(
+    stats: ServeStats,
+    per_request: Sequence[RequestMetrics] = (),
+    registry: "MetricsRegistry | None" = None,
+) -> "MetricsRegistry":
+    """Rebase a :class:`ServeStats` snapshot onto the unified registry.
+
+    Pure function over plain data (the snapshot is already consistent,
+    so no locking happens here). ``per_request`` — when the caller has
+    the completed :class:`RequestMetrics` list — labels the request
+    counter by ``model``/``graph``; without it the counter is a single
+    unlabeled series of the same total. Means are exported as their
+    underlying *sums* (``repro_latency_seconds_total`` =
+    ``mean_latency_s * requests``) so registry merges reproduce exactly
+    what :func:`merge_stats` computes; gauges declare the matching
+    sum/max merge policy. Pass ``registry`` to accumulate into an
+    existing one (counters add, gauges overwrite by policy).
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    reg = registry if registry is not None else MetricsRegistry()
+    c = reg.counter
+    requests = c("repro_requests_total", "completed rollout requests")
+    if per_request:
+        for m in per_request:
+            requests.inc(1.0, model=m.model, graph=m.graph)
+    else:
+        requests.inc(float(stats.requests))
+    for name, help_text, value in (
+        ("repro_batches_total", "executed batches", stats.batches),
+        ("repro_steps_total", "rollout steps computed", stats.steps),
+        ("repro_latency_seconds_total",
+         "summed request latency (mean_latency_s * requests)",
+         stats.mean_latency_s * stats.requests),
+        ("repro_request_batch_size_total",
+         "summed per-request batch sizes (mean_batch_size * requests)",
+         stats.mean_batch_size * stats.requests),
+        ("repro_comm_bytes_total", "halo-exchange bytes", stats.comm_bytes),
+        ("repro_comm_messages_total", "halo-exchange messages",
+         stats.comm_messages),
+        ("repro_tile_cache_hits_total", "tiled-graph cache hits",
+         stats.tile_hits),
+        ("repro_tile_cache_misses_total", "tiled-graph cache misses",
+         stats.tile_misses),
+        ("repro_train_jobs_total", "completed training jobs",
+         stats.train_jobs),
+        ("repro_train_seconds_total", "training wall seconds",
+         stats.train_s),
+        ("repro_arena_reallocations_total", "worker-arena reallocations",
+         stats.arena_reallocations),
+        ("repro_admission_accepted_total", "requests admitted to the queue",
+         stats.admission.accepted),
+        ("repro_admission_shed_total", "requests shed at admission",
+         stats.admission.shed),
+        ("repro_admission_expired_total", "requests expired in the queue",
+         stats.admission.expired),
+        ("repro_graph_cache_hits_total", "graph-cache hits",
+         stats.cache.hits),
+        ("repro_graph_cache_misses_total", "graph-cache misses",
+         stats.cache.misses),
+        ("repro_graph_cache_evictions_total", "graph-cache evictions",
+         stats.cache.evictions),
+        ("repro_graph_cache_evicted_reload_seconds_total",
+         "reload cost of evicted graph assets", stats.cache.evicted_reload_s),
+        ("repro_graph_cache_plan_build_seconds_total",
+         "aggregation-plan compile seconds", stats.cache.plan_build_s),
+        ("repro_model_loads_total", "model checkpoint loads",
+         stats.registry.loads),
+        ("repro_model_evictions_total", "model evictions",
+         stats.registry.evictions),
+    ):
+        c(name, help_text).inc(float(value))
+    for name, help_text, merge, value in (
+        ("repro_queue_depth", "requests pending now", "sum",
+         stats.queue_depth),
+        ("repro_queue_depth_high_water", "peak queue depth", "max",
+         stats.queue_depth_high_water),
+        ("repro_max_batch_size", "largest executed batch", "max",
+         stats.max_batch_size),
+        ("repro_max_latency_seconds", "worst request latency", "max",
+         stats.max_latency_s),
+        ("repro_arena_pooled_bytes_high_water",
+         "resident worker-arena bytes at high water", "sum",
+         stats.arena_bytes_high_water),
+        ("repro_graph_cache_entries", "resident graph-cache entries", "sum",
+         stats.cache.entries),
+        ("repro_graph_cache_resident_bytes", "resident graph-cache bytes",
+         "sum", stats.cache.resident_bytes),
+        ("repro_models_registered", "registered model names", "sum",
+         stats.registry.registered),
+        ("repro_models_resident", "models resident in memory", "sum",
+         stats.registry.resident),
+    ):
+        reg.gauge(name, help_text, merge=merge).set(float(value))
+    wait = stats.admission.queue_wait
+    reg.histogram(
+        "repro_queue_wait_seconds",
+        "queue wait of admitted requests (served and expired)",
+        bounds=wait.bounds_s,
+    ).load(wait.counts, wait.sum_s)
+    return reg
+
+
 def _wait_quantiles(admission: AdmissionStats) -> str:
     """Render bucket-upper-bound quantiles of the queue-wait histogram."""
     hist = admission.queue_wait
@@ -263,18 +381,39 @@ def _wait_quantiles(admission: AdmissionStats) -> str:
     return f"{fmt(0.5)} / {fmt(0.9)} / {fmt(0.99)}"
 
 
+def _per_request(value: float, requests: int, scale: float = 1.0) -> str:
+    """Format a per-request statistic, or ``-`` when nothing was served.
+
+    A zero-request snapshot has no meaningful mean/max — rendering
+    ``0.00`` would read as "requests were instant". The guard also
+    swallows ``nan`` from foreign/deserialized snapshots whose means
+    were computed by a buggy producer: a dashboard row must never show
+    ``nan``.
+    """
+    if requests == 0 or math.isnan(value):
+        return "-"
+    return f"{value * scale:.2f}"
+
+
 def stats_markdown(stats: ServeStats) -> str:
-    """Render a serving-stats snapshot as a markdown table."""
+    """Render a serving-stats snapshot as a markdown table.
+
+    Zero-request snapshots render per-request statistics (mean batch
+    size, batching factor, waits, latencies) as ``-`` placeholders —
+    see :func:`_per_request`.
+    """
+    n = stats.requests
     rows = [
         ["requests served", stats.requests],
         ["batches executed", stats.batches],
         ["rollout steps computed", stats.steps],
-        ["mean batch size", f"{stats.mean_batch_size:.2f}"],
-        ["max batch size", stats.max_batch_size],
-        ["batching factor", f"{stats.batching_factor:.2f}"],
-        ["mean queue wait (ms)", f"{stats.mean_queue_wait_s * 1e3:.2f}"],
-        ["mean latency (ms)", f"{stats.mean_latency_s * 1e3:.2f}"],
-        ["max latency (ms)", f"{stats.max_latency_s * 1e3:.2f}"],
+        ["mean batch size", _per_request(stats.mean_batch_size, n)],
+        ["max batch size", stats.max_batch_size if n else "-"],
+        ["batching factor", _per_request(stats.batching_factor, stats.batches)],
+        ["mean queue wait (ms)",
+         _per_request(stats.mean_queue_wait_s, n, 1e3)],
+        ["mean latency (ms)", _per_request(stats.mean_latency_s, n, 1e3)],
+        ["max latency (ms)", _per_request(stats.max_latency_s, n, 1e3)],
         ["comm bytes", stats.comm_bytes],
         ["comm messages", stats.comm_messages],
         ["queue depth (now / high water)",
@@ -290,7 +429,9 @@ def stats_markdown(stats: ServeStats) -> str:
         ["worker-arena reallocations", stats.arena_reallocations],
         ["worker-arena bytes pooled (high water)",
          stats.arena_bytes_high_water],
-        ["graph-cache hit rate", f"{stats.cache.hit_rate:.2f}"],
+        ["graph-cache hit rate",
+         _per_request(stats.cache.hit_rate,
+                      stats.cache.hits + stats.cache.misses)],
         ["graph-cache entries / bytes",
          f"{stats.cache.entries} / {stats.cache.resident_bytes}"],
         ["graph-cache evictions", stats.cache.evictions],

@@ -147,7 +147,9 @@ def rollout_message(
     ``x0`` travels as the single ``.npy`` blob. ``request_id`` and
     ``submitted_at`` deliberately do NOT cross the wire — the server
     stamps its own (queue wait is a server-side quantity, and the two
-    processes do not share a clock).
+    processes do not share a clock). ``trace_id`` DOES cross: it is the
+    correlation key that stitches client, router, and server spans into
+    one trace (:mod:`repro.obs.trace`).
     """
     header = {
         "op": "rollout",
@@ -157,6 +159,7 @@ def rollout_message(
         "halo_mode": request.halo_mode,
         "residual": bool(request.residual),
         "deadline_s": request.deadline_s,
+        "trace_id": request.trace_id,
     }
     return header, [request.x0]
 
@@ -169,12 +172,18 @@ def parse_rollout_message(
     Raises :class:`ValueError` on missing required fields or a wrong
     array count (mapped to ``bad_request`` by the transport). The
     reconstructed request gets a new ``request_id`` / ``submitted_at``
-    — see :func:`rollout_message`.
+    — see :func:`rollout_message` — but *keeps* the peer's
+    ``trace_id`` so server-side spans join the client's trace (a peer
+    that predates tracing gets a freshly minted ID).
     """
     if len(arrays) != 1:
         raise ValueError(
             f"rollout carries exactly one array (x0), got {len(arrays)}"
         )
+    kwargs: dict = {}
+    trace_id = header.get("trace_id")
+    if trace_id is not None:
+        kwargs["trace_id"] = str(trace_id)
     try:
         return RolloutRequest(
             model=require_field(header, "model"),
@@ -184,6 +193,7 @@ def parse_rollout_message(
             halo_mode=header.get("halo_mode"),
             residual=bool(header.get("residual", False)),
             deadline_s=header.get("deadline_s"),
+            **kwargs,
         )
     except TypeError as exc:
         # wrong-typed header fields (n_steps: null, deadline_s: "soon",

@@ -28,8 +28,9 @@ from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
 from repro.graph.io import load_rank_graphs
+from repro.obs.trace import Span, TraceBuffer, wall_from_perf
 from repro.runtime.api import RolloutRequest, TrainRequest, TrainResult
-from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.admission import AdmissionConfig, AdmissionController, QueueFull
 from repro.serve.batching import RequestQueue, RolloutHandle
 from repro.serve.cache import GraphAsset, GraphCache
 from repro.serve.executor import WorkerArenas, execute_batch, execute_train_job
@@ -56,6 +57,12 @@ class ServeConfig:
     depth cap are shed with :class:`~repro.serve.admission.QueueFull`,
     and queued requests older than their deadline are expired at
     dequeue. Both default to off (unbounded queue, no deadline).
+
+    ``tracing`` / ``trace_capacity`` configure the per-request span
+    buffer (:class:`repro.obs.trace.TraceBuffer`): on by default — the
+    spans are recorded outside the stepping hot loop, so the cost per
+    request is a few timestamps. ``tracing=False`` turns every record
+    into a no-op.
     """
 
     max_batch_size: int = 8
@@ -67,6 +74,8 @@ class ServeConfig:
     request_timeout_s: float = 120.0
     max_queue_depth: int | None = None
     default_deadline_s: float | None = None
+    tracing: bool = True
+    trace_capacity: int = 2048
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -75,6 +84,8 @@ class ServeConfig:
             raise ValueError("n_workers must be >= 1")
         if self.max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
         # delegate validation of the admission knobs
         AdmissionConfig(self.max_queue_depth, self.default_deadline_s)
 
@@ -107,7 +118,10 @@ class InferenceService:
             max_bytes=self.config.cache_bytes,
         )
         self._admission = AdmissionController(self.config.admission)
-        self._queue = RequestQueue(self._admission)
+        self.trace = TraceBuffer(
+            self.config.trace_capacity, enabled=self.config.tracing
+        )
+        self._queue = RequestQueue(self._admission, trace=self.trace)
         self._queue_high_water_prev = 0
         self._metrics = MetricsAggregator()
         self._graph_dirs: dict[str, Path] = {}
@@ -128,7 +142,7 @@ class InferenceService:
                 self._queue_high_water_prev = max(
                     self._queue_high_water_prev, self._queue.depth_high_water
                 )
-                self._queue = RequestQueue(self._admission)
+                self._queue = RequestQueue(self._admission, trace=self.trace)
             self._started = True
             for i in range(self.config.n_workers):
                 t = threading.Thread(
@@ -242,7 +256,24 @@ class InferenceService:
             self.config.default_halo_mode,
             self._admission.effective_deadline_s(request.deadline_s),
         )
-        return self._queue.submit(request)
+        admitted_at = time.perf_counter()
+        try:
+            handle = self._queue.submit(request)
+        except QueueFull:
+            self.trace.record_span(
+                request.trace_id, "admission", "server",
+                wall_from_perf(admitted_at),
+                time.perf_counter() - admitted_at,
+                status="failed", model=request.model, graph=request.graph,
+                reason="queue_full",
+            )
+            raise
+        self.trace.record_span(
+            request.trace_id, "admission", "server",
+            wall_from_perf(admitted_at), time.perf_counter() - admitted_at,
+            model=request.model, graph=request.graph,
+        )
+        return handle
 
     def submit(
         self,
@@ -329,10 +360,41 @@ class InferenceService:
                 arenas=arenas,
             )
         except BaseException as exc:  # noqa: BLE001 - failures go to clients
+            if self.trace.enabled:
+                failed_at = time.perf_counter()
+                for req in requests:
+                    self.trace.record_span(
+                        req.trace_id, "execute", "server",
+                        wall_from_perf(dequeued), failed_at - dequeued,
+                        status="failed", model=req.model, graph=req.graph,
+                        error=repr(exc),
+                    )
             for h in handles:
                 h._finish(exc)
             return
         finished = time.perf_counter()
+        if self.trace.enabled:
+            self.trace.record_span(
+                requests[0].trace_id, "tile", "server",
+                wall_from_perf(dequeued), execution.tile_s,
+                hits=execution.tile_hits, misses=execution.tile_misses,
+                batch_size=execution.batch_size,
+            )
+            for req in requests:
+                self.trace.record_span(
+                    req.trace_id, "queue", "server",
+                    wall_from_perf(req.submitted_at),
+                    dequeued - req.submitted_at,
+                    model=req.model, graph=req.graph,
+                )
+                self.trace.record_span(
+                    req.trace_id, "execute", "server",
+                    wall_from_perf(dequeued), finished - dequeued,
+                    model=req.model, graph=req.graph,
+                    batch_size=execution.batch_size,
+                    world_size=execution.world_size,
+                    n_steps=req.n_steps,
+                )
         per_request = []
         for req, handle in batch:
             metrics = RequestMetrics(
@@ -403,3 +465,22 @@ class InferenceService:
 
     def stats_markdown(self) -> str:
         return stats_markdown(self.stats())
+
+    # -- observability -------------------------------------------------------
+
+    def get_trace(self, trace_id: str) -> list[Span]:
+        """All spans recorded for one trace, sorted by start time."""
+        return self.trace.trace(trace_id)
+
+    def metrics_registry(self):
+        """The service's stats as a unified metrics registry.
+
+        Labeled per model/graph from the completed request log; served
+        over the wire by the ``metrics`` op and over HTTP by
+        ``--metrics-port`` (:mod:`repro.obs.http`).
+        """
+        from repro.serve.metrics import stats_to_registry
+
+        return stats_to_registry(
+            self.stats(), per_request=self._metrics.completed()
+        )

@@ -1,20 +1,27 @@
-"""Out-of-process serving transport: socket server + network client.
+"""Out-of-process serving transport: the socket server side.
 
 This is the piece that turns the in-process batched executor into a
 *service*: :class:`ServeServer` listens on a TCP socket and speaks the
 :mod:`repro.serve.protocol` framing, so a client in another process (or
 on another machine) can submit rollout requests, stream frames as steps
-complete, read the stats table, and register path-backed assets.
-:class:`NetworkClient` mirrors the in-process
-:class:`~repro.serve.client.ServeClient` API — ``step`` / ``rollout`` /
-``submit`` / ``stream`` / ``stats`` — and the transport consistency
-tests assert that a trajectory fetched through the socket is bitwise
-identical to the same request served in-process.
+complete, read the stats table, fetch traces and metrics, and register
+path-backed assets. The client side is
+:class:`~repro.runtime.remote.RemoteEngine`
+(``repro.runtime.connect("tcp://HOST:PORT")``), and the transport
+consistency tests assert that a trajectory fetched through the socket
+is bitwise identical to the same request served in-process.
 
 Everything is stdlib (``socketserver`` + ``socket``): one thread per
-connection on the server (``ThreadingTCPServer``), one connection per
-request on the client (no multiplexing — a streaming rollout owns its
-socket until the final ``done``/``error`` message).
+connection on the server (``ThreadingTCPServer``); a streaming rollout
+owns its connection until the final ``done``/``error`` message.
+
+Observability: every rollout carries its client-minted ``trace_id`` in
+the message header; the server's spans for that request (admission,
+queue, tile, execute, and the ``serialize`` span this module records
+around frame streaming) land in the service's trace ring and are
+queryable over the wire with the ``get_trace`` op. The ``metrics`` op
+returns the service's unified metrics registry as a mergeable snapshot
+plus rendered Prometheus text.
 
 **Trust model**: the transport is unauthenticated and unencrypted —
 it is meant for localhost and trusted networks (a lab cluster behind a
@@ -36,21 +43,17 @@ or config mismatches as
 from __future__ import annotations
 
 import dataclasses
-import socket
 import socketserver
 import threading
-import warnings
-from typing import Iterator, Sequence
+import time
+from typing import Sequence
 
 import numpy as np
 
-from repro.comm.modes import HaloMode
-from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
-from repro.graph.distributed import LocalGraph
-from repro.runtime.api import EngineCapabilities, RolloutRequest
+from repro.obs.trace import spans_to_dicts, wall_from_perf
+from repro.runtime.api import EngineCapabilities
 from repro.serve import protocol
-from repro.serve.metrics import ServeStats
 from repro.serve.protocol import ProtocolError, read_message, write_message
 from repro.serve.service import InferenceService
 
@@ -156,6 +159,18 @@ class _Handler(socketserver.StreamRequestHandler):
                         "markdown": service.stats_markdown(),
                     }
                 )
+            elif op == "get_trace":
+                spans = service.get_trace(str(_require(header, "trace_id")))
+                self._reply({"type": "trace", "spans": spans_to_dicts(spans)})
+            elif op == "metrics":
+                registry = service.metrics_registry()
+                self._reply(
+                    {
+                        "type": "metrics",
+                        "snapshot": registry.snapshot(),
+                        "text": registry.prometheus_text(),
+                    }
+                )
             elif op == "graph_keys":
                 self._reply({"type": "graph_keys", "keys": service.graph_keys()})
             elif op == "models":
@@ -202,19 +217,43 @@ class _Handler(socketserver.StreamRequestHandler):
             return
         handle = service.submit_request(request)
         step = 0
+        started = time.perf_counter()
         try:
             for frame in handle.frames(timeout=service.config.request_timeout_s):
                 self._reply({"type": "frame", "step": step}, [frame])
                 step += 1
         except BaseException as exc:  # noqa: BLE001 - forwarded as typed error
+            self._serialize_span(service, request, started, step, failed=True)
             if isinstance(exc, (BrokenPipeError, ConnectionError)):
                 raise
             self._reply_error(_error_code(exc), str(exc) or repr(exc))
             return
+        self._serialize_span(service, request, started, step, failed=False)
         metrics = (
             dataclasses.asdict(handle.metrics) if handle.metrics is not None else None
         )
         self._reply({"type": "done", "n_frames": step, "metrics": metrics})
+
+    @staticmethod
+    def _serialize_span(
+        service: InferenceService,
+        request,
+        started: float,
+        frames: int,
+        failed: bool,
+    ) -> None:
+        """Record the frame-streaming span (``.npy`` encode + socket write)."""
+        if not service.trace.enabled:
+            return
+        service.trace.record_span(
+            request.trace_id,
+            "serialize",
+            "server",
+            wall_from_perf(started),
+            time.perf_counter() - started,
+            status="failed" if failed else "ok",
+            frames=frames,
+        )
 
     def _reply(self, header: dict, arrays: Sequence[np.ndarray] = ()) -> None:
         write_message(self.wfile, header, arrays)
@@ -269,7 +308,7 @@ class ServeServer:
 
     @property
     def endpoint(self) -> str:
-        """``HOST:PORT`` string clients can pass to :meth:`NetworkClient.connect`."""
+        """``HOST:PORT`` string for ``connect(f"tcp://{endpoint}")``."""
         host, port = self.address
         return f"{host}:{port}"
 
@@ -297,320 +336,3 @@ class ServeServer:
 
     def __exit__(self, *exc) -> None:
         self.stop()
-
-
-# -- client ------------------------------------------------------------------
-
-
-class NetworkRolloutHandle:
-    """Streaming view of one networked rollout (mirrors ``RolloutHandle``).
-
-    Owns its connection: frames are read off the socket lazily as the
-    consumer iterates, so a slow consumer naturally backpressures only
-    its own stream. Thread safety: single-consumer — do not iterate
-    from two threads. Determinism: frames decode to the exact arrays
-    the worker produced (``.npy`` round-trip).
-    """
-
-    def __init__(self, sock: socket.socket, request_timeout_s: float):
-        self._sock = sock
-        self._stream = sock.makefile("rb")
-        self._timeout = request_timeout_s
-        self._collected: list[np.ndarray] = []
-        self._done = False
-        #: server-side RequestMetrics as a dict, set once done
-        self.metrics: dict | None = None
-
-    def frames(self, timeout: float | None = None) -> Iterator[np.ndarray]:
-        """Yield frames as the server streams them (frame 0 is ``x0``).
-
-        ``timeout`` bounds each frame's arrival (defaults to the
-        handle's request timeout). Raises the typed exception carried
-        by a server error message, or :class:`TransportError` when the
-        connection drops mid-stream.
-        """
-        if self._done:
-            raise TransportError("stream already consumed")
-        self._sock.settimeout(self._timeout if timeout is None else timeout)
-        try:
-            while True:
-                try:
-                    message = read_message(self._stream)
-                except ProtocolError as exc:
-                    raise TransportError(f"stream broke mid-rollout: {exc}") from None
-                if message is None:
-                    raise TransportError("server closed the stream before done")
-                header, arrays = message
-                kind = header.get("type")
-                if kind == "frame":
-                    if not arrays:
-                        raise TransportError("frame message carried no array")
-                    self._collected.append(arrays[0])
-                    yield arrays[0]
-                elif kind == "done":
-                    self.metrics = header.get("metrics")
-                    return
-                elif kind == "error":
-                    _raise_for_code(header["code"], header["message"])
-                else:
-                    raise TransportError(f"unexpected message {kind!r} in stream")
-        finally:
-            self._done = True
-            self._close()
-
-    def result(self, timeout: float | None = None) -> list[np.ndarray]:
-        """Drain the stream; returns the full trajectory (incl. frame 0)."""
-        for _ in self.frames(timeout=timeout):
-            pass
-        return self._collected
-
-    @property
-    def done(self) -> bool:
-        """Whether the stream has been fully consumed (or failed)."""
-        return self._done
-
-    def _close(self) -> None:
-        try:
-            self._stream.close()
-        finally:
-            self._sock.close()
-
-
-class NetworkClient:
-    """Deprecated socket client mirroring the old ``ServeClient`` API.
-
-    .. deprecated::
-        ``NetworkClient`` survives as a thin compatibility shim; new
-        code should use ``repro.runtime.connect("tcp://HOST:PORT")``,
-        which returns a :class:`~repro.runtime.remote.RemoteEngine`
-        with persistent pooled connections and the typed
-        request/response API. Constructing a ``NetworkClient`` emits
-        one :class:`DeprecationWarning`.
-
-    Each operation opens its own connection (``connect_timeout_s``
-    bounds the dial, ``request_timeout_s`` bounds each reply/frame), so
-    one client object may be shared freely across threads — there is no
-    connection state to corrupt. In-memory asset registration
-    (``register_model`` / ``register_graph``) cannot cross the process
-    boundary; use the path-backed forms, which name files the *server*
-    can see.
-
-    >>> # client = NetworkClient.connect("127.0.0.1:7431")
-    >>> # states = client.rollout("tgv", "mesh-r4", x0, n_steps=10)
-    """
-
-    def __init__(
-        self,
-        host: str,
-        port: int,
-        request_timeout_s: float = 120.0,
-        connect_timeout_s: float = 10.0,
-    ):
-        warnings.warn(
-            "NetworkClient is deprecated; use "
-            "repro.runtime.connect('tcp://HOST:PORT') instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.host = host
-        self.port = port
-        self.request_timeout_s = request_timeout_s
-        self.connect_timeout_s = connect_timeout_s
-
-    @classmethod
-    def connect(
-        cls, endpoint: str, request_timeout_s: float = 120.0
-    ) -> "NetworkClient":
-        """Build a client from a ``HOST:PORT`` string and verify liveness."""
-        host, port = parse_endpoint(endpoint)
-        client = cls(host, port, request_timeout_s=request_timeout_s)
-        client.ping()
-        return client
-
-    def close(self) -> None:
-        """No-op (connections are per-call); kept for API symmetry."""
-
-    def __enter__(self) -> "NetworkClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # -- plumbing ------------------------------------------------------------
-
-    def _dial(self) -> socket.socket:
-        try:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.connect_timeout_s
-            )
-        except OSError as exc:
-            raise TransportError(
-                f"cannot reach serve endpoint {self.host}:{self.port}: {exc}"
-            ) from None
-        sock.settimeout(self.request_timeout_s)
-        return sock
-
-    def _call(
-        self, header: dict, arrays: Sequence[np.ndarray] = ()
-    ) -> tuple[dict, list[np.ndarray]]:
-        """One unary round trip; raises the typed error on error replies."""
-        sock = self._dial()
-        try:
-            with sock.makefile("rwb") as stream:
-                write_message(stream, header, arrays)
-                try:
-                    message = read_message(stream)
-                except ProtocolError as exc:
-                    raise TransportError(f"bad reply: {exc}") from None
-                if message is None:
-                    raise TransportError("server closed connection without reply")
-                reply, reply_arrays = message
-                if reply.get("type") == "error":
-                    _raise_for_code(reply["code"], reply["message"])
-                return reply, reply_arrays
-        finally:
-            sock.close()
-
-    # -- assets --------------------------------------------------------------
-
-    def register_model(self, name: str, model: MeshGNN) -> None:
-        """Unsupported over the wire — models register by checkpoint path."""
-        raise TransportError(
-            "in-memory models cannot cross the process boundary; "
-            "save a checkpoint and use register_checkpoint(name, path)"
-        )
-
-    def register_graph(self, key: str, graphs: Sequence[LocalGraph]) -> None:
-        """Unsupported over the wire — graphs register by directory path."""
-        raise TransportError(
-            "in-memory graphs cannot cross the process boundary; "
-            "save_distributed_graph(...) and use register_graph_dir(key, path)"
-        )
-
-    def register_checkpoint(
-        self,
-        name: str,
-        path,
-        expect_config: GNNConfig | None = None,
-        eager: bool = False,
-    ) -> None:
-        """Register a checkpoint by *server-visible* path."""
-        self._call(
-            {
-                "op": "register_checkpoint",
-                "name": name,
-                "path": str(path),
-                "expect_config": (
-                    dataclasses.asdict(expect_config) if expect_config else None
-                ),
-                "eager": eager,
-            }
-        )
-
-    def register_graph_dir(self, key: str, directory) -> None:
-        """Register a graph directory by *server-visible* path."""
-        self._call(
-            {"op": "register_graph_dir", "key": key, "path": str(directory)}
-        )
-
-    # -- queries -------------------------------------------------------------
-
-    def ping(self) -> None:
-        """Round-trip a no-op message (raises on unreachable/bad peer)."""
-        self._call({"op": "ping"})
-
-    def graph_keys(self) -> list[str]:
-        return list(self._call({"op": "graph_keys"})[0]["keys"])
-
-    def model_names(self) -> list[str]:
-        return list(self._call({"op": "models"})[0]["names"])
-
-    def submit(
-        self,
-        model: str,
-        graph: str,
-        x0: np.ndarray,
-        n_steps: int,
-        halo_mode: str | HaloMode | None = None,
-        residual: bool = False,
-        deadline_s: float | None = None,
-    ) -> NetworkRolloutHandle:
-        """Start a rollout; returns a lazy streaming handle.
-
-        Note: unlike the in-process client, admission rejections are
-        raised from the *handle* (on first frame read), not here — the
-        request is not parsed server-side until the stream is consumed.
-        """
-        request = RolloutRequest(
-            model=model,
-            graph=graph,
-            x0=x0,
-            n_steps=n_steps,
-            halo_mode=(
-                None if halo_mode is None else HaloMode.parse(halo_mode).value
-            ),
-            residual=residual,
-            deadline_s=deadline_s,
-        )
-        sock = self._dial()
-        try:
-            with sock.makefile("wb") as out:
-                write_message(out, *protocol.rollout_message(request))
-        except BaseException:
-            sock.close()
-            raise
-        return NetworkRolloutHandle(sock, self.request_timeout_s)
-
-    def stream(
-        self,
-        model: str,
-        graph: str,
-        x0: np.ndarray,
-        n_steps: int,
-        halo_mode: str | HaloMode | None = None,
-        residual: bool = False,
-        deadline_s: float | None = None,
-    ) -> Iterator[np.ndarray]:
-        """Generator of frames, yielding each step as the server sends it."""
-        handle = self.submit(
-            model, graph, x0, n_steps, halo_mode, residual, deadline_s
-        )
-        yield from handle.frames()
-
-    def rollout(
-        self,
-        model: str,
-        graph: str,
-        x0: np.ndarray,
-        n_steps: int,
-        halo_mode: str | HaloMode | None = None,
-        residual: bool = False,
-        deadline_s: float | None = None,
-    ) -> list[np.ndarray]:
-        """Full trajectory (``n_steps + 1`` states including ``x0``)."""
-        return self.submit(
-            model, graph, x0, n_steps, halo_mode, residual, deadline_s
-        ).result()
-
-    def step(
-        self,
-        model: str,
-        graph: str,
-        x: np.ndarray,
-        halo_mode: str | HaloMode | None = None,
-        residual: bool = False,
-        deadline_s: float | None = None,
-    ) -> np.ndarray:
-        """One surrogate time step: returns the next global state."""
-        states = self.rollout(model, graph, x, 1, halo_mode, residual, deadline_s)
-        return states[1]
-
-    # -- stats ---------------------------------------------------------------
-
-    def stats(self) -> ServeStats:
-        """The server's aggregate stats snapshot (reconstructed)."""
-        return ServeStats.from_dict(self._call({"op": "stats"})[0]["stats"])
-
-    def stats_markdown(self) -> str:
-        """The server-rendered markdown stats table."""
-        return self._call({"op": "stats"})[0]["markdown"]

@@ -39,10 +39,12 @@ from __future__ import annotations
 import contextlib
 import os
 import threading
+import time
 import weakref
 
 import numpy as np
 
+from repro.obs import profile as _profile
 from repro.tensor.workspace import arena_out, arena_recycle, pooled_take
 
 #: process-global switch: when False, ops ignore plans and use np.add.at
@@ -195,6 +197,19 @@ class AggregationPlan:
         (it is zero-filled here); otherwise the active inference arena
         (if any) or a fresh allocation provides it.
         """
+        # per-op profiling gate: one global read + `is None` branch on
+        # the off-path (the obs-overhead CI job asserts this is <1%)
+        prof = _profile.current_profiler()
+        if prof is not None:
+            t0 = time.perf_counter()
+            out = self._scatter_add(src, out)
+            prof.add("plan.scatter_add", time.perf_counter() - t0)
+            return out
+        return self._scatter_add(src, out)
+
+    def _scatter_add(
+        self, src: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         src = np.asarray(src)
         if src.shape[0] != self.n_index:
             raise ValueError(

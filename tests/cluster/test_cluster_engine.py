@@ -322,3 +322,91 @@ class TestAssetsAndCapabilities:
             ClusterEngine({}, health_interval_s=None)
         with pytest.raises(ValueError, match="spill_threshold"):
             ClusterEngine(shards, spill_threshold=0, health_interval_s=None)
+
+
+class TestObservability:
+    """One trace id tells the whole failover story, and the same
+    transitions land as labeled counters + structured events."""
+
+    def test_failover_trace_shows_both_attempts(self, cluster, shards):
+        """SIGKILL-in-miniature: the serving shard dies mid-stream and
+        the request redrives. ``get_trace`` must show the failed
+        attempt on the dead shard AND the completed one on the
+        survivor — correlated by the one id — while the exactly-once
+        ledger stays untouched."""
+        primary, survivor = primary_and_survivor(cluster)
+        shards[primary].fail_after_frames = 2
+        req = request(n_steps=4)
+        result = cluster.rollout(req)
+        assert [int(s[0, 0]) for s in result.states] == [0, 1, 2, 3, 4]
+
+        spans = cluster.get_trace(req.trace_id)
+        assert all(s.trace_id == req.trace_id for s in spans)
+        attempts = [s for s in spans if s.name == "attempt"]
+        assert len(attempts) == 2
+        by_status = {s.status: s for s in attempts}
+        assert by_status["failed"].attrs["shard"] == primary
+        assert "error" in by_status["failed"].attrs
+        assert by_status["ok"].attrs["shard"] == survivor
+        assert by_status["ok"].attrs["redriven"] is True
+        # both route decisions are in the trace too (initial + redrive)
+        routes = [s for s in spans if s.name == "route"]
+        assert [r.attrs["shard"] for r in routes] == [primary, survivor]
+        # observability changed nothing about the delivery contract
+        stats = cluster.cluster_stats()
+        assert stats.accepted == stats.completed == 1
+        assert stats.failed == 0 and stats.redrives == 1
+
+    def test_unknown_trace_id_is_empty(self, cluster):
+        cluster.rollout(request())
+        assert cluster.get_trace("feedfacedeadbeef") == []
+
+    def test_failover_increments_counters_and_events(self, cluster, shards):
+        primary, survivor = primary_and_survivor(cluster)
+        shards[primary].fail_after_frames = 1
+        cluster.rollout(request())
+
+        reg = cluster.metrics_registry()
+        assert reg.counter("repro_cluster_redrives_total").total() == 1.0
+        transitions = reg.counter("repro_cluster_health_transitions_total")
+        assert transitions.value(shard=primary, to="down") == 1.0
+        resolved = reg.counter("repro_cluster_requests_resolved_total")
+        assert resolved.value(outcome="completed") == 1.0
+        assert resolved.value(outcome="failed") == 0.0
+
+        kinds = [e.kind for e in cluster.events()]
+        assert "health_transition" in kinds
+        assert "redrive" in kinds
+        (transition,) = cluster.events("health_transition")
+        assert transition.attrs == {"shard": primary, "to": "down"}
+
+    def test_spill_is_counted_and_logged(self, shards):
+        cluster = ClusterEngine(shards, spill_threshold=1,
+                                health_interval_s=None)
+        try:
+            primary, survivor = primary_and_survivor(cluster)
+            gate = threading.Event()
+            shards[primary].frame_gate = gate
+            parked = cluster.submit(request())
+            cluster.rollout(request())  # spills to the survivor
+            spills = cluster.metrics_registry().counter(
+                "repro_cluster_spills_total"
+            )
+            assert spills.value(source=primary, target=survivor) == 1.0
+            (event,) = cluster.events("spill")
+            assert event.attrs["source"] == primary
+            assert event.attrs["target"] == survivor
+            gate.set()
+            parked.result(timeout=10.0)
+        finally:
+            cluster.close()
+
+    def test_shard_metrics_merge_with_shard_labels(self, cluster, shards):
+        cluster.rollout(request())
+        primary, _ = primary_and_survivor(cluster)
+        reg = cluster.metrics_registry()
+        req_counter = reg.counter("repro_requests_total")
+        # ScriptedEngine.stats() reports its submission count; the
+        # cluster merge stamps each shard's series with its id
+        assert req_counter.value(shard=primary) == 1.0
+        assert req_counter.total() == 1.0

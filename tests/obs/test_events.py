@@ -1,0 +1,69 @@
+"""Unit tests of repro.obs.events: bounded structured event log."""
+
+import json
+
+import pytest
+
+from repro.obs.events import Event, EventLog, events_markdown
+
+
+class TestEventLog:
+    def test_emit_stamps_wall_clock_and_keeps_attrs(self):
+        log = EventLog()
+        event = log.emit("spill", source="a", target="b")
+        assert event.kind == "spill"
+        assert event.wall_s > 0.0
+        assert event.attrs == {"source": "a", "target": "b"}
+        assert log.events() == [event]
+
+    def test_bounded_ring_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("tick", n=i)
+        assert len(log) == 3
+        assert [e.attrs["n"] for e in log.events()] == [2, 3, 4]
+
+    def test_filter_by_kind(self):
+        log = EventLog()
+        log.emit("spill")
+        log.emit("redrive")
+        log.emit("spill")
+        assert [e.kind for e in log.events("spill")] == ["spill", "spill"]
+        assert log.events("missing") == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit("x")
+        log.clear()
+        assert log.events() == []
+
+
+class TestEventWireShape:
+    def test_dict_round_trip_through_json(self):
+        event = Event(kind="health_transition", wall_s=12.5,
+                      attrs={"shard": "s0", "to": "down"})
+        doc = json.loads(json.dumps(event.to_dict()))
+        assert Event.from_dict(doc) == event
+
+    def test_from_dict_defaults_missing_attrs(self):
+        event = Event.from_dict({"kind": "redrive", "wall_s": 1.0})
+        assert event.attrs == {}
+
+
+class TestMarkdown:
+    def test_renders_chronological_table(self):
+        log = EventLog()
+        log.emit("spill", source="a", target="b")
+        log.emit("redrive")
+        text = events_markdown(log.events())
+        lines = text.splitlines()
+        assert lines[0] == "| wall clock | event | attrs |"
+        assert "| spill | source=a, target=b |" in lines[2]
+        assert "| redrive |" in lines[3]
+
+    def test_empty(self):
+        assert events_markdown([]) == "(no events)"

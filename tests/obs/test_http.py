@@ -1,0 +1,93 @@
+"""The /metrics HTTP endpoint: fresh scrapes, JSON, liveness, safety."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.http import MetricsHTTPServer
+from repro.obs.registry import MetricsRegistry
+
+
+def fetch(server, path):
+    with urllib.request.urlopen(
+        f"http://{server.endpoint}{path}", timeout=5.0
+    ) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", "served requests").inc(3.0)
+    return reg
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self, registry):
+        with MetricsHTTPServer(lambda: registry) as server:
+            status, ctype, body = fetch(server, "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert b"repro_requests_total 3" in body
+
+    def test_metrics_json_serves_the_snapshot(self, registry):
+        with MetricsHTTPServer(lambda: registry) as server:
+            status, ctype, body = fetch(server, "/metrics.json")
+        assert status == 200
+        assert ctype == "application/json"
+        assert json.loads(body) == registry.snapshot()
+
+    def test_healthz(self, registry):
+        with MetricsHTTPServer(lambda: registry) as server:
+            status, _, body = fetch(server, "/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+
+    def test_every_scrape_calls_source_fresh(self, registry):
+        with MetricsHTTPServer(lambda: registry) as server:
+            _, _, before = fetch(server, "/metrics")
+            registry.counter("repro_requests_total").inc()
+            _, _, after = fetch(server, "/metrics")
+        assert b"repro_requests_total 3" in before
+        assert b"repro_requests_total 4" in after
+
+
+class TestFailureModes:
+    def test_unknown_path_is_404(self, registry):
+        with MetricsHTTPServer(lambda: registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server, "/nope")
+            assert err.value.code == 404
+
+    def test_source_exception_is_500_not_a_crash(self, registry):
+        calls = []
+
+        def source():
+            if not calls:
+                calls.append(1)
+                raise RuntimeError("stats backend away")
+            return registry
+
+        with MetricsHTTPServer(source) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server, "/metrics")
+            assert err.value.code == 500
+            # the server survived the failing scrape
+            status, _, _ = fetch(server, "/metrics")
+            assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_is_bound_and_reported(self, registry):
+        with MetricsHTTPServer(lambda: registry) as server:
+            assert server.port > 0
+            assert server.endpoint == f"{server.host}:{server.port}"
+
+    def test_close_is_idempotent(self, registry):
+        server = MetricsHTTPServer(lambda: registry)
+        server.close()
+        server.close()
+        with pytest.raises(OSError):
+            fetch(server, "/healthz")

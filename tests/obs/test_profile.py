@@ -1,0 +1,114 @@
+"""The hot-loop profiler: install/uninstall, accumulation, coverage.
+
+The overhead side of the contract (off-path <1%) is asserted by
+``tools/check_obs_overhead.py`` in CI; here we assert the *on* side —
+installing a profiler makes the NMP hot loop and the planned
+scatter-add report their per-op timings — plus the accounting of
+``HotLoopProfiler`` itself.
+"""
+
+import pytest
+
+from repro.gnn import GNNConfig, MeshGNN
+from repro.gnn.rollout import rollout
+from repro.graph import build_full_graph
+from repro.mesh import BoxMesh, taylor_green_velocity
+from repro.obs.profile import (
+    HotLoopProfiler,
+    current_profiler,
+    install_profiler,
+    uninstall_profiler,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_profiler():
+    """Every test starts and ends with no profiler installed."""
+    uninstall_profiler()
+    yield
+    uninstall_profiler()
+
+
+class TestInstallation:
+    def test_install_returns_and_exposes_the_profiler(self):
+        prof = install_profiler()
+        assert current_profiler() is prof
+        uninstall_profiler()
+        assert current_profiler() is None
+
+    def test_install_accepts_a_caller_owned_profiler(self):
+        mine = HotLoopProfiler()
+        assert install_profiler(mine) is mine
+        assert current_profiler() is mine
+
+    def test_install_replaces_the_previous_profiler(self):
+        first = install_profiler()
+        second = install_profiler()
+        assert second is not first
+        assert current_profiler() is second
+
+
+class TestAccounting:
+    def test_accumulates_calls_and_total(self):
+        prof = HotLoopProfiler()
+        prof.add("op", 0.5)
+        prof.add("op", 1.5)
+        snap = prof.snapshot()
+        assert snap["op"]["calls"] == 2
+        assert snap["op"]["total_s"] == pytest.approx(2.0)
+        assert snap["op"]["mean_s"] == pytest.approx(1.0)
+
+    def test_reset(self):
+        prof = HotLoopProfiler()
+        prof.add("op", 1.0)
+        prof.reset()
+        assert prof.snapshot() == {}
+
+    def test_markdown_sorts_by_total_descending(self):
+        prof = HotLoopProfiler()
+        prof.add("cheap", 0.001)
+        prof.add("dear", 1.0)
+        lines = prof.markdown().splitlines()
+        assert lines[0] == "| op | calls | total (ms) | mean (us) |"
+        assert lines[2].startswith("| dear ")
+        assert lines[3].startswith("| cheap ")
+
+    def test_markdown_empty(self):
+        assert HotLoopProfiler().markdown() == "(no profiled ops)"
+
+
+class TestHotLoopCoverage:
+    def test_rollout_records_the_instrumented_ops(self):
+        mesh = BoxMesh(3, 3, 2, p=1)
+        model = MeshGNN(GNNConfig(hidden=4, n_message_passing=1,
+                                  n_mlp_hidden=1, seed=0,
+                                  edge_features="full"))
+        graph = build_full_graph(mesh)
+        x0 = taylor_green_velocity(mesh.all_positions())
+        n_steps = 3
+
+        prof = install_profiler()
+        try:
+            rollout(model, graph, x0, n_steps, workspace=True)
+        finally:
+            uninstall_profiler()
+
+        snap = prof.snapshot()
+        assert snap["rollout.step"]["calls"] == n_steps
+        assert snap["rollout.model_forward"]["calls"] == n_steps
+        assert snap["rollout.edge_features"]["calls"] == n_steps
+        # the planned scatter-add runs inside every model forward
+        assert snap["plan.scatter_add"]["calls"] >= n_steps
+        # step time contains its parts (all measured on the same clock)
+        assert (snap["rollout.step"]["total_s"]
+                >= snap["rollout.model_forward"]["total_s"])
+
+    def test_uninstalled_rollout_records_nothing(self):
+        mesh = BoxMesh(3, 3, 2, p=1)
+        model = MeshGNN(GNNConfig(hidden=4, n_message_passing=1,
+                                  n_mlp_hidden=1, seed=0))
+        graph = build_full_graph(mesh)
+        x0 = taylor_green_velocity(mesh.all_positions())
+        prof = HotLoopProfiler()  # built but never installed
+        rollout(model, graph, x0, 2, workspace=True)
+        assert prof.snapshot() == {}

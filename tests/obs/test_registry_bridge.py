@@ -1,0 +1,148 @@
+"""The ServeStats -> MetricsRegistry bridge commutes with merge_stats.
+
+The design contract of ``stats_to_registry`` (see its docstring):
+means are exported as their underlying sums and gauges declare the
+same sum/max policies ``merge_stats`` applies, so merging registries
+built from per-shard snapshots is *byte-identical* (Prometheus text)
+to bridging the merged snapshot. The cluster layer leans on this: its
+``metrics_registry()`` merges shard registries, its ``stats()`` merges
+shard stats, and the two views must never disagree.
+"""
+
+import math
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.admission import AdmissionStats, WaitHistogram
+from repro.serve.cache import CacheStats
+from repro.serve.metrics import (
+    RequestMetrics,
+    ServeStats,
+    merge_stats,
+    stats_markdown,
+    stats_to_registry,
+)
+from repro.serve.registry import RegistryStats
+
+
+def make_stats(seed: int) -> ServeStats:
+    """A deterministic, fully-populated snapshot (no engine needed)."""
+    n_buckets = len(WaitHistogram().counts)
+    counts = [(seed + i) % 3 for i in range(n_buckets)]
+    return ServeStats(
+        requests=4 + seed,
+        batches=2 + seed,
+        steps=12 * (1 + seed),
+        mean_batch_size=1.5 + 0.25 * seed,
+        max_batch_size=4 + seed,
+        mean_queue_wait_s=0.01 * (1 + seed),
+        mean_latency_s=0.05 * (1 + seed),
+        max_latency_s=0.2 * (1 + seed),
+        comm_bytes=1024 * (1 + seed),
+        comm_messages=8 * (1 + seed),
+        queue_depth=seed,
+        queue_depth_high_water=3 + seed,
+        tile_hits=5 + seed,
+        tile_misses=1 + seed,
+        train_jobs=seed,
+        train_s=0.5 * seed,
+        arena_reallocations=2 + seed,
+        arena_bytes_high_water=4096 * (1 + seed),
+        cache=CacheStats(entries=1 + seed, resident_bytes=1 << (10 + seed),
+                         hits=3 + seed, misses=1, evictions=seed,
+                         evicted_reload_s=0.1 * seed,
+                         plan_build_s=0.02 * (1 + seed)),
+        registry=RegistryStats(registered=2, resident=1 + seed,
+                               loads=1 + seed, evictions=seed),
+        admission=AdmissionStats(
+            accepted=4 + seed, shed=seed, expired=seed,
+            queue_wait=WaitHistogram(counts=counts, total=sum(counts),
+                                     sum_s=0.3 * (1 + seed)),
+        ),
+    )
+
+
+class TestMergeCommutes:
+    def test_registry_merge_equals_bridged_merge_stats(self):
+        a, b = make_stats(0), make_stats(1)
+        merged_registries = stats_to_registry(a).merge(stats_to_registry(b))
+        bridged_merge = stats_to_registry(merge_stats([a, b]))
+        assert (merged_registries.prometheus_text()
+                == bridged_merge.prometheus_text())
+
+    def test_three_way_merge_commutes_in_shard_order(self):
+        # byte-identity holds when both views fold shards in the same
+        # order (what the cluster does); float addition is not
+        # associative, so *re*ordering may differ in the last ulp
+        stats = [make_stats(i) for i in range(3)]
+        via_registries = MetricsRegistry()
+        for s in stats:
+            via_registries.merge(stats_to_registry(s))
+        via_stats = stats_to_registry(merge_stats(stats))
+        assert (via_registries.prometheus_text()
+                == via_stats.prometheus_text())
+
+    def test_shard_labels_keep_series_apart(self):
+        a, b = make_stats(0), make_stats(1)
+        merged = MetricsRegistry()
+        merged.merge(stats_to_registry(a).relabel(shard="s0"))
+        merged.merge(stats_to_registry(b).relabel(shard="s1"))
+        req = merged.counter("repro_requests_total")
+        assert req.value(shard="s0") == float(a.requests)
+        assert req.value(shard="s1") == float(b.requests)
+        assert req.total() == float(a.requests + b.requests)
+
+
+class TestBridgeContent:
+    def test_means_export_as_sums(self):
+        s = make_stats(2)
+        reg = stats_to_registry(s)
+        latency = reg.counter("repro_latency_seconds_total").total()
+        assert latency == s.mean_latency_s * s.requests
+        assert (reg.gauge("repro_queue_depth_high_water", merge="max").value()
+                == float(s.queue_depth_high_water))
+
+    def test_per_request_metrics_label_the_request_counter(self):
+        s = make_stats(0)
+        per_request = [
+            RequestMetrics(request_id=i, model="m1" if i % 2 else "m2",
+                           graph="g", world_size=1, batch_size=1, n_steps=3,
+                           queue_wait_s=0.0, exec_s=0.01, latency_s=0.01,
+                           batch_comm_bytes=0, batch_comm_messages=0)
+            for i in range(4)
+        ]
+        reg = stats_to_registry(s, per_request=per_request)
+        req = reg.counter("repro_requests_total")
+        assert req.value(model="m1", graph="g") == 2.0
+        assert req.value(model="m2", graph="g") == 2.0
+
+    def test_queue_wait_histogram_maps_bucket_for_bucket(self):
+        s = make_stats(1)
+        reg = stats_to_registry(s)
+        hist = reg.get("repro_queue_wait_seconds")
+        ((_, (counts, sum_s)),) = hist.samples().items()
+        assert counts == list(s.admission.queue_wait.counts)
+        assert sum_s == s.admission.queue_wait.sum_s
+
+
+class TestZeroRequestSnapshots:
+    """Satellite: a fresh service's stats table must render cleanly."""
+
+    def test_markdown_has_no_nan_and_no_fake_zeros(self):
+        text = stats_markdown(ServeStats())
+        assert "nan" not in text.lower()
+        assert "| mean latency (ms) | - |" in text
+        assert "| mean batch size | - |" in text
+        assert "| max batch size | - |" in text
+        assert "| batching factor | - |" in text
+        assert "| graph-cache hit rate | - |" in text
+
+    def test_nan_means_from_foreign_snapshots_render_as_dash(self):
+        s = ServeStats(requests=3, mean_latency_s=math.nan)
+        text = stats_markdown(s)
+        assert "nan" not in text.lower()
+        assert "| mean latency (ms) | - |" in text
+
+    def test_zero_request_merge_still_renders(self):
+        text = stats_markdown(merge_stats([]))
+        assert "nan" not in text.lower()
+        assert "| requests served | 0 |" in text

@@ -11,12 +11,12 @@ The redesign's contract, asserted over ``LocalEngine`` /
 * a :class:`TrainRequest` through the pooled engine matches a direct
   :func:`~repro.gnn.trainer.train_model` run on the same batch, bit
   for bit;
-* the deprecated ``ServeClient`` / ``NetworkClient`` shims emit exactly
-  one :class:`DeprecationWarning` each and still serve identical bits.
+* the pre-engine ``ServeClient`` / ``NetworkClient`` shims are gone —
+  :func:`repro.runtime.connect` is the single front door, and pooled
+  engine teardown is idempotent and leak-free.
 """
 
 import threading
-import warnings
 
 import numpy as np
 import pytest
@@ -32,9 +32,7 @@ from repro.runtime import (
 )
 from repro.serve import (
     DeadlineExpired,
-    NetworkClient,
     QueueFull,
-    ServeClient,
     ServeConfig,
     ServeServer,
 )
@@ -457,54 +455,38 @@ class TestCluster:
                 )
 
 
-class TestDeprecatedShims:
-    def test_serve_client_emits_exactly_one_deprecation_warning(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            client = ServeClient.local(ServeConfig(max_batch_size=2))
-            client.stats()
-            client.close()
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "connect('pool://')" in str(deprecations[0].message)
+class TestShimsRemoved:
+    def test_pre_engine_client_shims_are_gone(self):
+        """The deprecated ServeClient/NetworkClient shims no longer exist."""
+        import repro.serve as serve
 
-    def test_network_client_emits_exactly_one_deprecation_warning(
-        self, asset_paths, x0
+        assert not hasattr(serve, "ServeClient")
+        assert not hasattr(serve, "NetworkClient")
+        assert not hasattr(serve, "NetworkRolloutHandle")
+        with pytest.raises(ModuleNotFoundError):
+            import repro.serve.client  # noqa: F401
+
+    def test_pooled_engine_teardown_is_idempotent_and_leak_free(
+        self, x0, engine_model, full_graph
     ):
-        with make_engine("pool", asset_paths) as backend, \
-                ServeServer(backend.service) as server:
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                client = NetworkClient.connect(server.endpoint)
-                states = client.rollout("m", "g1", x0, n_steps=2)
-            deprecations = [w for w in caught
-                            if issubclass(w.category, DeprecationWarning)]
-            assert len(deprecations) == 1
-            assert "tcp://" in str(deprecations[0].message)
-            # and the shim still serves engine-identical bits
-            reference = backend.rollout(
-                RolloutRequest(model="m", graph="g1", x0=x0, n_steps=2)
-            )
-            assert_bitwise_equal(states, reference.states)
+        from repro.runtime import connect
 
-    def test_local_shim_teardown_is_idempotent_and_leak_free(self, x0,
-                                                             engine_model,
-                                                             full_graph):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with ServeClient.local(ServeConfig(max_batch_size=2)) as client:
-                assert client.owns_service
-                client.register_model("m", engine_model)
-                client.register_graph("g", [full_graph])
-                assert len(client.rollout("m", "g", x0, 1)) == 2
-                assert _serve_worker_threads(), "workers should be alive"
-            assert not _serve_worker_threads(), (
-                "context exit left serve workers running"
+        with connect(
+            "pool://", config=ServeConfig(max_batch_size=2)
+        ) as engine:
+            engine.register_model("m", engine_model)
+            engine.register_graph("g", [full_graph])
+            result = engine.rollout(
+                RolloutRequest(model="m", graph="g", x0=x0, n_steps=1)
             )
-            client.close()  # idempotent: second close is a no-op
-            client.close()
-            assert not _serve_worker_threads()
+            assert len(result.states) == 2
+            assert _serve_worker_threads(), "workers should be alive"
+        assert not _serve_worker_threads(), (
+            "context exit left serve workers running"
+        )
+        engine.close()  # idempotent: second close is a no-op
+        engine.close()
+        assert not _serve_worker_threads()
 
 
 def _serve_worker_threads():

@@ -83,8 +83,9 @@ class TestReproDispatcher:
 
 class TestListenMode:
     def test_listen_serves_network_clients(self, x0):
-        """Full loop: `serve --listen` answers a NetworkClient rollout."""
-        from repro.serve.transport import NetworkClient
+        """Full loop: `serve --listen` answers a remote engine rollout."""
+        from repro.runtime.api import RolloutRequest
+        from repro.runtime.remote import RemoteEngine
 
         args = build_parser().parse_args(
             ["--listen", "127.0.0.1:0", "--ranks", "2", "--max-queue", "64"]
@@ -104,11 +105,16 @@ class TestListenMode:
         t.start()
         try:
             assert ready.wait(timeout=60.0), "listener never came up"
-            client = NetworkClient.connect(endpoint[0])
+            client = RemoteEngine.connect(endpoint[0])
             assert client.model_names() == ["tgv-surrogate"]
             assert client.graph_keys() == ["tgv-box"]
-            states = client.rollout("tgv-surrogate", "tgv-box", x0, n_steps=2)
-            assert len(states) == 3
+            result = client.rollout(
+                RolloutRequest(
+                    model="tgv-surrogate", graph="tgv-box", x0=x0, n_steps=2
+                )
+            )
+            assert len(result.states) == 3
+            client.close()
         finally:
             stop.set()
             t.join(timeout=30.0)

@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.comm import HaloMode, ThreadWorld
 from repro.gnn import rollout
-from repro.serve import InferenceService, ServeClient, ServeConfig
+from repro.runtime.api import RolloutRequest
+from repro.serve import InferenceService, ServeConfig
 
 N_STEPS = 3
 
@@ -44,12 +45,11 @@ def direct_distributed_rollout(model, dg, x0, n_steps, residual=False):
 
 def serve_concurrently(service, graph_key, states, n_steps=N_STEPS,
                        residual=False):
-    client = ServeClient(service)
     outputs = [None] * len(states)
 
     def fire(i):
-        outputs[i] = client.rollout("m", graph_key, states[i], n_steps,
-                                    residual=residual)
+        outputs[i] = service.rollout("m", graph_key, states[i], n_steps,
+                                     residual=residual)
 
     threads = [threading.Thread(target=fire, args=(i,)) for i in range(len(states))]
     for t in threads:
@@ -131,11 +131,10 @@ def test_mixed_step_counts_in_one_batch(serve_model, full_graph, x0):
     with InferenceService(ServeConfig(max_batch_size=3, max_wait_s=0.1)) as service:
         service.register_model("m", serve_model)
         service.register_graph("g", [full_graph])
-        client = ServeClient(service)
         outputs = [None] * 3
 
         def fire(i):
-            outputs[i] = client.rollout("m", "g", states[i], steps[i])
+            outputs[i] = service.rollout("m", "g", states[i], steps[i])
 
         threads = [threading.Thread(target=fire, args=(i,)) for i in range(3)]
         for t in threads:
@@ -153,8 +152,10 @@ def test_streaming_yields_frames_in_step_order(serve_model, full_graph, x0):
     with InferenceService(ServeConfig(max_batch_size=1)) as service:
         service.register_model("m", serve_model)
         service.register_graph("g", [full_graph])
-        client = ServeClient(service)
-        frames = list(client.stream("m", "g", x0, N_STEPS))
+        handle = service.submit_request(
+            RolloutRequest(model="m", graph="g", x0=x0, n_steps=N_STEPS)
+        )
+        frames = list(handle.frames())
     assert len(frames) == N_STEPS + 1
     for a, b in zip(frames, direct):
         assert np.array_equal(a, b)

@@ -1,10 +1,11 @@
 """End-to-end socket transport: bitwise consistency, streaming, errors.
 
 The acceptance claim of the transport layer: a trajectory requested
-through the socket is **bitwise identical** to the same request through
-the in-process ``ServeClient``, in single- and multi-rank modes. These
-tests stand up a real ``ServeServer`` on an ephemeral port and speak to
-it through ``NetworkClient`` over actual TCP connections.
+through the socket is **bitwise identical** to the same request served
+in-process, in single- and multi-rank modes. These tests stand up a
+real ``ServeServer`` on an ephemeral port and speak to it through
+:class:`~repro.runtime.remote.RemoteEngine` over actual TCP
+connections.
 """
 
 import threading
@@ -14,11 +15,11 @@ import pytest
 
 from repro.gnn import save_checkpoint
 from repro.graph.io import save_distributed_graph
+from repro.runtime.api import CapabilityError, RolloutRequest
+from repro.runtime.remote import RemoteEngine
 from repro.serve import (
     InferenceService,
-    NetworkClient,
     QueueFull,
-    ServeClient,
     ServeConfig,
     ServeServer,
     ServeStats,
@@ -46,7 +47,20 @@ def server(service):
 
 @pytest.fixture()
 def client(server):
-    return NetworkClient.connect(server.endpoint, request_timeout_s=60.0)
+    engine = RemoteEngine.connect(server.endpoint, request_timeout_s=60.0)
+    yield engine
+    engine.close()
+
+
+def req(model, graph, x0, n_steps, **kwargs) -> RolloutRequest:
+    return RolloutRequest(
+        model=model, graph=graph, x0=x0, n_steps=n_steps, **kwargs
+    )
+
+
+def local_rollout(service, request) -> list:
+    """The in-process reference trajectory for one request."""
+    return service.submit_request(request).result()
 
 
 def assert_bitwise_equal(a, b):
@@ -75,69 +89,70 @@ class TestEndpointParsing:
 
 class TestBitwiseConsistency:
     def test_single_rank(self, service, client, x0):
-        local = ServeClient(service).rollout("m", "g1", x0, n_steps=3)
-        net = client.rollout("m", "g1", x0, n_steps=3)
+        local = local_rollout(service, req("m", "g1", x0, 3))
+        net = client.rollout(req("m", "g1", x0, 3)).states
         assert_bitwise_equal(local, net)
 
     def test_multi_rank(self, service, client, x0):
-        local = ServeClient(service).rollout("m", "g4", x0, n_steps=3)
-        net = client.rollout("m", "g4", x0, n_steps=3)
+        local = local_rollout(service, req("m", "g4", x0, 3))
+        net = client.rollout(req("m", "g4", x0, 3)).states
         assert_bitwise_equal(local, net)
 
     def test_step_matches_in_process(self, service, client, x0):
         assert_bitwise_equal(
-            [ServeClient(service).step("m", "g4", x0)],
-            [client.step("m", "g4", x0)],
+            [local_rollout(service, req("m", "g4", x0, 1))[1]],
+            [client.rollout(req("m", "g4", x0, 1)).final],
         )
 
     def test_residual_and_halo_mode_forwarded(self, service, client, x0):
-        local = ServeClient(service).rollout(
-            "m", "g4", x0, n_steps=2, halo_mode="a2a", residual=True
+        local = local_rollout(
+            service, req("m", "g4", x0, 2, halo_mode="a2a", residual=True)
         )
         net = client.rollout(
-            "m", "g4", x0, n_steps=2, halo_mode="a2a", residual=True
-        )
+            req("m", "g4", x0, 2, halo_mode="a2a", residual=True)
+        ).states
         assert_bitwise_equal(local, net)
 
 
 class TestStreaming:
     def test_frames_arrive_in_order_with_x0_first(self, client, x0):
-        frames = list(client.stream("m", "g1", x0, n_steps=3))
-        assert len(frames) == 4
-        np.testing.assert_array_equal(frames[0], x0)
+        frames = list(client.stream(req("m", "g1", x0, 3)))
+        assert [f.step for f in frames] == [0, 1, 2, 3]
+        np.testing.assert_array_equal(frames[0].state, x0)
 
-    def test_submit_handle_result_and_metrics(self, client, x0):
-        handle = client.submit("m", "g4", x0, n_steps=2)
-        assert not handle.done
-        states = handle.result()
-        assert handle.done and len(states) == 3
-        assert handle.metrics is not None
-        assert handle.metrics["n_steps"] == 2
-        assert handle.metrics["world_size"] == 4
+    def test_submit_future_result_and_metrics(self, client, x0):
+        future = client.submit(req("m", "g4", x0, 2))
+        assert not future.done
+        result = future.result()
+        assert future.done and len(result.states) == 3
+        assert future.metrics is not None
+        assert future.metrics["n_steps"] == 2
+        assert future.metrics["world_size"] == 4
 
-    def test_stream_already_consumed(self, client, x0):
-        handle = client.submit("m", "g1", x0, n_steps=1)
-        handle.result()
-        with pytest.raises(TransportError, match="consumed"):
-            handle.result()
+    def test_result_after_streaming_returns_full_trajectory(self, client, x0):
+        future = client.submit(req("m", "g1", x0, 2))
+        streamed = [f.state for f in future.frames()]
+        result = future.result()
+        assert len(streamed) == len(result.states) == 3
+        assert_bitwise_equal(streamed, result.states)
 
 
 class TestErrorPropagation:
     def test_unknown_model(self, client, x0):
         with pytest.raises(ModelNotFound):
-            client.rollout("nope", "g1", x0, n_steps=1)
+            client.rollout(req("nope", "g1", x0, 1))
 
     def test_unknown_graph(self, client, x0):
         with pytest.raises(KeyError):
-            client.rollout("m", "nope", x0, n_steps=1)
+            client.rollout(req("m", "nope", x0, 1))
 
     def test_shape_mismatch(self, client, x0):
         with pytest.raises(IncompatibleModel):
-            client.rollout("m", "g1", x0[:-1], n_steps=1)
+            client.rollout(req("m", "g1", x0[:-1], 1))
 
     def test_bad_request_rejected(self, client, x0):
         with pytest.raises(ValueError):
-            client.rollout("m", "g1", x0, n_steps=0)
+            client.rollout(req("m", "g1", x0, 0))
 
     def test_missing_header_field_is_bad_request(self, server):
         """A malformed message must not masquerade as graph-not-found."""
@@ -159,13 +174,11 @@ class TestErrorPropagation:
 
     def test_unreachable_endpoint(self):
         with pytest.raises(TransportError, match="cannot reach"):
-            NetworkClient("127.0.0.1", 1, connect_timeout_s=0.5).ping()
+            RemoteEngine("127.0.0.1", 1, connect_timeout_s=0.5).ping()
 
-    def test_in_memory_registration_refused(self, client, serve_model, full_graph):
-        with pytest.raises(TransportError, match="checkpoint"):
+    def test_in_memory_model_registration_refused(self, client, serve_model):
+        with pytest.raises(CapabilityError, match="checkpoint"):
             client.register_model("m2", serve_model)
-        with pytest.raises(TransportError, match="graph_dir"):
-            client.register_graph("g2", [full_graph])
 
 
 class TestAdmissionOverTheWire:
@@ -181,8 +194,8 @@ class TestAdmissionOverTheWire:
         svc._started = True  # no worker: queue depth is fully controlled
         try:
             with ServeServer(svc) as srv:
-                client = NetworkClient.connect(srv.endpoint)
-                first = client.submit("m", "g1", x0, n_steps=1)
+                client = RemoteEngine.connect(srv.endpoint)
+                first = client.submit(req("m", "g1", x0, 1))
                 # occupy the single queue slot server-side
                 import time
                 deadline = time.perf_counter() + 5.0
@@ -190,7 +203,7 @@ class TestAdmissionOverTheWire:
                     assert time.perf_counter() < deadline
                     time.sleep(0.005)
                 with pytest.raises(QueueFull):
-                    client.rollout("m", "g1", x0, n_steps=1)
+                    client.rollout(req("m", "g1", x0, 1))
                 assert not first.done
         finally:
             svc._queue.close()
@@ -210,8 +223,8 @@ class TestAssetRegistrationByPath:
         assert "gdir" in client.graph_keys()
         assert "ckpt" in client.model_names()
 
-        net = client.rollout("ckpt", "gdir", x0, n_steps=2)
-        direct = client.rollout("m", "g4", x0, n_steps=2)
+        net = client.rollout(req("ckpt", "gdir", x0, 2)).states
+        direct = client.rollout(req("m", "g4", x0, 2)).states
         assert_bitwise_equal(net, direct)
 
     def test_missing_checkpoint_path(self, client, tmp_path):
@@ -221,7 +234,7 @@ class TestAssetRegistrationByPath:
 
 class TestStatsOverTheWire:
     def test_stats_reconstruct(self, client, x0):
-        client.rollout("m", "g1", x0, n_steps=1)
+        client.rollout(req("m", "g1", x0, 1))
         stats = client.stats()
         assert isinstance(stats, ServeStats)
         assert stats.requests >= 1
@@ -229,10 +242,40 @@ class TestStatsOverTheWire:
         assert stats.admission.queue_wait.total >= 1
 
     def test_markdown_rendered_server_side(self, client, x0):
-        client.rollout("m", "g1", x0, n_steps=1)
+        client.rollout(req("m", "g1", x0, 1))
         md = client.stats_markdown()
         assert "admission accepted / shed / expired" in md
         assert "queue wait p50" in md
+
+
+class TestObservabilityOverTheWire:
+    def test_trace_spans_cross_the_wire(self, client, x0):
+        request = req("m", "g1", x0, 2)
+        client.rollout(request)
+        spans = client.get_trace(request.trace_id)
+        assert spans, "rollout left no trace"
+        assert {s.trace_id for s in spans} == {request.trace_id}
+        names = {s.name for s in spans}
+        # server-side lifecycle stages plus the client's network span
+        assert {"admission", "queue", "execute", "serialize"} <= names
+        assert "network" in names
+        components = {s.component for s in spans}
+        assert {"server", "client"} <= components
+        # spans come back chronologically ordered
+        starts = [s.start_s for s in spans]
+        assert starts == sorted(starts)
+
+    def test_unknown_trace_returns_client_side_only(self, client, x0):
+        client.rollout(req("m", "g1", x0, 1))
+        assert client.get_trace("no-such-trace") == []
+
+    def test_metrics_op_round_trip(self, client, x0):
+        client.rollout(req("m", "g1", x0, 1))
+        registry = client.metrics_registry()
+        text = client.metrics_text()
+        assert "repro_requests_total" in text
+        # the reconstructed snapshot renders the server's exact text
+        assert registry.prometheus_text() == text
 
 
 class TestConcurrentClients:
@@ -243,21 +286,23 @@ class TestConcurrentClients:
         results: list = [None] * n
 
         def fire(i):
-            c = NetworkClient(*server.address)
-            results[i] = c.rollout("m", "g4", x0, n_steps=2)
+            engine = RemoteEngine(*server.address)
+            results[i] = engine.rollout(req("m", "g4", x0, 2)).states
+            engine.close()
 
         threads = [threading.Thread(target=fire, args=(i,)) for i in range(n)]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
-        reference = ServeClient(service).rollout("m", "g4", x0, n_steps=2)
+        reference = local_rollout(service, req("m", "g4", x0, 2))
         for res in results:
             assert_bitwise_equal(res, reference)
 
     def test_one_connection_serves_many_requests(self, server, x0):
-        # unary ops reuse the dial loop; this asserts the handler loops
-        client = NetworkClient(*server.address)
+        # unary ops reuse pooled connections; this asserts the handler loops
+        client = RemoteEngine(*server.address)
         for _ in range(3):
             client.ping()
         assert client.graph_keys() == ["g1", "g4"]
+        assert client.pool_stats().dials == 1

@@ -33,7 +33,12 @@ def test_snapshot_matches_code():
 
 def test_surface_covers_the_engine_api():
     """The snapshot names the redesign's load-bearing exports."""
-    assert PUBLIC_MODULES == ("repro.runtime", "repro.cluster", "repro.serve")
+    assert PUBLIC_MODULES == (
+        "repro.runtime",
+        "repro.cluster",
+        "repro.serve",
+        "repro.obs",
+    )
     text = SNAPSHOT_PATH.read_text(encoding="utf-8")
     for export in (
         "def connect",
@@ -49,10 +54,14 @@ def test_surface_covers_the_engine_api():
         "class TrainRequest",
         "class CapabilityError",
         "def merge_stats",
-        "class ServeClient",
-        "class NetworkClient",
+        "class TraceBuffer",
+        "class MetricsRegistry",
+        "class HotLoopProfiler",
+        "def mint_trace_id",
     ):
         assert export in text, f"{export!r} fell out of the public surface"
+    for removed in ("class ServeClient", "class NetworkClient"):
+        assert removed not in text, f"{removed!r} shim resurfaced"
 
 
 def test_render_is_deterministic():

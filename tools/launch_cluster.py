@@ -154,8 +154,16 @@ class ClusterHarness:
 
 
 def run_smoke(args: argparse.Namespace) -> int:
-    """Boot the cluster, run one routed rollout, print the stats."""
+    """Boot the cluster, run one routed rollout, print stats + trace.
+
+    The rollout's :class:`~repro.runtime.api.RolloutRequest` is built
+    first so its minted ``trace_id`` can be printed up front and then
+    used to pull the full cross-shard trace back through the cluster
+    engine — the smoke asserts the story includes both the router's
+    spans and the serving shard's server-side spans.
+    """
     from repro.mesh import BoxMesh, taylor_green_velocity
+    from repro.obs.trace import trace_markdown
     from repro.runtime import RolloutRequest, connect
     from repro.serve.cli import DEMO_GRAPH, DEMO_MODEL
 
@@ -169,12 +177,21 @@ def run_smoke(args: argparse.Namespace) -> int:
             print(f"capabilities: {engine.capabilities()}")
             print(f"placement of ({DEMO_MODEL!r}, {DEMO_GRAPH!r}): "
                   f"{engine.place(DEMO_MODEL, DEMO_GRAPH)}")
-            result = engine.rollout(RolloutRequest(
+            request = RolloutRequest(
                 model=DEMO_MODEL, graph=DEMO_GRAPH, x0=x0, n_steps=3,
-            ))
+            )
+            print(f"trace_id: {request.trace_id}")
+            result = engine.rollout(request)
             assert len(result.states) == 4, len(result.states)
             print(f"routed rollout served ({len(result.states)} frames)\n")
             print(engine.stats_markdown())
+            spans = engine.get_trace(request.trace_id)
+            components = {s.component for s in spans}
+            assert "router" in components, components
+            assert "server" in components, components
+            print(f"\ntrace {request.trace_id} "
+                  f"({len(spans)} spans across {sorted(components)}):")
+            print(trace_markdown(spans))
     print("\ncluster smoke OK")
     return 0
 
