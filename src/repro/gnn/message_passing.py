@@ -29,7 +29,17 @@ from repro.comm import HaloMode, halo_exchange_tensor
 from repro.comm.backend import Communicator
 from repro.graph.distributed import LocalGraph
 from repro.nn import MLP, Module
-from repro.tensor import Tensor, concatenate, gather_rows, scatter_add
+from repro.tensor import (
+    Tensor,
+    aggregation_plans_enabled,
+    concatenate,
+    fast_math_enabled,
+    gather_rows,
+    is_grad_enabled,
+    scatter_add,
+)
+from repro.tensor.fused import fused_aggregate, fused_edge_mlp, fused_node_mlp
+from repro.tensor.workspace import arena_adopt, arena_recycle
 
 
 class ConsistentNMPLayer(Module):
@@ -91,6 +101,17 @@ class ConsistentNMPLayer(Module):
         # to the naive np.add.at path, bit-for-bit identical)
         plans = graph.plans
 
+        # fused fast path: bitwise-identical to the op chain below, but
+        # never while autograd records (training must take the
+        # reference ops) and only with compiled plans to scatter into
+        if (
+            fast_math_enabled()
+            and not is_grad_enabled()
+            and plans is not None
+            and aggregation_plans_enabled()
+        ):
+            return self._forward_fused(x, e, graph, comm, halo_mode, src, dst, plans)
+
         # Eq. 4a — edge update with residual
         x_src = gather_rows(x, src, plan=plans.gather_src if plans else None)
         x_dst = gather_rows(x, dst, plan=plans.scatter_dst if plans else None)
@@ -119,3 +140,51 @@ class ConsistentNMPLayer(Module):
         # Eq. 4e — node update with residual
         x = x + self.node_mlp(concatenate([a, x], axis=1))
         return x, e
+
+    def _forward_fused(
+        self,
+        x: Tensor,
+        e: Tensor,
+        graph: LocalGraph,
+        comm: Communicator | None,
+        halo_mode: HaloMode,
+        src,
+        dst,
+        plans,
+    ) -> tuple[Tensor, Tensor]:
+        """The same layer through the fused raw-array kernels.
+
+        Bit-for-bit the op chain of :meth:`forward` in every dtype (see
+        :mod:`repro.tensor.fused` for why); the halo exchange (Eqs.
+        4c/4d) reuses the differentiable comm ops unchanged — it is
+        communication-bound, not kernel-bound.
+        """
+        xd, ed = x.data, e.data
+        e_new = fused_edge_mlp(xd, ed, src, dst, self.edge_mlp.kernel())
+        inv_degree = (
+            graph.inv_edge_degree.astype(e_new.dtype, copy=False)[:, None]
+            if self.degree_scaling
+            else None
+        )
+        a = fused_aggregate(e_new, inv_degree, plans.scatter_dst)
+        if halo_mode is not HaloMode.NONE and graph.size > 1:
+            if comm is None:
+                raise ValueError("halo exchange requested but no communicator given")
+            a_t = Tensor(a)
+            arena_adopt(a_t, a)
+            halo_rows = halo_exchange_tensor(a_t, graph.halo.spec, comm, halo_mode)
+            a_t = a_t + scatter_add(
+                halo_rows,
+                graph.halo.halo_to_local,
+                graph.n_local,
+                plan=plans.halo_scatter,
+            )
+            x_new = fused_node_mlp(xd, a_t.data, self.node_mlp.kernel())
+        else:
+            x_new = fused_node_mlp(xd, a, self.node_mlp.kernel())
+            arena_recycle(a)
+        x_t = Tensor(x_new)
+        arena_adopt(x_t, x_new)
+        e_t = Tensor(e_new)
+        arena_adopt(e_t, e_new)
+        return x_t, e_t

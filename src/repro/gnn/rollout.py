@@ -21,6 +21,7 @@ from repro.graph.distributed import LocalGraph
 from repro.graph.features import EDGE_FEATURES_GEOMETRIC
 from repro.obs import profile as _profile
 from repro.tensor import Tensor, inference_mode, no_grad
+from repro.tensor.fused import fast_math as _fast_math_scope
 
 
 def rollout(
@@ -32,6 +33,7 @@ def rollout(
     halo_mode: HaloMode | str = HaloMode.NEIGHBOR_A2A,
     residual: bool = False,
     workspace: bool = True,
+    fast_math: bool = True,
 ) -> list[np.ndarray]:
     """Iterate the model ``n_steps`` times from ``x0``.
 
@@ -48,6 +50,13 @@ def rollout(
         not depend on the state) are computed once. Bitwise identical
         to the plain path; ``workspace=False`` keeps the naive
         allocate-per-step loop benchable (``python -m repro bench``).
+    fast_math:
+        Route the workspace loop through the fused inference kernels
+        (:mod:`repro.tensor.fused`) and hoist the state-independent
+        edge encoding out of the loop. Bitwise identical to the
+        reference op chain; ``fast_math=False`` keeps the unfused
+        workspace path benchable. Ignored when ``workspace=False``
+        (the naive loop is the reference implementation).
 
     Returns
     -------
@@ -64,6 +73,7 @@ def rollout(
         workspace_steps(
             model, graph, x, n_steps, comm, halo_mode, residual,
             lambda step, state: states.append(np.array(state, copy=True)),
+            fast_math=fast_math,
         )
         return states
     with no_grad():
@@ -85,6 +95,7 @@ def workspace_steps(
     residual: bool,
     on_state,
     arena=None,
+    fast_math: bool = True,
 ) -> None:
     """The shared fast stepping loop (direct rollout AND serve executor).
 
@@ -118,12 +129,22 @@ def workspace_steps(
     static_attr = (
         graph.geometric_edge_attr() if kind == EDGE_FEATURES_GEOMETRIC else None
     )
+    # low-precision tier: features are built in float64 (positions are);
+    # cast once so the model never silently promotes back to f64
+    if static_attr is not None and static_attr.dtype != x.dtype:
+        static_attr = static_attr.astype(x.dtype)
     # opt-in hot-loop profiling: one global read per call; with no
     # profiler installed each step pays exactly one `is None` branch
     prof = _profile.current_profiler()
     xbuf: np.ndarray | None = None
     borrowed: np.ndarray | None = None  # pool buffer x references
-    with inference_mode(arena) as arena:
+    with inference_mode(arena) as arena, _fast_math_scope(fast_math):
+        encoded_edge: np.ndarray | None = None
+        if fast_math and static_attr is not None:
+            # geometric edge features do not depend on the state, so
+            # their encoding is identical every step — compute it once
+            # (bitwise-unchanged; the reference path recomputes it)
+            encoded_edge = model.edge_encoder(Tensor(static_attr)).data
         for step in range(1, n_steps + 1):
             arena.reset()
             if prof is None:
@@ -132,7 +153,14 @@ def workspace_steps(
                     if static_attr is not None
                     else graph.edge_attr(node_features=x, kind=kind)
                 )
-                y = model(Tensor(x), edge_attr, graph, comm, halo_mode).data
+                if edge_attr.dtype != x.dtype:
+                    cast = edge_attr.astype(x.dtype)
+                    arena.recycle(edge_attr)
+                    edge_attr = cast
+                y = model(
+                    Tensor(x), edge_attr, graph, comm, halo_mode,
+                    encoded_edge_attr=encoded_edge,
+                ).data
             else:
                 t0 = time.perf_counter()
                 edge_attr = (
@@ -140,9 +168,16 @@ def workspace_steps(
                     if static_attr is not None
                     else graph.edge_attr(node_features=x, kind=kind)
                 )
+                if edge_attr.dtype != x.dtype:
+                    cast = edge_attr.astype(x.dtype)
+                    arena.recycle(edge_attr)
+                    edge_attr = cast
                 t1 = time.perf_counter()
                 prof.add("rollout.edge_features", t1 - t0)
-                y = model(Tensor(x), edge_attr, graph, comm, halo_mode).data
+                y = model(
+                    Tensor(x), edge_attr, graph, comm, halo_mode,
+                    encoded_edge_attr=encoded_edge,
+                ).data
                 t2 = time.perf_counter()
                 prof.add("rollout.model_forward", t2 - t1)
                 prof.add("rollout.step", t2 - t0)
@@ -166,6 +201,8 @@ def workspace_steps(
             arena.recycle(borrowed)
         if xbuf is not None:
             arena.recycle(xbuf)
+        if encoded_edge is not None:
+            arena.recycle(encoded_edge)  # held across every step
 
 
 def rollout_error(

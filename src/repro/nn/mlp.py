@@ -12,6 +12,8 @@ i.e. ``n_hidden + 2`` linear layers total, optionally followed by a
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.nn.layer_norm import LayerNorm
@@ -19,6 +21,9 @@ from repro.nn.linear import Linear
 from repro.nn.module import Module, ModuleList
 from repro.tensor import Tensor
 from repro.tensor.ops import elu
+
+if TYPE_CHECKING:
+    from repro.tensor.fused import MLPKernel
 
 
 class MLP(Module):
@@ -73,6 +78,25 @@ class MLP(Module):
         if self.norm is not None:
             x = self.norm(x)
         return x
+
+    def kernel(self) -> "MLPKernel":
+        """Raw-array parameter view for the fused inference kernels.
+
+        Built per call so a replica that re-binds ``p.data`` (the
+        float32 inference tier) is always seen at its current arrays.
+        """
+        from repro.tensor.fused import MLPKernel
+
+        return MLPKernel(
+            weights=[layer.weight.data for layer in self.layers],
+            biases=[
+                layer.bias.data if layer.bias is not None else None
+                for layer in self.layers
+            ],
+            gamma=self.norm.gamma.data if self.norm is not None else None,
+            beta=self.norm.beta.data if self.norm is not None else None,
+            eps=self.norm.eps if self.norm is not None else 1e-5,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -6,17 +6,27 @@
   backward, naive ``np.add.at`` vs the compiled aggregation plan
   (:mod:`repro.tensor.aggregation`), on a real element graph;
 * **end-to-end** — autoregressive :func:`repro.gnn.rollout.rollout`,
-  naive allocate-per-step loop vs the plan + workspace fast path,
-  single-rank and (full mode) 4-rank threaded;
+  three competitors: the naive allocate-per-step loop, the plan +
+  workspace fast path (``fast_math=False``), and the fused edge-MLP
+  kernels (:mod:`repro.tensor.fused`, the library default) — single-rank
+  and (full mode) 4-rank threaded;
 * **plan compile** — one-time plan build cost, for context against the
   per-step savings.
 
-Both paths stay permanently benchable: the naive engine is selected
-with :func:`repro.tensor.naive_aggregation` + ``workspace=False``, the
-fast path is the library default. Results are printed as markdown
-tables and written to ``BENCH_inference.json`` so every PR leaves a
-perf data point (CI uploads the artifact from the ``bench-smoke`` job;
-no thresholds are enforced — trajectory only).
+All three paths stay permanently benchable: the naive engine is
+selected with :func:`repro.tensor.naive_aggregation` +
+``workspace=False``, the unfused workspace path with
+``fast_math=False``, and the fused path is the library default. Every
+pairing is asserted bitwise identical before it is timed. Results are
+printed as markdown tables and written to ``BENCH_inference.json`` so
+every PR leaves a perf data point (CI uploads the artifact from the
+``bench-smoke`` job; the ``numerics`` job additionally holds the fused
+speedup and the float32 tier's error bound to the committed file — see
+``tools/check_numerics.py``).
+
+``--numerics`` appends the float32-tier error-growth report
+(:mod:`repro.perf.numerics`) to the document under a ``"numerics"``
+key.
 
 Numbers are wall-clock on whatever machine runs the bench: compare
 within one file, not across hosts.
@@ -61,15 +71,25 @@ def _best_of_pair(
     Interleaving makes the comparison robust to slow drift in machine
     load — each competitor samples the same load profile.
     """
-    best_a = best_b = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        a()
-        best_a = min(best_a, time.perf_counter() - start)
-        start = time.perf_counter()
-        b()
-        best_b = min(best_b, time.perf_counter() - start)
+    best_a, best_b = _best_of_round([a, b], repeats)
     return best_a, best_b
+
+
+def _best_of_round(
+    fns: list[Callable[[], object]], repeats: int
+) -> list[float]:
+    """Best seconds for N competitors, interleaved round-robin.
+
+    Generalizes :func:`_best_of_pair` to the three-way rollout race
+    (naive / fast / fused); same drift-robustness argument.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
 
 
 def bench_ops(mesh: BoxMesh, width: int, repeats: int) -> dict:
@@ -129,7 +149,14 @@ def _rollout_pair(
     repeats: int,
     comm=None,
 ) -> dict:
-    """Time naive vs fast rollout on one (already-built) graph."""
+    """Time naive vs fast vs fused rollout on one (already-built) graph.
+
+    ``fast`` pins ``fast_math=False`` so the naive-vs-fast comparison
+    keeps measuring exactly what it always has (the workspace arena +
+    aggregation plans, no kernel fusion) — ``tools/check_obs_overhead.py``
+    compares those two numbers across runs. ``fused`` is the library
+    default path.
+    """
 
     def naive():
         with naive_aggregation():
@@ -141,18 +168,28 @@ def _rollout_pair(
     def fast():
         return rollout(
             model, graph, x0, n_steps, comm=comm, halo_mode="n-a2a",
-            workspace=True,
+            workspace=True, fast_math=False,
         )
 
-    ref, new = naive(), fast()
-    for a, b in zip(ref, new):
+    def fused():
+        return rollout(
+            model, graph, x0, n_steps, comm=comm, halo_mode="n-a2a",
+            workspace=True, fast_math=True,
+        )
+
+    ref = naive()
+    for a, b in zip(ref, fast()):
         assert (a == b).all(), "fast rollout diverged from naive rollout"
-    naive_s, fast_s = _best_of_pair(naive, fast, repeats)
+    for a, b in zip(ref, fused()):
+        assert (a == b).all(), "fused rollout diverged from naive rollout"
+    naive_s, fast_s, fused_s = _best_of_round([naive, fast, fused], repeats)
     return {
         "n_steps": n_steps,
         "naive_s": naive_s,
         "fast_s": fast_s,
+        "fused_s": fused_s,
         "speedup": naive_s / fast_s if fast_s else float("inf"),
+        "fused_speedup": naive_s / fused_s if fused_s else float("inf"),
     }
 
 
@@ -185,13 +222,13 @@ def bench_rollout_multirank(
     dg = build_distributed_graph(mesh, auto_partition(mesh, ranks))
     x0 = taylor_green_velocity(mesh.all_positions())
 
-    def run(workspace: bool) -> float:
+    def run(workspace: bool, fast_math: bool = False) -> float:
         def program(comm):
             lg = dg.local(comm.rank)
             if workspace:
                 return rollout(
                     model, lg, x0[lg.global_ids], n_steps, comm, "n-a2a",
-                    workspace=True,
+                    workspace=True, fast_math=fast_math,
                 )
             with naive_aggregation():
                 return rollout(
@@ -203,19 +240,24 @@ def bench_rollout_multirank(
         ThreadWorld(ranks).run(program)
         return time.perf_counter() - start
 
-    naive_s, fast_s = _best_of_pair(
-        lambda: run(False), lambda: run(True), repeats
+    naive_s, fast_s, fused_s = _best_of_round(
+        [lambda: run(False), lambda: run(True), lambda: run(True, True)],
+        repeats,
     )
     return {
         "ranks": ranks,
         "n_steps": n_steps,
         "naive_s": naive_s,
         "fast_s": fast_s,
+        "fused_s": fused_s,
         "speedup": naive_s / fast_s if fast_s else float("inf"),
+        "fused_speedup": naive_s / fused_s if fused_s else float("inf"),
     }
 
 
-def run_bench(quick: bool = False, trace: bool = False) -> dict:
+def run_bench(
+    quick: bool = False, trace: bool = False, numerics: bool = False
+) -> dict:
     """Execute the suite; returns the JSON-able result document.
 
     ``trace=True`` installs the hot-loop profiler
@@ -264,6 +306,10 @@ def run_bench(quick: bool = False, trace: bool = False) -> dict:
             doc["rollout_4rank"] = bench_rollout_multirank(
                 roll_mesh, config, n_steps, max(2, repeats // 2)
             )
+        if numerics:
+            from repro.perf.numerics import run_numerics
+
+            doc["numerics"] = run_numerics(quick=quick)
     finally:
         if trace:
             from repro.obs.profile import uninstall_profiler
@@ -284,7 +330,9 @@ def render(doc: dict) -> str:
             f"{op} (E={g['n_edges']}, F={g['width']})",
             f"{r['naive_s'] * 1e3:.2f}",
             f"{r['plan_s'] * 1e3:.2f}",
+            "-",
             f"{r['speedup']:.2f}x",
+            "-",
         ])
     for key, label in (
         ("rollout_single_rank", "rollout 1 rank"),
@@ -296,13 +344,23 @@ def render(doc: dict) -> str:
                 f"{label} ({r['n_steps']} steps)",
                 f"{r['naive_s'] * 1e3:.2f}",
                 f"{r['fast_s'] * 1e3:.2f}",
+                f"{r['fused_s'] * 1e3:.2f}",
                 f"{r['speedup']:.2f}x",
+                f"{r['fused_speedup']:.2f}x",
             ])
-    table = markdown_table(["benchmark", "naive (ms)", "fast (ms)", "speedup"], rows)
+    table = markdown_table(
+        ["benchmark", "naive (ms)", "fast (ms)", "fused (ms)", "speedup",
+         "fused speedup"],
+        rows,
+    )
     extra = (
         f"\nplan compile: {ops['plan_compile_s'] * 1e3:.2f} ms "
         f"(amortized across every step of every request)"
     )
+    if doc.get("numerics"):
+        from repro.perf.numerics import render_numerics
+
+        extra += "\n\n" + render_numerics(doc["numerics"])
     if doc.get("profile"):
         prof_rows = [
             [op, s["calls"], f"{s['total_s'] * 1e3:.2f}",
@@ -336,8 +394,13 @@ def main(argv: list[str] | None = None) -> int:
         help="install the hot-loop profiler for the run (per-op counts "
         "in the output; numbers measure the instrumented path)",
     )
+    parser.add_argument(
+        "--numerics", action="store_true",
+        help="append the float32-tier error-growth report (f32 vs f64 "
+        "rollout, per-step max relative error vs the committed bound)",
+    )
     args = parser.parse_args(argv)
-    doc = run_bench(quick=args.quick, trace=args.trace)
+    doc = run_bench(quick=args.quick, trace=args.trace, numerics=args.numerics)
     print(render(doc))
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2)

@@ -117,7 +117,10 @@ class EngineCapabilities:
     ``register_graph`` can alternatively *ship* a live partitioned
     graph to the engine as ``.npy`` frames (a remote engine with the
     upload-capable wire — required for clusters whose shards do not
-    share a filesystem).
+    share a filesystem); ``float32`` is whether the engine serves the
+    opt-in low-precision inference tier
+    (``RolloutRequest(precision="float32")`` — float64 stays the
+    canonical default and never needs a capability).
 
     :meth:`intersection` computes what a *group* of engines can all do
     — the cluster engine's negotiated capability set.
@@ -128,6 +131,7 @@ class EngineCapabilities:
     streaming: bool = True
     in_memory_assets: bool = True
     graph_upload: bool = True
+    float32: bool = False
 
     def to_dict(self) -> dict:
         """JSON-able form (the ``capabilities`` wire message payload)."""
@@ -142,6 +146,8 @@ class EngineCapabilities:
             in_memory_assets=bool(d.get("in_memory_assets", True)),
             # absent on peers that predate graph upload: assume not
             graph_upload=bool(d.get("graph_upload", False)),
+            # absent on peers that predate the float32 tier: assume not
+            float32=bool(d.get("float32", False)),
         )
 
     @classmethod
@@ -163,6 +169,7 @@ class EngineCapabilities:
             streaming=all(c.streaming for c in members),
             in_memory_assets=all(c.in_memory_assets for c in members),
             graph_upload=all(c.graph_upload for c in members),
+            float32=all(c.float32 for c in members),
         )
 
 
@@ -171,14 +178,19 @@ class BatchKey:
     """Requests coalesce iff every field matches.
 
     Thread safety: immutable value object, safe to share.
-    Determinism: equality/hash derive purely from the four fields, so
+    Determinism: equality/hash derive purely from the five fields, so
     batch formation depends only on request content and arrival order.
+    ``precision`` is part of the key on purpose: a float32 request must
+    never tile into the same block-diagonal batch as a float64 one —
+    mixed-precision tiling would silently promote (or demote) a
+    co-batched stranger's trajectory.
     """
 
     model: str
     graph: str
     halo_mode: str | None
     residual: bool
+    precision: str = "float64"
 
 
 @dataclass
@@ -201,11 +213,21 @@ class RolloutRequest:
     layer records (:mod:`repro.obs.trace`). Pass an explicit ID to join
     an existing trace; :meth:`resolved` and redrives preserve it.
 
+    ``precision`` selects the inference tier: ``"float64"`` (default)
+    is the canonical bitwise-consistent path; ``"float32"`` opts into
+    the bounded-error low-precision tier (served from a float32 cast of
+    the registered model; frames come back in float32). The field rides
+    the wire header, the pooled queue, and cluster failover redrives
+    unchanged, and is part of :attr:`key` so mixed-precision requests
+    never tile together. Engines without the ``float32`` capability
+    reject such requests with :class:`CapabilityError` at submission.
+
     Thread safety: treated as immutable after construction — queues and
     workers only read it; do not mutate a submitted request.
     Determinism: ``x0`` is canonicalized to ``float64`` once here, so
     every downstream consumer (tiling, executor, transport) sees the
-    same bits regardless of the input's original dtype.
+    same bits regardless of the input's original dtype — the float32
+    tier casts exactly once, at execution, from those canonical bits.
     """
 
     model: str
@@ -214,6 +236,7 @@ class RolloutRequest:
     n_steps: int
     halo_mode: str | None = None
     residual: bool = False
+    precision: str = "float64"
     deadline_s: float | None = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     submitted_at: float = field(default_factory=time.perf_counter)
@@ -228,6 +251,11 @@ class RolloutRequest:
             raise ValueError("deadline_s must be > 0 (or None)")
         if self.halo_mode is not None:
             self.halo_mode = HaloMode.parse(self.halo_mode).value
+        if self.precision not in ("float64", "float32"):
+            raise ValueError(
+                f"precision must be 'float64' or 'float32', "
+                f"got {self.precision!r}"
+            )
         self.x0 = np.asarray(self.x0, dtype=np.float64)
         if self.x0.ndim != 2:
             raise ValueError(f"x0 must be 2-D (nodes, features), got {self.x0.shape}")
@@ -254,7 +282,10 @@ class RolloutRequest:
     def key(self) -> BatchKey:
         """The coalescing key (deadline deliberately excluded — requests
         with different deadlines still share a batch)."""
-        return BatchKey(self.model, self.graph, self.halo_mode, self.residual)
+        return BatchKey(
+            self.model, self.graph, self.halo_mode, self.residual,
+            self.precision,
+        )
 
     @property
     def deadline(self) -> float | None:
@@ -628,6 +659,14 @@ class Engine(ABC):
         :class:`TypeError` for objects that are not requests at all.
         """
         if isinstance(request, RolloutRequest):
+            if request.precision != "float64" and not self.capabilities().float32:
+                raise CapabilityError(
+                    f"engine {self.capabilities().transport!r} does not "
+                    f"support the {request.precision!r} inference tier "
+                    f"(capability 'float32' is off); resubmit request "
+                    f"{request.request_id} with precision='float64' or "
+                    f"target a float32-capable engine"
+                )
             return self._submit_rollout(request)
         if isinstance(request, TrainRequest):
             if not self.capabilities().training:
@@ -649,13 +688,13 @@ class Engine(ABC):
         self, request: RolloutRequest, timeout: float | None = None
     ) -> RolloutResult:
         """Submit and block for the full trajectory."""
-        return self._submit_rollout(request).result(timeout=timeout)
+        return self.submit(request).result(timeout=timeout)
 
     def stream(
         self, request: RolloutRequest, timeout: float | None = None
     ) -> Iterator[StepFrame]:
         """Submit and yield :class:`StepFrame` as they arrive."""
-        yield from self._submit_rollout(request).frames(timeout=timeout)
+        yield from self.submit(request).frames(timeout=timeout)
 
     def train(
         self, request: TrainRequest, timeout: float | None = None

@@ -50,6 +50,7 @@ _CAPABILITIES = EngineCapabilities(
     training=True,
     streaming=False,  # frames are computed before the first yield
     in_memory_assets=True,
+    float32=True,
 )
 
 
@@ -105,9 +106,16 @@ class LocalEngine(Engine):
     """
 
     def __init__(
-        self, request_timeout_s: float = 120.0, trace_capacity: int = 2048
+        self,
+        request_timeout_s: float = 120.0,
+        trace_capacity: int = 2048,
+        fast_math: bool = True,
     ):
         self.request_timeout_s = request_timeout_s
+        #: route execution through the fused inference kernels (bitwise
+        #: identical to the reference op chain; False pins the unfused
+        #: workspace loop)
+        self.fast_math = fast_math
         self._registry = ModelRegistry()
         self._assets: dict[str, GraphAsset] = {}
         self._metrics = MetricsAggregator()
@@ -177,6 +185,7 @@ class LocalEngine(Engine):
             [request],
             lambda i, step, state: states.append(state),
             timeout=self.request_timeout_s,
+            fast_math=self.fast_math,
         )
         finished = time.perf_counter()
         if self.trace.enabled:
@@ -212,6 +221,8 @@ class LocalEngine(Engine):
             comm_messages=execution.comm.messages,
             tile_hits=execution.tile_hits,
             tile_misses=execution.tile_misses,
+            fused=execution.fused,
+            f32=execution.f32,
         )
         return _CompletedRolloutFuture(request, states, metrics)
 

@@ -74,6 +74,7 @@ _FALLBACK_CAPABILITIES = EngineCapabilities(
     streaming=True,
     in_memory_assets=False,
     graph_upload=False,
+    float32=False,
 )
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -38,7 +39,7 @@ from repro.comm.backend import TrafficStats
 from repro.comm.modes import HaloMode
 from repro.comm.single import SingleProcessComm
 from repro.comm.threaded import ThreadWorld
-from repro.gnn.architecture import MeshGNN
+from repro.gnn.architecture import MeshGNN, cast_replica
 from repro.gnn.rollout import workspace_steps
 from repro.gnn.trainer import train_model
 from repro.runtime.api import RolloutRequest, TrainRequest, TrainResult
@@ -49,6 +50,31 @@ from repro.tensor.workspace import InferenceArena
 
 #: frame dispatcher: ``(request_index, step, global_state)``
 FrameDispatch = Callable[[int, int, np.ndarray], None]
+
+# float32 serving replicas, one per registered float64 model. Keyed by
+# object identity (re-registering a model installs a new object, which
+# simply misses here and casts fresh); weak keys let an unregistered
+# model's replica die with it.
+_f32_lock = threading.Lock()
+_f32_replicas: "weakref.WeakKeyDictionary[MeshGNN, MeshGNN]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def float32_replica(model: MeshGNN) -> MeshGNN:
+    """The cached float32 cast of ``model`` (built on first use).
+
+    The float64 model stays canonical; the replica is a fresh
+    :class:`MeshGNN` whose parameters are cast copies
+    (:func:`repro.gnn.architecture.cast_replica`), so low-precision
+    serving never mutates — or silently re-types — registered weights.
+    """
+    with _f32_lock:
+        replica = _f32_replicas.get(model)
+        if replica is None:
+            replica = cast_replica(model, np.float32)
+            _f32_replicas[model] = replica
+        return replica
 
 
 class WorkerArenas:
@@ -122,6 +148,10 @@ class BatchExecution:
     #: bytes parked in the worker's arenas after this batch (0 without
     #: ``arenas``) — the resident cost of allocation-free serving
     arena_nbytes: int = 0
+    #: whether the batch stepped through the fused fast-math kernels
+    fused: bool = False
+    #: whether the batch ran on the float32 inference tier
+    f32: bool = False
 
 
 class _StepCollector:
@@ -186,7 +216,7 @@ def _validate_batch(
 def _assemble(asset: GraphAsset, rank_states: list[np.ndarray], copy: int,
               width: int) -> np.ndarray:
     """Merge copy ``copy`` of each rank's tiled state into global order."""
-    out = np.empty((asset.n_global, width))
+    out = np.empty((asset.n_global, width), dtype=rank_states[0].dtype)
     for g, state in zip(asset.graphs, rank_states):
         n = g.n_local
         out[g.global_ids] = state[copy * n : (copy + 1) * n]
@@ -200,6 +230,7 @@ def execute_batch(
     dispatch: FrameDispatch,
     timeout: float = 120.0,
     arenas: WorkerArenas | None = None,
+    fast_math: bool = True,
 ) -> BatchExecution:
     """Run one coalesced batch, streaming frames through ``dispatch``.
 
@@ -214,6 +245,16 @@ def execute_batch(
     instead of re-warming a fresh one, making sustained same-shape
     serving allocation-free across batches (the batch's pool misses are
     reported as ``arena_reallocations``).
+
+    ``fast_math`` routes the stepping loop through the fused inference
+    kernels (:mod:`repro.tensor.fused`) — bitwise identical to the
+    reference op chain, so the consistency contract is untouched;
+    ``False`` keeps the unfused workspace loop (the obs-overhead
+    baseline). A batch whose requests carry ``precision="float32"``
+    (same :class:`~repro.runtime.api.BatchKey`, so never mixed with
+    float64 requests) steps a cached float32 replica of the model on a
+    float32 cast of the stacked states; its frames — including frame 0
+    — are dispatched in float32.
 
     Thread safety: one call owns its batch — the function may run on
     many worker threads concurrently (distinct batches), but a single
@@ -239,6 +280,8 @@ def execute_batch(
         else HaloMode.NEIGHBOR_A2A
     )
     residual = requests[0].residual
+    f32 = requests[0].precision == "float32"
+    run_model = float32_replica(model) if f32 else model
     max_steps = max(r.n_steps for r in requests)
     width = model.config.node_out
     tile_hits = [0] * asset.size
@@ -246,7 +289,7 @@ def execute_batch(
     reallocs_before = arenas.reallocations if arenas is not None else 0
 
     for i, req in enumerate(requests):
-        dispatch(i, 0, req.x0)
+        dispatch(i, 0, req.x0.astype(np.float32) if f32 else req.x0)
 
     started = time.perf_counter()
 
@@ -259,6 +302,10 @@ def execute_batch(
         tile_hits[comm.rank] = int(hit)
         g = asset.graphs[comm.rank]
         x = stack_states([req.x0[g.global_ids] for req in requests])
+        if f32:
+            # one cast from the float64-canonical bits, at execution —
+            # the whole trajectory then stays float32
+            x = x.astype(np.float32)
         # the shared fast stepping loop (repro.gnn.rollout): each rank
         # steps in the worker's persistent warmed arena (or a private
         # single-batch one); buffers allocated on step 1 are reused by
@@ -266,9 +313,10 @@ def execute_batch(
         # later batch — and the arithmetic is exactly that of a direct
         # rollout
         workspace_steps(
-            model, tiled, x, max_steps, comm, halo_mode, residual,
+            run_model, tiled, x, max_steps, comm, halo_mode, residual,
             lambda step, state: emit(comm.rank, step, np.array(state, copy=True)),
             arena=arenas.for_rank(comm.rank) if arenas is not None else None,
+            fast_math=fast_math,
         )
         return comm.stats
 
@@ -329,6 +377,8 @@ def execute_batch(
             arenas.reallocations - reallocs_before if arenas is not None else 0
         ),
         arena_nbytes=arenas.nbytes if arenas is not None else 0,
+        fused=fast_math,
+        f32=f32,
     )
 
 

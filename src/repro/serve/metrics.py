@@ -84,6 +84,8 @@ class ServeStats:
     train_s: float = 0.0
     arena_reallocations: int = 0
     arena_bytes_high_water: int = 0
+    fused_batches: int = 0
+    f32_batches: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     registry: RegistryStats = field(default_factory=RegistryStats)
     admission: AdmissionStats = field(default_factory=AdmissionStats)
@@ -161,6 +163,8 @@ def merge_stats(snapshots: "Sequence[ServeStats]") -> ServeStats:
         arena_bytes_high_water=sum(
             s.arena_bytes_high_water for s in snapshots
         ),
+        fused_batches=sum(s.fused_batches for s in snapshots),
+        f32_batches=sum(s.f32_batches for s in snapshots),
         cache=cache,
         registry=registry,
         admission=admission,
@@ -183,6 +187,8 @@ class MetricsAggregator:
         self._train_s = 0.0
         self._arena_reallocations = 0
         self._arena_bytes_high_water = 0
+        self._fused_batches = 0
+        self._f32_batches = 0
 
     def record_batch(
         self,
@@ -194,6 +200,8 @@ class MetricsAggregator:
         tile_misses: int = 0,
         arena_reallocations: int = 0,
         arena_nbytes: int = 0,
+        fused: bool = False,
+        f32: bool = False,
     ) -> None:
         with self._lock:
             self._completed.extend(per_request)
@@ -207,6 +215,8 @@ class MetricsAggregator:
             self._arena_bytes_high_water = max(
                 self._arena_bytes_high_water, arena_nbytes
             )
+            self._fused_batches += int(fused)
+            self._f32_batches += int(f32)
 
     def record_train(self, train_s: float) -> None:
         """Account one completed training job (wall seconds)."""
@@ -238,6 +248,8 @@ class MetricsAggregator:
             train_s = self._train_s
             arena_reallocations = self._arena_reallocations
             arena_bytes_high_water = self._arena_bytes_high_water
+            fused_batches = self._fused_batches
+            f32_batches = self._f32_batches
         n = len(reqs)
         mean = lambda vals: sum(vals) / n if n else 0.0  # noqa: E731
         return ServeStats(
@@ -259,6 +271,8 @@ class MetricsAggregator:
             train_s=train_s,
             arena_reallocations=arena_reallocations,
             arena_bytes_high_water=arena_bytes_high_water,
+            fused_batches=fused_batches,
+            f32_batches=f32_batches,
             cache=cache,
             registry=registry,
             admission=admission or AdmissionStats(),
@@ -315,6 +329,10 @@ def stats_to_registry(
          stats.train_s),
         ("repro_arena_reallocations_total", "worker-arena reallocations",
          stats.arena_reallocations),
+        ("repro_fused_batches_total", "batches run through fused kernels",
+         stats.fused_batches),
+        ("repro_f32_batches_total", "batches served on the float32 tier",
+         stats.f32_batches),
         ("repro_admission_accepted_total", "requests admitted to the queue",
          stats.admission.accepted),
         ("repro_admission_shed_total", "requests shed at admission",
@@ -429,6 +447,8 @@ def stats_markdown(stats: ServeStats) -> str:
         ["worker-arena reallocations", stats.arena_reallocations],
         ["worker-arena bytes pooled (high water)",
          stats.arena_bytes_high_water],
+        ["fused / f32 batches",
+         f"{stats.fused_batches} / {stats.f32_batches}"],
         ["graph-cache hit rate",
          _per_request(stats.cache.hit_rate,
                       stats.cache.hits + stats.cache.misses)],

@@ -71,6 +71,9 @@ ERR_MODEL_NOT_FOUND = "model_not_found"
 ERR_GRAPH_NOT_FOUND = "graph_not_found"
 #: Model/graph/request shapes or configs disagree.
 ERR_INCOMPATIBLE = "incompatible"
+#: The request names a capability this server lacks (e.g. the float32
+#: inference tier on a server that only speaks float64).
+ERR_CAPABILITY = "capability"
 #: Request header failed validation before reaching the service.
 ERR_BAD_REQUEST = "bad_request"
 #: Anything else that escaped the worker (reported with its repr).
@@ -158,6 +161,7 @@ def rollout_message(
         "n_steps": int(request.n_steps),
         "halo_mode": request.halo_mode,
         "residual": bool(request.residual),
+        "precision": request.precision,
         "deadline_s": request.deadline_s,
         "trace_id": request.trace_id,
     }
@@ -192,6 +196,8 @@ def parse_rollout_message(
             n_steps=int(require_field(header, "n_steps")),
             halo_mode=header.get("halo_mode"),
             residual=bool(header.get("residual", False)),
+            # absent on peers that predate the float32 tier: canonical
+            precision=str(header.get("precision", "float64")),
             deadline_s=header.get("deadline_s"),
             **kwargs,
         )
@@ -338,11 +344,14 @@ def error_code(exc: BaseException) -> str:
     Pure function; the import of the exception types is deferred so the
     framing half of this module stays dependency-free for unit tests.
     """
+    from repro.runtime.api import CapabilityError
     from repro.serve.admission import RequestRejected
     from repro.serve.registry import IncompatibleModel, ModelNotFound
 
     if isinstance(exc, RequestRejected):
         return exc.code  # queue_full / deadline_expired
+    if isinstance(exc, CapabilityError):
+        return ERR_CAPABILITY
     if isinstance(exc, ModelNotFound):
         return ERR_MODEL_NOT_FOUND
     if isinstance(exc, KeyError):
@@ -361,9 +370,12 @@ def raise_for_code(code: str, message: str) -> None:
     have raised, so typed failures are engine-independent; unknown
     codes raise :class:`repro.serve.transport.RemoteServeError`.
     """
+    from repro.runtime.api import CapabilityError
     from repro.serve.admission import DeadlineExpired, QueueFull
     from repro.serve.registry import IncompatibleModel, ModelNotFound
 
+    if code == ERR_CAPABILITY:
+        raise CapabilityError(message)
     if code == ERR_QUEUE_FULL:
         raise QueueFull(message)
     if code == ERR_DEADLINE_EXPIRED:

@@ -63,6 +63,11 @@ class ServeConfig:
     spans are recorded outside the stepping hot loop, so the cost per
     request is a few timestamps. ``tracing=False`` turns every record
     into a no-op.
+
+    ``fast_math`` routes batch execution through the fused inference
+    kernels (:mod:`repro.tensor.fused`). On by default because it is
+    bitwise identical to the reference op chain; ``False`` pins the
+    unfused workspace loop (the obs-overhead baseline).
     """
 
     max_batch_size: int = 8
@@ -76,6 +81,7 @@ class ServeConfig:
     default_deadline_s: float | None = None
     tracing: bool = True
     trace_capacity: int = 2048
+    fast_math: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -284,11 +290,14 @@ class InferenceService:
         halo_mode: str | HaloMode | None = None,
         residual: bool = False,
         deadline_s: float | None = None,
+        precision: str = "float64",
     ) -> RolloutHandle:
         """Kwargs convenience over :meth:`submit_request`.
 
         ``deadline_s`` is the queue-wait budget (falling back to
-        ``config.default_deadline_s``); raises
+        ``config.default_deadline_s``); ``precision`` selects the
+        inference tier (``"float32"`` opts into the bounded-error
+        low-precision path). Raises
         :class:`~repro.serve.admission.QueueFull` when the queue is at
         its configured cap.
         """
@@ -303,6 +312,7 @@ class InferenceService:
                 ),
                 residual=residual,
                 deadline_s=deadline_s,
+                precision=precision,
             )
         )
 
@@ -358,6 +368,7 @@ class InferenceService:
                 dispatch,
                 timeout=self.config.request_timeout_s,
                 arenas=arenas,
+                fast_math=self.config.fast_math,
             )
         except BaseException as exc:  # noqa: BLE001 - failures go to clients
             if self.trace.enabled:
@@ -422,6 +433,8 @@ class InferenceService:
             tile_misses=execution.tile_misses,
             arena_reallocations=execution.arena_reallocations,
             arena_nbytes=execution.arena_nbytes,
+            fused=execution.fused,
+            f32=execution.f32,
         )
         # a tile miss grew the asset's resident bytes after admission;
         # keep the configured cache byte budget honest

@@ -70,6 +70,7 @@ WIRE_CAPABILITIES = EngineCapabilities(
     streaming=True,
     in_memory_assets=False,
     graph_upload=True,
+    float32=True,
 )
 
 
@@ -214,6 +215,15 @@ class _Handler(socketserver.StreamRequestHandler):
             request = protocol.parse_rollout_message(header, arrays)
         except ValueError as exc:
             self._reply_error(protocol.ERR_BAD_REQUEST, str(exc))
+            return
+        # enforce what we announce: a peer that skipped (or predates)
+        # capability negotiation still gets the typed rejection
+        if request.precision != "float64" and not WIRE_CAPABILITIES.float32:
+            self._reply_error(
+                protocol.ERR_CAPABILITY,
+                f"this server does not serve the {request.precision!r} "
+                f"inference tier",
+            )
             return
         handle = service.submit_request(request)
         step = 0

@@ -35,6 +35,12 @@ from repro.tensor.aggregation import (
     set_aggregation_plans_enabled,
 )
 from repro.tensor.workspace import InferenceArena, arena_scope, current_arena
+from repro.tensor.fused import (
+    MLPKernel,
+    fast_math,
+    fast_math_enabled,
+    set_fast_math,
+)
 from repro.tensor.ops import (
     add,
     concatenate,
@@ -73,6 +79,10 @@ __all__ = [
     "InferenceArena",
     "arena_scope",
     "current_arena",
+    "MLPKernel",
+    "fast_math",
+    "fast_math_enabled",
+    "set_fast_math",
     "is_grad_enabled",
     "set_grad_enabled",
     "asarray",

@@ -36,6 +36,7 @@ from repro.tensor.aggregation import (
     aggregation_plans_enabled,
     plan_for,
 )
+from repro.tensor.fused import fast_elu, fast_math_enabled
 from repro.tensor.tensor import (
     Tensor,
     accumulate_parent_grad,
@@ -309,6 +310,10 @@ def elu(a, alpha: float = 1.0) -> Tensor:
     """
     a = astensor(a)
     if not is_grad_enabled():
+        if fast_math_enabled():
+            # exp over the compacted non-positive entries only —
+            # bitwise-identical (elementwise kernel, position-free)
+            return _pooled(fast_elu(a.data, alpha))
         buf = arena_out(a.data.shape, a.data.dtype)
         if buf is not None:
             # same arithmetic as the recording path, into reused buffers

@@ -89,11 +89,13 @@ class ScriptedEngine(Engine):
         training: bool = True,
         in_memory_assets: bool = True,
         graph_upload: bool = True,
+        float32: bool = True,
     ):
         self.name = name
         self.training = training
         self.in_memory_assets = in_memory_assets
         self.graph_upload = graph_upload
+        self.float32 = float32
         #: raise TransportError on the next ping/probe when True
         self.dead = False
         #: raise TransportError on the next N submissions
@@ -115,7 +117,7 @@ class ScriptedEngine(Engine):
         return EngineCapabilities(
             transport="scripted", training=self.training,
             streaming=True, in_memory_assets=self.in_memory_assets,
-            graph_upload=self.graph_upload,
+            graph_upload=self.graph_upload, float32=self.float32,
         )
 
     def ping(self) -> None:

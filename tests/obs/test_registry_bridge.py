@@ -47,6 +47,8 @@ def make_stats(seed: int) -> ServeStats:
         train_s=0.5 * seed,
         arena_reallocations=2 + seed,
         arena_bytes_high_water=4096 * (1 + seed),
+        fused_batches=1 + seed,
+        f32_batches=seed,
         cache=CacheStats(entries=1 + seed, resident_bytes=1 << (10 + seed),
                          hits=3 + seed, misses=1, evictions=seed,
                          evicted_reload_s=0.1 * seed,
@@ -114,6 +116,23 @@ class TestBridgeContent:
         req = reg.counter("repro_requests_total")
         assert req.value(model="m1", graph="g") == 2.0
         assert req.value(model="m2", graph="g") == 2.0
+
+    def test_fast_math_counters_bridge_and_merge(self):
+        """The fused / f32 batch counters ride the same sum policy as
+        every other counter: bridging merged stats equals merging
+        bridged registries, and the markdown table shows the split."""
+        a, b = make_stats(0), make_stats(2)
+        merged = merge_stats([a, b])
+        assert merged.fused_batches == a.fused_batches + b.fused_batches
+        assert merged.f32_batches == a.f32_batches + b.f32_batches
+        reg = stats_to_registry(a).merge(stats_to_registry(b))
+        assert (reg.counter("repro_fused_batches_total").total()
+                == float(merged.fused_batches))
+        assert (reg.counter("repro_f32_batches_total").total()
+                == float(merged.f32_batches))
+        text = stats_markdown(merged)
+        assert (f"| fused / f32 batches | {merged.fused_batches} / "
+                f"{merged.f32_batches} |" in text)
 
     def test_queue_wait_histogram_maps_bucket_for_bucket(self):
         s = make_stats(1)

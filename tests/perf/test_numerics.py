@@ -1,0 +1,157 @@
+"""The numerics harness: f32 error growth is measured, bounded, committed.
+
+Runs the real harness in ``--quick`` mode (tier-1 friendly) and checks
+its bookkeeping discipline: an error recorded for *every* step, an
+explicitly monotone running maximum, the committed bound respected by
+both the fresh run and the committed ``BENCH_inference.json``, and the
+batching-side guarantee that makes the bound meaningful — mixed
+precisions can never tile into one batch (``BatchKey`` carries the
+precision).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.perf.numerics import (
+    F32_REL_ERROR_BOUND,
+    per_step_relative_error,
+    render_numerics,
+    running_max,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """One quick ``bench --numerics`` run, shared by the module."""
+    out = tmp_path_factory.mktemp("numerics") / "BENCH_inference.json"
+    rc = repro_main(["bench", "--quick", "--numerics", "--output", str(out)])
+    assert rc == 0
+    return json.loads(out.read_text())
+
+
+@pytest.fixture(scope="module")
+def report(artifact):
+    return artifact["numerics"]
+
+
+class TestHarnessBookkeeping:
+    def test_every_step_is_recorded(self, report):
+        n_steps = report["n_steps"]
+        assert n_steps >= 1
+        assert len(report["per_step_max_rel_error"]) == n_steps
+        assert len(report["running_max_rel_error"]) == n_steps
+        assert all(e >= 0.0 for e in report["per_step_max_rel_error"])
+
+    def test_running_max_is_monotone_and_consistent(self, report):
+        per_step = report["per_step_max_rel_error"]
+        peaks = report["running_max_rel_error"]
+        assert peaks == list(np.maximum.accumulate(per_step))
+        assert all(b >= a for a, b in zip(peaks, peaks[1:]))
+        assert report["max_rel_error"] == peaks[-1]
+
+    def test_fresh_run_respects_the_committed_bound(self, report):
+        assert report["bound"] == F32_REL_ERROR_BOUND
+        assert report["max_rel_error"] <= report["bound"]
+
+    def test_f64_baseline_was_verified_fused_bitwise(self, report):
+        """The harness must prove its f64 reference before measuring
+        f32 against it (a wrong baseline would hide a fused bug as
+        'float32 error')."""
+        assert report["f64_bitwise_fused"] is True
+        assert report["f32_dtype"] == "float32"
+
+    def test_fused_speedup_is_in_the_artifact(self, artifact):
+        roll = artifact["rollout_single_rank"]
+        assert roll["fused_s"] > 0
+        assert roll["fused_speedup"] == roll["naive_s"] / roll["fused_s"]
+
+    def test_render_names_the_bound_verdict(self, report):
+        text = render_numerics(report)
+        assert "bound check: OK" in text
+        assert "float32 tier" in text
+
+
+class TestCommittedArtifact:
+    """The repo's checked-in benchmark carries the commitments CI holds."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        return json.loads((REPO_ROOT / "BENCH_inference.json").read_text())
+
+    def test_committed_numerics_respects_its_own_bound(self, committed):
+        numerics = committed["numerics"]
+        assert numerics["max_rel_error"] <= numerics["bound"]
+
+    def test_committed_fused_speedup_meets_the_acceptance_floor(
+        self, committed
+    ):
+        assert committed["rollout_single_rank"]["fused_speedup"] > 1.2
+
+    def test_checker_accepts_the_committed_state(self, committed, tmp_path):
+        """tools/check_numerics.py passes when fresh == committed (the
+        CI job's green path, exercised without a second bench run)."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_numerics", REPO_ROOT / "tools" / "check_numerics.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(committed))
+        assert mod.main(["--fresh", str(fresh)]) == 0
+
+
+class TestErrorMetric:
+    def test_rejects_mismatched_trajectories(self):
+        with pytest.raises(ValueError, match="equal length"):
+            per_step_relative_error([np.zeros(2)], [np.zeros(2)] * 2)
+
+    def test_initial_state_is_excluded(self):
+        x = np.ones((2, 2))
+        errors = per_step_relative_error(
+            [x.astype(np.float32), x.astype(np.float32) * 2.0],
+            [x, x * 2.0],
+        )
+        assert errors == [0.0]
+
+    def test_max_norm_scaling(self):
+        ref = np.array([[4.0, 0.0]])
+        got = np.array([[4.0, 0.1]], dtype=np.float32)
+        (err,) = per_step_relative_error([ref, got], [ref, ref])
+        assert err == pytest.approx(np.float64(np.float32(0.1)) / 4.0)
+
+    def test_zero_reference_falls_back_to_absolute(self):
+        zero = np.zeros((1, 2))
+        off = np.array([[0.25, 0.0]], dtype=np.float32)
+        (err,) = per_step_relative_error([zero, off], [zero, zero])
+        assert err == 0.25
+
+    def test_running_max(self):
+        assert running_max([3.0, 1.0, 4.0, 1.0]) == [3.0, 3.0, 4.0, 4.0]
+        assert running_max([]) == []
+
+
+class TestMixedPrecisionTiling:
+    """The error bound is per-request; it survives batching only
+    because precisions never share a tile."""
+
+    def test_batch_key_carries_precision(self):
+        from repro.runtime.api import RolloutRequest
+
+        x0 = np.zeros((4, 3))
+        base = dict(model="m", graph="g", x0=x0, n_steps=1)
+        f64 = RolloutRequest(**base)
+        f32 = RolloutRequest(**base, precision="float32")
+        assert f64.key.precision == "float64"
+        assert f32.key.precision == "float32"
+        assert f64.key != f32.key
+        # identical except for precision: everything else still batches
+        peer = RolloutRequest(**base)
+        assert f64.key == peer.key

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Numerics + fused-speedup check against the committed benchmark.
+
+Two commitments ride in ``BENCH_inference.json`` and this checker holds
+both of them (CI job ``numerics``):
+
+* **The float32 error bound.** The committed document's ``numerics``
+  section carries the policy bound (``bound``, from
+  ``repro.perf.numerics.F32_REL_ERROR_BOUND``) and the measured
+  per-step error series; a fresh ``--numerics`` run must stay under
+  the *committed* bound. Error is machine-independent to first order
+  (same bits in, same rounding), so no tolerance is applied — if the
+  fresh maximum crosses the bound, a kernel started rounding
+  differently and the build fails.
+* **The fused speedup.** The committed full-mode document must show
+  the fused path beating the naive rollout by the acceptance floor
+  (``--min-committed-speedup``, default 1.2); the fresh quick run must
+  reach ``--min-speedup`` (default 1.05 — quick sizes on a loaded CI
+  box are noisy, so the fresh floor only catches the fused path
+  *losing* to naive, while the committed number records the real
+  margin).
+
+The fresh document is also audited for bookkeeping shape: one recorded
+error per step and a running maximum that is actually monotone —
+a harness that silently drops steps would otherwise hide exactly the
+growth it exists to expose.
+
+CI runs::
+
+    python -m repro bench --quick --numerics --output FRESH.json
+    python tools/check_numerics.py --fresh FRESH.json
+
+Exit 0 when all commitments hold; exit 1 with the measured numbers
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "BENCH_inference.json"
+
+
+def _load(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _numerics(doc: dict, label: str) -> dict:
+    section = doc.get("numerics")
+    if not isinstance(section, dict):
+        raise SystemExit(
+            f"numerics: {label} has no numerics section — "
+            f"was it run with --numerics?"
+        )
+    return section
+
+
+def _fused_speedup(doc: dict, label: str) -> float:
+    try:
+        return float(doc["rollout_single_rank"]["fused_speedup"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"numerics: {label} has no usable fused_speedup: {exc}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert the float32 error bound and the fused-kernel "
+        "speedup against the committed benchmark",
+    )
+    parser.add_argument(
+        "--fresh", required=True, metavar="FRESH.json",
+        help="fresh `python -m repro bench --quick --numerics` output",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="PATH",
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.05, metavar="X",
+        help="fused/naive floor for the fresh (noisy, quick-sized) run "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-committed-speedup", type=float, default=1.2, metavar="X",
+        help="fused/naive floor the committed full-mode baseline must "
+        "record (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = _load(Path(args.fresh))
+    baseline = _load(Path(args.baseline))
+    for doc, label in ((fresh, args.fresh), (baseline, args.baseline)):
+        if doc.get("tracing"):
+            raise SystemExit(
+                f"numerics: {label} was recorded with tracing ON — "
+                f"its timings measure the instrumented path"
+            )
+
+    failed = False
+
+    # -- committed commitments -----------------------------------------------
+    base_num = _numerics(baseline, "baseline")
+    bound = float(base_num["bound"])
+    if float(base_num["max_rel_error"]) > bound:
+        print(
+            f"numerics: committed baseline violates its own bound "
+            f"({base_num['max_rel_error']:.3e} > {bound:.1e}) — "
+            f"regenerate BENCH_inference.json",
+            file=sys.stderr,
+        )
+        failed = True
+    base_speedup = _fused_speedup(baseline, "baseline")
+    print(
+        f"numerics: committed fused speedup {base_speedup:.2f}x "
+        f"(floor {args.min_committed_speedup:.2f}x), "
+        f"committed f32 bound {bound:.1e}"
+    )
+    if base_speedup < args.min_committed_speedup:
+        print(
+            f"numerics: committed fused speedup {base_speedup:.2f}x is "
+            f"under the {args.min_committed_speedup:.2f}x acceptance "
+            f"floor — the fused kernels no longer pay for themselves",
+            file=sys.stderr,
+        )
+        failed = True
+
+    # -- fresh run vs the commitments ----------------------------------------
+    fresh_num = _numerics(fresh, args.fresh)
+    per_step = fresh_num.get("per_step_max_rel_error") or []
+    peaks = fresh_num.get("running_max_rel_error") or []
+    n_steps = int(fresh_num.get("n_steps", 0))
+    if len(per_step) != n_steps or len(peaks) != n_steps:
+        print(
+            f"numerics: fresh run recorded {len(per_step)} errors / "
+            f"{len(peaks)} peaks for {n_steps} steps — the harness is "
+            f"dropping steps",
+            file=sys.stderr,
+        )
+        failed = True
+    if any(b < a for a, b in zip(peaks, peaks[1:])):
+        print(
+            "numerics: fresh running maximum is not monotone — the "
+            "bookkeeping is broken",
+            file=sys.stderr,
+        )
+        failed = True
+    fresh_max = float(fresh_num["max_rel_error"])
+    print(
+        f"numerics: fresh f32 max rel error {fresh_max:.3e} over "
+        f"{n_steps} steps (committed bound {bound:.1e})"
+    )
+    if fresh_max > bound:
+        print(
+            f"numerics: fresh float32 error {fresh_max:.3e} exceeds the "
+            f"committed bound {bound:.1e} — the f32 tier regressed",
+            file=sys.stderr,
+        )
+        failed = True
+
+    fresh_speedup = _fused_speedup(fresh, args.fresh)
+    print(
+        f"numerics: fresh fused speedup {fresh_speedup:.2f}x "
+        f"(floor {args.min_speedup:.2f}x)"
+    )
+    if fresh_speedup < args.min_speedup:
+        print(
+            f"numerics: fresh fused speedup {fresh_speedup:.2f}x is under "
+            f"the {args.min_speedup:.2f}x floor — the fused path stopped "
+            f"beating naive",
+            file=sys.stderr,
+        )
+        failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

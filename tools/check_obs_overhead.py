@@ -12,7 +12,10 @@ not regress. This checker enforces that against the committed
   machine-dependent, so the comparison is on the *normalized ratio*
   ``fast_s / naive_s`` — the naive path has no profiler gates, so
   machine speed cancels and what remains is the fast path's relative
-  cost, gates included.
+  cost, gates included. ``fast_s`` is the ``fast_math=False`` unfused
+  workspace path (the bench pins it explicitly), so this check also
+  guards that opting *out* of the fused kernels costs nothing — the
+  fused path has its own checker, ``tools/check_numerics.py``.
 * The fresh OFF ratio may exceed the committed ratio by at most
   ``--max-regress-pct`` percent (default 1, the budget in the issue).
 * When a tracing-ON document is supplied (``--on``), it must declare
