@@ -12,6 +12,9 @@ trained model into a *service*:
   concurrent same-key requests coalesce into one batch;
 * :mod:`repro.serve.admission` — admission control: queue caps,
   per-request deadlines, load shedding with typed rejections;
+* :mod:`repro.serve.scheduler` — the cross-key batch scheduler:
+  per-key lanes, EDF dispatch with a starvation bound, one collector
+  per key, sticky worker–key affinity with work stealing;
 * :mod:`repro.serve.tiling` — block-diagonal graph replication that
   makes one batched forward bitwise-equal to per-request forwards;
 * :mod:`repro.serve.executor` — batch execution over the single and
@@ -68,6 +71,7 @@ from repro.serve.registry import (
     ModelRegistry,
     RegistryStats,
 )
+from repro.serve.scheduler import ScheduledQueue, SchedulerStats, lane_label
 from repro.serve.service import InferenceService, ServeConfig
 from repro.serve.tiling import split_states, stack_states, tile_local_graph
 from repro.serve.transport import (
@@ -100,6 +104,8 @@ __all__ = [
     "RequestQueue",
     "RequestRejected",
     "RolloutHandle",
+    "ScheduledQueue",
+    "SchedulerStats",
     "ServeConfig",
     "ServeServer",
     "ServeStats",
@@ -107,6 +113,7 @@ __all__ = [
     "WaitHistogram",
     "execute_batch",
     "execute_train_job",
+    "lane_label",
     "merge_stats",
     "parse_endpoint",
     "split_states",

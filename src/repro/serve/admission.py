@@ -155,7 +155,10 @@ class AdmissionStats:
 
     ``accepted`` counts submissions that entered the queue, ``shed``
     counts :class:`QueueFull` rejections, ``expired`` counts requests
-    dropped at dequeue because their deadline had passed. The histogram
+    dropped because their deadline had passed — whether while still
+    pending or during a batch's collection window; the latter are also
+    counted in ``expired_at_close`` (a subset of ``expired``). The
+    histogram
     observes the queue wait of every request *leaving* the queue —
     both those handed to a batch and those shed as expired (whose wait
     is by definition at least their deadline), so under deadline
@@ -166,6 +169,7 @@ class AdmissionStats:
     accepted: int = 0
     shed: int = 0
     expired: int = 0
+    expired_at_close: int = 0
     queue_wait: WaitHistogram = field(default_factory=WaitHistogram)
 
     def merge(self, other: "AdmissionStats") -> "AdmissionStats":
@@ -175,6 +179,7 @@ class AdmissionStats:
             accepted=self.accepted + other.accepted,
             shed=self.shed + other.shed,
             expired=self.expired + other.expired,
+            expired_at_close=self.expired_at_close + other.expired_at_close,
             queue_wait=self.queue_wait.merge(other.queue_wait),
         )
 
@@ -183,6 +188,7 @@ class AdmissionStats:
             "accepted": self.accepted,
             "shed": self.shed,
             "expired": self.expired,
+            "expired_at_close": self.expired_at_close,
             "queue_wait": self.queue_wait.to_dict(),
         }
 
@@ -192,6 +198,8 @@ class AdmissionStats:
             accepted=int(d["accepted"]),
             shed=int(d["shed"]),
             expired=int(d["expired"]),
+            # absent in snapshots from pre-scheduler peers
+            expired_at_close=int(d.get("expired_at_close", 0)),
             queue_wait=WaitHistogram.from_dict(d["queue_wait"]),
         )
 
@@ -212,6 +220,7 @@ class AdmissionController:
         self._accepted = 0
         self._shed = 0
         self._expired = 0
+        self._expired_at_close = 0
         self._wait_counts = [0] * (len(WAIT_BUCKETS_S) + 1)
         self._wait_total = 0
         self._wait_sum = 0.0
@@ -241,9 +250,20 @@ class AdmissionController:
     # -- accounting ----------------------------------------------------------
 
     def note_expired(self, waited_s: float) -> None:
-        """Record one deadline-expired request shed at dequeue."""
+        """Record one deadline-expired request shed while pending."""
         with self._lock:
             self._expired += 1
+            self._observe(waited_s)
+
+    def note_expired_at_close(self, waited_s: float) -> None:
+        """Record one request that expired *during* batch collection.
+
+        Counted in ``expired`` (it was shed, not served) and also in
+        ``expired_at_close`` so the two shed points stay separable.
+        """
+        with self._lock:
+            self._expired += 1
+            self._expired_at_close += 1
             self._observe(waited_s)
 
     def note_dequeued(self, waited_s: float) -> None:
@@ -269,6 +289,7 @@ class AdmissionController:
                 accepted=self._accepted,
                 shed=self._shed,
                 expired=self._expired,
+                expired_at_close=self._expired_at_close,
                 queue_wait=WaitHistogram(
                     counts=list(self._wait_counts),
                     total=self._wait_total,

@@ -20,7 +20,8 @@ sheds submissions beyond the configured depth cap
 (:class:`~repro.serve.admission.QueueFull` at ``submit()``) and expires
 requests whose deadline passed while queued
 (:class:`~repro.serve.admission.DeadlineExpired` delivered through the
-handle at dequeue time).
+handle — checked at dequeue and re-checked at batch close, so expiry
+during the collection window also sheds).
 
 Results stream back through :class:`RolloutHandle`: frames are pushed
 as each rollout step completes, so a client can consume a trajectory
@@ -41,6 +42,44 @@ from repro.serve.admission import AdmissionController, DeadlineExpired
 
 #: Backwards-compatible name for the shared request dataclass.
 InferenceRequest = RolloutRequest
+
+
+def shed_expired(
+    req: RolloutRequest,
+    handle: "RolloutHandle",
+    now: float,
+    admission: AdmissionController | None,
+    trace: TraceBuffer | None,
+    at_close: bool = False,
+) -> None:
+    """Finish ``handle`` with :class:`DeadlineExpired` and account it.
+
+    Shared terminal path of both queue implementations
+    (:class:`RequestQueue` here,
+    :class:`~repro.serve.scheduler.ScheduledQueue`): records the
+    admission counter (``at_close=True`` for requests that expired
+    *during* a batch's collection window rather than while pending),
+    emits the terminal queue span, and delivers the typed rejection
+    through the handle.
+    """
+    if admission is not None:
+        if at_close:
+            admission.note_expired_at_close(req.waited_s(now))
+        else:
+            admission.note_expired(req.waited_s(now))
+    if trace is not None:
+        trace.record_span(
+            req.trace_id, "queue", "server",
+            wall_from_perf(req.submitted_at), req.waited_s(now),
+            status="failed", model=req.model, graph=req.graph,
+            reason="deadline_expired",
+        )
+    handle._finish(
+        DeadlineExpired(
+            f"request {req.request_id} waited {req.waited_s(now) * 1e3:.1f}ms, "
+            f"deadline was {req.deadline_s * 1e3:.1f}ms"
+        )
+    )
 
 
 class RolloutHandle:
@@ -169,8 +208,13 @@ class RequestQueue:
         max_batch_size: int,
         max_wait_s: float,
         poll_s: float = 1.0,
+        worker_id: int = 0,
     ) -> list[tuple[InferenceRequest, RolloutHandle]] | None:
         """Collect the next batch, or ``None`` once closed and drained.
+
+        ``worker_id`` is accepted for interface parity with
+        :class:`~repro.serve.scheduler.ScheduledQueue` and ignored —
+        the FIFO has no affinity.
 
         The head-of-line request determines the batch key; same-key
         requests (in arrival order) join until ``max_batch_size`` or
@@ -178,40 +222,54 @@ class RequestQueue:
         Other-key requests stay queued and are served by subsequent
         calls in arrival order.
 
-        Requests whose deadline expired while queued are shed here:
-        their handles finish with
+        Requests whose deadline expired while queued are shed: their
+        handles finish with
         :class:`~repro.serve.admission.DeadlineExpired` and they never
-        join a batch. Expiry is checked at dequeue only — a request
-        that expires *after* joining a batch still executes.
+        join a batch. Expiry is enforced both at dequeue and again at
+        batch close, so a request that expires *during* the
+        ``max_wait_s`` collection window is shed rather than executed;
+        if that empties the batch, collection restarts.
         """
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         with self._cond:
             while True:
-                head = self._pop_live_head()
-                if head is not None:
-                    break
-                if not self._pending:
-                    if self._closed:
-                        return None
-                    self._cond.wait(timeout=poll_s)
-            batch = [head]
-            key = head[0].key
-            deadline = time.perf_counter() + max_wait_s
-            while len(batch) < max_batch_size:
+                while True:
+                    head = self._pop_live_head()
+                    if head is not None:
+                        break
+                    if not self._pending:
+                        if self._closed:
+                            return None
+                        self._cond.wait(timeout=poll_s)
+                batch = [head]
+                key = head[0].key
+                deadline = time.perf_counter() + max_wait_s
+                while len(batch) < max_batch_size:
+                    self._take_matching(key, batch, max_batch_size)
+                    if len(batch) >= max_batch_size or self._closed:
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
                 self._take_matching(key, batch, max_batch_size)
-                if len(batch) >= max_batch_size or self._closed:
-                    break
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    break
-                self._cond.wait(timeout=remaining)
-            self._take_matching(key, batch, max_batch_size)
-            if self._admission is not None:
                 now = time.perf_counter()
-                for req, _ in batch:
-                    self._admission.note_dequeued(req.waited_s(now))
-            return batch
+                live = []
+                for req, handle in batch:
+                    if req.expired(now):
+                        shed_expired(
+                            req, handle, now, self._admission, self._trace,
+                            at_close=True,
+                        )
+                    else:
+                        live.append((req, handle))
+                if not live:
+                    continue  # everything expired mid-window; collect again
+                if self._admission is not None:
+                    for req, _ in live:
+                        self._admission.note_dequeued(req.waited_s(now))
+                return live
 
     def _pop_live_head(self) -> tuple[InferenceRequest, RolloutHandle] | None:
         """Pop the first non-expired request, shedding expired ones.
@@ -232,21 +290,7 @@ class RequestQueue:
         self, req: InferenceRequest, handle: RolloutHandle, now: float
     ) -> None:
         # caller holds the lock
-        if self._admission is not None:
-            self._admission.note_expired(req.waited_s(now))
-        if self._trace is not None:
-            self._trace.record_span(
-                req.trace_id, "queue", "server",
-                wall_from_perf(req.submitted_at), req.waited_s(now),
-                status="failed", model=req.model, graph=req.graph,
-                reason="deadline_expired",
-            )
-        handle._finish(
-            DeadlineExpired(
-                f"request {req.request_id} waited {req.waited_s(now) * 1e3:.1f}ms, "
-                f"deadline was {req.deadline_s * 1e3:.1f}ms"
-            )
-        )
+        shed_expired(req, handle, now, self._admission, self._trace)
 
     def _take_matching(
         self,

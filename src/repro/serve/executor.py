@@ -94,8 +94,29 @@ class WorkerArenas:
     only recycle buffers; they never change the computed bits.
     """
 
+    #: bound on remembered keys; far above any realistic tenant mix,
+    #: it only guards against a pathological key churn growing the set
+    _MAX_KEYS = 128
+
     def __init__(self) -> None:
         self._arenas: dict[int, InferenceArena] = {}
+        self._keys: dict = {}  # BatchKey -> None, insertion-ordered
+
+    def note_key(self, key) -> bool:
+        """Record that this worker serves ``key``; ``True`` if warm.
+
+        "Warm" means the worker has executed this
+        :class:`~repro.runtime.api.BatchKey` before, so its arenas,
+        tiled replicas and cast replicas were built by a previous batch
+        — the quantity the scheduler's sticky affinity tries to
+        maximize (surfaced as ``warm_key_batches``).
+        """
+        if key in self._keys:
+            return True
+        if len(self._keys) >= self._MAX_KEYS:
+            self._keys.pop(next(iter(self._keys)))
+        self._keys[key] = None
+        return False
 
     def for_rank(self, rank: int) -> InferenceArena:
         """Rank ``rank``'s arena (created on first use, then persistent)."""
@@ -152,6 +173,10 @@ class BatchExecution:
     fused: bool = False
     #: whether the batch ran on the float32 inference tier
     f32: bool = False
+    #: whether the executing worker had served this batch's key before
+    #: (its arenas / tiled replicas / cast replicas were already warm —
+    #: the payoff the scheduler's sticky affinity optimizes for)
+    warm_key: bool = False
 
 
 class _StepCollector:
@@ -287,6 +312,7 @@ def execute_batch(
     tile_hits = [0] * asset.size
     tile_times = [0.0] * asset.size
     reallocs_before = arenas.reallocations if arenas is not None else 0
+    warm_key = arenas.note_key(requests[0].key) if arenas is not None else False
 
     for i, req in enumerate(requests):
         dispatch(i, 0, req.x0.astype(np.float32) if f32 else req.x0)
@@ -379,6 +405,7 @@ def execute_batch(
         arena_nbytes=arenas.nbytes if arenas is not None else 0,
         fused=fast_math,
         f32=f32,
+        warm_key=warm_key,
     )
 
 

@@ -25,15 +25,17 @@ The Prometheus view and the merged-stats view therefore never disagree
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import threading
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.perf.report import markdown_table
-from repro.serve.admission import AdmissionStats
+from repro.serve.admission import WAIT_BUCKETS_S, AdmissionStats
 from repro.serve.cache import CacheStats
 from repro.serve.registry import RegistryStats
+from repro.serve.scheduler import SchedulerStats
 
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
@@ -89,6 +91,7 @@ class ServeStats:
     cache: CacheStats = field(default_factory=CacheStats)
     registry: RegistryStats = field(default_factory=RegistryStats)
     admission: AdmissionStats = field(default_factory=AdmissionStats)
+    scheduler: SchedulerStats = field(default_factory=SchedulerStats)
 
     @property
     def batching_factor(self) -> float:
@@ -106,6 +109,8 @@ class ServeStats:
         d["cache"] = CacheStats(**d["cache"])
         d["registry"] = RegistryStats(**d["registry"])
         d["admission"] = AdmissionStats.from_dict(d["admission"])
+        # absent in snapshots from pre-scheduler peers
+        d["scheduler"] = SchedulerStats.from_dict(d.get("scheduler", {}))
         return cls(**d)
 
 
@@ -134,10 +139,12 @@ def merge_stats(snapshots: "Sequence[ServeStats]") -> ServeStats:
     cache = snapshots[0].cache
     registry = snapshots[0].registry
     admission = snapshots[0].admission
+    scheduler = snapshots[0].scheduler
     for s in snapshots[1:]:
         cache = cache.merge(s.cache)
         registry = registry.merge(s.registry)
         admission = admission.merge(s.admission)
+        scheduler = scheduler.merge(s.scheduler)
     return ServeStats(
         requests=total_requests,
         batches=sum(s.batches for s in snapshots),
@@ -168,6 +175,7 @@ def merge_stats(snapshots: "Sequence[ServeStats]") -> ServeStats:
         cache=cache,
         registry=registry,
         admission=admission,
+        scheduler=scheduler,
     )
 
 
@@ -189,6 +197,7 @@ class MetricsAggregator:
         self._arena_bytes_high_water = 0
         self._fused_batches = 0
         self._f32_batches = 0
+        self._warm_key_batches = 0
 
     def record_batch(
         self,
@@ -202,6 +211,7 @@ class MetricsAggregator:
         arena_nbytes: int = 0,
         fused: bool = False,
         f32: bool = False,
+        warm_key: bool = False,
     ) -> None:
         with self._lock:
             self._completed.extend(per_request)
@@ -217,6 +227,7 @@ class MetricsAggregator:
             )
             self._fused_batches += int(fused)
             self._f32_batches += int(f32)
+            self._warm_key_batches += int(warm_key)
 
     def record_train(self, train_s: float) -> None:
         """Account one completed training job (wall seconds)."""
@@ -235,6 +246,7 @@ class MetricsAggregator:
         queue_depth: int,
         queue_depth_high_water: int,
         admission: AdmissionStats | None = None,
+        scheduler: SchedulerStats | None = None,
     ) -> ServeStats:
         with self._lock:
             reqs = list(self._completed)
@@ -250,6 +262,13 @@ class MetricsAggregator:
             arena_bytes_high_water = self._arena_bytes_high_water
             fused_batches = self._fused_batches
             f32_batches = self._f32_batches
+            warm_key_batches = self._warm_key_batches
+        # warm-key execution is observed here (at the arenas), while
+        # the rest of the scheduler snapshot comes from the queue — the
+        # two halves meet in the one ServeStats field
+        sched = dataclasses.replace(
+            scheduler or SchedulerStats(), warm_key_batches=warm_key_batches
+        )
         n = len(reqs)
         mean = lambda vals: sum(vals) / n if n else 0.0  # noqa: E731
         return ServeStats(
@@ -276,6 +295,7 @@ class MetricsAggregator:
             cache=cache,
             registry=registry,
             admission=admission or AdmissionStats(),
+            scheduler=sched,
         )
 
 
@@ -339,6 +359,26 @@ def stats_to_registry(
          stats.admission.shed),
         ("repro_admission_expired_total", "requests expired in the queue",
          stats.admission.expired),
+        ("repro_admission_expired_at_close_total",
+         "requests expired during batch collection (subset of expired)",
+         stats.admission.expired_at_close),
+        ("repro_sched_dispatches_total", "batches dispatched by the scheduler",
+         stats.scheduler.dispatches),
+        ("repro_sched_affinity_hits_total",
+         "lane grants landing on the lane's warm worker",
+         stats.scheduler.affinity_hits),
+        ("repro_sched_affinity_steals_total",
+         "lane grants stealing a lane pinned to a busy worker",
+         stats.scheduler.affinity_steals),
+        ("repro_sched_edf_preemptions_total",
+         "grants where an earlier deadline beat arrival order",
+         stats.scheduler.edf_preemptions),
+        ("repro_sched_starvation_overrides_total",
+         "grants forced by the per-lane skip bound",
+         stats.scheduler.starvation_overrides),
+        ("repro_sched_warm_key_batches_total",
+         "batches executed by a worker that had served the key before",
+         stats.scheduler.warm_key_batches),
         ("repro_graph_cache_hits_total", "graph-cache hits",
          stats.cache.hits),
         ("repro_graph_cache_misses_total", "graph-cache misses",
@@ -375,14 +415,31 @@ def stats_to_registry(
          stats.registry.registered),
         ("repro_models_resident", "models resident in memory", "sum",
          stats.registry.resident),
+        ("repro_sched_lanes", "lanes with pending requests now", "sum",
+         stats.scheduler.lanes),
+        ("repro_sched_lane_depth_high_water", "peak single-lane depth",
+         "max", stats.scheduler.lane_depth_high_water),
     ):
         reg.gauge(name, help_text, merge=merge).set(float(value))
+    lane_depth = reg.gauge(
+        "repro_sched_lane_depth", "requests pending per lane now",
+        merge="sum",
+    )
+    for label, depth in stats.scheduler.lane_depth.items():
+        lane_depth.set(float(depth), lane=label)
     wait = stats.admission.queue_wait
     reg.histogram(
         "repro_queue_wait_seconds",
         "queue wait of admitted requests (served and expired)",
         bounds=wait.bounds_s,
     ).load(wait.counts, wait.sum_s)
+    lane_wait = reg.histogram(
+        "repro_lane_wait_seconds",
+        "queue wait of dispatched requests, labeled per lane",
+        bounds=WAIT_BUCKETS_S,
+    )
+    for label, hist in stats.scheduler.lane_wait.items():
+        lane_wait.load(hist.counts, hist.sum_s, lane=label)
     return reg
 
 
@@ -439,7 +496,18 @@ def stats_markdown(stats: ServeStats) -> str:
         ["admission accepted / shed / expired",
          f"{stats.admission.accepted} / {stats.admission.shed} / "
          f"{stats.admission.expired}"],
+        ["expired at batch close", stats.admission.expired_at_close],
         ["queue wait p50 / p90 / p99 (ms)", _wait_quantiles(stats.admission)],
+        ["scheduler dispatches / lanes pending",
+         f"{stats.scheduler.dispatches} / {stats.scheduler.lanes}"],
+        ["affinity hits / steals",
+         f"{stats.scheduler.affinity_hits} / "
+         f"{stats.scheduler.affinity_steals}"],
+        ["EDF preemptions / starvation overrides",
+         f"{stats.scheduler.edf_preemptions} / "
+         f"{stats.scheduler.starvation_overrides}"],
+        ["warm-key batches", stats.scheduler.warm_key_batches],
+        ["lane depth high water", stats.scheduler.lane_depth_high_water],
         ["tiled-graph cache hits / misses",
          f"{stats.tile_hits} / {stats.tile_misses}"],
         ["train jobs / wall (ms)",

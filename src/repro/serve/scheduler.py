@@ -1,0 +1,494 @@
+"""Cross-key batch scheduler: per-key lanes, EDF dispatch, affinity.
+
+:class:`~repro.serve.batching.RequestQueue` is a single FIFO: the
+head-of-line request dictates the next batch, so a multi-tenant mix of
+``(model, graph, halo_mode, residual, precision)`` keys serializes
+behind whichever key arrived first, two workers racing ``next_batch``
+can split one coalescible key into two half-full tiles, and a hot key
+migrating across workers discards the warmed per-worker caches
+(:class:`~repro.serve.executor.WorkerArenas`). :class:`ScheduledQueue`
+replaces the FIFO with **per-key pending lanes** and a policy loop that
+
+* dispatches *disjoint* keys to idle workers concurrently — one lane's
+  collection window never blocks another lane's dispatch, and a
+  collecting worker closes its window early when other lanes are
+  waiting with no idle worker to serve them (work-conserving, the
+  Orca/vLLM continuous-batching rule);
+* grants a key to **at most one collecting worker** at a time
+  (``lane.collector``), so coalescible requests always land in the
+  same tile instead of racing into two half-full ones;
+* picks the next lane by **earliest-deadline-first** over each lane's
+  pending requests (lanes without deadlines sort last), with an
+  arrival-order tiebreak and a **starvation bound**: a lane passed
+  over ``max_lane_skips`` times must be served before any non-overdue
+  lane;
+* applies **sticky worker–key affinity**: a dispatched lane remembers
+  its worker, and that worker prefers its own lanes on the next pull
+  (warm arenas / tiled replicas / cast replicas); when the preferred
+  worker is busy, any idle worker **steals** the lane (counted, and
+  affinity re-pins to the thief).
+
+Trajectory bits never depend on the scheduler: it only decides *which
+worker runs which batch when*; batch execution is unchanged
+(``tests/serve/test_scheduler_soak.py`` asserts bitwise identity vs
+``local://`` across a mixed-tenant soak).
+
+Thread safety: one condition variable guards all lanes, exactly like
+the FIFO queue; any number of submitters and workers may run
+concurrently. Determinism: lane choice is a pure function of lane
+contents, deadlines, skip counts, affinity state and worker identity
+— never of request payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.trace import TraceBuffer
+from repro.runtime.api import BatchKey, RolloutRequest
+from repro.serve.admission import WAIT_BUCKETS_S, AdmissionController, WaitHistogram
+from repro.serve.batching import RolloutHandle, shed_expired
+
+
+def lane_label(key: BatchKey) -> str:
+    """Canonical human-readable label of one lane (metrics label value)."""
+    kind = "residual" if key.residual else "direct"
+    return f"{key.model}/{key.graph}/{key.halo_mode}/{kind}/{key.precision}"
+
+
+@dataclass
+class SchedulerStats:
+    """Scheduler counters + per-lane gauges/histograms (snapshot).
+
+    Plain mergeable data, the pattern of
+    :class:`~repro.serve.admission.AdmissionStats`: counters sum,
+    ``lane_depth`` (label → pending now) sums key-wise, ``lane_wait``
+    (label → queue-wait histogram of requests dispatched through that
+    lane) merges bucket-wise, ``lane_depth_high_water`` takes the max.
+    ``warm_key_batches`` counts executed batches whose worker had
+    served the same key before (the affinity payoff measured at the
+    arenas, not at dispatch); it is recorded by the metrics aggregator
+    and folded into the snapshot by the service.
+    """
+
+    dispatches: int = 0
+    affinity_hits: int = 0
+    affinity_steals: int = 0
+    edf_preemptions: int = 0
+    starvation_overrides: int = 0
+    warm_key_batches: int = 0
+    lanes: int = 0
+    lane_depth_high_water: int = 0
+    lane_depth: dict = field(default_factory=dict)
+    lane_wait: dict = field(default_factory=dict)
+
+    def merge(self, other: "SchedulerStats") -> "SchedulerStats":
+        """Combine two snapshots (cluster-wide aggregation)."""
+        depth = dict(self.lane_depth)
+        for label, d in other.lane_depth.items():
+            depth[label] = depth.get(label, 0) + d
+        wait = dict(self.lane_wait)
+        for label, h in other.lane_wait.items():
+            wait[label] = wait[label].merge(h) if label in wait else h
+        return SchedulerStats(
+            dispatches=self.dispatches + other.dispatches,
+            affinity_hits=self.affinity_hits + other.affinity_hits,
+            affinity_steals=self.affinity_steals + other.affinity_steals,
+            edf_preemptions=self.edf_preemptions + other.edf_preemptions,
+            starvation_overrides=(
+                self.starvation_overrides + other.starvation_overrides
+            ),
+            warm_key_batches=self.warm_key_batches + other.warm_key_batches,
+            lanes=self.lanes + other.lanes,
+            lane_depth_high_water=max(
+                self.lane_depth_high_water, other.lane_depth_high_water
+            ),
+            lane_depth=depth,
+            lane_wait=wait,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "dispatches": self.dispatches,
+            "affinity_hits": self.affinity_hits,
+            "affinity_steals": self.affinity_steals,
+            "edf_preemptions": self.edf_preemptions,
+            "starvation_overrides": self.starvation_overrides,
+            "warm_key_batches": self.warm_key_batches,
+            "lanes": self.lanes,
+            "lane_depth_high_water": self.lane_depth_high_water,
+            "lane_depth": dict(sorted(self.lane_depth.items())),
+            "lane_wait": {
+                label: h.to_dict()
+                for label, h in sorted(self.lane_wait.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SchedulerStats":
+        return cls(
+            dispatches=int(d.get("dispatches", 0)),
+            affinity_hits=int(d.get("affinity_hits", 0)),
+            affinity_steals=int(d.get("affinity_steals", 0)),
+            edf_preemptions=int(d.get("edf_preemptions", 0)),
+            starvation_overrides=int(d.get("starvation_overrides", 0)),
+            warm_key_batches=int(d.get("warm_key_batches", 0)),
+            lanes=int(d.get("lanes", 0)),
+            lane_depth_high_water=int(d.get("lane_depth_high_water", 0)),
+            lane_depth={
+                str(k): int(v) for k, v in d.get("lane_depth", {}).items()
+            },
+            lane_wait={
+                str(k): (
+                    v if isinstance(v, WaitHistogram)
+                    else WaitHistogram.from_dict(v)
+                )
+                for k, v in d.get("lane_wait", {}).items()
+            },
+        )
+
+
+class _Lane:
+    """One key's pending requests + scheduling state (lock: the queue's)."""
+
+    __slots__ = ("key", "label", "seq", "pending", "collector", "affinity",
+                 "skips")
+
+    def __init__(self, key: BatchKey, seq: int):
+        self.key = key
+        self.label = lane_label(key)
+        self.seq = seq  # creation order; the final deterministic tiebreak
+        self.pending: list[tuple[RolloutRequest, RolloutHandle]] = []
+        self.collector: int | None = None  # worker currently collecting
+        self.affinity: int | None = None  # worker whose caches are warm
+        self.skips = 0  # times passed over while eligible (starvation bound)
+
+
+class ScheduledQueue:
+    """Per-key lanes + EDF/affinity dispatch; drop-in for ``RequestQueue``.
+
+    Same interface as :class:`~repro.serve.batching.RequestQueue`
+    (``submit`` / ``next_batch`` / ``depth`` / ``close``), plus a
+    ``worker_id`` on :meth:`next_batch` so affinity knows who is
+    asking, and :meth:`scheduler_stats` for the policy counters.
+
+    Thread safety: fully thread-safe, one condition variable guards
+    all lanes. Determinism: batch composition is a pure function of
+    arrival order, keys, deadlines, worker identities and the timing
+    parameters — never of request payloads; and the *bits* of every
+    trajectory are scheduler-independent by construction.
+    """
+
+    def __init__(
+        self,
+        admission: AdmissionController | None = None,
+        trace: TraceBuffer | None = None,
+        affinity: bool = True,
+        max_lane_skips: int = 4,
+    ) -> None:
+        if max_lane_skips < 1:
+            raise ValueError("max_lane_skips must be >= 1")
+        self._lanes: dict[BatchKey, _Lane] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+        self._depth = 0
+        self._depth_high_water = 0
+        self._lane_depth_high_water = 0
+        self._idle = 0  # workers blocked in next_batch waiting for a lane
+        self._admission = admission
+        self._trace = trace
+        self._affinity_on = affinity
+        self._max_lane_skips = max_lane_skips
+        self._lane_seq = itertools.count()
+        self._dispatches = 0
+        self._affinity_hits = 0
+        self._affinity_steals = 0
+        self._edf_preemptions = 0
+        self._starvation_overrides = 0
+        #: label -> [bucket counts, total, sum_s] of dispatched waits
+        self._lane_waits: dict[str, list] = {}
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: RolloutRequest) -> RolloutHandle:
+        """Enqueue one request into its key's lane → streaming handle.
+
+        Admission control sees the *total* pending depth across lanes
+        (the same quantity the FIFO queue caps), so swapping schedulers
+        never changes shedding behavior.
+        """
+        handle = RolloutHandle(request)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if self._admission is not None:
+                self._admission.admit(self._depth)
+            lane = self._lanes.get(request.key)
+            if lane is None:
+                lane = _Lane(request.key, next(self._lane_seq))
+                self._lanes[request.key] = lane
+            lane.pending.append((request, handle))
+            self._depth += 1
+            self._depth_high_water = max(self._depth_high_water, self._depth)
+            self._lane_depth_high_water = max(
+                self._lane_depth_high_water, len(lane.pending)
+            )
+            self._cond.notify_all()
+        return handle
+
+    # -- dispatch ------------------------------------------------------------
+
+    def next_batch(
+        self,
+        max_batch_size: int,
+        max_wait_s: float,
+        poll_s: float = 1.0,
+        worker_id: int = 0,
+    ) -> list[tuple[RolloutRequest, RolloutHandle]] | None:
+        """Collect the next batch for ``worker_id``, or ``None`` at drain.
+
+        The scheduler grants one lane (EDF + affinity + starvation
+        bound, see the module docstring), marks it collecting so no
+        other worker can split the key, then lingers up to
+        ``max_wait_s`` for more same-key requests — closing early when
+        the batch fills, the lane runs dry while *other* lanes wait
+        with no idle worker, or the queue closes. Deadlines are
+        enforced twice: expired requests are shed when taken from a
+        lane, and the whole batch is re-checked **at batch close** so a
+        request that expired during the collection window is shed with
+        :class:`~repro.serve.admission.DeadlineExpired` instead of
+        executing.
+        """
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        with self._cond:
+            while True:
+                lane = self._grant(worker_id)
+                if lane is None:
+                    if self._closed and self._depth == 0:
+                        return None
+                    self._idle += 1
+                    try:
+                        self._cond.wait(timeout=poll_s)
+                    finally:
+                        self._idle -= 1
+                    continue
+                batch: list = []
+                deadline = time.perf_counter() + max_wait_s
+                while len(batch) < max_batch_size:
+                    self._take_from_lane(lane, batch, max_batch_size)
+                    if len(batch) >= max_batch_size or self._closed:
+                        break
+                    if batch and not lane.pending and self._idle == 0 \
+                            and self._other_lane_waiting(lane):
+                        # work-conserving early close: this worker's
+                        # time is better spent on the waiting lane than
+                        # idling for hypothetical same-key stragglers
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                self._take_from_lane(lane, batch, max_batch_size)
+                live = self._close_batch(lane, batch, worker_id)
+                if live is not None:
+                    return live
+                # every collected request expired during the window;
+                # the lane is released — pick again
+
+    def _grant(self, worker_id: int) -> _Lane | None:
+        """Choose and lock the next lane for ``worker_id`` (or ``None``).
+
+        Caller holds the lock. Policy order: starvation-overdue lanes
+        first, then the worker's own affinity lanes, then all eligible
+        lanes — each pool ordered earliest-deadline-first with an
+        arrival-order tiebreak. Pops the granted lane's head into no
+        batch yet; the collection loop takes from the lane.
+        """
+        now = time.perf_counter()
+        self._shed_expired_pending(now)
+        eligible = [
+            lane for lane in self._lanes.values()
+            if lane.pending and lane.collector is None
+        ]
+        if not eligible:
+            return None
+
+        def edf_key(lane: _Lane) -> tuple:
+            deadlines = [
+                req.deadline for req, _ in lane.pending
+                if req.deadline is not None
+            ]
+            earliest = min(deadlines) if deadlines else math.inf
+            return (earliest, lane.pending[0][0].submitted_at, lane.seq)
+
+        arrival_first = min(
+            eligible, key=lambda la: (la.pending[0][0].submitted_at, la.seq)
+        )
+        overdue = [
+            lane for lane in eligible if lane.skips >= self._max_lane_skips
+        ]
+        if overdue:
+            chosen = min(overdue, key=edf_key)
+            if chosen is not min(eligible, key=edf_key):
+                self._starvation_overrides += 1
+        else:
+            pool = eligible
+            on_affinity = False
+            if self._affinity_on:
+                mine = [
+                    lane for lane in eligible if lane.affinity == worker_id
+                ]
+                if mine:
+                    pool, on_affinity = mine, True
+            chosen = min(pool, key=edf_key)
+            if self._affinity_on:
+                if on_affinity:
+                    self._affinity_hits += 1
+                elif chosen.affinity is not None:
+                    self._affinity_steals += 1
+        if chosen is not arrival_first and edf_key(chosen) < edf_key(arrival_first):
+            self._edf_preemptions += 1
+        for lane in eligible:
+            lane.skips = 0 if lane is chosen else lane.skips + 1
+        chosen.collector = worker_id
+        return chosen
+
+    def _take_from_lane(
+        self, lane: _Lane, batch: list, max_batch_size: int
+    ) -> None:
+        """Move live lane requests into ``batch`` (caller holds the lock)."""
+        now = time.perf_counter()
+        while lane.pending and len(batch) < max_batch_size:
+            req, handle = lane.pending.pop(0)
+            self._depth -= 1
+            if req.expired(now):
+                shed_expired(req, handle, now, self._admission, self._trace)
+            else:
+                batch.append((req, handle))
+
+    def _close_batch(
+        self, lane: _Lane, batch: list, worker_id: int
+    ) -> list | None:
+        """Finalize a collected batch (caller holds the lock).
+
+        Re-checks every member's deadline — requests that expired
+        *during* the collection window are shed here, at close, not
+        executed. Returns the surviving batch, or ``None`` when
+        everything expired (the caller then re-enters the grant loop).
+        Releases the lane and re-pins its affinity to this worker.
+        """
+        now = time.perf_counter()
+        live = []
+        for req, handle in batch:
+            if req.expired(now):
+                shed_expired(
+                    req, handle, now, self._admission, self._trace,
+                    at_close=True,
+                )
+            else:
+                live.append((req, handle))
+        lane.collector = None
+        if self._affinity_on:
+            lane.affinity = worker_id
+        self._cond.notify_all()
+        if not live:
+            return None
+        self._dispatches += 1
+        if self._admission is not None:
+            for req, _ in live:
+                self._admission.note_dequeued(req.waited_s(now))
+        counts, _, _ = self._lane_waits.setdefault(
+            lane.label, [[0] * (len(WAIT_BUCKETS_S) + 1), 0, 0.0]
+        )
+        record = self._lane_waits[lane.label]
+        for req, _ in live:
+            waited = req.waited_s(now)
+            for i, bound in enumerate(WAIT_BUCKETS_S):
+                if waited <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            record[1] += 1
+            record[2] += waited
+        return live
+
+    def _shed_expired_pending(self, now: float) -> None:
+        # caller holds the lock
+        for lane in self._lanes.values():
+            if not lane.pending:
+                continue
+            kept = []
+            for req, handle in lane.pending:
+                if req.expired(now):
+                    shed_expired(
+                        req, handle, now, self._admission, self._trace
+                    )
+                    self._depth -= 1
+                else:
+                    kept.append((req, handle))
+            lane.pending[:] = kept
+
+    def _other_lane_waiting(self, lane: _Lane) -> bool:
+        # caller holds the lock
+        return any(
+            other.pending and other.collector is None
+            for other in self._lanes.values()
+            if other is not lane
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self) -> int:
+        """Total pending (not yet collected) requests across lanes."""
+        with self._cond:
+            return self._depth
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._cond:
+            return self._closed
+
+    @property
+    def depth_high_water(self) -> int:
+        """Peak total pending depth observed over the queue's lifetime."""
+        with self._cond:
+            return self._depth_high_water
+
+    def scheduler_stats(self) -> SchedulerStats:
+        """Snapshot of the policy counters and per-lane gauges."""
+        with self._cond:
+            lane_depth = {
+                lane.label: len(lane.pending)
+                for lane in self._lanes.values()
+                if lane.pending
+            }
+            lane_wait = {
+                label: WaitHistogram(
+                    counts=list(counts), total=total, sum_s=sum_s
+                )
+                for label, (counts, total, sum_s) in self._lane_waits.items()
+            }
+            return SchedulerStats(
+                dispatches=self._dispatches,
+                affinity_hits=self._affinity_hits,
+                affinity_steals=self._affinity_steals,
+                edf_preemptions=self._edf_preemptions,
+                starvation_overrides=self._starvation_overrides,
+                lanes=len(lane_depth),
+                lane_depth_high_water=self._lane_depth_high_water,
+                lane_depth=lane_depth,
+                lane_wait=lane_wait,
+            )
+
+    def close(self) -> None:
+        """Stop accepting requests; pending ones are still served."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

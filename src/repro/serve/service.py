@@ -32,6 +32,7 @@ from repro.obs.trace import Span, TraceBuffer, wall_from_perf
 from repro.runtime.api import RolloutRequest, TrainRequest, TrainResult
 from repro.serve.admission import AdmissionConfig, AdmissionController, QueueFull
 from repro.serve.batching import RequestQueue, RolloutHandle
+from repro.serve.scheduler import ScheduledQueue, SchedulerStats
 from repro.serve.cache import GraphAsset, GraphCache
 from repro.serve.executor import WorkerArenas, execute_batch, execute_train_job
 from repro.serve.metrics import (
@@ -68,6 +69,18 @@ class ServeConfig:
     kernels (:mod:`repro.tensor.fused`). On by default because it is
     bitwise identical to the reference op chain; ``False`` pins the
     unfused workspace loop (the obs-overhead baseline).
+
+    ``scheduler`` selects the dispatch policy: ``"edf"`` (default) is
+    the per-key-lane scheduler (:mod:`repro.serve.scheduler`) —
+    disjoint keys overlap across workers, earliest-deadline-first lane
+    choice with a starvation bound, one collector per key; ``"fifo"``
+    is the PR-7 head-of-line queue, kept as the comparison baseline.
+    ``affinity`` (EDF only) makes a lane sticky to the worker whose
+    arenas/tile/cast caches it warmed, with work-stealing when that
+    worker is busy; ``max_lane_skips`` is the starvation bound — how
+    many times a pending lane may be passed over before it must be
+    served. None of these change trajectory bits, only which worker
+    runs which batch when.
     """
 
     max_batch_size: int = 8
@@ -82,6 +95,9 @@ class ServeConfig:
     tracing: bool = True
     trace_capacity: int = 2048
     fast_math: bool = True
+    scheduler: str = "edf"
+    affinity: bool = True
+    max_lane_skips: int = 4
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -92,6 +108,12 @@ class ServeConfig:
             raise ValueError("max_wait_s must be >= 0")
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
+        if self.scheduler not in ("edf", "fifo"):
+            raise ValueError(
+                f"scheduler must be 'edf' or 'fifo', got {self.scheduler!r}"
+            )
+        if self.max_lane_skips < 1:
+            raise ValueError("max_lane_skips must be >= 1")
         # delegate validation of the admission knobs
         AdmissionConfig(self.max_queue_depth, self.default_deadline_s)
 
@@ -127,8 +149,9 @@ class InferenceService:
         self.trace = TraceBuffer(
             self.config.trace_capacity, enabled=self.config.tracing
         )
-        self._queue = RequestQueue(self._admission, trace=self.trace)
+        self._queue = self._make_queue()
         self._queue_high_water_prev = 0
+        self._sched_prev = SchedulerStats()
         self._metrics = MetricsAggregator()
         self._graph_dirs: dict[str, Path] = {}
         self._pinned_graphs: dict[str, tuple[LocalGraph, ...]] = {}
@@ -138,21 +161,40 @@ class InferenceService:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _make_queue(self) -> RequestQueue | ScheduledQueue:
+        if self.config.scheduler == "fifo":
+            return RequestQueue(self._admission, trace=self.trace)
+        return ScheduledQueue(
+            self._admission,
+            trace=self.trace,
+            affinity=self.config.affinity,
+            max_lane_skips=self.config.max_lane_skips,
+        )
+
+    def _queue_scheduler_stats(self) -> SchedulerStats:
+        stats_fn = getattr(self._queue, "scheduler_stats", None)
+        return stats_fn() if stats_fn is not None else SchedulerStats()
+
     def start(self) -> "InferenceService":
         with self._lock:
             if self._started:
                 return self
             if self._queue.closed:
                 # restart after stop(): workers need a live queue; keep
-                # the old peak depth so stats span the service lifetime
+                # the old peak depth and scheduler counters so stats
+                # span the service lifetime
                 self._queue_high_water_prev = max(
                     self._queue_high_water_prev, self._queue.depth_high_water
                 )
-                self._queue = RequestQueue(self._admission, trace=self.trace)
+                self._sched_prev = self._sched_prev.merge(
+                    self._queue_scheduler_stats()
+                )
+                self._queue = self._make_queue()
             self._started = True
             for i in range(self.config.n_workers):
                 t = threading.Thread(
-                    target=self._worker_loop, name=f"serve-worker{i}", daemon=True
+                    target=self._worker_loop, args=(i,),
+                    name=f"serve-worker{i}", daemon=True,
                 )
                 t.start()
                 self._workers.append(t)
@@ -334,13 +376,14 @@ class InferenceService:
 
     # -- worker pool ---------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, worker_id: int = 0) -> None:
         # one persistent warmed arena set per worker: batches re-use
         # the pooled buffers instead of re-warming a fresh arena each
         arenas = WorkerArenas()
         while True:
             batch = self._queue.next_batch(
-                self.config.max_batch_size, self.config.max_wait_s
+                self.config.max_batch_size, self.config.max_wait_s,
+                worker_id=worker_id,
             )
             if batch is None:
                 return
@@ -435,6 +478,7 @@ class InferenceService:
             arena_nbytes=execution.arena_nbytes,
             fused=execution.fused,
             f32=execution.f32,
+            warm_key=execution.warm_key,
         )
         # a tile miss grew the asset's resident bytes after admission;
         # keep the configured cache byte budget honest
@@ -474,6 +518,7 @@ class InferenceService:
                 self._queue_high_water_prev, self._queue.depth_high_water
             ),
             admission=self._admission.stats(),
+            scheduler=self._sched_prev.merge(self._queue_scheduler_stats()),
         )
 
     def stats_markdown(self) -> str:

@@ -22,6 +22,7 @@ from repro.serve.metrics import (
     stats_to_registry,
 )
 from repro.serve.registry import RegistryStats
+from repro.serve.scheduler import SchedulerStats
 
 
 def make_stats(seed: int) -> ServeStats:
@@ -57,8 +58,23 @@ def make_stats(seed: int) -> ServeStats:
                                loads=1 + seed, evictions=seed),
         admission=AdmissionStats(
             accepted=4 + seed, shed=seed, expired=seed,
+            expired_at_close=seed,
             queue_wait=WaitHistogram(counts=counts, total=sum(counts),
                                      sum_s=0.3 * (1 + seed)),
+        ),
+        scheduler=SchedulerStats(
+            dispatches=2 + seed, affinity_hits=1 + seed,
+            affinity_steals=seed, edf_preemptions=seed,
+            starvation_overrides=seed, warm_key_batches=1 + seed,
+            lanes=1 + seed, lane_depth_high_water=2 + seed,
+            lane_depth={"m1/g/None/direct/float64": 1 + seed,
+                        "m2/g/None/direct/float32": seed},
+            lane_wait={
+                "m1/g/None/direct/float64": WaitHistogram(
+                    counts=counts, total=sum(counts),
+                    sum_s=0.2 * (1 + seed),
+                ),
+            },
         ),
     )
 
@@ -133,6 +149,39 @@ class TestBridgeContent:
         text = stats_markdown(merged)
         assert (f"| fused / f32 batches | {merged.fused_batches} / "
                 f"{merged.f32_batches} |" in text)
+
+    def test_scheduler_counters_bridge_and_merge(self):
+        """The scheduler series follow the same sum/max policies, so
+        they preserve the merge-commutes contract; the markdown table
+        renders the policy counters."""
+        a, b = make_stats(0), make_stats(1)
+        merged = merge_stats([a, b])
+        sched = merged.scheduler
+        assert sched.dispatches == (a.scheduler.dispatches
+                                    + b.scheduler.dispatches)
+        assert sched.lane_depth_high_water == max(
+            a.scheduler.lane_depth_high_water,
+            b.scheduler.lane_depth_high_water,
+        )
+        reg = stats_to_registry(a).merge(stats_to_registry(b))
+        assert (reg.counter("repro_sched_dispatches_total").total()
+                == float(sched.dispatches))
+        assert (reg.counter("repro_sched_affinity_hits_total").total()
+                == float(sched.affinity_hits))
+        assert (reg.counter("repro_admission_expired_at_close_total").total()
+                == float(merged.admission.expired_at_close))
+        depth = reg.gauge("repro_sched_lane_depth", merge="sum")
+        label = "m1/g/None/direct/float64"
+        assert depth.value(lane=label) == float(sched.lane_depth[label])
+        hist = reg.get("repro_lane_wait_seconds")
+        ((_, (counts, sum_s)),) = hist.samples().items()
+        assert counts == list(sched.lane_wait[label].counts)
+        assert sum_s == sched.lane_wait[label].sum_s
+        text = stats_markdown(merged)
+        assert (f"| scheduler dispatches / lanes pending | "
+                f"{sched.dispatches} / {sched.lanes} |" in text)
+        assert (f"| affinity hits / steals | {sched.affinity_hits} / "
+                f"{sched.affinity_steals} |" in text)
 
     def test_queue_wait_histogram_maps_bucket_for_bucket(self):
         s = make_stats(1)

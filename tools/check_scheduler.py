@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Scheduler overlap check against the committed benchmark.
+
+The cross-key batch scheduler (:mod:`repro.serve.scheduler`) commits a
+``multi_tenant`` section in ``BENCH_inference.json``: ``K`` disjoint
+keys interleaved onto ``W`` workers, per-key-lane EDF scheduler vs the
+FIFO baseline, plus a single-key/single-worker parity run. This checker
+(CI job ``bench-smoke``) holds the commitments:
+
+* **The overlap floor.** The scheduler must beat the FIFO by
+  ``--min-speedup`` (default 1.3) wall-time with >= 2 disjoint keys on
+  >= 2 workers. Compute is conserved under tiling, so this margin is
+  pure scheduling: the FIFO burns full collection windows serially
+  while the lane scheduler overlaps keys and closes dry windows early.
+* **Bitwise identity.** The benchmark asserts fifo-vs-scheduler
+  trajectories bit for bit before timing and records the verdict;
+  a document without ``bitwise_identical: true`` fails.
+* **Single-key parity.** Where there is nothing to overlap (one key,
+  one worker, batches closing by size) the scheduler must cost about
+  nothing: fresh overhead under ``--max-overhead`` (default 1.10 —
+  lenient for loaded CI boxes; the committed run records the real
+  margin, held to ``--max-committed-overhead``, default 1.05).
+
+CI runs::
+
+    python -m repro bench --quick --output FRESH.json
+    python tools/check_scheduler.py --fresh FRESH.json
+
+Exit 0 when all commitments hold; exit 1 with the measured numbers
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "BENCH_inference.json"
+
+
+def _load(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _multi_tenant(doc: dict, label: str) -> dict:
+    section = doc.get("multi_tenant")
+    if not isinstance(section, dict):
+        raise SystemExit(
+            f"scheduler: {label} has no multi_tenant section — "
+            f"is it from a pre-scheduler bench?"
+        )
+    return section
+
+
+def _check(mt: dict, label: str, min_speedup: float,
+           max_overhead: float) -> bool:
+    failed = False
+    keys = int(mt.get("keys", 0))
+    workers = int(mt.get("workers", 0))
+    if keys < 2 or workers < 2:
+        print(
+            f"scheduler: {label} ran {keys} keys on {workers} workers — "
+            f"the overlap claim needs >= 2 disjoint keys on >= 2 workers",
+            file=sys.stderr,
+        )
+        failed = True
+    if not mt.get("bitwise_identical"):
+        print(
+            f"scheduler: {label} did not record bitwise-identical "
+            f"trajectories between fifo and scheduler",
+            file=sys.stderr,
+        )
+        failed = True
+    speedup = float(mt.get("speedup", 0.0))
+    print(
+        f"scheduler: {label} {keys} keys x {workers} workers: "
+        f"fifo {float(mt['fifo_s']) * 1e3:.1f} ms, "
+        f"scheduler {float(mt['sched_s']) * 1e3:.1f} ms -> "
+        f"{speedup:.2f}x (floor {min_speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        print(
+            f"scheduler: {label} speedup {speedup:.2f}x is under the "
+            f"{min_speedup:.2f}x overlap floor — disjoint keys are not "
+            f"overlapping",
+            file=sys.stderr,
+        )
+        failed = True
+    single = mt.get("single_key") or {}
+    overhead = float(single.get("overhead", float("inf")))
+    print(
+        f"scheduler: {label} single-key parity overhead "
+        f"{overhead:.3f}x (ceiling {max_overhead:.2f}x)"
+    )
+    if overhead > max_overhead:
+        print(
+            f"scheduler: {label} single-key overhead {overhead:.3f}x "
+            f"exceeds {max_overhead:.2f}x — the scheduler taxes the "
+            f"path it cannot help",
+            file=sys.stderr,
+        )
+        failed = True
+    return failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert the scheduler-vs-FIFO overlap floor and "
+        "single-key parity against the committed benchmark",
+    )
+    parser.add_argument(
+        "--fresh", required=True, metavar="FRESH.json",
+        help="fresh `python -m repro bench --quick` output",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="PATH",
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.3, metavar="X",
+        help="scheduler/fifo wall-time floor (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=1.10, metavar="X",
+        help="fresh single-key overhead ceiling (noisy CI boxes; "
+        "default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-committed-overhead", type=float, default=1.05, metavar="X",
+        help="single-key overhead ceiling the committed baseline must "
+        "record (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = _load(Path(args.fresh))
+    baseline = _load(Path(args.baseline))
+
+    failed = _check(
+        _multi_tenant(baseline, "committed"), "committed",
+        args.min_speedup, args.max_committed_overhead,
+    )
+    failed |= _check(
+        _multi_tenant(fresh, args.fresh), args.fresh,
+        args.min_speedup, args.max_overhead,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
