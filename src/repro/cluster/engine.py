@@ -63,6 +63,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
+from repro.ensemble.api import EnsembleFuture
 from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
@@ -486,6 +487,140 @@ class _ClusterRolloutFuture(RolloutFuture):
         return self._terminal
 
 
+class _ClusterEnsembleFuture(EnsembleFuture):
+    """A fanned-out ensemble: member chunks on shards, reduced at the router.
+
+    Submission splits the M members into contiguous chunks — one per UP
+    shard (never more chunks than members) — and places each chunk by
+    the salted ring key, so an ensemble's chunks spread instead of
+    piling on the asset's primary. Each shard streams its chunk's raw
+    member states; the router walks the chunk streams in lockstep
+    through the shared :class:`~repro.ensemble.driver.SummaryStream`,
+    so reduction, blow-up detection, and early-stop all happen exactly
+    once, over the whole ensemble, with the same bits every other
+    engine produces. Early-stop aborts the chunk streams (their
+    connections are discarded, not replayed).
+
+    No mid-stream redrive in v1: a shard dying mid-ensemble fails the
+    whole request (unlike single rollouts, a chunk replay would have to
+    re-synchronize M/n_shards member streams at the failed step; the
+    deterministic perturbation makes resubmission by the caller cheap
+    and exact). The accepted submission still resolves exactly once.
+    """
+
+    def __init__(self, cluster: "ClusterEngine", request):
+        super().__init__(request)
+        self._cluster = cluster
+        self._terminal = False
+        #: (shard, inner future, absolute member indices) per chunk
+        self._chunks: list = []
+        members = list(request.members)
+        up = sum(
+            1 for s in cluster._shards.values() if s.state is ShardState.UP
+        )
+        n_chunks = max(1, min(up, len(members)))
+        per = -(-len(members) // n_chunks)
+        bounds = [
+            (members[lo], members[min(lo + per, len(members)) - 1] + 1)
+            for lo in range(0, len(members), per)
+        ]
+        try:
+            for ci, (start, stop) in enumerate(bounds):
+                started = time.perf_counter()
+                shard, spilled = cluster._route(
+                    request.model, request.graph,
+                    salt=ci if len(bounds) > 1 else None,
+                )
+                shard.begin(spilled=spilled, redriven=False)
+                try:
+                    inner = shard.engine.submit(request.chunk(start, stop))
+                except BaseException:
+                    shard.end()
+                    shard.note_failed()
+                    raise
+                if cluster.trace.enabled:
+                    cluster.trace.record_span(
+                        request.trace_id, "route", "router",
+                        wall_from_perf(started),
+                        time.perf_counter() - started,
+                        status="ok", shard=shard.shard_id,
+                        spilled=spilled, chunk=ci, members=stop - start,
+                    )
+                self._chunks.append((shard, inner, tuple(range(start, stop))))
+        except BaseException:
+            # unwind chunks already placed; nothing entered the ledger
+            for shard, _, _ in self._chunks:
+                shard.end()
+                shard.note_failed()
+            raise
+        self._cells = [
+            {"shard": shard, "armed": True, "ledger": ci == 0}
+            for ci, (shard, _, _) in enumerate(self._chunks)
+        ]
+        for cell in self._cells:
+            weakref.finalize(self, _abandon_cleanup, cluster, cell)
+        cluster._note_accepted()
+
+    def _record_terminal(self, completed: bool) -> None:
+        if self._terminal:
+            raise AssertionError(
+                f"request {self.request.request_id} resolved twice "
+                f"(exactly-once accounting violated)"
+            )
+        self._terminal = True
+        self._cluster._note_resolved(completed)
+
+    def _frames(self, timeout: float | None):
+        from repro.ensemble.driver import MemberStream, SummaryStream
+
+        for cell in self._cells:
+            cell["armed"] = False
+        streams = []
+        for _, inner, indices in self._chunks:
+            gen = inner.frames(timeout=timeout)
+            streams.append(
+                MemberStream(
+                    indices,
+                    (list(f.members) for f in gen),
+                    abort=gen.close,
+                )
+            )
+        stream = SummaryStream(
+            self.request, streams,
+            trace=self._cluster.trace if self._cluster.trace.enabled else None,
+            component="router",
+        )
+        try:
+            try:
+                for frame in stream.frames():
+                    self._collected.append(frame)
+                    yield frame
+            except BaseException:
+                # which chunk stream failed is not attributable here;
+                # shard death is the health monitor's job — this path
+                # only settles the books (no mid-stream redrive, v1)
+                for shard, _, _ in self._chunks:
+                    shard.note_failed()
+                self._record_terminal(completed=False)
+                raise
+        finally:
+            for shard, _, _ in self._chunks:
+                shard.end()
+        self.stability = stream.report
+        self.metrics = {
+            "members": len(list(self.request.members)),
+            "chunks": len(self._chunks),
+            "shards": [s.shard_id for s, _, _ in self._chunks],
+        }
+        for shard, _, _ in self._chunks:
+            shard.note_completed()
+        self._record_terminal(completed=True)
+
+    @property
+    def done(self) -> bool:
+        return self._terminal
+
+
 class ClusterEngine(Engine):
     """Shard-routed engine over N backends (see module docstring).
 
@@ -676,6 +811,7 @@ class ClusterEngine(Engine):
         graph: str,
         exclude: Sequence[str] = (),
         attempts: Sequence = (),
+        salt: int | None = None,
     ) -> tuple[_Shard, bool]:
         """Pick the serving shard for an asset pair.
 
@@ -684,9 +820,14 @@ class ClusterEngine(Engine):
         the least-loaded UP candidate (ties keep ring order) — the
         returned flag says whether that diversion happened. Raises
         :class:`~repro.runtime.api.NoShardAvailable` when no candidate
-        remains.
+        remains. ``salt`` perturbs the ring key deterministically —
+        ensemble chunks use their chunk index so one ensemble's chunks
+        spread over the ring instead of piling on the asset's primary.
         """
-        order = self._ring.preference(placement_key(model, graph))
+        key = placement_key(model, graph)
+        if salt is not None:
+            key = f"{key}\x00chunk{salt}"
+        order = self._ring.preference(key)
         candidates = [
             self._shards[sid]
             for sid in order
@@ -855,6 +996,9 @@ class ClusterEngine(Engine):
 
     def _submit_rollout(self, request: RolloutRequest) -> RolloutFuture:
         return _ClusterRolloutFuture(self, request)
+
+    def _submit_ensemble(self, request) -> EnsembleFuture:
+        return _ClusterEnsembleFuture(self, request)
 
     def _submit_train(self, request: TrainRequest) -> TrainFuture:
         """Route a training job to its placed shard (no failover:

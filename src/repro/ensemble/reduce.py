@@ -1,0 +1,251 @@
+"""Streaming per-step ensemble reducers with mergeable state.
+
+One :class:`ReducerState` collects the ensemble members' states for a
+single rollout step; :func:`reduce_summaries` turns a complete state
+into the selected summary arrays (Welford mean/variance, elementwise
+min/max, small-M exact quantiles, kinetic-energy norms). The state is
+what crosses batch and shard boundaries: a chunk executed elsewhere
+reduces into its own partial state, and partials :meth:`ReducerState.merge`
+into the full-ensemble state at the router.
+
+**Bitwise contract.** Merging is a disjoint union keyed by member
+index — no floating-point operation happens at merge time — and every
+summary is computed at finalization by folding members in ascending
+member order. Chunk boundaries and merge order therefore *cannot*
+change a single output bit: any partition of the members into chunks,
+merged in any association, reduces bitwise-identically to a single
+pass over the whole ensemble (property-tested in
+``tests/properties/test_ensemble_reduce.py``). This is also why the
+state retains member values rather than compacted moments: a compacted
+Welford merge of two multi-member blocks is *not* bitwise-equal to the
+member-order fold, so compaction would make the answer depend on where
+the scheduler happened to cut batches.
+
+Zeros are canonicalized in ``min``/``max``: ``-0.0`` compares equal to
+``+0.0``, so which sign survives an elementwise fold would otherwise
+depend on member order; both extrema canonicalize to ``+0.0``.
+
+Thread safety: states are not thread-safe; one reducer belongs to one
+consumer. Determinism: everything here is a pure function of the
+member values and the member indices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: every summary name a request may select
+ALLOWED_SUMMARIES = ("mean", "variance", "min", "max", "quantiles", "energy")
+
+#: the default summary selection of an :class:`~repro.ensemble.api.EnsembleRequest`
+DEFAULT_SUMMARIES = ("mean", "variance", "min", "max")
+
+#: the default quantile levels when ``"quantiles"`` is selected
+DEFAULT_QUANTILES = (0.1, 0.5, 0.9)
+
+
+class ReducerState:
+    """Members-seen-so-far of one rollout step (mergeable, see module doc).
+
+    ``n_members`` is the *full* ensemble size M; a partial state (one
+    chunk's members) simply holds a subset of the indices. ``update``
+    canonicalizes each state to float64 (the float32 inference tier's
+    frames widen here — summaries are float64-canonical like every
+    result dataclass).
+    """
+
+    def __init__(self, n_members: int):
+        if n_members < 1:
+            raise ValueError("n_members must be >= 1")
+        self.n_members = n_members
+        self._members: dict[int, np.ndarray] = {}
+
+    def update(self, member: int, state: np.ndarray) -> None:
+        """Add one member's step state (a copy; float64-canonical)."""
+        if not 0 <= member < self.n_members:
+            raise ValueError(
+                f"member {member} out of range for {self.n_members}-member ensemble"
+            )
+        if member in self._members:
+            raise ValueError(f"member {member} reduced twice")
+        self._members[member] = np.array(state, dtype=np.float64, copy=True)
+
+    def merge(self, other: "ReducerState") -> "ReducerState":
+        """Disjoint union with another partial state (pure, exact).
+
+        No arithmetic happens here — merge order can never change the
+        finalized bits. Overlapping members or mismatched ensemble
+        sizes are bookkeeping bugs and raise ``ValueError``.
+        """
+        if other.n_members != self.n_members:
+            raise ValueError(
+                f"cannot merge states of {self.n_members}- and "
+                f"{other.n_members}-member ensembles"
+            )
+        overlap = self._members.keys() & other._members.keys()
+        if overlap:
+            raise ValueError(f"members reduced twice across chunks: {sorted(overlap)}")
+        merged = ReducerState(self.n_members)
+        merged._members = {**self._members, **other._members}
+        return merged
+
+    @property
+    def members(self) -> tuple:
+        """Member indices present, ascending."""
+        return tuple(sorted(self._members))
+
+    @property
+    def complete(self) -> bool:
+        """Whether every member of the ensemble has been reduced."""
+        return len(self._members) == self.n_members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def values(self) -> np.ndarray:
+        """The ``(M, n, F)`` member stack in ascending member order.
+
+        Requires a complete state: summaries over a partial ensemble
+        would silently claim full-ensemble statistics.
+        """
+        if not self.complete:
+            missing = sorted(set(range(self.n_members)) - set(self._members))
+            raise ValueError(f"state incomplete: members {missing} missing")
+        return np.stack([self._members[m] for m in range(self.n_members)])
+
+
+def welford(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Member-order Welford fold → ``(mean, M2)`` over axis 0.
+
+    One member is folded at a time (the canonical single-pass order),
+    so the result is a deterministic function of the member-ordered
+    stack. Variance is ``M2 / M`` (population; a single member has
+    exactly zero variance — no 0/0).
+    """
+    mean = np.array(values[0], copy=True)
+    m2 = np.zeros_like(mean)
+    for k in range(1, len(values)):
+        delta = values[k] - mean
+        mean = mean + delta / (k + 1)
+        m2 = m2 + delta * (values[k] - mean)
+    return mean, m2
+
+
+def kinetic_energy(values: np.ndarray) -> np.ndarray:
+    """Per-member kinetic energy ``0.5 * sum(u^2)``, shape ``(M,)``."""
+    flat = values.reshape(len(values), -1)
+    return 0.5 * np.einsum("mi,mi->m", flat, flat)
+
+
+def energy_summary(energies: np.ndarray) -> np.ndarray:
+    """Compact ``[min, mean, max]`` of the per-member energies.
+
+    Fixed shape ``(3,)`` regardless of M — the summary stream's wire
+    cost must not grow with ensemble size. The mean folds members in
+    ascending order (deterministic).
+    """
+    total = float(energies[0])
+    for e in energies[1:]:
+        total += float(e)
+    return np.array([
+        float(np.min(energies)), total / len(energies), float(np.max(energies)),
+    ])
+
+
+def ensemble_divergence(values: np.ndarray, mean: np.ndarray) -> float:
+    """RMS member distance from the ensemble mean (trajectory spread).
+
+    ``sqrt(sum_m ||x_m - mean||^2 / M)`` — zero for a single member or
+    a fully-collapsed ensemble; its growth over steps is the
+    uncertainty signal long-horizon diagnostics watch.
+    """
+    deltas = (values - mean[None]).reshape(len(values), -1)
+    total = 0.0
+    for row in deltas:
+        total += float(row @ row)
+    return float(np.sqrt(total / len(values)))
+
+
+def _canonical_zero(values: np.ndarray) -> np.ndarray:
+    """Map ``-0.0`` to ``+0.0`` (adding 0.0 is the identity otherwise)."""
+    return values + 0.0
+
+
+def reduce_frame(
+    values: np.ndarray,
+    summaries: Sequence[str],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> "tuple[dict[str, np.ndarray], np.ndarray, np.ndarray, float]":
+    """Reduce one step's member stack → ``(summaries, energies,
+    energy_summary, divergence)``.
+
+    ``values`` is the complete ``(M, n, F)`` stack in member order
+    (:meth:`ReducerState.values`). Every summary is float64; shapes
+    are ``(n, F)`` except ``"quantiles"`` (``(Q, n, F)``) and
+    ``"energy"`` (``(3,)``) — none depends on M, which is what keeps
+    the summary stream's per-step wire bytes flat in ensemble size.
+    The per-member energies and the divergence are always computed
+    (they feed the stability tracker regardless of selection).
+    """
+    unknown = [s for s in summaries if s not in ALLOWED_SUMMARIES]
+    if unknown:
+        raise ValueError(
+            f"unknown summaries {unknown}; allowed: {ALLOWED_SUMMARIES}"
+        )
+    mean, m2 = welford(values)
+    out: dict[str, np.ndarray] = {}
+    if "mean" in summaries:
+        out["mean"] = mean
+    if "variance" in summaries:
+        out["variance"] = m2 / len(values)
+    if "min" in summaries:
+        acc = _canonical_zero(values[0])
+        for v in values[1:]:
+            acc = np.minimum(acc, _canonical_zero(v))
+        out["min"] = acc
+    if "max" in summaries:
+        acc = _canonical_zero(values[0])
+        for v in values[1:]:
+            acc = np.maximum(acc, _canonical_zero(v))
+        out["max"] = acc
+    if "quantiles" in summaries:
+        # exact small-M order statistics: sort the (deterministically
+        # member-ordered) stack once, interpolate linearly per level
+        out["quantiles"] = np.quantile(
+            values, np.asarray(quantiles, dtype=np.float64), axis=0,
+            method="linear",
+        )
+    energies = kinetic_energy(values)
+    esum = energy_summary(energies)
+    if "energy" in summaries:
+        out["energy"] = esum
+    return out, energies, esum, ensemble_divergence(values, mean)
+
+
+def reduce_summaries(
+    values: np.ndarray,
+    summaries: Sequence[str],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> "dict[str, np.ndarray]":
+    """The selected summaries alone (see :func:`reduce_frame`)."""
+    return reduce_frame(values, summaries, quantiles)[0]
+
+
+def merge_states(states: Iterable[ReducerState]) -> ReducerState:
+    """Fold any number of partial states into one (order-irrelevant)."""
+    states = list(states)
+    if not states:
+        raise ValueError("merge_states needs at least one state")
+    merged = states[0]
+    for s in states[1:]:
+        merged = merged.merge(s)
+    return merged
+
+
+def summary_shapes(
+    summaries: Mapping[str, np.ndarray]
+) -> "dict[str, tuple]":
+    """Shape map of a summary dict (diagnostics / wire size accounting)."""
+    return {name: tuple(a.shape) for name, a in summaries.items()}

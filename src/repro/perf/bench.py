@@ -376,6 +376,108 @@ def bench_multitenant(quick: bool = False) -> dict:
     }
 
 
+def bench_ensemble(quick: bool = False) -> dict:
+    """Tiled ensemble vs M serial member rollouts on a pooled engine.
+
+    ``M`` perturbed members of one request tile into batched rollouts
+    (:mod:`repro.ensemble`): the baseline submits the same ``M``
+    deterministic member rollouts one at a time and waits on each, the
+    ensemble path streams them through ``max_batch_size``-member tiles
+    on ``W`` workers with the streaming reducer folding every step.
+    Member trajectories are asserted bitwise identical to their direct
+    rollouts *before* timing, so the wall-time margin is pure batching
+    and overlap — never different math. The wire-cost probe serializes
+    one summary frame at ``M = 2`` and ``M = 8`` and records whether
+    the payload stayed flat in ``M`` (summaries are member-count
+    independent unless ``return_members`` is set).
+    ``tools/check_ensemble.py`` holds ``speedup`` and ``wire.flat`` in
+    CI.
+    """
+    import io
+
+    from repro.ensemble.api import EnsembleRequest, PerturbationSpec
+    from repro.runtime import PooledEngine
+    from repro.serve import ServeConfig, protocol
+
+    n_members, n_workers, max_batch = 8, 2, 4
+    n_steps = 2 if quick else 4
+    repeats = 3 if quick else 5
+    mesh = BoxMesh(4, 4, 2, p=1)
+    graph = build_full_graph(mesh)
+    x0 = taylor_green_velocity(mesh.all_positions())
+    model = MeshGNN(
+        GNNConfig(hidden=12, n_message_passing=2, n_mlp_hidden=1, seed=7)
+    )
+
+    def request(n_members=n_members, n_steps=n_steps, **kw):
+        kw.setdefault("summaries", ("mean", "variance", "min", "max"))
+        return EnsembleRequest(
+            model="m", graph="g", x0=x0, n_steps=n_steps,
+            n_members=n_members,
+            perturbation=PerturbationSpec(seed=17, noise_scale=1e-3),
+            **kw,
+        )
+
+    engine = PooledEngine(ServeConfig(
+        n_workers=n_workers, max_batch_size=max_batch, max_wait_s=0.0,
+    ))
+    try:
+        engine.register_model("m", model)
+        engine.register_graph("g", [graph])
+
+        # the tiling contract, checked before anything is timed: every
+        # member of the batched ensemble is bitwise the member's own
+        # serial rollout
+        req = request(return_members=True)
+        result = engine.ensemble(req)
+        for m in range(n_members):
+            direct = engine.rollout(req.member_request(m))
+            for a, b in zip(direct.states, result.member_trajectory(m)):
+                assert a.tobytes() == b.tobytes(), (
+                    f"tiled member {m} diverged from its direct rollout"
+                )
+        bitwise = True
+
+        def sequential():
+            return [engine.rollout(r) for r in request().member_requests()]
+
+        def tiled():
+            return engine.ensemble(request())
+
+        sequential(), tiled()  # warm tiles/plans/arenas out of the timing
+        seq_s, ens_s = _best_of_pair(sequential, tiled, repeats)
+
+        def frame_bytes(m):
+            frame = engine.ensemble(request(n_members=m, n_steps=1)).frames[0]
+            buf = io.BytesIO()
+            protocol.write_message(
+                buf, *protocol.summary_frame_message(frame)
+            )
+            return buf.tell()
+
+        b_small, b_large = frame_bytes(2), frame_bytes(n_members)
+    finally:
+        engine.close()
+
+    return {
+        "members": n_members,
+        "workers": n_workers,
+        "max_batch_size": max_batch,
+        "n_steps": n_steps,
+        "sequential_s": seq_s,
+        "ensemble_s": ens_s,
+        "speedup": seq_s / ens_s if ens_s else float("inf"),
+        "bitwise_identical": bitwise,
+        "wire": {
+            "frame_bytes_m2": b_small,
+            f"frame_bytes_m{n_members}": b_large,
+            # only the header's member-count digits may move, never
+            # O(M) arrays
+            "flat": abs(b_large - b_small) <= 16,
+        },
+    }
+
+
 def run_bench(
     quick: bool = False, trace: bool = False, numerics: bool = False
 ) -> dict:
@@ -423,6 +525,7 @@ def run_bench(
                 roll_mesh, config, n_steps, repeats
             ),
             "multi_tenant": bench_multitenant(quick=quick),
+            "ensemble": bench_ensemble(quick=quick),
         }
         if not quick:
             doc["rollout_4rank"] = bench_rollout_multirank(
@@ -492,6 +595,19 @@ def render(doc: dict) -> str:
             f"({mt['speedup']:.2f}x, bitwise identical: "
             f"{mt['bitwise_identical']}); "
             f"single-key parity overhead {sk['overhead']:.3f}x"
+        )
+    if doc.get("ensemble"):
+        en = doc["ensemble"]
+        wire = en["wire"]
+        extra += (
+            f"\n\ntiled ensemble ({en['members']} members, "
+            f"{en['workers']} workers, batch {en['max_batch_size']}, "
+            f"{en['n_steps']} steps): "
+            f"sequential {en['sequential_s'] * 1e3:.1f} ms, "
+            f"ensemble {en['ensemble_s'] * 1e3:.1f} ms "
+            f"({en['speedup']:.2f}x, bitwise identical: "
+            f"{en['bitwise_identical']}); "
+            f"summary frame flat in M: {wire['flat']}"
         )
     if doc.get("numerics"):
         from repro.perf.numerics import render_numerics

@@ -120,7 +120,10 @@ class EngineCapabilities:
     share a filesystem); ``float32`` is whether the engine serves the
     opt-in low-precision inference tier
     (``RolloutRequest(precision="float32")`` — float64 stays the
-    canonical default and never needs a capability).
+    canonical default and never needs a capability); ``ensemble`` is
+    whether the engine serves tiled ensemble requests
+    (:class:`repro.ensemble.api.EnsembleRequest` — streamed summary
+    reduction with the ``ensemble`` wire op).
 
     :meth:`intersection` computes what a *group* of engines can all do
     — the cluster engine's negotiated capability set.
@@ -132,6 +135,7 @@ class EngineCapabilities:
     in_memory_assets: bool = True
     graph_upload: bool = True
     float32: bool = False
+    ensemble: bool = False
 
     def to_dict(self) -> dict:
         """JSON-able form (the ``capabilities`` wire message payload)."""
@@ -148,6 +152,8 @@ class EngineCapabilities:
             graph_upload=bool(d.get("graph_upload", False)),
             # absent on peers that predate the float32 tier: assume not
             float32=bool(d.get("float32", False)),
+            # absent on peers that predate ensemble serving: assume not
+            ensemble=bool(d.get("ensemble", False)),
         )
 
     @classmethod
@@ -170,6 +176,7 @@ class EngineCapabilities:
             in_memory_assets=all(c.in_memory_assets for c in members),
             graph_upload=all(c.graph_upload for c in members),
             float32=all(c.float32 for c in members),
+            ensemble=all(c.ensemble for c in members),
         )
 
 
@@ -649,6 +656,17 @@ class Engine(ABC):
             f"training jobs"
         )
 
+    def _submit_ensemble(self, request) -> "object":
+        """Implementation hook for engines with ``ensemble`` capability.
+
+        Takes an :class:`repro.ensemble.api.EnsembleRequest`, returns
+        an :class:`repro.ensemble.api.EnsembleFuture`.
+        """
+        raise CapabilityError(
+            f"engine {self.capabilities().transport!r} does not support "
+            f"ensemble requests"
+        )
+
     def submit(
         self, request: RolloutRequest | TrainRequest
     ) -> RolloutFuture | TrainFuture:
@@ -658,6 +676,26 @@ class Engine(ABC):
         does not support (see :meth:`capabilities`), and
         :class:`TypeError` for objects that are not requests at all.
         """
+        # lazy: ensemble.api imports this module at its top level
+        from repro.ensemble.api import EnsembleRequest
+
+        if isinstance(request, EnsembleRequest):
+            caps = self.capabilities()
+            if not caps.ensemble:
+                raise CapabilityError(
+                    f"engine {caps.transport!r} does not support ensemble "
+                    f"requests (capability 'ensemble' is off); submit "
+                    f"request {request.request_id} to an ensemble-capable "
+                    f"engine"
+                )
+            if request.precision != "float64" and not caps.float32:
+                raise CapabilityError(
+                    f"engine {caps.transport!r} does not support the "
+                    f"{request.precision!r} inference tier (capability "
+                    f"'float32' is off); resubmit ensemble request "
+                    f"{request.request_id} with precision='float64'"
+                )
+            return self._submit_ensemble(request)
         if isinstance(request, RolloutRequest):
             if request.precision != "float64" and not self.capabilities().float32:
                 raise CapabilityError(
@@ -702,6 +740,11 @@ class Engine(ABC):
         """Submit a training job and block for its result."""
         future = self.submit(request)
         return future.result(timeout=timeout)
+
+    def ensemble(self, request, timeout: float | None = None):
+        """Submit an :class:`repro.ensemble.api.EnsembleRequest` and
+        block for the full :class:`repro.ensemble.api.EnsembleResult`."""
+        return self.submit(request).result(timeout=timeout)
 
     # -- introspection -------------------------------------------------------
 

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.comm.modes import HaloMode
+from repro.ensemble.api import EnsembleFuture
 from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
@@ -51,6 +52,7 @@ _CAPABILITIES = EngineCapabilities(
     streaming=False,  # frames are computed before the first yield
     in_memory_assets=True,
     float32=True,
+    ensemble=True,
 )
 
 
@@ -71,6 +73,45 @@ class _CompletedRolloutFuture(RolloutFuture):
     def _frames(self, timeout: float | None) -> Iterator[StepFrame]:
         for step, state in enumerate(self._collected):
             yield StepFrame(step, state)
+
+    @property
+    def done(self) -> bool:
+        return True
+
+
+class _CompletedEnsembleFuture(EnsembleFuture):
+    """An ensemble that already ran: reduction replays from memory.
+
+    The member trajectories were computed inline (one tiled batch);
+    ``_frames`` replays them through the shared lockstep driver, so
+    the reduction/stability path is byte-for-byte the one every other
+    engine runs.
+    """
+
+    def __init__(
+        self, request, trajectories, metrics, on_outcome=None, trace=None
+    ):
+        super().__init__(request)
+        self._trajectories = trajectories  # per member: list of states
+        self.metrics = metrics
+        self._on_outcome = on_outcome
+        self._trace = trace
+
+    def _frames(self, timeout):
+        from repro.ensemble.driver import SummaryStream, member_stream
+
+        streams = [
+            member_stream(m, iter(self._trajectories[i]))
+            for i, m in enumerate(self.request.members)
+        ]
+        stream = SummaryStream(
+            self.request, streams, trace=self._trace,
+            on_outcome=self._on_outcome,
+        )
+        for frame in stream.frames():
+            self._collected.append(frame)
+            yield frame
+        self.stability = stream.report
 
     @property
     def done(self) -> bool:
@@ -225,6 +266,79 @@ class LocalEngine(Engine):
             f32=execution.f32,
         )
         return _CompletedRolloutFuture(request, states, metrics)
+
+    def _submit_ensemble(self, request):
+        """Execute all members inline as ONE tiled batch, reduce on replay.
+
+        The members share a batch key by construction, so the whole
+        ensemble rides a single block-diagonal pass — the tiling
+        contract makes each member's trajectory bitwise-identical to
+        submitting its perturbed state alone.
+        """
+        model = self._registry.get(request.model)
+        asset = self._asset(request.graph)
+        request = request.resolved(HaloMode.NEIGHBOR_A2A)
+        perturb_at = time.perf_counter()
+        members = request.member_requests()
+        if self.trace.enabled:
+            self.trace.record_span(
+                request.trace_id, "perturb", "ensemble",
+                wall_from_perf(perturb_at), time.perf_counter() - perturb_at,
+                members=len(members), seed=request.perturbation.seed,
+            )
+        submitted = time.perf_counter()
+        trajectories: list = [[] for _ in members]
+        execution = execute_batch(
+            model,
+            asset,
+            members,
+            lambda i, step, state: trajectories[i].append(state),
+            timeout=self.request_timeout_s,
+            fast_math=self.fast_math,
+        )
+        finished = time.perf_counter()
+        if self.trace.enabled:
+            self.trace.record_span(
+                request.trace_id, "execute", "server",
+                wall_from_perf(submitted), finished - submitted,
+                model=request.model, graph=request.graph,
+                batch_size=execution.batch_size,
+                world_size=execution.world_size,
+                n_steps=request.n_steps,
+            )
+        per_request = [
+            RequestMetrics(
+                request_id=member.request_id,
+                model=member.model,
+                graph=member.graph,
+                world_size=execution.world_size,
+                batch_size=execution.batch_size,
+                n_steps=member.n_steps,
+                queue_wait_s=0.0,
+                exec_s=execution.exec_s,
+                latency_s=finished - submitted,
+                batch_comm_bytes=execution.comm.bytes_sent,
+                batch_comm_messages=execution.comm.messages,
+            )
+            for member in members
+        ]
+        self._metrics.record_batch(
+            per_request,
+            execution.n_steps,
+            comm_bytes=execution.comm.bytes_sent,
+            comm_messages=execution.comm.messages,
+            tile_hits=execution.tile_hits,
+            tile_misses=execution.tile_misses,
+            fused=execution.fused,
+            f32=execution.f32,
+        )
+        self._metrics.record_ensemble(members=len(members), chunks=1)
+        return _CompletedEnsembleFuture(
+            request, trajectories,
+            metrics={"members": len(members), "exec_s": execution.exec_s},
+            on_outcome=self._metrics.record_ensemble_outcome,
+            trace=self.trace if self.trace.enabled else None,
+        )
 
     def _submit_train(self, request: TrainRequest) -> TrainFuture:
         model = self._registry.get(request.model)

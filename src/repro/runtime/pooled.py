@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro.ensemble.api import EnsembleFuture, SummaryFrame
 from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
@@ -46,6 +47,7 @@ _CAPABILITIES = EngineCapabilities(
     streaming=True,
     in_memory_assets=True,
     float32=True,
+    ensemble=True,
 )
 
 
@@ -73,6 +75,33 @@ class _HandleRolloutFuture(RolloutFuture):
             frame = StepFrame(self._step, state)
             self._step += 1
             yield frame
+        self.metrics = self._handle.metrics
+
+    @property
+    def done(self) -> bool:
+        return self._handle.done
+
+
+class _HandleEnsembleFuture(EnsembleFuture):
+    """Engine future over the service's reducing ``EnsembleHandle``.
+
+    The handle drives the lockstep reduction in this consumer's
+    thread; frames stream as member batches complete, so summaries
+    overlap with later steps' compute.
+    """
+
+    def __init__(self, request, handle, timeout_s: float):
+        super().__init__(request)
+        self._handle = handle
+        self._timeout_s = timeout_s
+
+    def _frames(self, timeout: float | None) -> Iterator[SummaryFrame]:
+        for frame in self._handle.frames(
+            timeout=self._timeout_s if timeout is None else timeout
+        ):
+            self._collected.append(frame)
+            yield frame
+        self.stability = self._handle.report
         self.metrics = self._handle.metrics
 
     @property
@@ -179,6 +208,12 @@ class PooledEngine(Engine):
     def _submit_rollout(self, request: RolloutRequest) -> RolloutFuture:
         handle = self._service.submit_request(request)
         return _HandleRolloutFuture(
+            handle.request, handle, self._service.config.request_timeout_s
+        )
+
+    def _submit_ensemble(self, request):
+        handle = self._service.submit_ensemble(request)
+        return _HandleEnsembleFuture(
             handle.request, handle, self._service.config.request_timeout_s
         )
 

@@ -47,6 +47,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.ensemble.api import EnsembleFuture, SummaryFrame
+from repro.ensemble.stability import StabilityReport
 from repro.gnn.architecture import MeshGNN
 from repro.gnn.config import GNNConfig
 from repro.graph.distributed import LocalGraph
@@ -342,6 +344,134 @@ class _RemoteRolloutFuture(RolloutFuture):
         return self._finished
 
 
+class _RemoteEnsembleFuture(EnsembleFuture):
+    """Streaming ensemble summaries over a pooled connection.
+
+    The reduction runs server-side; what crosses the wire per step is
+    the bounded summary payload (independent of M unless raw members
+    were requested), then one ``done`` message carrying the stability
+    report. Reconnect-on-EOF mirrors the rollout future: safe because
+    an ensemble is a pure read and every member is deterministically
+    derived from ``(seed, member)`` — a re-sent request reproduces the
+    same bits.
+    """
+
+    def __init__(
+        self,
+        pool: _ConnectionPool,
+        request,
+        conn: _Conn,
+        trace: TraceBuffer | None = None,
+    ):
+        super().__init__(request)
+        self._pool = pool
+        self._conn = conn
+        self._trace = trace
+        self._finished = False
+
+    def _frames(self, timeout: float | None) -> Iterator[SummaryFrame]:
+        if self._trace is None or not self._trace.enabled:
+            yield from self._stream(timeout)
+            return
+        started = time.perf_counter()
+        frames = 0
+        status = "failed"
+        try:
+            for frame in self._stream(timeout):
+                frames += 1
+                yield frame
+            status = "ok"
+        finally:
+            self._trace.record_span(
+                self.request.trace_id,
+                "network",
+                "client",
+                wall_from_perf(started),
+                time.perf_counter() - started,
+                status=status,
+                endpoint=f"{self._pool.host}:{self._pool.port}",
+                frames=frames,
+            )
+
+    def _stream(self, timeout: float | None) -> Iterator[SummaryFrame]:
+        conn = self._conn
+        conn.sock.settimeout(
+            self._pool.request_timeout_s if timeout is None else timeout
+        )
+        received = 0
+        may_retry = conn.reused
+        try:
+            while True:
+                try:
+                    message = read_message(conn.stream)
+                except (ProtocolError, OSError) as exc:
+                    if received == 0 and may_retry:
+                        conn = self._retry(conn)
+                        may_retry = False
+                        continue
+                    self._pool.discard(conn)
+                    raise TransportError(
+                        f"stream broke mid-ensemble: {exc}"
+                    ) from None
+                if message is None:
+                    if received == 0 and may_retry:
+                        conn = self._retry(conn)
+                        may_retry = False
+                        continue
+                    self._pool.discard(conn)
+                    raise TransportError("server closed the stream before done")
+                header, arrays = message
+                kind = header.get("type")
+                if kind == "summary":
+                    try:
+                        frame = protocol.parse_summary_frame(header, arrays)
+                    except ValueError as exc:
+                        self._pool.discard(conn)
+                        raise TransportError(str(exc)) from None
+                    self._collected.append(frame)
+                    yield frame
+                    received += 1
+                elif kind == "done":
+                    report = header.get("stability")
+                    self.stability = (
+                        None if report is None
+                        else StabilityReport.from_dict(report)
+                    )
+                    self.metrics = header.get("metrics")
+                    self._pool.release(conn)
+                    return
+                elif kind == "error":
+                    self._pool.release(conn)
+                    protocol.raise_for_code(header["code"], header["message"])
+                else:
+                    self._pool.discard(conn)
+                    raise TransportError(
+                        f"unexpected message {kind!r} in ensemble stream"
+                    )
+        finally:
+            self._finished = True
+
+    def _retry(self, dead: _Conn) -> _Conn:
+        """Reconnect-on-EOF once: re-send the request on a fresh dial."""
+        timeout = dead.sock.gettimeout()
+        self._pool.discard(dead)
+        conn = self._pool.redial()
+        conn.sock.settimeout(timeout)
+        try:
+            write_message(conn.stream, *protocol.ensemble_message(self.request))
+        except (OSError, ProtocolError) as exc:
+            self._pool.discard(conn)
+            raise TransportError(
+                f"reconnect failed re-sending request: {exc}"
+            ) from None
+        self._conn = conn
+        return conn
+
+    @property
+    def done(self) -> bool:
+        return self._finished
+
+
 class RemoteEngine(Engine):
     """Engine speaking the serve wire protocol over pooled connections.
 
@@ -557,6 +687,27 @@ class RemoteEngine(Engine):
             else:
                 raise TransportError(f"cannot submit rollout: {exc}") from None
         return _RemoteRolloutFuture(self._pool, request, conn, trace=self.trace)
+
+    def _submit_ensemble(self, request):
+        conn = self._pool.acquire()
+        try:
+            write_message(conn.stream, *protocol.ensemble_message(request))
+        except (OSError, ProtocolError) as exc:
+            self._pool.discard(conn)
+            if conn.reused:
+                conn = self._pool.redial()
+                try:
+                    write_message(
+                        conn.stream, *protocol.ensemble_message(request)
+                    )
+                except (OSError, ProtocolError) as exc2:
+                    self._pool.discard(conn)
+                    raise TransportError(
+                        f"cannot submit ensemble: {exc2}"
+                    ) from None
+            else:
+                raise TransportError(f"cannot submit ensemble: {exc}") from None
+        return _RemoteEnsembleFuture(self._pool, request, conn, trace=self.trace)
 
     def _submit_train(self, request: TrainRequest):
         raise CapabilityError(

@@ -227,21 +227,28 @@ class AdmissionController:
 
     # -- decisions -----------------------------------------------------------
 
-    def admit(self, queue_depth: int) -> None:
+    def admit(self, queue_depth: int, slots: int = 1) -> None:
         """Accept or shed a submission given the current pending depth.
 
-        Raises :class:`QueueFull` (and counts the shed) when the queue
-        is at ``max_queue_depth``; otherwise counts an acceptance.
+        ``slots`` is how many queue slots the submission occupies — an
+        M-member ensemble counts as M, so a large ensemble cannot
+        starve the queue cap (``slots=1`` reduces to the classic
+        ``depth >= cap`` check). Admission is all-or-nothing: either
+        every slot fits under the cap or the whole submission is shed
+        with :class:`QueueFull` (and ``shed`` counts all its slots).
         """
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
         cap = self.config.max_queue_depth
-        if cap is not None and queue_depth >= cap:
+        if cap is not None and queue_depth + slots > cap:
             with self._lock:
-                self._shed += 1
+                self._shed += slots
             raise QueueFull(
-                f"queue at capacity ({queue_depth}/{cap} pending); request shed"
+                f"queue at capacity ({queue_depth}/{cap} pending, "
+                f"{slots} slot(s) requested); request shed"
             )
         with self._lock:
-            self._accepted += 1
+            self._accepted += slots
 
     def effective_deadline_s(self, deadline_s: float | None) -> float | None:
         """Resolve a request's deadline against the configured default."""

@@ -203,6 +203,30 @@ class RequestQueue:
             self._cond.notify_all()
         return handle
 
+    def submit_many(
+        self, requests: "list[InferenceRequest]"
+    ) -> "list[RolloutHandle]":
+        """Enqueue several requests atomically → their handles.
+
+        One admission decision covers the whole group (``slots=len``):
+        either every request enters the queue under the depth cap or
+        none does (:class:`~repro.serve.admission.QueueFull`). This is
+        how an M-member ensemble counts as M queue slots without racing
+        other submitters between members.
+        """
+        if not requests:
+            raise ValueError("submit_many needs at least one request")
+        handles = [RolloutHandle(r) for r in requests]
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if self._admission is not None:
+                self._admission.admit(len(self._pending), slots=len(requests))
+            self._pending.extend(zip(requests, handles))
+            self._depth_high_water = max(self._depth_high_water, len(self._pending))
+            self._cond.notify_all()
+        return handles
+
     def next_batch(
         self,
         max_batch_size: int,

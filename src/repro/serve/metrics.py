@@ -88,6 +88,11 @@ class ServeStats:
     arena_bytes_high_water: int = 0
     fused_batches: int = 0
     f32_batches: int = 0
+    ensemble_requests: int = 0
+    ensemble_members: int = 0
+    ensemble_chunks: int = 0
+    ensemble_blow_ups: int = 0
+    ensemble_early_stops: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     registry: RegistryStats = field(default_factory=RegistryStats)
     admission: AdmissionStats = field(default_factory=AdmissionStats)
@@ -172,6 +177,11 @@ def merge_stats(snapshots: "Sequence[ServeStats]") -> ServeStats:
         ),
         fused_batches=sum(s.fused_batches for s in snapshots),
         f32_batches=sum(s.f32_batches for s in snapshots),
+        ensemble_requests=sum(s.ensemble_requests for s in snapshots),
+        ensemble_members=sum(s.ensemble_members for s in snapshots),
+        ensemble_chunks=sum(s.ensemble_chunks for s in snapshots),
+        ensemble_blow_ups=sum(s.ensemble_blow_ups for s in snapshots),
+        ensemble_early_stops=sum(s.ensemble_early_stops for s in snapshots),
         cache=cache,
         registry=registry,
         admission=admission,
@@ -198,6 +208,11 @@ class MetricsAggregator:
         self._fused_batches = 0
         self._f32_batches = 0
         self._warm_key_batches = 0
+        self._ensemble_requests = 0
+        self._ensemble_members = 0
+        self._ensemble_chunks = 0
+        self._ensemble_blow_ups = 0
+        self._ensemble_early_stops = 0
 
     def record_batch(
         self,
@@ -235,6 +250,19 @@ class MetricsAggregator:
             self._train_jobs += 1
             self._train_s += train_s
 
+    def record_ensemble(self, members: int, chunks: int = 1) -> None:
+        """Account one admitted ensemble (its member and chunk counts)."""
+        with self._lock:
+            self._ensemble_requests += 1
+            self._ensemble_members += members
+            self._ensemble_chunks += chunks
+
+    def record_ensemble_outcome(self, blew_up: bool, early_stopped: bool) -> None:
+        """Account one finished ensemble's stability outcome."""
+        with self._lock:
+            self._ensemble_blow_ups += int(blew_up)
+            self._ensemble_early_stops += int(early_stopped)
+
     def completed(self) -> list[RequestMetrics]:
         with self._lock:
             return list(self._completed)
@@ -263,6 +291,11 @@ class MetricsAggregator:
             fused_batches = self._fused_batches
             f32_batches = self._f32_batches
             warm_key_batches = self._warm_key_batches
+            ensemble_requests = self._ensemble_requests
+            ensemble_members = self._ensemble_members
+            ensemble_chunks = self._ensemble_chunks
+            ensemble_blow_ups = self._ensemble_blow_ups
+            ensemble_early_stops = self._ensemble_early_stops
         # warm-key execution is observed here (at the arenas), while
         # the rest of the scheduler snapshot comes from the queue — the
         # two halves meet in the one ServeStats field
@@ -292,6 +325,11 @@ class MetricsAggregator:
             arena_bytes_high_water=arena_bytes_high_water,
             fused_batches=fused_batches,
             f32_batches=f32_batches,
+            ensemble_requests=ensemble_requests,
+            ensemble_members=ensemble_members,
+            ensemble_chunks=ensemble_chunks,
+            ensemble_blow_ups=ensemble_blow_ups,
+            ensemble_early_stops=ensemble_early_stops,
             cache=cache,
             registry=registry,
             admission=admission or AdmissionStats(),
@@ -353,6 +391,17 @@ def stats_to_registry(
          stats.fused_batches),
         ("repro_f32_batches_total", "batches served on the float32 tier",
          stats.f32_batches),
+        ("repro_ensemble_requests_total", "admitted ensemble requests",
+         stats.ensemble_requests),
+        ("repro_ensemble_members_total", "ensemble members executed",
+         stats.ensemble_members),
+        ("repro_ensemble_chunks_total", "ensemble chunks dispatched",
+         stats.ensemble_chunks),
+        ("repro_ensemble_blow_ups_total", "ensembles that tripped blow-up",
+         stats.ensemble_blow_ups),
+        ("repro_ensemble_early_stops_total",
+         "ensembles early-stopped at the blow-up step",
+         stats.ensemble_early_stops),
         ("repro_admission_accepted_total", "requests admitted to the queue",
          stats.admission.accepted),
         ("repro_admission_shed_total", "requests shed at admission",
@@ -517,6 +566,11 @@ def stats_markdown(stats: ServeStats) -> str:
          stats.arena_bytes_high_water],
         ["fused / f32 batches",
          f"{stats.fused_batches} / {stats.f32_batches}"],
+        ["ensembles (requests / members / chunks)",
+         f"{stats.ensemble_requests} / {stats.ensemble_members} / "
+         f"{stats.ensemble_chunks}"],
+        ["ensemble blow-ups / early stops",
+         f"{stats.ensemble_blow_ups} / {stats.ensemble_early_stops}"],
         ["graph-cache hit rate",
          _per_request(stats.cache.hit_rate,
                       stats.cache.hits + stats.cache.misses)],

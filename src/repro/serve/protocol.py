@@ -207,6 +207,138 @@ def parse_rollout_message(
         raise ValueError(f"malformed rollout request: {exc}") from None
 
 
+def ensemble_message(request) -> tuple[dict, list[np.ndarray]]:
+    """Frame an :class:`~repro.ensemble.api.EnsembleRequest` for the wire.
+
+    Like :func:`rollout_message`: scalars ride the header, the single
+    base state ``x0`` is the one ``.npy`` blob (members are derived
+    server-side — an M-member ensemble ships ONE state, never M), and
+    ``request_id``/``submitted_at`` stay process-local while
+    ``trace_id`` crosses.
+    """
+    header = {
+        "op": "ensemble",
+        "model": request.model,
+        "graph": request.graph,
+        "n_steps": int(request.n_steps),
+        "n_members": int(request.n_members),
+        "halo_mode": request.halo_mode,
+        "residual": bool(request.residual),
+        "precision": request.precision,
+        "deadline_s": request.deadline_s,
+        "trace_id": request.trace_id,
+        "perturbation": request.perturbation.to_dict(),
+        "summaries": list(request.summaries),
+        "quantiles": list(request.quantiles),
+        "return_members": bool(request.return_members),
+        "stability": (
+            None if request.stability is None else request.stability.to_dict()
+        ),
+        "member_range": (
+            None if request.member_range is None
+            else list(request.member_range)
+        ),
+    }
+    return header, [request.x0]
+
+
+def parse_ensemble_message(header: dict, arrays: Sequence[np.ndarray]):
+    """Invert :func:`ensemble_message` into a fresh server-side request.
+
+    Raises :class:`ValueError` (→ ``bad_request`` on the wire) for
+    malformed headers AND for degenerate requests — M=0 members, zero
+    steps, negative noise scale — because the reconstruction runs the
+    request dataclasses' own front-door validation. A degenerate
+    ensemble is rejected before it touches the queue, on every engine
+    kind.
+    """
+    from repro.ensemble.api import EnsembleRequest, PerturbationSpec
+    from repro.ensemble.stability import StabilityConfig
+
+    if len(arrays) != 1:
+        raise ValueError(
+            f"ensemble carries exactly one array (x0), got {len(arrays)}"
+        )
+    kwargs: dict = {}
+    trace_id = header.get("trace_id")
+    if trace_id is not None:
+        kwargs["trace_id"] = str(trace_id)
+    member_range = header.get("member_range")
+    try:
+        return EnsembleRequest(
+            model=require_field(header, "model"),
+            graph=require_field(header, "graph"),
+            x0=arrays[0],
+            n_steps=int(require_field(header, "n_steps")),
+            n_members=int(require_field(header, "n_members")),
+            perturbation=PerturbationSpec.from_dict(
+                header.get("perturbation") or {}
+            ),
+            summaries=tuple(header.get("summaries", ())),
+            quantiles=tuple(header.get("quantiles", ())),
+            return_members=bool(header.get("return_members", False)),
+            stability=(
+                None if header.get("stability") is None
+                else StabilityConfig.from_dict(header["stability"])
+            ),
+            member_range=(
+                None if member_range is None else tuple(member_range)
+            ),
+            halo_mode=header.get("halo_mode"),
+            residual=bool(header.get("residual", False)),
+            precision=str(header.get("precision", "float64")),
+            deadline_s=header.get("deadline_s"),
+            **kwargs,
+        )
+    except (TypeError, AttributeError) as exc:
+        raise ValueError(f"malformed ensemble request: {exc}") from None
+
+
+def summary_frame_message(frame) -> tuple[dict, list[np.ndarray]]:
+    """Frame one :class:`~repro.ensemble.api.SummaryFrame` for the wire.
+
+    The header names the summaries in array order; arrays are
+    ``[energy, *summaries, *members]``. Without ``return_members`` the
+    member list is empty, so the frame's wire size depends only on the
+    mesh and the summary selection — never on M (the wire-cost bound
+    ``tools/check_ensemble.py`` holds).
+    """
+    names = sorted(frame.summaries)
+    header = {
+        "type": "summary",
+        "step": int(frame.step),
+        "n_members": int(frame.n_members),
+        "divergence": float(frame.divergence),
+        "summaries": names,
+        "members": len(frame.members),
+    }
+    arrays = [np.asarray(frame.energy, dtype=np.float64)]
+    arrays.extend(frame.summaries[n] for n in names)
+    arrays.extend(frame.members)
+    return header, arrays
+
+
+def parse_summary_frame(header: dict, arrays: Sequence[np.ndarray]):
+    """Invert :func:`summary_frame_message` into a ``SummaryFrame``."""
+    from repro.ensemble.api import SummaryFrame
+
+    names = list(header.get("summaries", ()))
+    n_member_arrays = int(header.get("members", 0))
+    if len(arrays) != 1 + len(names) + n_member_arrays:
+        raise ValueError(
+            f"summary frame announced {1 + len(names) + n_member_arrays} "
+            f"arrays, carried {len(arrays)}"
+        )
+    return SummaryFrame(
+        step=int(require_field(header, "step")),
+        n_members=int(require_field(header, "n_members")),
+        summaries=dict(zip(names, arrays[1:1 + len(names)])),
+        energy=arrays[0],
+        divergence=float(require_field(header, "divergence")),
+        members=tuple(arrays[1 + len(names):]),
+    )
+
+
 #: per-rank array fields of a graph-upload message, in wire order;
 #: per-neighbor halo send-index arrays follow them for each rank
 _GRAPH_ARRAY_FIELDS = (

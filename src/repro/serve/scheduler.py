@@ -240,6 +240,40 @@ class ScheduledQueue:
             self._cond.notify_all()
         return handle
 
+    def submit_many(
+        self, requests: "list[RolloutRequest]"
+    ) -> "list[RolloutHandle]":
+        """Enqueue several requests atomically → their handles.
+
+        One admission decision covers the whole group (``slots=len``)
+        against the total cross-lane depth — all-or-nothing, the
+        :meth:`~repro.serve.batching.RequestQueue.submit_many`
+        contract. The requests land in their keys' lanes in order (an
+        ensemble's members share one key, so they fill one lane and
+        tile together).
+        """
+        if not requests:
+            raise ValueError("submit_many needs at least one request")
+        handles = [RolloutHandle(r) for r in requests]
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if self._admission is not None:
+                self._admission.admit(self._depth, slots=len(requests))
+            for request, handle in zip(requests, handles):
+                lane = self._lanes.get(request.key)
+                if lane is None:
+                    lane = _Lane(request.key, next(self._lane_seq))
+                    self._lanes[request.key] = lane
+                lane.pending.append((request, handle))
+                self._depth += 1
+                self._lane_depth_high_water = max(
+                    self._lane_depth_high_water, len(lane.pending)
+                )
+            self._depth_high_water = max(self._depth_high_water, self._depth)
+            self._cond.notify_all()
+        return handles
+
     # -- dispatch ------------------------------------------------------------
 
     def next_batch(

@@ -19,7 +19,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -42,6 +42,9 @@ from repro.serve.metrics import (
     stats_markdown,
 )
 from repro.serve.registry import ModelRegistry
+
+if TYPE_CHECKING:  # serve must not import ensemble at module load
+    from repro.ensemble.driver import EnsembleHandle
 
 
 @dataclass(frozen=True)
@@ -322,6 +325,69 @@ class InferenceService:
             model=request.model, graph=request.graph,
         )
         return handle
+
+    def submit_ensemble(self, request) -> "EnsembleHandle":
+        """Enqueue an :class:`~repro.ensemble.api.EnsembleRequest` →
+        reducing :class:`~repro.ensemble.driver.EnsembleHandle`.
+
+        The ensemble decomposes into M member rollouts submitted
+        *atomically* (one admission decision for M queue slots — all
+        or nothing, so a large ensemble sheds instead of starving the
+        cap); the scheduler then tiles them into at most
+        ``max_batch_size``-member batches like any other same-key
+        burst. The returned handle runs the lockstep reduction in the
+        consumer's thread, streaming bounded
+        :class:`~repro.ensemble.api.SummaryFrame`\\ s.
+        """
+        from repro.ensemble.driver import EnsembleHandle
+
+        if not self._started:
+            raise RuntimeError("service is not started (use start() or `with`)")
+        self.registry.get(request.model)  # fail fast on unknown names
+        if (
+            request.graph not in self._pinned_graphs
+            and request.graph not in self._graph_dirs
+        ):
+            raise KeyError(
+                f"no graph registered under {request.graph!r}; "
+                f"known: {self.graph_keys()}"
+            )
+        request = request.resolved(
+            self.config.default_halo_mode,
+            self._admission.effective_deadline_s(request.deadline_s),
+        )
+        perturb_at = time.perf_counter()
+        members = request.member_requests()
+        self.trace.record_span(
+            request.trace_id, "perturb", "server",
+            wall_from_perf(perturb_at), time.perf_counter() - perturb_at,
+            members=len(members), seed=request.perturbation.seed,
+        )
+        admitted_at = time.perf_counter()
+        try:
+            handles = self._queue.submit_many(members)
+        except QueueFull:
+            self.trace.record_span(
+                request.trace_id, "admission", "server",
+                wall_from_perf(admitted_at),
+                time.perf_counter() - admitted_at,
+                status="failed", model=request.model, graph=request.graph,
+                reason="queue_full", members=len(members),
+            )
+            raise
+        self.trace.record_span(
+            request.trace_id, "admission", "server",
+            wall_from_perf(admitted_at), time.perf_counter() - admitted_at,
+            model=request.model, graph=request.graph, members=len(members),
+        )
+        chunks = -(-len(members) // self.config.max_batch_size)
+        self._metrics.record_ensemble(members=len(members), chunks=chunks)
+        return EnsembleHandle(
+            request, handles,
+            timeout_s=self.config.request_timeout_s,
+            trace=self.trace,
+            on_outcome=self._metrics.record_ensemble_outcome,
+        )
 
     def submit(
         self,

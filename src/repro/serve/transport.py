@@ -71,6 +71,7 @@ WIRE_CAPABILITIES = EngineCapabilities(
     in_memory_assets=False,
     graph_upload=True,
     float32=True,
+    ensemble=True,
 )
 
 
@@ -151,6 +152,8 @@ class _Handler(socketserver.StreamRequestHandler):
                 )
             elif op == "rollout":
                 self._rollout(service, header, arrays)
+            elif op == "ensemble":
+                self._ensemble(service, header, arrays)
             elif op == "stats":
                 stats = service.stats()
                 self._reply(
@@ -243,6 +246,60 @@ class _Handler(socketserver.StreamRequestHandler):
             dataclasses.asdict(handle.metrics) if handle.metrics is not None else None
         )
         self._reply({"type": "done", "n_frames": step, "metrics": metrics})
+
+    def _ensemble(
+        self, service: InferenceService, header: dict, arrays: list[np.ndarray]
+    ) -> None:
+        """Serve one ensemble: stream bounded summary frames, then ``done``.
+
+        Per-frame wire bytes are independent of M unless the client
+        asked for raw members — the summaries/energy/divergence payload
+        depends only on the mesh and the summary selection.
+        """
+        try:
+            request = protocol.parse_ensemble_message(header, arrays)
+        except ValueError as exc:
+            self._reply_error(protocol.ERR_BAD_REQUEST, str(exc))
+            return
+        # enforce what we announce (a peer that skipped capability
+        # negotiation still gets typed rejections, not garbage)
+        if not WIRE_CAPABILITIES.ensemble:
+            self._reply_error(
+                protocol.ERR_CAPABILITY,
+                "this server does not serve ensemble requests",
+            )
+            return
+        if request.precision != "float64" and not WIRE_CAPABILITIES.float32:
+            self._reply_error(
+                protocol.ERR_CAPABILITY,
+                f"this server does not serve the {request.precision!r} "
+                f"inference tier",
+            )
+            return
+        handle = service.submit_ensemble(request)
+        n = 0
+        started = time.perf_counter()
+        try:
+            for frame in handle.frames(timeout=service.config.request_timeout_s):
+                fh, fa = protocol.summary_frame_message(frame)
+                self._reply(fh, fa)
+                n += 1
+        except BaseException as exc:  # noqa: BLE001 - forwarded as typed error
+            self._serialize_span(service, request, started, n, failed=True)
+            if isinstance(exc, (BrokenPipeError, ConnectionError)):
+                raise
+            self._reply_error(_error_code(exc), str(exc) or repr(exc))
+            return
+        self._serialize_span(service, request, started, n, failed=False)
+        report = handle.report
+        self._reply(
+            {
+                "type": "done",
+                "n_frames": n,
+                "stability": None if report is None else report.to_dict(),
+                "metrics": handle.metrics,
+            }
+        )
 
     @staticmethod
     def _serialize_span(

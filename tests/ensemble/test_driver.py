@@ -1,0 +1,155 @@
+"""The lockstep reduction driver: coverage, reduction, early stop, abort."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble.api import EnsembleRequest, PerturbationSpec
+from repro.ensemble.driver import MemberStream, SummaryStream, member_stream
+from repro.ensemble.reduce import reduce_frame
+from repro.ensemble.stability import StabilityConfig
+
+RNG = np.random.default_rng(21)
+X0 = RNG.standard_normal((4, 2))
+
+
+def request(n_steps=2, n_members=3, **kw):
+    kw.setdefault("summaries", ("mean", "variance", "min", "max"))
+    return EnsembleRequest(
+        model="m", graph="g", x0=X0, n_steps=n_steps, n_members=n_members,
+        perturbation=PerturbationSpec(seed=1, noise_scale=0.1), **kw
+    )
+
+
+def trajectories(req, blow_at=None):
+    """Synthetic member trajectories: (M, steps+1, n, F)."""
+    out = []
+    for m in req.members:
+        traj = [RNG.standard_normal(X0.shape) for _ in range(req.n_steps + 1)]
+        if blow_at is not None and m == blow_at[0]:
+            traj[blow_at[1]] = np.full(X0.shape, np.nan)
+        out.append(traj)
+    return out
+
+
+def streams_for(req, trajs, aborts=None):
+    streams = []
+    for i, m in enumerate(req.members):
+        abort = None if aborts is None else aborts[i]
+        streams.append(member_stream(m, iter(trajs[i]), abort=abort))
+    return streams
+
+
+class TestMemberStream:
+    def test_requires_at_least_one_member(self):
+        with pytest.raises(ValueError, match=">= 1 member"):
+            MemberStream((), iter([]))
+
+    def test_abort_hook_is_optional(self):
+        member_stream(0, iter([])).abort()  # no hook: no-op
+
+
+class TestSummaryStream:
+    def test_rejects_incomplete_member_coverage(self):
+        req = request(n_members=3)
+        trajs = trajectories(req)
+        with pytest.raises(ValueError, match="cover"):
+            SummaryStream(req, streams_for(req, trajs)[:2])
+
+    def test_rejects_duplicate_members(self):
+        req = request(n_members=2)
+        trajs = trajectories(req)
+        dup = [member_stream(0, iter(trajs[0])),
+               member_stream(0, iter(trajs[1]))]
+        with pytest.raises(ValueError, match="cover"):
+            SummaryStream(req, dup)
+
+    def test_reduction_matches_direct_reduce_frame(self):
+        req = request()
+        trajs = trajectories(req)
+        frames = list(SummaryStream(req, streams_for(req, trajs)).frames())
+        assert len(frames) == req.n_steps + 1
+        for step, frame in enumerate(frames):
+            stack = np.stack([t[step] for t in trajs])
+            expect, _, esum, div = reduce_frame(
+                stack, req.summaries, req.quantiles
+            )
+            for name, arr in expect.items():
+                assert frame.summaries[name].tobytes() == arr.tobytes()
+            assert frame.energy.tobytes() == esum.tobytes()
+            assert frame.divergence == div
+            assert frame.members == ()  # return_members off
+
+    def test_chunk_streams_reduce_identically_to_member_streams(self):
+        req = request(n_members=4)
+        trajs = trajectories(req)
+        per_member = list(
+            SummaryStream(req, streams_for(req, trajs)).frames()
+        )
+        chunks = [
+            MemberStream((0, 1), iter(
+                [[trajs[0][s], trajs[1][s]] for s in range(req.n_steps + 1)]
+            )),
+            MemberStream((2, 3), iter(
+                [[trajs[2][s], trajs[3][s]] for s in range(req.n_steps + 1)]
+            )),
+        ]
+        chunked = list(SummaryStream(req, chunks).frames())
+        for a, b in zip(per_member, chunked):
+            for name in a.summaries:
+                assert a.summaries[name].tobytes() == (
+                    b.summaries[name].tobytes()
+                )
+            assert a.divergence == b.divergence
+
+    def test_return_members_carries_raw_states(self):
+        req = request(return_members=True)
+        trajs = trajectories(req)
+        frames = list(SummaryStream(req, streams_for(req, trajs)).frames())
+        for step, frame in enumerate(frames):
+            assert len(frame.members) == req.n_members
+            for m in range(req.n_members):
+                assert frame.members[m] is trajs[m][step]
+
+    def test_short_member_stream_is_a_runtime_error(self):
+        req = request(n_steps=3)
+        trajs = trajectories(req)
+        trajs[1] = trajs[1][:2]  # member 1 ends early
+        stream = SummaryStream(req, streams_for(req, trajs))
+        with pytest.raises(RuntimeError, match="ended at step"):
+            list(stream.frames())
+
+    def test_early_stop_truncates_and_aborts_streams(self):
+        req = request(n_steps=4, stability=StabilityConfig())
+        trajs = trajectories(req, blow_at=(1, 2))
+        aborted = []
+        aborts = [lambda i=i: aborted.append(i) for i in range(3)]
+        stream = SummaryStream(req, streams_for(req, trajs, aborts))
+        frames = list(stream.frames())
+        assert len(frames) == 3  # steps 0..2, truncated at the trip
+        assert stream.report.blow_up is not None
+        assert stream.report.blow_up.step == 2
+        assert stream.report.blow_up.member == 1
+        assert stream.report.early_stopped
+        assert sorted(aborted) == [0, 1, 2]
+
+    def test_early_stop_off_streams_to_the_end(self):
+        req = request(
+            n_steps=4, stability=StabilityConfig(early_stop=False)
+        )
+        trajs = trajectories(req, blow_at=(0, 1))
+        stream = SummaryStream(req, streams_for(req, trajs))
+        frames = list(stream.frames())
+        assert len(frames) == 5
+        assert stream.report.blow_up is not None
+        assert not stream.report.early_stopped
+
+    def test_outcome_hook_fires_once(self):
+        calls = []
+        req = request(stability=StabilityConfig())
+        trajs = trajectories(req)
+        stream = SummaryStream(
+            req, streams_for(req, trajs),
+            on_outcome=lambda blew, stopped: calls.append((blew, stopped)),
+        )
+        list(stream.frames())
+        assert calls == [(False, False)]

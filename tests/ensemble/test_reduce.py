@@ -1,0 +1,192 @@
+"""Unit tests for the streaming ensemble reducers.
+
+The contract under test is the module's bitwise one: merging partial
+states is a disjoint union (no arithmetic), finalization folds members
+in ascending order, and no summary's shape depends on M.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ensemble.reduce import (
+    ALLOWED_SUMMARIES,
+    DEFAULT_SUMMARIES,
+    ReducerState,
+    energy_summary,
+    ensemble_divergence,
+    kinetic_energy,
+    merge_states,
+    reduce_frame,
+    reduce_summaries,
+    summary_shapes,
+    welford,
+)
+
+RNG = np.random.default_rng(1234)
+
+
+def stack(m=5, n=7, f=3):
+    return RNG.standard_normal((m, n, f))
+
+
+class TestReducerState:
+    def test_rejects_degenerate_member_count(self):
+        with pytest.raises(ValueError, match="n_members"):
+            ReducerState(0)
+
+    def test_update_bounds_and_double_reduce(self):
+        state = ReducerState(2)
+        state.update(0, np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="out of range"):
+            state.update(2, np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="reduced twice"):
+            state.update(0, np.zeros((2, 2)))
+
+    def test_values_requires_completeness(self):
+        state = ReducerState(3)
+        state.update(1, np.ones((2, 2)))
+        assert not state.complete
+        with pytest.raises(ValueError, match="incomplete"):
+            state.values()
+
+    def test_values_stack_in_member_order(self):
+        values = stack(m=4)
+        state = ReducerState(4)
+        for m in (2, 0, 3, 1):  # arrival order must not matter
+            state.update(m, values[m])
+        assert state.members == (0, 1, 2, 3)
+        assert np.array_equal(state.values(), values)
+
+    def test_update_canonicalizes_to_float64_copy(self):
+        state = ReducerState(1)
+        src = np.ones((2, 2), dtype=np.float32)
+        state.update(0, src)
+        src[:] = 7.0  # the reducer must hold its own copy
+        out = state.values()
+        assert out.dtype == np.float64
+        assert np.all(out == 1.0)
+
+    def test_merge_is_disjoint_union(self):
+        values = stack(m=4)
+        a, b = ReducerState(4), ReducerState(4)
+        a.update(0, values[0])
+        a.update(2, values[2])
+        b.update(1, values[1])
+        b.update(3, values[3])
+        merged = a.merge(b)
+        assert merged.complete
+        assert np.array_equal(merged.values(), values)
+
+    def test_merge_rejects_overlap_and_size_mismatch(self):
+        a, b = ReducerState(2), ReducerState(2)
+        a.update(0, np.zeros((1, 1)))
+        b.update(0, np.ones((1, 1)))
+        with pytest.raises(ValueError, match="reduced twice"):
+            a.merge(b)
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(ReducerState(3))
+
+    def test_merge_states_folds_any_partition(self):
+        values = stack(m=6)
+        parts = []
+        for chunk in ((0, 1), (2,), (3, 4, 5)):
+            s = ReducerState(6)
+            for m in chunk:
+                s.update(m, values[m])
+            parts.append(s)
+        merged = merge_states(parts)
+        assert np.array_equal(merged.values(), values)
+        with pytest.raises(ValueError, match="at least one"):
+            merge_states([])
+
+
+class TestWelford:
+    def test_single_member_variance_is_exactly_zero(self):
+        values = stack(m=1)
+        _, m2 = welford(values)
+        assert np.all(m2 == 0.0)
+        out = reduce_summaries(values, ("variance",))
+        assert np.all(out["variance"] == 0.0)
+
+    def test_mean_matches_numpy_within_float_noise(self):
+        values = stack(m=9)
+        mean, m2 = welford(values)
+        np.testing.assert_allclose(mean, values.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(
+            m2 / len(values), values.var(axis=0), rtol=1e-10, atol=1e-14
+        )
+
+
+class TestReduceFrame:
+    def test_rejects_unknown_summary(self):
+        with pytest.raises(ValueError, match="unknown summaries"):
+            reduce_frame(stack(), ("mean", "median"))
+
+    def test_shapes_do_not_depend_on_m(self):
+        for m in (1, 3, 8):
+            values = stack(m=m)
+            out, energies, esum, div = reduce_frame(
+                values, ALLOWED_SUMMARIES, quantiles=(0.25, 0.75)
+            )
+            shapes = summary_shapes(out)
+            assert shapes["mean"] == (7, 3)
+            assert shapes["variance"] == (7, 3)
+            assert shapes["min"] == (7, 3)
+            assert shapes["max"] == (7, 3)
+            assert shapes["quantiles"] == (2, 7, 3)
+            assert shapes["energy"] == (3,)
+            assert energies.shape == (m,)
+            assert esum.shape == (3,)
+            assert isinstance(div, float)
+
+    def test_min_max_canonicalize_negative_zero(self):
+        values = np.array([[[-0.0]], [[0.0]]])
+        out = reduce_summaries(values, ("min", "max"))
+        assert np.signbit(out["min"]).sum() == 0
+        assert np.signbit(out["max"]).sum() == 0
+
+    def test_identical_members_have_zero_divergence(self):
+        one = RNG.standard_normal((4, 2))
+        values = np.stack([one, one, one])
+        _, _, _, div = reduce_frame(values, DEFAULT_SUMMARIES)
+        assert div == 0.0
+
+    def test_energy_matches_definition(self):
+        values = stack(m=3)
+        energies = kinetic_energy(values)
+        expect = 0.5 * (values.reshape(3, -1) ** 2).sum(axis=1)
+        np.testing.assert_allclose(energies, expect, rtol=1e-12)
+        esum = energy_summary(energies)
+        assert esum[0] == energies.min()
+        assert esum[2] == energies.max()
+        assert esum[0] <= esum[1] <= esum[2]
+
+    def test_divergence_matches_definition(self):
+        values = stack(m=4)
+        mean, _ = welford(values)
+        div = ensemble_divergence(values, mean)
+        expect = float(
+            np.sqrt(((values - mean[None]) ** 2).sum() / len(values))
+        )
+        np.testing.assert_allclose(div, expect, rtol=1e-12)
+
+    def test_chunked_merge_is_bitwise_single_pass(self):
+        """The headline contract, spot-checked (property suite goes wide)."""
+        values = stack(m=8)
+        whole = ReducerState(8)
+        for m in range(8):
+            whole.update(m, values[m])
+        parts = []
+        for chunk in ((5, 1), (7, 0, 3), (2, 6, 4)):
+            s = ReducerState(8)
+            for m in chunk:
+                s.update(m, values[m])
+            parts.append(s)
+        merged = merge_states(parts)
+        a = reduce_frame(whole.values(), ALLOWED_SUMMARIES)
+        b = reduce_frame(merged.values(), ALLOWED_SUMMARIES)
+        for name in a[0]:
+            assert a[0][name].tobytes() == b[0][name].tobytes()
+        assert a[1].tobytes() == b[1].tobytes()
+        assert a[2].tobytes() == b[2].tobytes()
+        assert a[3] == b[3]

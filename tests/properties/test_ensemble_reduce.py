@@ -1,0 +1,139 @@
+"""Property tests: ensemble reduction is bitwise chunk-invariant.
+
+The reducer's headline contract (``repro.ensemble.reduce`` module doc):
+merging partial states is a disjoint union with no floating-point
+arithmetic, and every summary folds members in ascending order at
+finalization — so ANY partition of the members into chunks, merged in
+ANY association/order, reduces bitwise-identically to a single pass.
+Hypothesis drives the partitions, the member values (including signed
+zeros, subnormals, and wide magnitude ranges), and the ensemble sizes.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ensemble.reduce import (
+    ALLOWED_SUMMARIES,
+    ReducerState,
+    merge_states,
+    reduce_frame,
+)
+
+
+def assert_frames_bitwise(a, b):
+    sa, ea, esa, da = a
+    sb, eb, esb, db = b
+    assert sorted(sa) == sorted(sb)
+    for name in sa:
+        assert sa[name].tobytes() == sb[name].tobytes(), name
+    assert ea.tobytes() == eb.tobytes()
+    assert esa.tobytes() == esb.tobytes()
+    assert np.float64(da).tobytes() == np.float64(db).tobytes()
+
+
+finite = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    min_value=-1e100,
+    max_value=1e100,
+    allow_subnormal=True,
+)
+
+
+@st.composite
+def member_stacks(draw, max_members=8, max_nodes=4, max_features=3):
+    m = draw(st.integers(1, max_members))
+    n = draw(st.integers(1, max_nodes))
+    f = draw(st.integers(1, max_features))
+    flat = draw(
+        st.lists(finite, min_size=m * n * f, max_size=m * n * f)
+    )
+    return np.array(flat, dtype=np.float64).reshape(m, n, f)
+
+
+@st.composite
+def partitions(draw, m):
+    """A random partition of ``range(m)`` into disjoint chunks."""
+    indices = list(range(m))
+    shuffled = draw(st.permutations(indices))
+    chunks, lo = [], 0
+    while lo < m:
+        size = draw(st.integers(1, m - lo))
+        chunks.append(shuffled[lo:lo + size])
+        lo += size
+    return chunks
+
+
+def state_of(values, members):
+    s = ReducerState(len(values))
+    for m in members:
+        s.update(m, values[m])
+    return s
+
+
+@given(data=st.data(), values=member_stacks())
+@settings(max_examples=60, deadline=None)
+def test_any_chunking_reduces_bitwise_to_single_pass(data, values):
+    m = len(values)
+    whole = state_of(values, range(m))
+    chunks = data.draw(partitions(m))
+    merged = merge_states([state_of(values, c) for c in chunks])
+    assert merged.complete
+    assert merged.values().tobytes() == whole.values().tobytes()
+    assert_frames_bitwise(
+        reduce_frame(whole.values(), ALLOWED_SUMMARIES, (0.1, 0.5, 0.9)),
+        reduce_frame(merged.values(), ALLOWED_SUMMARIES, (0.1, 0.5, 0.9)),
+    )
+
+
+@given(data=st.data(), values=member_stacks(max_members=6))
+@settings(max_examples=40, deadline=None)
+def test_merge_is_associative_and_commutative(data, values):
+    m = len(values)
+    chunks = data.draw(partitions(m))
+    states = [state_of(values, c) for c in chunks]
+    left = merge_states(states)
+    right = merge_states(list(reversed(states)))
+    # and a nested association when there are >= 3 parts
+    if len(states) >= 3:
+        nested = states[0].merge(states[1].merge(merge_states(states[2:])))
+        assert nested.values().tobytes() == left.values().tobytes()
+    assert left.values().tobytes() == right.values().tobytes()
+
+
+@given(values=member_stacks())
+@settings(max_examples=40, deadline=None)
+def test_min_max_never_emit_negative_zero(values):
+    summaries, _, _, _ = reduce_frame(values, ("min", "max"))
+    for name in ("min", "max"):
+        arr = summaries[name]
+        zero = arr == 0.0
+        assert not np.signbit(arr[zero]).any(), name
+
+
+@given(
+    n=st.integers(1, 4),
+    f=st.integers(1, 3),
+    flat=st.lists(finite, min_size=1, max_size=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_single_member_variance_and_divergence_are_exact_zero(n, f, flat):
+    need = n * f
+    vals = (flat * need)[:need]
+    values = np.array(vals, dtype=np.float64).reshape(1, n, f)
+    summaries, _, _, divergence = reduce_frame(values, ("mean", "variance"))
+    assert np.all(summaries["variance"] == 0.0)
+    assert not np.signbit(summaries["variance"]).any()
+    assert divergence == 0.0
+    assert summaries["mean"].tobytes() == values[0].tobytes()
+
+
+@given(values=member_stacks())
+@settings(max_examples=30, deadline=None)
+def test_duplicated_members_collapse_spread_to_zero(values):
+    """An ensemble of identical members has zero variance and divergence."""
+    m = len(values)
+    same = np.repeat(values[:1], m, axis=0)
+    summaries, _, _, divergence = reduce_frame(same, ("variance",))
+    assert np.all(summaries["variance"] == 0.0)
+    assert divergence == 0.0

@@ -38,6 +38,7 @@ def test_surface_covers_the_engine_api():
         "repro.cluster",
         "repro.serve",
         "repro.obs",
+        "repro.ensemble",
     )
     text = SNAPSHOT_PATH.read_text(encoding="utf-8")
     for export in (
@@ -58,6 +59,12 @@ def test_surface_covers_the_engine_api():
         "class MetricsRegistry",
         "class HotLoopProfiler",
         "def mint_trace_id",
+        "class EnsembleRequest",
+        "class PerturbationSpec",
+        "class SummaryFrame",
+        "class StabilityConfig",
+        "class BlowUp",
+        "def reduce_frame",
     ):
         assert export in text, f"{export!r} fell out of the public surface"
     for removed in ("class ServeClient", "class NetworkClient"):

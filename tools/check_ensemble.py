@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Ensemble tiling check against the committed benchmark.
+
+The ensemble subsystem (:mod:`repro.ensemble`) commits an ``ensemble``
+section in ``BENCH_inference.json``: ``M`` perturbed members tiled into
+batched rollouts on ``W`` workers vs ``M`` serial member rollouts, plus
+a wire-cost probe on one serialized summary frame. This checker (CI
+job ``bench-smoke``) holds the commitments:
+
+* **The tiling floor.** The tiled ensemble must beat the serial
+  baseline by ``--min-speedup`` (default 1.3) wall-time at ``M >= 8``
+  members on ``W >= 2`` workers. Members are deterministic rollouts of
+  perturbed initial states, so this margin is pure batching and worker
+  overlap — never different math.
+* **Bitwise identity.** The benchmark asserts every tiled member's
+  trajectory bit-for-bit against its own direct rollout before timing
+  and records the verdict; a document without
+  ``bitwise_identical: true`` fails.
+* **Bounded wire cost.** A summary frame's serialized bytes must not
+  grow with ``M`` (summaries are member-count independent unless
+  ``return_members`` is set); a document without ``wire.flat: true``
+  fails.
+
+CI runs::
+
+    python -m repro bench --quick --output FRESH.json
+    python tools/check_ensemble.py --fresh FRESH.json
+
+Exit 0 when all commitments hold; exit 1 with the measured numbers
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = REPO_ROOT / "BENCH_inference.json"
+
+
+def _load(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _ensemble(doc: dict, label: str) -> dict:
+    section = doc.get("ensemble")
+    if not isinstance(section, dict):
+        raise SystemExit(
+            f"ensemble: {label} has no ensemble section — "
+            f"is it from a pre-ensemble bench?"
+        )
+    return section
+
+
+def _check(en: dict, label: str, min_speedup: float) -> bool:
+    failed = False
+    members = int(en.get("members", 0))
+    workers = int(en.get("workers", 0))
+    if members < 8 or workers < 2:
+        print(
+            f"ensemble: {label} ran {members} members on {workers} "
+            f"workers — the tiling claim needs >= 8 members on >= 2 "
+            f"workers",
+            file=sys.stderr,
+        )
+        failed = True
+    if not en.get("bitwise_identical"):
+        print(
+            f"ensemble: {label} did not record bitwise-identical member "
+            f"trajectories between the tiled ensemble and direct rollouts",
+            file=sys.stderr,
+        )
+        failed = True
+    speedup = float(en.get("speedup", 0.0))
+    print(
+        f"ensemble: {label} {members} members x {workers} workers "
+        f"(batch {en.get('max_batch_size', '?')}): "
+        f"sequential {float(en['sequential_s']) * 1e3:.1f} ms, "
+        f"ensemble {float(en['ensemble_s']) * 1e3:.1f} ms -> "
+        f"{speedup:.2f}x (floor {min_speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        print(
+            f"ensemble: {label} speedup {speedup:.2f}x is under the "
+            f"{min_speedup:.2f}x tiling floor — members are not "
+            f"batching/overlapping",
+            file=sys.stderr,
+        )
+        failed = True
+    wire = en.get("wire") or {}
+    sizes = {k: v for k, v in wire.items() if k.startswith("frame_bytes")}
+    print(f"ensemble: {label} summary-frame wire bytes {sizes} "
+          f"(flat in M: {wire.get('flat')})")
+    if not wire.get("flat"):
+        print(
+            f"ensemble: {label} summary frame bytes grew with the member "
+            f"count — the wire cost is no longer O(1) in M",
+            file=sys.stderr,
+        )
+        failed = True
+    return failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert the ensemble tiling floor, bitwise member "
+        "identity, and the flat wire cost against the committed benchmark",
+    )
+    parser.add_argument(
+        "--fresh", required=True, metavar="FRESH.json",
+        help="fresh `python -m repro bench --quick` output",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="PATH",
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.3, metavar="X",
+        help="ensemble/sequential wall-time floor (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = _load(Path(args.fresh))
+    baseline = _load(Path(args.baseline))
+
+    failed = _check(
+        _ensemble(baseline, "committed"), "committed", args.min_speedup
+    )
+    failed |= _check(
+        _ensemble(fresh, args.fresh), args.fresh, args.min_speedup
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
